@@ -1,0 +1,82 @@
+"""EXP-E6 — Example 6: the Loomis-Whitney join LW_n.
+
+Paper claim: ρ* = n/(n-1), so Theorem 1 (Proposition 3) gives space
+Õ(|D| + |D|^{n/(n-1)}/τ) with delay Õ(τ); at τ = |D|^{1/(n-1)} the space
+is *linear* with delay Õ(|D|^{1/(n-1)}). The query has no out-of-the-box
+factorization (the paper's point: this is beyond d-representations).
+"""
+
+import math
+
+import pytest
+
+from conftest import emit, emit_table, probe_delays
+from repro.core.structure import CompressedRepresentation
+from repro.hypergraph.covers import fractional_edge_cover
+from repro.hypergraph.hypergraph import hypergraph_of_view
+from repro.workloads.generators import loomis_whitney_database
+from repro.workloads.queries import loomis_whitney_view
+
+
+@pytest.fixture(scope="module")
+def workload():
+    n = 3
+    view = loomis_whitney_view(n)
+    db = loomis_whitney_database(n, size=300, domain=20, seed=3)
+    accesses = [(a, b) for a in range(6) for b in range(6)]
+    return n, view, db, accesses
+
+
+def test_rho_star_is_paper_value(benchmark, workload):
+    n, view, db, _ = workload
+    hg = hypergraph_of_view(view)
+    cover = benchmark.pedantic(
+        lambda: fractional_edge_cover(hg), rounds=3, iterations=1
+    )
+    emit(
+        f"EXP-E6 LW_{n}: rho* measured {cover.value:.4f} vs paper "
+        f"n/(n-1) = {n / (n - 1):.4f}"
+    )
+    assert abs(cover.value - n / (n - 1)) < 1e-6
+
+
+def test_linear_space_point(benchmark, workload):
+    n, view, db, accesses = workload
+    size = db.total_tuples()
+    tau_linear = float(size) ** (1.0 / (n - 1))
+
+    def sweep():
+        rows = []
+        for tau in (1.0, tau_linear / 4, tau_linear, tau_linear * 4):
+            cr = CompressedRepresentation(view, db, tau=tau)
+            gap, outputs, _ = probe_delays(cr, accesses)
+            rows.append(
+                (
+                    f"{tau:.1f}",
+                    cr.space_report().structure_cells,
+                    size,
+                    gap,
+                    outputs,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit_table(
+        rows,
+        headers=("tau", "cells", "|D|", "max_step_gap", "outputs"),
+        title=(
+            f"EXP-E6 LW_{n} (|D|={size}): paper point tau=|D|^(1/(n-1)) "
+            f"= {tau_linear:.0f} -> structure cells ~ linear in |D|"
+        ),
+    )
+    # Shape: at the linear-space point the structure is O(|D|)-ish.
+    linear_cells = rows[2][1]
+    assert linear_cells <= 4 * size
+
+
+def test_query_at_linear_point(benchmark, workload):
+    n, view, db, accesses = workload
+    tau = float(db.total_tuples()) ** (1.0 / (n - 1))
+    cr = CompressedRepresentation(view, db, tau=tau)
+    benchmark(lambda: [cr.answer(a) for a in accesses[:12]])

@@ -1,0 +1,88 @@
+"""EXP-F2 — Figures 2 & 7, Examples 9, 16, 17: width computations.
+
+Prints every width number the paper states next to the computed value;
+the bench also times the exact elimination-order searches.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.hypergraph.connex import ConnexDecomposition
+from repro.hypergraph.hypergraph import hypergraph_of_view
+from repro.hypergraph.width import (
+    DelayAssignment,
+    connex_fhw,
+    delta_height,
+    delta_width,
+    fhw,
+)
+from repro.query.atoms import Variable
+from repro.query.parser import parse_view
+from repro.workloads.queries import figure2_view, figure7_view, triangle_view
+
+
+def _figure2_decomposition():
+    v = Variable
+    bags = {
+        "tb": {v("v1"), v("v5"), v("v6")},
+        "t1": {v("v2"), v("v4"), v("v1"), v("v5")},
+        "t2": {v("v2"), v("v3"), v("v4")},
+        "t3": {v("v6"), v("v7")},
+    }
+    edges = [("tb", "t1"), ("t1", "t2"), ("tb", "t3")]
+    return ConnexDecomposition(bags, edges, "tb", bags["tb"])
+
+
+def test_width_table(benchmark):
+    def compute():
+        rows = []
+        tri = hypergraph_of_view(triangle_view("fff"))
+        rows.append(("fhw(triangle)", "1.5", f"{fhw(tri):.3f}"))
+        fig7 = hypergraph_of_view(figure7_view())
+        rows.append(("fhw(Fig.7 H)", "2", f"{fhw(fig7):.3f}"))
+        width7, _ = connex_fhw(
+            fig7, frozenset(figure7_view().bound_variables)
+        )
+        rows.append(("fhw(H|Vb) Fig.7 (Ex.17)", "1.5", f"{width7:.3f}"))
+        ex16 = parse_view("Q^bfb(x, y, z) = R(x, y), S(y, z)")
+        hg16 = hypergraph_of_view(ex16)
+        rows.append(("fhw(R-S path)", "1", f"{fhw(hg16):.3f}"))
+        w16, _ = connex_fhw(hg16, frozenset(ex16.bound_variables))
+        rows.append(("fhw(H|{x,z}) (Ex.16)", "2", f"{w16:.3f}"))
+        fig2 = hypergraph_of_view(figure2_view())
+        decomposition = _figure2_decomposition()
+        assignment = DelayAssignment({"t1": 1 / 3, "t2": 1 / 6, "t3": 0.0})
+        rows.append(
+            (
+                "delta-width Fig.2 (Ex.9)",
+                "5/3",
+                f"{delta_width(decomposition, fig2, assignment):.3f}",
+            )
+        )
+        rows.append(
+            (
+                "delta-height Fig.2 (Ex.9)",
+                "1/2",
+                f"{delta_height(decomposition, assignment):.3f}",
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit_table(
+        rows,
+        headers=("quantity", "paper", "computed"),
+        title="EXP-F2 width numbers: paper vs computed (exact searches)",
+    )
+    for _, paper, computed in rows:
+        expected = eval(paper.split()[0]) if "/" in paper else float(paper)
+        assert abs(float(computed) - expected) < 1e-3
+
+
+def test_connex_fhw_search_time(benchmark):
+    fig7 = hypergraph_of_view(figure7_view())
+    benchmark(
+        lambda: connex_fhw(
+            fig7, frozenset(figure7_view().bound_variables)
+        )
+    )

@@ -1,0 +1,81 @@
+"""EXP-P4 — Proposition 4 / Figure 7: constant delay at fhw(H | V_b) space.
+
+Paper claim: constant-delay answering needs only O(|D|^{fhw(H|V_b)})
+space. On the Figure 7 query fhw(H|V_b) = 3/2 < fhw = 2, so the connex
+structure must be much smaller than the materialized view while keeping
+O(1) probes per output.
+"""
+
+import pytest
+
+from conftest import emit, emit_table, probe_delays
+from repro.baselines.materialized import MaterializedView
+from repro.core.constant_delay import ConnexConstantDelayStructure
+from repro.workloads.queries import figure7_database, figure7_view
+
+
+@pytest.fixture(scope="module")
+def workload():
+    view = figure7_view()
+    db = figure7_database(nodes=25, edges=240, seed=4)
+    accesses = [
+        (a, b, c, d)
+        for a in range(3)
+        for b in range(3)
+        for c in range(3)
+        for d in range(3)
+    ]
+    return view, db, accesses
+
+
+def test_space_and_delay(benchmark, workload):
+    view, db, accesses = workload
+
+    def build_and_probe():
+        connex = ConnexConstantDelayStructure(view, db)
+        materialized = MaterializedView(view, db)
+        gap, outputs, _ = probe_delays(connex, accesses)
+        return connex, materialized, gap, outputs
+
+    connex, materialized, gap, outputs = benchmark.pedantic(
+        build_and_probe, rounds=1, iterations=1
+    )
+    rows = [
+        (
+            "connex (Prop 4)",
+            f"{connex.width:.2f}",
+            connex.space_report().structure_cells,
+            gap,
+        ),
+        (
+            "materialized",
+            "2.00 (fhw)",
+            materialized.space_report().structure_cells,
+            1,
+        ),
+    ]
+    emit_table(
+        rows,
+        headers=("structure", "width", "cells", "max_step_gap"),
+        title=(
+            "EXP-P4 Figure 7 query: constant delay at fhw(H|Vb)=3/2 "
+            "space vs full materialization"
+        ),
+    )
+    assert connex.width == pytest.approx(1.5, abs=1e-6)
+    assert gap <= 20  # constant-delay regime
+
+
+def test_query_throughput(benchmark, workload):
+    view, db, accesses = workload
+    structure = ConnexConstantDelayStructure(view, db)
+    benchmark(lambda: [structure.answer(a) for a in accesses[:20]])
+
+
+def test_build(benchmark, workload):
+    view, db, _ = workload
+    benchmark.pedantic(
+        lambda: ConnexConstantDelayStructure(view, db),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,82 @@
+"""EXP-SI — the Cohen-Porat fast set intersection structure (Section 3.1).
+
+Paper claim: the Theorem 1 structure on Q^bbf(x1,x2,z) = R(x1,z), R(x2,z)
+strictly generalizes the fast-set-intersection structure: space
+Õ(N²/τ²) (slack α = 2) with intersection reporting in delay Õ(τ) and
+2-SetDisjointness in time Õ(τ) (the conjectured-optimal tradeoff of
+Section 3.3).
+"""
+
+import pytest
+
+from conftest import emit, emit_table
+from repro.joins.generic_join import JoinCounter
+from repro.measure.delay import measure_enumeration
+from repro.setintersection.cohen_porat import SetIntersectionIndex
+from repro.workloads.generators import set_family
+
+TAUS = (1.0, 4.0, 16.0, 64.0)
+
+
+@pytest.fixture(scope="module")
+def family():
+    return set_family(24, universe=300, mean_size=60, seed=13, skew=0.7)
+
+
+def test_tradeoff_series(benchmark, family):
+    def sweep():
+        rows = []
+        ids = list(family)[:8]
+        for tau in TAUS:
+            index = SetIntersectionIndex(family, tau=tau)
+            worst = 0
+            for left in ids:
+                for right in ids:
+                    counter = JoinCounter()
+                    stats = measure_enumeration(
+                        index.intersect(left, right, counter=counter),
+                        counter=counter,
+                    )
+                    worst = max(worst, stats.step_max_gap)
+            rows.append(
+                (
+                    tau,
+                    index.space_report().structure_cells,
+                    worst,
+                    index.total_size,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit_table(
+        rows,
+        headers=("tau", "cells", "max_step_gap", "N"),
+        title=(
+            "EXP-SI Cohen-Porat set intersection: paper space O~(N^2/tau^2) "
+            "with delay O~(tau)"
+        ),
+    )
+    cells = [row[1] for row in rows]
+    assert cells == sorted(cells, reverse=True)
+
+
+def test_disjointness_probe(benchmark, family):
+    index = SetIntersectionIndex(family, tau=8.0)
+    ids = list(family)[:10]
+    pairs = [(a, b) for a in ids for b in ids]
+    benchmark(lambda: [index.are_disjoint(a, b) for a, b in pairs])
+
+
+def test_intersection_reporting(benchmark, family):
+    index = SetIntersectionIndex(family, tau=8.0)
+    ids = list(family)[:10]
+    pairs = [(a, b) for a in ids for b in ids]
+    benchmark(lambda: [index.intersection(a, b) for a, b in pairs])
+
+
+def test_three_way_intersection(benchmark, family):
+    index = SetIntersectionIndex(family, tau=8.0, k=3)
+    ids = list(family)[:6]
+    triples = [(a, b, c) for a in ids for b in ids for c in ids][:40]
+    benchmark(lambda: [index.intersection(*t) for t in triples])

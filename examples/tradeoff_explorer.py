@@ -1,0 +1,88 @@
+"""Explore the space/delay frontier of Theorems 1 and 2 interactively.
+
+Sweeps τ over the mutual-friend view on a hub-heavy social network and
+prints the frontier (Figure 1's continuum); then shows the Theorem 2
+decomposition trading delay exponents for space on a path query.
+
+Run with: python examples/tradeoff_explorer.py
+"""
+
+from repro import (
+    CompressedRepresentation,
+    DecomposedRepresentation,
+    DelayAssignment,
+    connex_fhw,
+    hypergraph_of_view,
+)
+from repro.baselines import LazyView, MaterializedView
+from repro.measure import sweep_tau
+from repro.measure.tradeoff import format_table, tradeoff_rows
+from repro.workloads import (
+    celebrity_social_network,
+    mutual_friend_view,
+    path_database,
+    path_view,
+)
+
+
+def theorem1_frontier() -> None:
+    view = mutual_friend_view()
+    db, accesses = celebrity_social_network(seed=17)
+    print(f"mutual friends on {db.total_tuples()} friendship rows")
+    points = sweep_tau(
+        view, db, taus=(2.0, 8.0, 32.0, 128.0, 512.0), accesses=accesses
+    )
+    print(
+        format_table(
+            tradeoff_rows(points),
+            headers=("tau", "cells", "max gap", "mean gap", "outputs"),
+            title="Theorem 1 frontier (space falls, delay rises):",
+        )
+    )
+    lazy = LazyView(view, db)
+    materialized = MaterializedView(view, db)
+    print(
+        f"\nbounds: lazy = 0 cells, materialized = "
+        f"{materialized.space_report().structure_cells} cells "
+        f"({materialized.output_size()} result tuples)"
+    )
+
+
+def theorem2_frontier() -> None:
+    view = path_view(4)
+    db = path_database(4, size=120, domain=14, seed=2)
+    hg = hypergraph_of_view(view)
+    width, decomposition = connex_fhw(hg, frozenset(view.bound_variables))
+    print(
+        f"\npath P_4^bf..fb, fhw(H|Vb) = {width:.2f}; sweeping the delay "
+        "assignment delta:"
+    )
+    rows = []
+    for exponent in (0.0, 0.2, 0.4, 0.6):
+        assignment = DelayAssignment.uniform(decomposition, exponent)
+        dr = DecomposedRepresentation(
+            view, db, decomposition=decomposition, assignment=assignment
+        )
+        rows.append(
+            (
+                exponent,
+                dr.delta_height,
+                dr.space_report().structure_cells,
+            )
+        )
+    print(
+        format_table(
+            rows,
+            headers=("delta", "height h", "cells"),
+            title="Theorem 2: space vs delay exponent (delay ~ |D|^h):",
+        )
+    )
+
+
+def main() -> None:
+    theorem1_frontier()
+    theorem2_frontier()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+"""Command-line interface: build a compressed view over CSV relations.
+
+Examples
+--------
+Build a structure and answer access requests::
+
+    python -m repro answer \\
+        --view "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)" \\
+        --data ./relations --tau 8 --access 1,2 --access 3,4
+
+Sweep the space/delay frontier::
+
+    python -m repro sweep \\
+        --view "V^bfb(x, y, z) = R(x, y), R(y, z), R(z, x)" \\
+        --data ./relations --taus 2,8,32,128 --access 1,2
+
+Report the widths that drive the space bounds::
+
+    python -m repro widths --view "..." --data ./relations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Tuple
+
+from repro import (
+    CompressedRepresentation,
+    connex_fhw,
+    fhw,
+    hypergraph_of_view,
+    parse_view,
+)
+from repro.io import load_database
+from repro.measure.tradeoff import format_table, sweep_tau, tradeoff_rows
+from repro.query.rewriting import normalize_view
+
+
+def _parse_access(text: str) -> Tuple:
+    parts = [piece.strip() for piece in text.split(",") if piece.strip()]
+    values: List = []
+    for piece in parts:
+        try:
+            values.append(int(piece))
+        except ValueError:
+            values.append(piece)
+    return tuple(values)
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--view", required=True, help="adorned view, e.g. 'V^bf(x,y) = R(x,y)'"
+    )
+    parser.add_argument(
+        "--data", required=True, help="directory of <relation>.csv files"
+    )
+
+
+def _build_answer(args) -> int:
+    view = parse_view(args.view)
+    db = load_database(args.data)
+    structure = CompressedRepresentation(view, db, tau=args.tau)
+    stats = structure.stats
+    print(
+        f"built: tau={stats.tau} alpha={stats.alpha:.2f} "
+        f"tree={stats.tree_nodes} dict={stats.dictionary_entries} "
+        f"({stats.build_seconds * 1000:.1f} ms)"
+    )
+    for access_text in args.access or []:
+        access = _parse_access(access_text)
+        rows = structure.answer(access)
+        print(f"answer{access}: {len(rows)} tuples")
+        limit = args.limit
+        for row in rows[:limit]:
+            print(f"  {row}")
+        if len(rows) > limit:
+            print(f"  ... {len(rows) - limit} more")
+    return 0
+
+
+def _run_sweep(args) -> int:
+    view = parse_view(args.view)
+    db = load_database(args.data)
+    taus = [float(t) for t in args.taus.split(",")]
+    accesses = [_parse_access(a) for a in args.access or []]
+    if not accesses:
+        print("sweep needs at least one --access", file=sys.stderr)
+        return 2
+    points = sweep_tau(view, db, taus=taus, accesses=accesses)
+    print(
+        format_table(
+            tradeoff_rows(points),
+            headers=("tau", "cells", "max gap", "mean gap", "outputs"),
+            title="space/delay frontier:",
+        )
+    )
+    return 0
+
+
+def _run_widths(args) -> int:
+    view = parse_view(args.view)
+    db = load_database(args.data)
+    normalized = normalize_view(view, db)
+    hg = hypergraph_of_view(normalized.view)
+    plain = fhw(hg)
+    bound = frozenset(normalized.view.bound_variables)
+    connex_width, _ = connex_fhw(hg, bound)
+    print(f"fhw(H)        = {plain:.3f}  (full-enumeration space exponent)")
+    print(f"fhw(H | V_b)  = {connex_width:.3f}  (constant-delay space exponent)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="compressed representations of conjunctive query results",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    answer = commands.add_parser("answer", help="build and answer requests")
+    _common(answer)
+    answer.add_argument("--tau", type=float, default=8.0)
+    answer.add_argument(
+        "--access", action="append", help="comma-separated bound values"
+    )
+    answer.add_argument("--limit", type=int, default=20)
+    answer.set_defaults(handler=_build_answer)
+
+    sweep = commands.add_parser("sweep", help="sweep the tau frontier")
+    _common(sweep)
+    sweep.add_argument("--taus", default="2,8,32,128")
+    sweep.add_argument(
+        "--access", action="append", help="comma-separated bound values"
+    )
+    sweep.set_defaults(handler=_run_sweep)
+
+    widths = commands.add_parser("widths", help="report width exponents")
+    _common(widths)
+    widths.set_defaults(handler=_run_widths)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

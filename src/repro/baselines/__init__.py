@@ -1,0 +1,15 @@
+"""The two extremal baselines of Section 2.3.
+
+* :class:`~repro.baselines.materialized.MaterializedView` — materialize
+  ``Q(D)`` and index it by the bound variables: optimal delay, worst space.
+* :class:`~repro.baselines.lazy.LazyView` — store nothing beyond linear
+  indexes and evaluate each access request from scratch with a worst-case
+  optimal join: optimal space, worst delay.
+
+The compressed representations explore the continuum between these two.
+"""
+
+from repro.baselines.materialized import MaterializedView
+from repro.baselines.lazy import LazyView
+
+__all__ = ["MaterializedView", "LazyView"]

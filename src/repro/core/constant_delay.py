@@ -1,0 +1,344 @@
+"""Constant-delay fast paths: Propositions 1 and 4.
+
+* :class:`FullyBoundStructure` — all head variables bound (Proposition 1):
+  linear space, O(1)-probe answering of boolean access requests.
+* :class:`ConnexConstantDelayStructure` — the δ = 0 point of Theorem 2
+  (Proposition 4): materialize the bags of a V_b-connex decomposition,
+  semijoin-reduce bottom-up, index each bag by its bound-side variables,
+  and enumerate by pre-order nested lookups. Space ``O(|D|^{fhw(H|V_b)})``,
+  constant delay. With ``V_b = ∅`` this recovers the d-representation
+  result (Proposition 2); the factorized baseline in
+  :mod:`repro.factorized` reuses this machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.database.catalog import Database
+from repro.database.index import TrieIndex
+from repro.exceptions import DecompositionError, QueryError
+from repro.hypergraph.connex import ConnexDecomposition
+from repro.hypergraph.hypergraph import hypergraph_of_view
+from repro.hypergraph.width import connex_fhw
+from repro.joins.generic_join import JoinCounter, generic_join
+from repro.joins.semijoin import semijoin
+from repro.measure.space import SpaceReport
+from repro.query.adorned import AdornedView
+from repro.query.atoms import Variable
+from repro.query.rewriting import normalize_view
+
+
+class FullyBoundStructure:
+    """Proposition 1: answer all-bound access requests with O(1) probes.
+
+    For a natural join query with every head variable bound, an access
+    request succeeds iff each relation contains the access tuple projected
+    to its columns — a constant number of hash probes over the input, so
+    compression time and space stay linear.
+    """
+
+    def __init__(self, view: AdornedView, db: Database):
+        if not view.is_boolean:
+            raise QueryError(
+                f"view {view.name!r} is not all-bound; use "
+                "CompressedRepresentation instead"
+            )
+        if view.is_natural_join():
+            self.view, self.db = view, db
+        else:
+            normalized = normalize_view(view, db)
+            self.view, self.db = normalized.view, normalized.database
+        bound_positions = {
+            var: index for index, var in enumerate(self.view.head)
+        }
+        self._checks = []
+        for atom in self.view.atoms:
+            relation = self.db[atom.relation]
+            positions = tuple(bound_positions[term] for term in atom.terms)
+            self._checks.append((relation, positions))
+
+    def exists(self, access: Sequence) -> bool:
+        """Whether ``Q^η[v_b]`` is non-empty — O(1) per relation."""
+        access = tuple(access)
+        if len(access) != len(self.view.head):
+            raise QueryError(
+                f"access tuple has {len(access)} values, expected "
+                f"{len(self.view.head)}"
+            )
+        return all(
+            tuple(access[p] for p in positions) in relation
+            for relation, positions in self._checks
+        )
+
+    def enumerate(self, access: Sequence) -> Iterator[Tuple]:
+        """Iterator yielding the empty tuple iff the request succeeds."""
+        if self.exists(access):
+            yield ()
+
+    def space_report(self) -> SpaceReport:
+        return SpaceReport(base_tuples=self.db.total_tuples())
+
+
+@dataclass
+class _Bag:
+    """Materialized state of one non-root bag."""
+
+    node: object
+    bound_vars: Tuple[Variable, ...]
+    free_vars: Tuple[Variable, ...]
+    rows: set  # tuples over bound_vars + free_vars
+    index: Dict[Tuple, List[Tuple]]  # bound values -> sorted free values
+
+
+class ConnexConstantDelayStructure:
+    """Proposition 4: constant delay in ``O(|D|^{fhw(H|V_b)})`` space."""
+
+    def __init__(
+        self,
+        view: AdornedView,
+        db: Database,
+        decomposition: Optional[ConnexDecomposition] = None,
+    ):
+        started = time.perf_counter()
+        if view.is_natural_join():
+            self.view, self.db = view, db
+        else:
+            normalized = normalize_view(view, db)
+            self.view, self.db = normalized.view, normalized.database
+        self.hypergraph = hypergraph_of_view(self.view)
+        bound = frozenset(self.view.bound_variables)
+        if decomposition is None:
+            self.width, decomposition = connex_fhw(self.hypergraph, bound)
+        else:
+            decomposition.validate_connex(self.hypergraph)
+            self.width = None
+        if decomposition.connex_set != bound:
+            raise DecompositionError(
+                "decomposition connex set does not match the bound variables"
+            )
+        self.decomposition = decomposition
+        self._var_rank = {v: i for i, v in enumerate(self.view.head)}
+        self._bags: Dict[object, _Bag] = {}
+        for node in decomposition.non_root_nodes():
+            self._bags[node] = self._materialize_bag(node)
+        self._semijoin_reduce()
+        for bag in self._bags.values():
+            bag.index = self._build_index(bag)
+        self._root_checks = self._build_root_checks()
+        self._preorder = [
+            node
+            for node in decomposition.preorder()
+            if node != decomposition.root
+        ]
+        self._count_index = self._build_count_index()
+        self.build_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    def _ordered(self, variables) -> Tuple[Variable, ...]:
+        return tuple(sorted(variables, key=self._var_rank.__getitem__))
+
+    def _materialize_bag(self, node) -> _Bag:
+        decomposition = self.decomposition
+        bag_vars = decomposition.bags[node]
+        bound_vars = self._ordered(decomposition.bag_bound(node))
+        free_vars = self._ordered(decomposition.bag_free(node))
+        order = bound_vars + free_vars
+        atoms = []
+        domains = {}
+        for label in self.hypergraph.edges_intersecting(bag_vars):
+            atom = self.view.atoms[label]
+            members = [v for v in order if v in self.hypergraph.edge(label)]
+            positions = [atom.variable_positions(v)[0] for v in members]
+            projected = self.db[atom.relation].project(
+                positions, name=f"{atom.relation}__bag_{node}_{label}"
+            )
+            atoms.append((TrieIndex(projected, range(projected.arity)).root, members))
+            for position, var in zip(positions, members):
+                domains.setdefault(var, set()).update(
+                    self.db[atom.relation].column_values(position)
+                )
+        sorted_domains = {v: tuple(sorted(vals)) for v, vals in domains.items()}
+        rows = set(generic_join(atoms, order, domains=sorted_domains))
+        return _Bag(
+            node=node,
+            bound_vars=bound_vars,
+            free_vars=free_vars,
+            rows=rows,
+            index={},
+        )
+
+    def _semijoin_reduce(self) -> None:
+        """Bottom-up pass: drop bag tuples with no extension below."""
+        decomposition = self.decomposition
+        for node in decomposition.postorder():
+            if node == decomposition.root:
+                continue
+            parent = decomposition.parent[node]
+            if parent == decomposition.root:
+                continue
+            child = self._bags[node]
+            parent_bag = self._bags[parent]
+            child_vars = child.bound_vars + child.free_vars
+            parent_vars = parent_bag.bound_vars + parent_bag.free_vars
+            parent_bag.rows = semijoin(
+                parent_bag.rows, parent_vars, child.rows, child_vars
+            )
+
+    def _build_index(self, bag: _Bag) -> Dict[Tuple, List[Tuple]]:
+        n_bound = len(bag.bound_vars)
+        index: Dict[Tuple, List[Tuple]] = {}
+        for row in bag.rows:
+            index.setdefault(row[:n_bound], []).append(row[n_bound:])
+        for values in index.values():
+            values.sort()
+        return index
+
+    def _build_root_checks(self):
+        bound = frozenset(self.view.bound_variables)
+        bound_positions = {
+            var: index for index, var in enumerate(self.view.bound_variables)
+        }
+        checks = []
+        for label, members in self.hypergraph.edges:
+            if members <= bound:
+                atom = self.view.atoms[label]
+                positions = tuple(bound_positions[t] for t in atom.terms)
+                checks.append((self.db[atom.relation], positions))
+        return checks
+
+    # ------------------------------------------------------------------
+    def enumerate(
+        self, access: Sequence, counter: Optional[JoinCounter] = None
+    ) -> Iterator[Tuple]:
+        """Answer an access request with constant delay.
+
+        Yields value tuples over the free head variables, in head order.
+        The enumeration order follows the decomposition's pre-order, as
+        Theorem 2 notes.
+        """
+        access = tuple(access)
+        bound_order = self.view.bound_variables
+        if len(access) != len(bound_order):
+            raise QueryError(
+                f"access tuple has {len(access)} values, expected {len(bound_order)}"
+            )
+        for relation, positions in self._root_checks:
+            if counter is not None:
+                counter.steps += 1
+            if tuple(access[p] for p in positions) not in relation:
+                return
+        assignment: Dict[Variable, object] = dict(zip(bound_order, access))
+        free_order = self.view.free_variables
+        bags = self._preorder
+
+        def recurse(position: int) -> Iterator[Tuple]:
+            if position == len(bags):
+                yield tuple(assignment[v] for v in free_order)
+                return
+            bag = self._bags[bags[position]]
+            key = tuple(assignment[v] for v in bag.bound_vars)
+            if counter is not None:
+                counter.steps += 1
+            for values in bag.index.get(key, ()):
+                if counter is not None:
+                    counter.steps += 1
+                for var, value in zip(bag.free_vars, values):
+                    assignment[var] = value
+                yield from recurse(position + 1)
+
+        yield from recurse(0)
+
+    def answer(self, access: Sequence) -> List[Tuple]:
+        return list(self.enumerate(access))
+
+    def exists(self, access: Sequence) -> bool:
+        return next(self.enumerate(access), None) is not None
+
+    # ------------------------------------------------------------------
+    # Aggregation: COUNT in O(1) probes per request (the group-by
+    # connection of Section 3.2 — the connex decomposition is exactly the
+    # d-tree used for aggregates with group-by attributes V_b).
+    # ------------------------------------------------------------------
+    def _build_count_index(self) -> Dict[object, Dict[Tuple, int]]:
+        """Bottom-up weights: W_t[key] = Σ_rows Π_children W_c[child key].
+
+        After the semijoin reduction every stored row extends into every
+        child subtree, and sibling subtrees are independent given the
+        ancestors, so the weighted sums count exactly the join results of
+        each subtree per bound-side key.
+        """
+        decomposition = self.decomposition
+        index: Dict[object, Dict[Tuple, int]] = {}
+        for node in decomposition.postorder():
+            if node == decomposition.root:
+                continue
+            bag = self._bags[node]
+            bag_vars = bag.bound_vars + bag.free_vars
+            positions = {var: i for i, var in enumerate(bag_vars)}
+            children = [
+                child
+                for child in decomposition.children[node]
+            ]
+            child_keys = [
+                (
+                    child,
+                    [positions[v] for v in self._bags[child].bound_vars],
+                )
+                for child in children
+            ]
+            weights: Dict[Tuple, int] = {}
+            n_bound = len(bag.bound_vars)
+            for row in bag.rows:
+                weight = 1
+                for child, key_positions in child_keys:
+                    key = tuple(row[p] for p in key_positions)
+                    weight *= index[child].get(key, 0)
+                    if not weight:
+                        break
+                if weight:
+                    key = row[:n_bound]
+                    weights[key] = weights.get(key, 0) + weight
+            index[node] = weights
+        return index
+
+    def count(self, access: Sequence) -> int:
+        """|Q^η[v_b]| with O(1) probes — no enumeration.
+
+        Multiplies the subtree counts of the root's children (independent
+        given the bound values) after the O(1) root membership checks.
+        """
+        access = tuple(access)
+        bound_order = self.view.bound_variables
+        if len(access) != len(bound_order):
+            raise QueryError(
+                f"access tuple has {len(access)} values, expected "
+                f"{len(bound_order)}"
+            )
+        for relation, positions in self._root_checks:
+            if tuple(access[p] for p in positions) not in relation:
+                return 0
+        assignment = dict(zip(bound_order, access))
+        total = 1
+        for child in self.decomposition.children[self.decomposition.root]:
+            bag = self._bags[child]
+            key = tuple(assignment[v] for v in bag.bound_vars)
+            total *= self._count_index[child].get(key, 0)
+            if not total:
+                return 0
+        return total
+
+    def space_report(self) -> SpaceReport:
+        materialized = sum(len(bag.rows) for bag in self._bags.values())
+        index_cells = sum(
+            len(values) + 1
+            for bag in self._bags.values()
+            for values in bag.index.values()
+        )
+        return SpaceReport(
+            base_tuples=self.db.total_tuples(),
+            index_cells=index_cells,
+            materialized_tuples=materialized,
+        )

@@ -1,0 +1,179 @@
+"""Per-view evaluation context: orders, domains, and atom tries.
+
+A :class:`ViewContext` freezes everything the Theorem 1 machinery needs
+about one (natural-join) adorned view over one database:
+
+* the global *bound order* (bound head variables, head order) — access
+  tuples align with it;
+* the global *free order* (free head variables, head order) — the
+  lexicographic enumeration order and the coordinate order of f-intervals;
+* per-free-variable active domains and the induced
+  :class:`~repro.core.domain.TupleSpace`;
+* one :class:`AtomBinding` per atom, holding the trie indexed
+  (bound variables first, then free variables in free order) that serves
+  counting, joining and membership.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.database.catalog import Database
+from repro.database.index import TrieIndex, TrieNode
+from repro.core.domain import Domain, TupleSpace
+from repro.exceptions import QueryError
+from repro.query.adorned import AdornedView
+from repro.query.atoms import Atom, Variable
+
+
+class AtomBinding:
+    """One atom's variables, positions and trie within a view context."""
+
+    __slots__ = (
+        "label",
+        "atom",
+        "bound_vars",
+        "free_vars",
+        "bound_access_positions",
+        "free_coordinates",
+        "trie",
+        "free_trie",
+    )
+
+    def __init__(
+        self,
+        label: int,
+        atom: Atom,
+        bound_order: Tuple[Variable, ...],
+        free_order: Tuple[Variable, ...],
+        db: Database,
+    ):
+        self.label = label
+        self.atom = atom
+        atom_vars = set(atom.variables())
+        self.bound_vars: Tuple[Variable, ...] = tuple(
+            v for v in bound_order if v in atom_vars
+        )
+        self.free_vars: Tuple[Variable, ...] = tuple(
+            v for v in free_order if v in atom_vars
+        )
+        # Position of each of this atom's bound variables in the access tuple.
+        self.bound_access_positions: Tuple[int, ...] = tuple(
+            bound_order.index(v) for v in self.bound_vars
+        )
+        # Global free-order coordinate of each of this atom's free variables.
+        self.free_coordinates: Tuple[int, ...] = tuple(
+            free_order.index(v) for v in self.free_vars
+        )
+        relation = db[atom.relation]
+        if relation.arity != atom.arity:
+            raise QueryError(
+                f"atom {atom!r} arity {atom.arity} does not match relation "
+                f"{relation.name!r} arity {relation.arity}"
+            )
+        free_positions = [
+            atom.variable_positions(v)[0] for v in self.free_vars
+        ]
+        column_order = [
+            atom.variable_positions(v)[0] for v in self.bound_vars
+        ] + free_positions
+        self.trie = TrieIndex(relation, column_order)
+        # Free-columns-only trie with tuple multiplicities: the count oracle
+        # for the unrestricted |R_F ⋉ B| statistics (v_b not fixed). Nodes of
+        # both tries sit "at the free levels", so the cost model can use them
+        # interchangeably.
+        self.free_trie = TrieIndex(relation, free_positions, dedupe=False)
+
+    def subtrie(self, access: Sequence) -> Optional[TrieNode]:
+        """The trie node fixing this atom's bound variables per the access
+        tuple; None when no tuple of the relation matches."""
+        prefix = tuple(access[i] for i in self.bound_access_positions)
+        return self.trie.descend(prefix)
+
+    def contains(self, access: Sequence, free_values: Sequence) -> bool:
+        """Membership of the full tuple assembled from (access, free values).
+
+        ``free_values`` is a complete value tuple over the *global* free
+        order; the atom picks out its own coordinates.
+        """
+        key = tuple(access[i] for i in self.bound_access_positions) + tuple(
+            free_values[c] for c in self.free_coordinates
+        )
+        return self.trie.contains(key)
+
+
+class ViewContext:
+    """Frozen evaluation context for one natural-join adorned view."""
+
+    def __init__(self, view: AdornedView, db: Database):
+        if not view.is_full:
+            raise QueryError(
+                f"view {view.name!r} has projections; only full views are supported"
+            )
+        if not view.is_natural_join():
+            raise QueryError(
+                f"view {view.name!r} is not a natural join query; apply "
+                "repro.query.normalize_view first"
+            )
+        self.view = view
+        self.db = db
+        self.bound_order: Tuple[Variable, ...] = view.bound_variables
+        self.free_order: Tuple[Variable, ...] = view.free_variables
+        self.atoms: List[AtomBinding] = [
+            AtomBinding(i, atom, self.bound_order, self.free_order, db)
+            for i, atom in enumerate(view.atoms)
+        ]
+        self.free_domains: List[Domain] = [
+            Domain(self._occurrence_values(v)) for v in self.free_order
+        ]
+        self.bound_domains: Dict[Variable, Domain] = {
+            v: Domain(self._occurrence_values(v)) for v in self.bound_order
+        }
+        self.space = TupleSpace(self.free_domains)
+        # Sorted raw value sequences, for generic-join fallbacks.
+        self.free_value_domains: Dict[Variable, Tuple] = {
+            v: d.values for v, d in zip(self.free_order, self.free_domains)
+        }
+
+    def _occurrence_values(self, var: Variable) -> set:
+        values = set()
+        for atom in self.view.atoms:
+            for position in atom.variable_positions(var):
+                values |= self.db[atom.relation].column_values(position)
+        return values
+
+    # ------------------------------------------------------------------
+    def subtries(self, access: Sequence) -> List[Optional[TrieNode]]:
+        """Per-atom subtries under the access tuple (aligned with atoms)."""
+        if len(access) != len(self.bound_order):
+            raise QueryError(
+                f"access tuple {tuple(access)!r} has {len(access)} values, "
+                f"expected {len(self.bound_order)}"
+            )
+        return [binding.subtrie(access) for binding in self.atoms]
+
+    def beta_matches(self, access: Sequence, free_values: Sequence) -> bool:
+        """True iff the full valuation (access ∪ free values) is in the join."""
+        return all(
+            binding.contains(access, free_values) for binding in self.atoms
+        )
+
+    def free_ranges_of_box(self, box) -> Dict[Variable, Tuple]:
+        """Translate an f-box into per-variable closed value ranges."""
+        ranges: Dict[Variable, Tuple] = {}
+        for coordinate, interval in enumerate(box.intervals):
+            domain = self.free_domains[coordinate]
+            if interval.low == 0 and interval.high == domain.top:
+                continue  # unrestricted
+            ranges[self.free_order[coordinate]] = (
+                domain.value_at(interval.low),
+                domain.value_at(interval.high),
+            )
+        return ranges
+
+    def index_cells(self) -> int:
+        """Total logical size of the atom tries (both access paths)."""
+        return sum(
+            binding.trie.cells() + binding.free_trie.cells()
+            for binding in self.atoms
+        )

@@ -1,0 +1,158 @@
+"""The AGM-based cost function ``T`` (Section 4.2).
+
+For a canonical f-box ``B`` and an optional bound valuation ``v_b``,
+
+    T(v_b, B) = Π_{F∈E} |R_F(v_b, B)|^{û_F},      û_F = u_F / α(V_f),
+
+and for an f-interval, ``T`` sums over the box decomposition. Proposition 6
+shows ``T(v_b, I)`` bounds the time to evaluate the join restricted to
+``(v_b, I)`` with a worst-case-optimal algorithm; the compressed
+representation uses it as its notion of "expensive sub-instance".
+
+Counts ``|R_F(v_b, B)|`` come from the atom tries in ``O(arity · log |D|)``:
+descend the bound values and the unit prefix, then range-count one
+coordinate. Exponents ``û_F = 0`` contribute a factor of 1 by the usual
+``x^0 = 1`` convention (including ``x = 0``), matching the paper's product.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.context import AtomBinding, ViewContext
+from repro.core.intervals import FBox, FInterval
+from repro.database.index import TrieNode
+from repro.exceptions import ParameterError
+
+
+class CostModel:
+    """Evaluates ``T`` for boxes and intervals under a fixed cover.
+
+    Parameters
+    ----------
+    ctx:
+        The view context (atom tries, domains, orders).
+    weights:
+        Fractional edge cover ``u`` of all variables, keyed by atom index.
+    alpha:
+        The slack ``α(V_f)`` of the cover on the free variables;
+        ``math.inf`` encodes "no free variables".
+    """
+
+    def __init__(
+        self,
+        ctx: ViewContext,
+        weights: Mapping[int, float],
+        alpha: float,
+    ):
+        if alpha < 1:
+            raise ParameterError(f"slack must be >= 1, got {alpha}")
+        self.ctx = ctx
+        self.weights = {
+            binding.label: float(weights.get(binding.label, 0.0))
+            for binding in ctx.atoms
+        }
+        self.alpha = alpha
+        if math.isinf(alpha):
+            self.uhat = {label: 0.0 for label in self.weights}
+        else:
+            self.uhat = {
+                label: weight / alpha for label, weight in self.weights.items()
+            }
+        self._decomposition_cache: Dict[FInterval, List[FBox]] = {}
+
+    # ------------------------------------------------------------------
+    def root_subtries(self) -> List[TrieNode]:
+        """Unrestricted count tries (the v_b = None case of T(B)).
+
+        These are the free-columns-only tries with tuple multiplicities;
+        their roots sit at the free levels like a v_b-descended subtrie.
+        """
+        return [binding.free_trie.root for binding in self.ctx.atoms]
+
+    def atom_box_count(
+        self,
+        binding: AtomBinding,
+        box: FBox,
+        node: Optional[TrieNode],
+    ) -> int:
+        """``|R_F(v_b, B)|`` — tuples of the atom consistent with the box.
+
+        ``node`` is the subtrie already positioned below the atom's bound
+        values (or the root when unrestricted); None means no tuple matches
+        the bound values.
+        """
+        if node is None:
+            return 0
+        space = self.ctx.space
+        ipos = box.unit_prefix_length(space)
+        for coordinate in binding.free_coordinates:
+            if coordinate < ipos:
+                value = space.domains[coordinate].value_at(
+                    box.intervals[coordinate].low
+                )
+                node = node.children.get(value)
+                if node is None:
+                    return 0
+            elif coordinate == ipos:
+                interval = box.intervals[coordinate]
+                if interval.is_empty():
+                    return 0
+                domain = space.domains[coordinate]
+                return node.range_count(
+                    domain.value_at(interval.low), domain.value_at(interval.high)
+                )
+            else:
+                # Coordinates past the general interval are unrestricted.
+                return node.count
+        return node.count
+
+    def box_cost(
+        self,
+        box: FBox,
+        subtries: Optional[Sequence[Optional[TrieNode]]] = None,
+    ) -> float:
+        """``T(B)`` or, with per-atom subtries for some v_b, ``T(v_b, B)``."""
+        if box.is_empty():
+            return 0.0
+        if subtries is None:
+            subtries = self.root_subtries()
+        total = 1.0
+        for binding, node in zip(self.ctx.atoms, subtries):
+            exponent = self.uhat[binding.label]
+            if exponent == 0.0:
+                continue  # factor count**0 == 1 by convention
+            count = self.atom_box_count(binding, box, node)
+            if count == 0:
+                return 0.0
+            total *= float(count) ** exponent
+        return total
+
+    def boxes_of(self, interval: FInterval) -> List[FBox]:
+        """Cached box decomposition of an interval."""
+        boxes = self._decomposition_cache.get(interval)
+        if boxes is None:
+            boxes = interval.box_decomposition(self.ctx.space)
+            self._decomposition_cache[interval] = boxes
+        return boxes
+
+    def interval_cost(
+        self,
+        interval: FInterval,
+        subtries: Optional[Sequence[Optional[TrieNode]]] = None,
+    ) -> float:
+        """``T(I) = Σ_{B ∈ B(I)} T(B)`` (and the v_b-restricted variant)."""
+        return sum(
+            self.box_cost(box, subtries) for box in self.boxes_of(interval)
+        )
+
+    def access_cost(self, interval: FInterval, access: Sequence) -> float:
+        """``T(v_b, I)`` for an access tuple over the bound order."""
+        return self.interval_cost(interval, self.ctx.subtries(access))
+
+    def is_heavy(
+        self, interval: FInterval, access: Sequence, threshold: float
+    ) -> bool:
+        """Definition 3: the pair (v_b, I) is τ-heavy iff T(v_b, I) > τ."""
+        return self.access_cost(interval, access) > threshold

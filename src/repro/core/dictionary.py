@@ -1,0 +1,125 @@
+"""The heavy-valuation dictionary ``D`` (Section 4.3 step 2, Appendix A).
+
+For every tree node ``w`` at level ``ℓ`` and every bound valuation ``v_b``
+such that ``(v_b, I(w))`` is ``τ_ℓ``-heavy, the dictionary stores one bit:
+whether the join restricted to ``(v_b, I(w))`` is non-empty. Light pairs
+are absent (⊥) — Algorithm 2 evaluates those directly within the delay
+budget.
+
+Construction follows Appendix A in spirit:
+
+* candidate bound valuations come from joining the bound-variable
+  projections of the relations (Proposition 13's observation that a heavy
+  valuation must match every relation on its bound part);
+* candidates flow *down* the tree and are pruned once their cost drops to
+  the smallest realizable threshold — by the sub-additivity of ``T`` under
+  interval splitting (Lemma 2) the cost never grows toward the leaves, so
+  pruned valuations can never be heavy below (and even a missed entry
+  would only cost delay, never correctness);
+* the emptiness bit is resolved against the full query output, grouped by
+  bound valuation with per-group sorted free tuples, via binary search.
+  The paper streams the same NPRR output level by level to bound *peak*
+  memory; materializing it once keeps the identical ``T_C`` bound and the
+  identical final structure, which is what the space guarantee is about
+  (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.balanced_tree import DelayBalancedTree, TreeNode
+from repro.core.cost import CostModel
+from repro.core.intervals import FInterval
+from repro.joins.generic_join import generic_join
+
+
+class HeavyDictionary:
+    """Bits for heavy (node, bound valuation) pairs; absence means light."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self):
+        self._entries: Dict[Tuple[int, Tuple], int] = {}
+
+    def set(self, node_id: int, access: Tuple, bit: int) -> None:
+        self._entries[(node_id, access)] = bit
+
+    def get(self, node_id: int, access: Tuple) -> Optional[int]:
+        """The stored bit, or None (the paper's ⊥) when the pair is light."""
+        return self._entries.get((node_id, access))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self):
+        return self._entries.items()
+
+
+def bound_candidates(ctx) -> List[Tuple]:
+    """Join of the bound-variable projections: the heavy-valuation superset.
+
+    Every τ-heavy valuation must match each relation on its bound columns
+    for at least one box, hence appears in this join (Proposition 13).
+    """
+    if not ctx.bound_order:
+        return [()]
+    participating = [
+        (binding.trie.root, binding.bound_vars)
+        for binding in ctx.atoms
+        if binding.bound_vars
+    ]
+    domains = {v: d.values for v, d in ctx.bound_domains.items()}
+    return list(generic_join(participating, ctx.bound_order, domains=domains))
+
+
+def output_nonempty_in(
+    sorted_free_tuples: Sequence[Tuple[int, ...]], interval: FInterval
+) -> bool:
+    """Binary-search whether any output free tuple lies inside the interval."""
+    position = bisect_left(sorted_free_tuples, interval.low)
+    return (
+        position < len(sorted_free_tuples)
+        and sorted_free_tuples[position] <= interval.high
+    )
+
+
+def build_dictionary(
+    cost_model: CostModel,
+    tree: DelayBalancedTree,
+    outputs: Mapping[Tuple, Sequence[Tuple[int, ...]]],
+) -> HeavyDictionary:
+    """Build the dictionary for a constructed delay-balanced tree.
+
+    ``outputs`` maps each bound valuation with non-empty result to its
+    sorted list of free index tuples (the materialized query output).
+    """
+    dictionary = HeavyDictionary()
+    if tree.root is None:
+        return dictionary
+    ctx = cost_model.ctx
+    candidates = bound_candidates(ctx)
+    prune_threshold = tree.min_threshold()
+    stack: List[Tuple[TreeNode, List[Tuple]]] = [(tree.root, candidates)]
+    while stack:
+        node, current = stack.pop()
+        threshold = tree.threshold(node.level)
+        survivors: List[Tuple] = []
+        has_children = node.left is not None or node.right is not None
+        for access in current:
+            cost = cost_model.access_cost(node.interval, access)
+            if cost > threshold:
+                free_tuples = outputs.get(access)
+                nonempty = free_tuples is not None and output_nonempty_in(
+                    free_tuples, node.interval
+                )
+                dictionary.set(node.id, access, 1 if nonempty else 0)
+            if has_children and cost > prune_threshold:
+                survivors.append(access)
+        if survivors:
+            if node.left is not None:
+                stack.append((node.left, survivors))
+            if node.right is not None:
+                stack.append((node.right, survivors))
+    return dictionary

@@ -1,0 +1,84 @@
+"""Balanced splitting of f-intervals (Algorithm 1, Lemma 3, Proposition 8).
+
+Given an f-interval ``I`` with total cost ``T = T(I)``, the algorithm finds
+a split point ``c ∈ D_f`` such that both ``T([a, c))`` and ``T((c, b])`` are
+at most ``T/2``. It first locates the box of the decomposition where the
+prefix sums cross ``T/2``, then refines coordinate by coordinate: at each
+coordinate a binary search (Lemma 3) finds the smallest value whose
+"below-or-equal" cost reaches the remaining budget, using the O(log)
+count oracle of the tries. The two running quantities mirror the paper's
+Algorithm 1: ``gamma`` (cost strictly to the left of the evolving prefix)
+and ``delta`` (cost of the current unit-prefix box).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.cost import CostModel
+from repro.core.intervals import FBox, FInterval, ScalarInterval
+
+_EPS = 1e-12
+
+
+def split_interval(
+    cost_model: CostModel, interval: FInterval
+) -> Optional[Tuple[int, ...]]:
+    """The split point of Algorithm 1, or None when ``T(I) = 0``.
+
+    Returns an index tuple ``c`` inside ``interval`` with
+    ``T([a, c)) ≤ T/2`` and ``T((c, b]) ≤ T/2`` (Proposition 8).
+    """
+    space = cost_model.ctx.space
+    boxes = cost_model.boxes_of(interval)
+    costs = [cost_model.box_cost(box) for box in boxes]
+    total = sum(costs)
+    if total <= 0.0:
+        return None
+    half = total / 2.0
+
+    # Box where the prefix sums first exceed T/2.
+    prefix_sum = 0.0
+    chosen = len(boxes) - 1
+    for index, cost in enumerate(costs):
+        if prefix_sum + cost > half + _EPS:
+            chosen = index
+            break
+        prefix_sum += cost
+    gamma = prefix_sum
+    delta = costs[chosen]
+    box = boxes[chosen]
+
+    # Refine inside the chosen box, coordinate by coordinate.
+    ipos = box.unit_prefix_length(space)
+    unit_prefix = [box.intervals[i].low for i in range(ipos)]
+    for coordinate in range(ipos, space.width):
+        if coordinate == ipos:
+            allowed = box.intervals[coordinate]
+        else:
+            allowed = ScalarInterval(0, space.domains[coordinate].top)
+        target = min(delta, half - gamma)
+        low, high = allowed.low, allowed.high
+        while low < high:
+            mid = (low + high) // 2
+            below = cost_model.box_cost(
+                FBox.canonical(
+                    space, unit_prefix, ScalarInterval(allowed.low, mid)
+                )
+            )
+            if below >= target - _EPS:
+                high = mid
+            else:
+                low = mid + 1
+        chosen_value = low
+        if chosen_value > allowed.low:
+            gamma += cost_model.box_cost(
+                FBox.canonical(
+                    space,
+                    unit_prefix,
+                    ScalarInterval(allowed.low, chosen_value - 1),
+                )
+            )
+        unit_prefix.append(chosen_value)
+        delta = cost_model.box_cost(FBox.canonical(space, unit_prefix))
+    return tuple(unit_prefix)

@@ -1,0 +1,412 @@
+"""The Theorem 1 compressed representation.
+
+:class:`CompressedRepresentation` is the library's central class. Given a
+full adorned view, a database and a threshold ``τ``, it builds the pair
+``(T, D)`` — delay-balanced tree plus heavy-pair dictionary — of
+Section 4.3, and answers access requests with Algorithm 2:
+
+* dictionary says ⊥ (light pair): evaluate the sub-instance directly, one
+  worst-case-optimal join per box of the interval's decomposition — time
+  ``O(T(v_b, I)) ≤ O(τ_ℓ)`` by Proposition 6;
+* dictionary says 0: the sub-instance is empty, skip;
+* dictionary says 1: recurse left, emit the split valuation β if it joins
+  (O(1) membership probes), recurse right.
+
+The traversal yields results in lexicographic order of the free variables
+with delay ``Õ(τ)`` (Proposition 9) and answer time
+``Õ(|q(D)| + τ·|q(D)|^{1/α})`` (Proposition 10).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.balanced_tree import (
+    DelayBalancedTree,
+    TreeNode,
+    build_delay_balanced_tree,
+)
+from repro.core.context import ViewContext
+from repro.core.cost import CostModel
+from repro.core.dictionary import HeavyDictionary, build_dictionary
+from repro.core.intervals import FBox
+from repro.database.catalog import Database
+from repro.exceptions import ParameterError, QueryError
+from repro.hypergraph.covers import max_slack_cover, slack
+from repro.hypergraph.hypergraph import Hypergraph, hypergraph_of_view
+from repro.joins.generic_join import JoinCounter, generic_join
+from repro.measure.space import SpaceReport
+from repro.query.adorned import AdornedView
+from repro.query.rewriting import normalize_view
+
+
+@dataclass(frozen=True)
+class BuildStats:
+    """Construction-time facts about one compressed representation."""
+
+    tau: float
+    alpha: float
+    weights: Mapping[int, float]
+    tree_nodes: int
+    tree_depth: int
+    dictionary_entries: int
+    output_tuples: int
+    build_seconds: float
+
+
+class CompressedRepresentation:
+    """Space/delay-tunable compressed representation of a full adorned view.
+
+    Parameters
+    ----------
+    view:
+        A *full* adorned view. Views with constants or repeated variables
+        are normalized automatically (Example 3).
+    db:
+        The input database.
+    tau:
+        The delay knob τ > 0. Larger τ means less space and more delay:
+        space scales as ``Π|R_F|^{u_F} / τ^α`` beyond the input.
+    weights:
+        Optional fractional edge cover of all variables, keyed by atom
+        index. Defaults to a minimum cover with maximum slack on the free
+        variables (the best Theorem 1 point for the given ρ*).
+    alpha:
+        Optional slack override; defaults to the slack of ``weights`` on
+        the free variables.
+    """
+
+    def __init__(
+        self,
+        view: AdornedView,
+        db: Database,
+        tau: float,
+        weights: Optional[Mapping[int, float]] = None,
+        alpha: Optional[float] = None,
+    ):
+        started = time.perf_counter()
+        if tau <= 0:
+            raise ParameterError(f"tau must be positive, got {tau}")
+        self.original_view = view
+        if view.is_natural_join():
+            self.view, self.db = view, db
+        else:
+            normalized = normalize_view(view, db)
+            self.view, self.db = normalized.view, normalized.database
+        self.ctx = ViewContext(self.view, self.db)
+        self.hypergraph: Hypergraph = hypergraph_of_view(self.view)
+        free = self.ctx.free_order
+        if weights is None:
+            cover, cover_alpha = max_slack_cover(self.hypergraph, free)
+            weights = cover.weights
+            if alpha is None:
+                alpha = cover_alpha
+        else:
+            weights = dict(weights)
+            self._validate_cover(weights)
+            if alpha is None:
+                alpha = slack(self.hypergraph, weights, free)
+        if not math.isinf(alpha) and alpha < 1.0 - 1e-9:
+            raise ParameterError(f"slack alpha must be >= 1, got {alpha}")
+        alpha = max(alpha, 1.0) if not math.isinf(alpha) else alpha
+        self.tau = float(tau)
+        self.alpha = float(alpha)
+        self.weights = {label: float(w) for label, w in weights.items()}
+        self.cost_model = CostModel(self.ctx, self.weights, self.alpha)
+        self.tree: DelayBalancedTree = build_delay_balanced_tree(
+            self.cost_model, self.tau, self.alpha
+        )
+        outputs, output_count = self._materialize_outputs()
+        self.dictionary: HeavyDictionary = build_dictionary(
+            self.cost_model, self.tree, outputs
+        )
+        self.stats = BuildStats(
+            tau=self.tau,
+            alpha=self.alpha,
+            weights=dict(self.weights),
+            tree_nodes=len(self.tree.nodes),
+            tree_depth=self.tree.depth(),
+            dictionary_entries=len(self.dictionary),
+            output_tuples=output_count,
+            build_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _validate_cover(self, weights: Mapping[int, float]) -> None:
+        for var in self.ctx.bound_order + self.ctx.free_order:
+            coverage = sum(
+                weights.get(label, 0.0)
+                for label in self.hypergraph.edges_containing(var)
+            )
+            if coverage < 1.0 - 1e-6:
+                raise ParameterError(
+                    f"weights do not cover variable {var!r} "
+                    f"(coverage {coverage:.3f} < 1)"
+                )
+
+    def _materialize_outputs(self) -> Tuple[Dict[Tuple, List[Tuple[int, ...]]], int]:
+        """Full query output grouped by bound valuation (preprocessing only).
+
+        Free tuples are stored as index tuples, sorted (the join emits them
+        in lexicographic order), enabling O(log) emptiness probes during
+        dictionary construction.
+        """
+        ctx = self.ctx
+        order = ctx.bound_order + ctx.free_order
+        atoms = [
+            (binding.trie.root, binding.bound_vars + binding.free_vars)
+            for binding in ctx.atoms
+        ]
+        domains = dict(ctx.free_value_domains)
+        for var, domain in ctx.bound_domains.items():
+            domains[var] = domain.values
+        n_bound = len(ctx.bound_order)
+        outputs: Dict[Tuple, List[Tuple[int, ...]]] = {}
+        count = 0
+        for row in generic_join(atoms, order, domains=domains):
+            access, free_values = row[:n_bound], row[n_bound:]
+            index_tuple = ctx.space.indexes(free_values)
+            assert index_tuple is not None
+            outputs.setdefault(access, []).append(index_tuple)
+            count += 1
+        return outputs, count
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: query answering
+    # ------------------------------------------------------------------
+    def enumerate(
+        self, access: Sequence, counter: Optional[JoinCounter] = None
+    ) -> Iterator[Tuple]:
+        """Answer the access request ``Q^η[v_b]`` in lexicographic order.
+
+        Yields value tuples over the free variables (head order). The
+        optional counter accumulates logical steps for delay measurement.
+        """
+        access = tuple(access)
+        if len(access) != len(self.ctx.bound_order):
+            raise QueryError(
+                f"access tuple has {len(access)} values, expected "
+                f"{len(self.ctx.bound_order)}"
+            )
+        if self.tree.root is None:
+            return
+        subtries = self.ctx.subtries(access)
+        if any(node is None for node in subtries):
+            return  # some relation has no tuple matching the bound values
+        yield from self._eval(self.tree.root, access, subtries, counter)
+
+    def _eval(
+        self,
+        node: TreeNode,
+        access: Tuple,
+        subtries: List,
+        counter: Optional[JoinCounter],
+    ) -> Iterator[Tuple]:
+        if counter is not None:
+            counter.steps += 1  # dictionary probe
+        bit = self.dictionary.get(node.id, access)
+        if bit == 0:
+            return
+        if bit == 1 and not node.is_leaf:
+            if node.left is not None:
+                yield from self._eval(node.left, access, subtries, counter)
+            beta_values = self.ctx.space.values(node.beta)
+            if counter is not None:
+                counter.steps += len(self.ctx.atoms)
+            if self.ctx.beta_matches(access, beta_values):
+                yield beta_values
+            if node.right is not None:
+                yield from self._eval(node.right, access, subtries, counter)
+            return
+        # ⊥ — a light pair: evaluate the sub-instance directly (≤ τ_ℓ work).
+        for box in self.cost_model.boxes_of(node.interval):
+            yield from self._join_box(access, subtries, box, counter)
+
+    def _join_box(
+        self,
+        access: Tuple,
+        subtries: List,
+        box: FBox,
+        counter: Optional[JoinCounter],
+    ) -> Iterator[Tuple]:
+        if box.is_empty():
+            return
+        ranges = self.ctx.free_ranges_of_box(box)
+        atoms = [
+            (node, binding.free_vars)
+            for binding, node in zip(self.ctx.atoms, subtries)
+        ]
+        yield from generic_join(
+            atoms,
+            self.ctx.free_order,
+            ranges=ranges,
+            domains=self.ctx.free_value_domains,
+            counter=counter,
+        )
+
+    def enumerate_from(
+        self,
+        access: Sequence,
+        start_values: Sequence,
+        counter: Optional[JoinCounter] = None,
+    ) -> Iterator[Tuple]:
+        """Enumerate answers with free tuple lexicographically >= start.
+
+        The seek costs one delay unit: subtrees entirely below the start
+        point are skipped via their intervals, and the first partially
+        overlapping node is evaluated on the clipped interval. This is the
+        primitive behind the projection support suggested in Section 3.2
+        (force projected variables last, then jump between distinct
+        prefixes).
+
+        ``start_values`` is a full free-variable value tuple; values need
+        not be in the active domains (the ceiling inside the domains is
+        used).
+        """
+        access = tuple(access)
+        if len(access) != len(self.ctx.bound_order):
+            raise QueryError(
+                f"access tuple has {len(access)} values, expected "
+                f"{len(self.ctx.bound_order)}"
+            )
+        if self.tree.root is None:
+            return
+        start = self._ceil_point(start_values)
+        if start is None:
+            return  # start lies beyond the top of the tuple space
+        subtries = self.ctx.subtries(access)
+        if any(node is None for node in subtries):
+            return
+        yield from self._eval_from(
+            self.tree.root, access, subtries, start, counter
+        )
+
+    def _ceil_point(self, start_values: Sequence) -> Optional[Tuple[int, ...]]:
+        """Smallest index tuple whose values are >= the given value tuple."""
+        space = self.ctx.space
+        if len(start_values) != space.width:
+            raise QueryError(
+                f"start tuple has {len(start_values)} values, expected "
+                f"{space.width}"
+            )
+        point = []
+        for coordinate, value in enumerate(start_values):
+            domain = space.domains[coordinate]
+            index = domain.index_of(value)
+            if index is not None:
+                point.append(index)
+                continue
+            ceiling = domain.ceil_index(value)
+            if ceiling is None:
+                # This coordinate overflows: bump the previous coordinate.
+                prefix = tuple(point) + tuple(
+                    space.domains[c].top
+                    for c in range(coordinate, space.width)
+                )
+                return space.successor(prefix)
+            # Strictly larger at this coordinate: reset the suffix to ⊥.
+            point.append(ceiling)
+            point.extend(0 for _ in range(coordinate + 1, space.width))
+            return tuple(point)
+        return tuple(point)
+
+    def _eval_from(
+        self,
+        node: TreeNode,
+        access: Tuple,
+        subtries: List,
+        start: Tuple[int, ...],
+        counter: Optional[JoinCounter],
+    ) -> Iterator[Tuple]:
+        if node.interval.high < start:
+            return  # the whole subtree precedes the start point
+        if node.interval.low >= start:
+            yield from self._eval(node, access, subtries, counter)
+            return
+        if counter is not None:
+            counter.steps += 1
+        bit = self.dictionary.get(node.id, access)
+        if bit == 0:
+            return
+        if bit == 1 and not node.is_leaf:
+            if node.left is not None:
+                yield from self._eval_from(
+                    node.left, access, subtries, start, counter
+                )
+            if node.beta >= start:
+                beta_values = self.ctx.space.values(node.beta)
+                if counter is not None:
+                    counter.steps += len(self.ctx.atoms)
+                if self.ctx.beta_matches(access, beta_values):
+                    yield beta_values
+            if node.right is not None:
+                yield from self._eval_from(
+                    node.right, access, subtries, start, counter
+                )
+            return
+        # ⊥: evaluate the clipped interval directly.
+        from repro.core.intervals import FInterval
+
+        clipped = FInterval(
+            max(node.interval.low, start), node.interval.high
+        )
+        for box in clipped.box_decomposition(self.ctx.space):
+            yield from self._join_box(access, subtries, box, counter)
+
+    def enumerate_interval(
+        self,
+        access: Sequence,
+        interval,
+        counter: Optional[JoinCounter] = None,
+    ) -> Iterator[Tuple]:
+        """Evaluate the access request restricted to one f-interval.
+
+        Bypasses the dictionary (pure worst-case-optimal evaluation over the
+        interval's box decomposition); used by the Theorem 2 semijoin
+        refinement (Algorithm 4) to stream ``Q[v_b] ⋉ I(w)``.
+        """
+        access = tuple(access)
+        subtries = self.ctx.subtries(access)
+        if any(node is None for node in subtries):
+            return
+        for box in self.cost_model.boxes_of(interval):
+            yield from self._join_box(access, subtries, box, counter)
+
+    # ------------------------------------------------------------------
+    # convenience API
+    # ------------------------------------------------------------------
+    def answer(self, access: Sequence) -> List[Tuple]:
+        """The full answer of one access request, as a list."""
+        return list(self.enumerate(access))
+
+    def exists(self, access: Sequence) -> bool:
+        """Whether the access request has any answer (early exit)."""
+        return next(self.enumerate(access), None) is not None
+
+    def count(self, access: Sequence) -> int:
+        total = 0
+        for _ in self.enumerate(access):
+            total += 1
+        return total
+
+    def space_report(self) -> SpaceReport:
+        """Cell counts: the ``S`` of Theorem 1, split into components."""
+        return SpaceReport(
+            base_tuples=self.db.total_tuples(),
+            index_cells=self.ctx.index_cells(),
+            tree_nodes=len(self.tree.nodes),
+            dictionary_entries=len(self.dictionary),
+        )
+
+    @property
+    def free_variables(self):
+        return self.ctx.free_order
+
+    @property
+    def bound_variables(self):
+        return self.ctx.bound_order

@@ -1,0 +1,50 @@
+"""Lightweight per-relation statistics.
+
+These feed the parameter optimizer (Section 6 takes the sizes ``|R_F|`` as
+input) and the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.database.catalog import Database
+from repro.database.relation import Relation
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Summary statistics of one relation."""
+
+    name: str
+    arity: int
+    cardinality: int
+    distinct_per_column: Tuple[int, ...]
+
+    @property
+    def max_column_multiplicity(self) -> int:
+        """Upper bound on the fanout of any single-column lookup."""
+        if self.cardinality == 0:
+            return 0
+        return max(
+            (self.cardinality + d - 1) // d for d in self.distinct_per_column if d
+        ) if any(self.distinct_per_column) else self.cardinality
+
+
+def relation_statistics(relation: Relation) -> RelationStatistics:
+    """Compute :class:`RelationStatistics` for one relation."""
+    distinct = tuple(
+        len(relation.column_values(p)) for p in range(relation.arity)
+    )
+    return RelationStatistics(
+        name=relation.name,
+        arity=relation.arity,
+        cardinality=len(relation),
+        distinct_per_column=distinct,
+    )
+
+
+def collect_statistics(db: Database) -> Dict[str, RelationStatistics]:
+    """Statistics for every relation in the database, keyed by name."""
+    return {relation.name: relation_statistics(relation) for relation in db}

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class. The subclasses distinguish the
+three layers where things can go wrong: the data model (schemas, arities),
+the query model (parsing, adornments), and the compressed-structure layer
+(parameters outside their valid range).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation was used with an inconsistent arity or malformed tuples."""
+
+
+class QueryError(ReproError):
+    """A conjunctive query or adorned view is malformed.
+
+    Raised by the parser, by adornment validation (pattern length must match
+    the head arity), and by operations that require a natural join query
+    (e.g. building the Theorem 1 structure before rewriting constants away).
+    """
+
+
+class DecompositionError(ReproError):
+    """A tree decomposition violates one of its defining properties."""
+
+
+class ParameterError(ReproError):
+    """A tuning parameter (tau, cover weights, delay assignment) is invalid."""
+
+
+class OptimizationError(ReproError):
+    """An LP used for cover/parameter search is infeasible or failed."""

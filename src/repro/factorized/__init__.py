@@ -1,0 +1,23 @@
+"""Factorized representations — Proposition 2 and the [28] circuits.
+
+* :class:`FactorizedRepresentation` — Proposition 2's guarantees through
+  indexed, semijoin-reduced bags (constant-delay enumeration).
+* :class:`FactorizedCircuit` — the d-representation in its original
+  union/product DAG form with subcircuit sharing, for size comparisons.
+"""
+
+from repro.factorized.drep import FactorizedRepresentation
+from repro.factorized.circuit import (
+    FactorizedCircuit,
+    ProductNode,
+    UnionNode,
+    ValueNode,
+)
+
+__all__ = [
+    "FactorizedRepresentation",
+    "FactorizedCircuit",
+    "ValueNode",
+    "ProductNode",
+    "UnionNode",
+]

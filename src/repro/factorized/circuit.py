@@ -1,0 +1,231 @@
+"""d-representation circuits (Olteanu & Závodný [28], cited by Prop. 2).
+
+While :class:`FactorizedRepresentation` realizes Proposition 2's *access*
+guarantees through indexed bags, this module builds the d-representation
+in its original form: a DAG over union (∪), product (×) and singleton
+value nodes, where identical subcircuits are *shared* (the "d" in
+d-representation). The circuit of a join result along a decomposition of
+fractional hypertree width ``fhw`` has size ``O(|D|^fhw)`` — linear for
+acyclic queries — even when the flat result is exponentially larger.
+
+Construction: over the semijoin-reduced bags of a connex decomposition
+(V_b = ∅ for full enumeration), the circuit for a bag ``t`` under an
+interface key is a union over the bag's matching rows of a product of
+the row's singletons with the (memoized) child circuits — memoization on
+(bag, interface key) is exactly the subcircuit sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.constant_delay import ConnexConstantDelayStructure
+from repro.database.catalog import Database
+from repro.exceptions import QueryError
+from repro.query.adorned import AdornedView
+from repro.query.atoms import Variable
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+class ValueNode:
+    """A singleton ⟨variable = value⟩."""
+
+    __slots__ = ("variable", "value")
+
+    def __init__(self, variable: Variable, value):
+        self.variable = variable
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"⟨{self.variable.name}={self.value!r}⟩"
+
+
+class ProductNode:
+    """A product of independent subcircuits (disjoint variable sets)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence):
+        self.children = tuple(children)
+
+    def __repr__(self) -> str:
+        return f"×({len(self.children)})"
+
+
+class UnionNode:
+    """A union of alternatives over the same variable set."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence):
+        self.children = tuple(children)
+
+    def __repr__(self) -> str:
+        return f"∪({len(self.children)})"
+
+
+EMPTY = UnionNode(())  # the empty result
+UNIT = ProductNode(())  # the nullary product: one empty tuple
+
+Node = Union[ValueNode, ProductNode, UnionNode]
+
+
+class FactorizedCircuit:
+    """A shared union/product circuit for a full CQ's result.
+
+    Parameters
+    ----------
+    query:
+        A full conjunctive query (or an all-free adorned view).
+    db:
+        The input database.
+    decomposition:
+        Optional connex decomposition (V_b = ∅); defaults to an
+        fhw-optimal one.
+    """
+
+    def __init__(self, query, db: Database, decomposition=None):
+        if isinstance(query, AdornedView):
+            if not query.is_non_parametric:
+                raise QueryError(
+                    "FactorizedCircuit factorizes full enumerations; "
+                    "bind variables through CompressedRepresentation"
+                )
+            view = query
+        elif isinstance(query, ConjunctiveQuery):
+            view = AdornedView(query, "f" * len(query.head))
+        else:
+            raise QueryError(f"unsupported query object {query!r}")
+        self.view = view
+        # Reuse the materialized, fully semijoin-reduced bags.
+        self._backbone = ConnexConstantDelayStructure(view, db, decomposition)
+        self._memo: Dict[Tuple[object, Tuple], Node] = {}
+        decomposition = self._backbone.decomposition
+        self.root: Node = ProductNode(
+            tuple(
+                self._circuit(child, ())
+                for child in decomposition.children[decomposition.root]
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _circuit(self, node: object, key: Tuple) -> Node:
+        memo_key = (node, key)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached
+        decomposition = self._backbone.decomposition
+        bag = self._backbone._bags[node]
+        children = decomposition.children[node]
+        bag_vars = bag.bound_vars + bag.free_vars
+        positions = {var: i for i, var in enumerate(bag_vars)}
+        child_keys = [
+            (
+                child,
+                [
+                    positions[v]
+                    for v in self._backbone._bags[child].bound_vars
+                ],
+            )
+            for child in children
+        ]
+        alternatives: List[Node] = []
+        for free_values in bag.index.get(key, ()):
+            row = key + free_values
+            parts: List[Node] = [
+                ValueNode(var, value)
+                for var, value in zip(bag.free_vars, free_values)
+            ]
+            for child, key_positions in child_keys:
+                child_key = tuple(row[p] for p in key_positions)
+                parts.append(self._circuit(child, child_key))
+            alternatives.append(
+                parts[0] if len(parts) == 1 else ProductNode(parts)
+            )
+        if not alternatives:
+            result: Node = EMPTY
+        elif len(alternatives) == 1:
+            result = alternatives[0]
+        else:
+            result = UnionNode(alternatives)
+        self._memo[memo_key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def size(self) -> Tuple[int, int]:
+        """(node count, edge count) of the shared DAG — the d-rep size."""
+        seen = set()
+        edges = 0
+
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, (ProductNode, UnionNode)):
+                edges += len(node.children)
+                stack.extend(node.children)
+        return len(seen), edges
+
+    def count(self) -> int:
+        """|Q(D)| by a memoized DP over the DAG (no enumeration)."""
+        memo: Dict[int, int] = {}
+
+        def rec(node: Node) -> int:
+            cached = memo.get(id(node))
+            if cached is not None:
+                return cached
+            if isinstance(node, ValueNode):
+                result = 1
+            elif isinstance(node, ProductNode):
+                result = 1
+                for child in node.children:
+                    result *= rec(child)
+                    if not result:
+                        break
+            else:
+                result = sum(rec(child) for child in node.children)
+            memo[id(node)] = result
+            return result
+
+        return rec(self.root)
+
+    def enumerate(self) -> Iterator[Tuple]:
+        """All result tuples (head order), decoded from the circuit."""
+        head = self.view.query.head
+
+        def rec(node: Node) -> Iterator[Dict[Variable, object]]:
+            if isinstance(node, ValueNode):
+                yield {node.variable: node.value}
+                return
+            if isinstance(node, UnionNode):
+                for child in node.children:
+                    yield from rec(child)
+                return
+            # Product: combine child assignments (disjoint variables).
+            def product(children) -> Iterator[Dict[Variable, object]]:
+                if not children:
+                    yield {}
+                    return
+                first, rest = children[0], children[1:]
+                for left in rec(first):
+                    for right in product(rest):
+                        merged = dict(left)
+                        merged.update(right)
+                        yield merged
+
+            yield from product(node.children)
+
+        for assignment in rec(self.root):
+            yield tuple(assignment[v] for v in head)
+
+    def answer(self) -> List[Tuple]:
+        return sorted(self.enumerate())
+
+    def is_empty(self) -> bool:
+        return next(self.enumerate(), None) is None

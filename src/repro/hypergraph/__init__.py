@@ -1,0 +1,60 @@
+"""Hypergraph machinery: covers, decompositions and widths.
+
+The paper's bounds are all phrased in hypergraph terms (Section 2.1):
+fractional edge covers and the AGM bound, the *slack* of a cover on the free
+variables (Section 3.1), tree decompositions and fractional hypertree width,
+and the V_b-connex decompositions with their δ-width and δ-height
+(Section 3.2). This package implements all of them.
+"""
+
+from repro.hypergraph.hypergraph import Hypergraph, hypergraph_of_query, hypergraph_of_view
+from repro.hypergraph.covers import (
+    CoverResult,
+    agm_bound,
+    fractional_edge_cover,
+    fractional_cover_value,
+    max_slack_cover,
+    slack,
+)
+from repro.hypergraph.decomposition import TreeDecomposition
+from repro.hypergraph.connex import (
+    ConnexDecomposition,
+    connex_decomposition_from_order,
+    all_connex_decompositions,
+    optimal_connex_decomposition,
+)
+from repro.hypergraph.width import (
+    DelayAssignment,
+    bag_delta_cover,
+    connex_fhw,
+    decomposition_fhw,
+    delta_height,
+    delta_width,
+    fhw,
+    rho_star,
+)
+
+__all__ = [
+    "Hypergraph",
+    "hypergraph_of_query",
+    "hypergraph_of_view",
+    "CoverResult",
+    "fractional_edge_cover",
+    "fractional_cover_value",
+    "max_slack_cover",
+    "slack",
+    "agm_bound",
+    "TreeDecomposition",
+    "ConnexDecomposition",
+    "connex_decomposition_from_order",
+    "all_connex_decompositions",
+    "optimal_connex_decomposition",
+    "rho_star",
+    "fhw",
+    "connex_fhw",
+    "decomposition_fhw",
+    "DelayAssignment",
+    "delta_width",
+    "delta_height",
+    "bag_delta_cover",
+]

@@ -1,0 +1,179 @@
+"""V_b-connex tree decompositions (Definition 1) via vertex elimination.
+
+A ``C``-connex decomposition keeps the bags covering ``C`` connected at the
+top of the tree. Following Appendix B we normalize further: the connected
+set ``A`` is a single root bag whose bag is exactly ``C`` (merging all bags
+contained in ``C`` into the root changes no width, since ``A``-bags are
+excluded from the width anyway).
+
+Construction: eliminate the non-``C`` vertices one at a time from the primal
+graph. Eliminating ``v`` creates the bag ``{v} ∪ N(v)`` (current neighbors),
+adds fill-in edges among ``N(v)``, and removes ``v``. Each bag hangs off the
+bag of the next-eliminated vertex among its members (or the root). Every
+C-connex decomposition is dominated (bag-wise) by one arising from some
+elimination order, so searching over orders is exact for the widths used
+here — the same argument as for treewidth, restricted to orders that
+eliminate ``V \\ C`` first.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import DecompositionError
+from repro.hypergraph.decomposition import TreeDecomposition
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.atoms import Variable
+
+ROOT = "tb"
+
+
+class ConnexDecomposition(TreeDecomposition):
+    """A rooted decomposition whose root bag is exactly the connex set C."""
+
+    def __init__(self, bags, edges, root, connex_set: Iterable[Variable]):
+        super().__init__(bags, edges, root)
+        self.connex_set: FrozenSet[Variable] = frozenset(connex_set)
+        if self.bags[self.root] != self.connex_set:
+            raise DecompositionError(
+                "root bag must equal the connex set; got "
+                f"{set(self.bags[self.root])!r} != {set(self.connex_set)!r}"
+            )
+
+    def non_root_nodes(self) -> Tuple[object, ...]:
+        """Nodes outside A — the ones that count toward widths."""
+        return tuple(n for n in self.bags if n != self.root)
+
+    def validate_connex(self, hypergraph: Hypergraph) -> None:
+        """Validate the underlying decomposition plus the connex property."""
+        self.validate(hypergraph)
+        for node, bag in self.bags.items():
+            if node == self.root:
+                continue
+            if bag <= self.connex_set and bag:
+                # Harmless but unexpected under our normal form.
+                raise DecompositionError(
+                    f"non-root bag {node!r} lies inside the connex set"
+                )
+
+
+def connex_decomposition_from_order(
+    hypergraph: Hypergraph,
+    connex_set: Iterable[Variable],
+    order: Sequence[Variable],
+) -> ConnexDecomposition:
+    """Build the C-connex decomposition induced by an elimination order.
+
+    ``order`` must enumerate exactly the vertices outside ``connex_set``.
+    """
+    connex = frozenset(connex_set)
+    free = [v for v in hypergraph.vertices if v not in connex]
+    if sorted(order, key=lambda v: v.name) != sorted(free, key=lambda v: v.name):
+        raise DecompositionError(
+            "elimination order must cover exactly the non-connex vertices"
+        )
+    adjacency: Dict[Variable, Set[Variable]] = {
+        v: set(neighbors) for v, neighbors in hypergraph.primal_neighbors().items()
+    }
+    position = {v: i for i, v in enumerate(order)}
+    bags: Dict[object, FrozenSet[Variable]] = {ROOT: connex}
+    edges: List[Tuple[object, object]] = []
+    bag_of: Dict[Variable, object] = {}
+    for v in order:
+        neighbors = set(adjacency[v])
+        bag = frozenset({v} | neighbors)
+        node_id = f"t_{v.name}"
+        bags[node_id] = bag
+        bag_of[v] = node_id
+        # Fill in the neighborhood and remove v.
+        for u in neighbors:
+            adjacency[u] |= neighbors - {u}
+            adjacency[u].discard(v)
+        del adjacency[v]
+        # Parent: the earliest-eliminated remaining member, else the root.
+        later = [u for u in neighbors if u in position and position[u] > position[v]]
+        if later:
+            parent_vertex = min(later, key=lambda u: position[u])
+            # The parent bag does not exist yet; record and connect later.
+            edges.append((node_id, f"t_{parent_vertex.name}"))
+        else:
+            edges.append((node_id, ROOT))
+    return ConnexDecomposition(bags, edges, ROOT, connex)
+
+
+def all_connex_decompositions(
+    hypergraph: Hypergraph,
+    connex_set: Iterable[Variable],
+    max_vertices: int = 9,
+) -> Iterator[ConnexDecomposition]:
+    """All elimination-order decompositions (exact search, small graphs)."""
+    connex = frozenset(connex_set)
+    free = [v for v in hypergraph.vertices if v not in connex]
+    if len(free) > max_vertices:
+        raise DecompositionError(
+            f"exhaustive search over {len(free)} vertices refused; "
+            f"raise max_vertices or use optimal_connex_decomposition"
+        )
+    for order in permutations(free):
+        yield connex_decomposition_from_order(hypergraph, connex, order)
+
+
+def _min_fill_order(
+    hypergraph: Hypergraph, connex: FrozenSet[Variable]
+) -> List[Variable]:
+    """Min-fill heuristic elimination order of the non-connex vertices."""
+    adjacency = {
+        v: set(n) for v, n in hypergraph.primal_neighbors().items()
+    }
+    remaining = [v for v in hypergraph.vertices if v not in connex]
+    order: List[Variable] = []
+    while remaining:
+        def fill_cost(v: Variable) -> int:
+            neighbors = [u for u in adjacency[v] if u in adjacency]
+            missing = 0
+            for i, a in enumerate(neighbors):
+                for b in neighbors[i + 1:]:
+                    if b not in adjacency[a]:
+                        missing += 1
+            return missing
+
+        v = min(remaining, key=lambda u: (fill_cost(u), u.name))
+        remaining.remove(v)
+        order.append(v)
+        neighbors = {u for u in adjacency[v] if u in adjacency}
+        for u in neighbors:
+            adjacency[u] |= neighbors - {u}
+            adjacency[u].discard(v)
+        del adjacency[v]
+    return order
+
+
+def optimal_connex_decomposition(
+    hypergraph: Hypergraph,
+    connex_set: Iterable[Variable],
+    score: Callable[[ConnexDecomposition], float],
+    exhaustive_limit: int = 8,
+) -> ConnexDecomposition:
+    """The decomposition minimizing ``score``.
+
+    Searches all elimination orders when the number of non-connex vertices is
+    at most ``exhaustive_limit`` (exact); otherwise falls back to the
+    min-fill heuristic order (the NP-hardness of optimal widths, Section 6,
+    makes a heuristic unavoidable at scale).
+    """
+    connex = frozenset(connex_set)
+    free = [v for v in hypergraph.vertices if v not in connex]
+    if len(free) <= exhaustive_limit:
+        best = None
+        best_score = None
+        for decomposition in all_connex_decompositions(
+            hypergraph, connex, max_vertices=exhaustive_limit
+        ):
+            value = score(decomposition)
+            if best_score is None or value < best_score:
+                best, best_score = decomposition, value
+        assert best is not None
+        return best
+    order = _min_fill_order(hypergraph, connex)
+    return connex_decomposition_from_order(hypergraph, connex, order)

@@ -1,0 +1,210 @@
+"""Fractional edge covers, slack and the AGM bound (Sections 2.1, 3.1).
+
+A weight assignment ``u = (u_F)`` is a fractional edge cover of a vertex set
+``S`` if every ``x ∈ S`` has ``Σ_{F ∋ x} u_F ≥ 1``. The minimum total weight
+is the fractional edge cover number ``ρ*(S)``; the AGM inequality bounds the
+join size by ``Π_F |R_F|^{u_F}``.
+
+The *slack* of a cover on ``S`` (Equation 2) is
+``α(S) = min_{x∈S} Σ_{F∋x} u_F`` — the factor by which ``u/α`` still covers
+``S``. Theorem 1's space/delay tradeoff improves with the slack on the free
+variables, so besides the plain minimum cover we also solve for the cover
+that maximizes slack among (near-)minimum covers (:func:`max_slack_cover`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import OptimizationError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.atoms import Variable
+
+
+@dataclass(frozen=True)
+class CoverResult:
+    """A fractional edge cover: per-edge weights and their total value."""
+
+    weights: Mapping[object, float]
+    value: float
+
+    def weight(self, label: object) -> float:
+        return self.weights.get(label, 0.0)
+
+
+def _solve_lp(c, a_ub, b_ub, bounds, context: str):
+    result = linprog(
+        c,
+        A_ub=a_ub if a_ub is not None and len(a_ub) else None,
+        b_ub=b_ub if b_ub is not None and len(b_ub) else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise OptimizationError(f"{context}: LP failed ({result.message})")
+    return result
+
+
+def fractional_edge_cover(
+    hypergraph: Hypergraph,
+    targets: Optional[Iterable[Variable]] = None,
+) -> CoverResult:
+    """Minimum fractional edge cover of ``targets`` (default: all vertices).
+
+    Returns the optimal weights (zero for edges the LP leaves unused) and
+    the cover number ``ρ*(targets)``.
+    """
+    labels = list(hypergraph.labels)
+    if targets is None:
+        target_list = list(hypergraph.vertices)
+    else:
+        target_list = list(targets)
+    if not labels:
+        raise OptimizationError("fractional_edge_cover: hypergraph has no edges")
+    if not target_list:
+        return CoverResult(weights={label: 0.0 for label in labels}, value=0.0)
+    m = len(labels)
+    c = np.ones(m)
+    rows = []
+    for x in target_list:
+        row = np.zeros(m)
+        for j, label in enumerate(labels):
+            if x in hypergraph.edge(label):
+                row[j] = -1.0
+        if not row.any():
+            raise OptimizationError(
+                f"fractional_edge_cover: vertex {x!r} is in no hyperedge"
+            )
+        rows.append(row)
+    b = -np.ones(len(rows))
+    result = _solve_lp(c, np.array(rows), b, [(0, None)] * m, "fractional_edge_cover")
+    weights = {label: float(max(0.0, w)) for label, w in zip(labels, result.x)}
+    return CoverResult(weights=weights, value=float(result.fun))
+
+
+def fractional_cover_value(
+    hypergraph: Hypergraph, targets: Optional[Iterable[Variable]] = None
+) -> float:
+    """Just the cover number ``ρ*(targets)``."""
+    return fractional_edge_cover(hypergraph, targets).value
+
+
+def slack(
+    hypergraph: Hypergraph,
+    weights: Mapping[object, float],
+    subset: Iterable[Variable],
+) -> float:
+    """The slack ``α(S) = min_{x∈S} Σ_{F∋x} u_F`` (Equation 2).
+
+    Returns ``math.inf`` for an empty subset (no constraint to slacken),
+    which downstream code treats as "the exponent u/α is zero".
+    """
+    values = []
+    for x in subset:
+        total = sum(
+            weights.get(label, 0.0)
+            for label in hypergraph.edges_containing(x)
+        )
+        values.append(total)
+    if not values:
+        return math.inf
+    return min(values)
+
+
+def agm_bound(
+    hypergraph: Hypergraph,
+    sizes: Mapping[object, int],
+    weights: Optional[Mapping[object, float]] = None,
+) -> float:
+    """The AGM bound ``Π_F |R_F|^{u_F}`` for the given (or optimal) cover.
+
+    With ``weights=None``, minimizes ``Σ_F u_F · log|R_F|`` — the tightest
+    AGM bound for the given relation sizes, not merely the bound of the
+    minimum-cardinality cover.
+    """
+    labels = list(hypergraph.labels)
+    if weights is None:
+        m = len(labels)
+        logs = np.array(
+            [math.log(max(2, sizes[label])) for label in labels]
+        )
+        rows = []
+        for x in hypergraph.vertices:
+            row = np.zeros(m)
+            for j, label in enumerate(labels):
+                if x in hypergraph.edge(label):
+                    row[j] = -1.0
+            rows.append(row)
+        b = -np.ones(len(rows))
+        result = _solve_lp(logs, np.array(rows), b, [(0, None)] * m, "agm_bound")
+        weights = dict(zip(labels, result.x))
+    bound = 1.0
+    for label in labels:
+        u = weights.get(label, 0.0)
+        if u > 0:
+            bound *= float(sizes[label]) ** u
+    return bound
+
+
+def max_slack_cover(
+    hypergraph: Hypergraph,
+    free: Iterable[Variable],
+    cover_targets: Optional[Iterable[Variable]] = None,
+    rho_budget: Optional[float] = None,
+) -> Tuple[CoverResult, float]:
+    """A cover maximizing the slack on ``free`` subject to a ρ budget.
+
+    Two-stage LP: first compute ``ρ* = min Σ u_F`` over covers of
+    ``cover_targets`` (default: all vertices); then maximize ``α`` subject to
+    ``Σ u_F ≤ rho_budget`` (default ``ρ*``), coverage, and
+    ``Σ_{F∋x} u_F ≥ α`` for every free ``x``. This is the cover that makes
+    Theorem 1's ``τ^α`` denominator largest without worsening the numerator.
+
+    Returns ``(cover, alpha)``. For an empty free set, alpha is ``math.inf``.
+    """
+    labels = list(hypergraph.labels)
+    free_list = list(free)
+    targets = (
+        list(hypergraph.vertices) if cover_targets is None else list(cover_targets)
+    )
+    base = fractional_edge_cover(hypergraph, targets)
+    if not free_list:
+        return base, math.inf
+    if rho_budget is None:
+        rho_budget = base.value
+    m = len(labels)
+    # Variables: u_0..u_{m-1}, alpha. Maximize alpha => minimize -alpha.
+    c = np.zeros(m + 1)
+    c[m] = -1.0
+    rows = []
+    b = []
+    for x in targets:
+        row = np.zeros(m + 1)
+        for j, label in enumerate(labels):
+            if x in hypergraph.edge(label):
+                row[j] = -1.0
+        rows.append(row)
+        b.append(-1.0)
+    for x in free_list:
+        row = np.zeros(m + 1)
+        for j, label in enumerate(labels):
+            if x in hypergraph.edge(label):
+                row[j] = -1.0
+        row[m] = 1.0  # alpha - coverage(x) <= 0
+        rows.append(row)
+        b.append(0.0)
+    budget_row = np.zeros(m + 1)
+    budget_row[:m] = 1.0
+    rows.append(budget_row)
+    b.append(rho_budget + 1e-9)
+    bounds = [(0, None)] * m + [(1.0, None)]
+    result = _solve_lp(c, np.array(rows), np.array(b), bounds, "max_slack_cover")
+    weights = {label: float(max(0.0, w)) for label, w in zip(labels, result.x[:m])}
+    cover = CoverResult(weights=weights, value=float(sum(weights.values())))
+    alpha = slack(hypergraph, weights, free_list)
+    return cover, alpha

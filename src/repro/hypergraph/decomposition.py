@@ -1,0 +1,179 @@
+"""Tree decompositions (Section 2.1).
+
+A tree decomposition of a hypergraph assigns a *bag* of vertices to each
+tree node such that (1) every hyperedge fits in some bag and (2) the nodes
+containing any fixed vertex form a connected subtree. Decompositions here
+are rooted: the paper's ``anc(t)`` (union of ancestor bags) and the derived
+bound/free bag variables ``V_b^t / V_f^t`` need an orientation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import DecompositionError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.atoms import Variable
+
+
+class TreeDecomposition:
+    """A rooted tree decomposition.
+
+    Parameters
+    ----------
+    bags:
+        Mapping from node id to its bag (a set of variables).
+    edges:
+        Undirected tree edges as (node, node) pairs.
+    root:
+        The node the tree is oriented from.
+    """
+
+    def __init__(
+        self,
+        bags: Mapping[object, Iterable[Variable]],
+        edges: Sequence[Tuple[object, object]],
+        root: object,
+    ):
+        self.bags: Dict[object, FrozenSet[Variable]] = {
+            node: frozenset(bag) for node, bag in bags.items()
+        }
+        if root not in self.bags:
+            raise DecompositionError(f"root {root!r} is not a node")
+        self.root = root
+        self._adjacency: Dict[object, List[object]] = {n: [] for n in self.bags}
+        for a, b in edges:
+            if a not in self.bags or b not in self.bags:
+                raise DecompositionError(f"tree edge ({a!r}, {b!r}) uses unknown node")
+            self._adjacency[a].append(b)
+            self._adjacency[b].append(a)
+        self.parent: Dict[object, Optional[object]] = {root: None}
+        self.children: Dict[object, List[object]] = {n: [] for n in self.bags}
+        order = [root]
+        seen = {root}
+        queue = [root]
+        while queue:
+            node = queue.pop(0)
+            for neighbor in self._adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    self.parent[neighbor] = node
+                    self.children[node].append(neighbor)
+                    order.append(neighbor)
+                    queue.append(neighbor)
+        if len(seen) != len(self.bags):
+            raise DecompositionError("decomposition tree is not connected")
+        if len(self.bags) > 1 and len(list(edges)) != len(self.bags) - 1:
+            raise DecompositionError("decomposition graph is not a tree")
+        self.bfs_order: Tuple[object, ...] = tuple(order)
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[object, ...]:
+        return tuple(self.bags)
+
+    def preorder(self) -> List[object]:
+        """Nodes in depth-first pre-order from the root (children sorted
+        by insertion order, i.e. BFS discovery)."""
+        result: List[object] = []
+
+        def visit(node):
+            result.append(node)
+            for child in self.children[node]:
+                visit(child)
+
+        visit(self.root)
+        return result
+
+    def postorder(self) -> List[object]:
+        """Nodes in depth-first post-order (children before parents)."""
+        return list(reversed(self._reverse_postorder()))
+
+    def _reverse_postorder(self) -> List[object]:
+        result: List[object] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            result.append(node)
+            stack.extend(self.children[node])
+        return result
+
+    def ancestors(self, node: object) -> List[object]:
+        """Strict ancestors of ``node``, nearest first."""
+        result = []
+        current = self.parent[node]
+        while current is not None:
+            result.append(current)
+            current = self.parent[current]
+        return result
+
+    def anc_variables(self, node: object) -> FrozenSet[Variable]:
+        """``anc(t)``: the union of all ancestor bags (Section 3.2)."""
+        union = set()
+        for ancestor in self.ancestors(node):
+            union |= self.bags[ancestor]
+        return frozenset(union)
+
+    def bag_bound(self, node: object) -> FrozenSet[Variable]:
+        """``V_b^t = B_t ∩ anc(t)`` — variables fixed before visiting t."""
+        return self.bags[node] & self.anc_variables(node)
+
+    def bag_free(self, node: object) -> FrozenSet[Variable]:
+        """``V_f^t = B_t \\ anc(t)`` — variables first fixed at t."""
+        return self.bags[node] - self.anc_variables(node)
+
+    def depth(self, node: object) -> int:
+        return len(self.ancestors(node))
+
+    def root_to_leaf_paths(self) -> List[List[object]]:
+        """All root-to-leaf node paths."""
+        paths = []
+
+        def visit(node, prefix):
+            prefix = prefix + [node]
+            if not self.children[node]:
+                paths.append(prefix)
+            for child in self.children[node]:
+                visit(child, prefix)
+
+        visit(self.root, [])
+        return paths
+
+    # ------------------------------------------------------------------
+    def validate(self, hypergraph: Hypergraph) -> None:
+        """Check both tree-decomposition properties; raise on violation."""
+        all_bag_vars = set().union(*self.bags.values()) if self.bags else set()
+        missing = set(hypergraph.vertices) - all_bag_vars
+        if missing:
+            raise DecompositionError(f"vertices {missing!r} appear in no bag")
+        for label, members in hypergraph.edges:
+            if not any(members <= bag for bag in self.bags.values()):
+                raise DecompositionError(
+                    f"hyperedge {label!r} ({sorted(v.name for v in members)}) "
+                    "is contained in no bag"
+                )
+        for vertex in hypergraph.vertices:
+            holders = [n for n, bag in self.bags.items() if vertex in bag]
+            if not holders:
+                continue
+            # BFS within the subgraph induced by holders.
+            holder_set = set(holders)
+            seen = {holders[0]}
+            stack = [holders[0]]
+            while stack:
+                node = stack.pop()
+                for neighbor in self._adjacency[node]:
+                    if neighbor in holder_set and neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            if len(seen) != len(holders):
+                raise DecompositionError(
+                    f"bags containing {vertex!r} are not connected"
+                )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{node}:{{{', '.join(sorted(v.name for v in bag))}}}"
+            for node, bag in self.bags.items()
+        )
+        return f"TreeDecomposition(root={self.root!r}, {parts})"

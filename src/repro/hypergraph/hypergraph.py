@@ -1,0 +1,133 @@
+"""Hypergraphs of natural join queries (Section 2.1).
+
+A natural join query maps to a hypergraph ``H = (V, E)``: the vertices are
+the query variables and each atom contributes one hyperedge over its
+variables. Edges are *labelled* by their atom index so that self-joins (two
+atoms over the same relation, hence the same vertex set) remain distinct
+edges with independently chosen cover weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Sequence, Set, Tuple
+
+from repro.exceptions import QueryError
+from repro.query.atoms import Variable
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+class Hypergraph:
+    """A vertex-labelled multihypergraph.
+
+    Parameters
+    ----------
+    vertices:
+        The vertex universe, ordered (iteration order is deterministic).
+    edges:
+        ``(label, vertex_set)`` pairs. Labels must be unique; for query
+        hypergraphs the label is the atom index.
+    """
+
+    __slots__ = ("vertices", "edges", "_edge_map")
+
+    def __init__(
+        self,
+        vertices: Sequence[Variable],
+        edges: Iterable[Tuple[object, Iterable[Variable]]],
+    ):
+        self.vertices: Tuple[Variable, ...] = tuple(vertices)
+        vertex_set = set(self.vertices)
+        edge_list = []
+        labels = set()
+        for label, members in edges:
+            members = frozenset(members)
+            if label in labels:
+                raise QueryError(f"duplicate hyperedge label {label!r}")
+            if not members <= vertex_set:
+                raise QueryError(
+                    f"hyperedge {label!r} mentions vertices outside the universe"
+                )
+            labels.add(label)
+            edge_list.append((label, members))
+        self.edges: Tuple[Tuple[object, FrozenSet[Variable]], ...] = tuple(edge_list)
+        self._edge_map: Dict[object, FrozenSet[Variable]] = dict(edge_list)
+
+    # ------------------------------------------------------------------
+    def edge(self, label: object) -> FrozenSet[Variable]:
+        return self._edge_map[label]
+
+    @property
+    def labels(self) -> Tuple[object, ...]:
+        return tuple(label for label, _ in self.edges)
+
+    def edges_containing(self, vertex: Variable) -> Tuple[object, ...]:
+        """Labels of edges that contain ``vertex``."""
+        return tuple(label for label, members in self.edges if vertex in members)
+
+    def edges_intersecting(self, subset: Iterable[Variable]) -> Tuple[object, ...]:
+        """Labels of ``E_I = {F : F ∩ I ≠ ∅}`` for ``I = subset``."""
+        target = set(subset)
+        return tuple(
+            label for label, members in self.edges if members & target
+        )
+
+    def induced(self, subset: Iterable[Variable]) -> "Hypergraph":
+        """The hypergraph induced on ``subset``: edges restricted to it.
+
+        Edges with empty intersection are dropped; labels are preserved.
+        This is the bag-local hypergraph ``(B_t, E_{B_t})`` of Theorem 2.
+        """
+        target = set(subset)
+        ordered = tuple(v for v in self.vertices if v in target)
+        new_edges = []
+        for label, members in self.edges:
+            inter = members & target
+            if inter:
+                new_edges.append((label, inter))
+        return Hypergraph(ordered, new_edges)
+
+    def primal_neighbors(self) -> Dict[Variable, Set[Variable]]:
+        """Adjacency of the primal (Gaifman) graph."""
+        adjacency: Dict[Variable, Set[Variable]] = {v: set() for v in self.vertices}
+        for _, members in self.edges:
+            for v in members:
+                adjacency[v] |= members - {v}
+        return adjacency
+
+    def is_connected(self) -> bool:
+        if not self.vertices:
+            return True
+        adjacency = self.primal_neighbors()
+        seen = {self.vertices[0]}
+        stack = [self.vertices[0]]
+        while stack:
+            v = stack.pop()
+            for u in adjacency[v]:
+                if u not in seen:
+                    seen.add(u)
+                    stack.append(u)
+        return len(seen) == len(self.vertices)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{label}:{{{', '.join(sorted(v.name for v in members))}}}"
+            for label, members in self.edges
+        )
+        return f"Hypergraph({parts})"
+
+
+def hypergraph_of_query(query: ConjunctiveQuery) -> Hypergraph:
+    """The hypergraph of a natural join query, edge labels = atom indices."""
+    if not query.is_natural_join():
+        raise QueryError(
+            f"query {query.name!r} is not a natural join query; normalize first"
+        )
+    edges = [
+        (index, atom.variables()) for index, atom in enumerate(query.atoms)
+    ]
+    return Hypergraph(query.body_variables(), edges)
+
+
+def hypergraph_of_view(view) -> Hypergraph:
+    """Convenience wrapper accepting an :class:`~repro.query.AdornedView`."""
+    return hypergraph_of_query(view.query)

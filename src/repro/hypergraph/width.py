@@ -1,0 +1,314 @@
+"""Width computations: ρ*, fhw, connex fhw, δ-width and δ-height.
+
+``fhw`` and ``fhw(H | V_b)`` are computed exactly for small hypergraphs by
+dynamic programming over elimination orders (every tree decomposition is
+bag-wise dominated by an elimination-order decomposition, and ρ* is
+monotone under taking subsets, so the search is exact). Finding these widths
+is NP-hard in general (Section 6), so larger instances fall back to the
+min-fill heuristic.
+
+The δ-width of a V_b-connex decomposition (Section 3.2) relies on the
+per-bag quantity ``ρ+_t = min_u (Σ_F u_F − δ(t)·α(V_f^t))`` which
+:func:`bag_delta_cover` solves as a single LP (u and α jointly, following
+the paper's Figure 5 convention ``0 ≤ u_F ≤ 1``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import DecompositionError, OptimizationError, ParameterError
+from repro.hypergraph.connex import (
+    ConnexDecomposition,
+    connex_decomposition_from_order,
+    _min_fill_order,
+)
+from repro.hypergraph.covers import fractional_edge_cover
+from repro.hypergraph.decomposition import TreeDecomposition
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.atoms import Variable
+
+
+def rho_star(hypergraph: Hypergraph, subset: Optional[Iterable[Variable]] = None) -> float:
+    """The fractional edge cover number ρ*(subset) (default: all vertices)."""
+    return fractional_edge_cover(hypergraph, subset).value
+
+
+# ----------------------------------------------------------------------
+# Exact width search via elimination-order DP
+# ----------------------------------------------------------------------
+def _closed_neighborhood(
+    adjacency: Mapping[Variable, Set[Variable]],
+    vertex: Variable,
+    eliminated: FrozenSet[Variable],
+) -> FrozenSet[Variable]:
+    """Neighbors of ``vertex`` after ``eliminated`` have been eliminated.
+
+    A vertex ``u`` is a neighbor iff some primal path connects it to
+    ``vertex`` using only eliminated vertices internally — the standard
+    characterization of fill-in neighborhoods.
+    """
+    seen = {vertex}
+    stack = [vertex]
+    result = set()
+    while stack:
+        current = stack.pop()
+        for neighbor in adjacency[current]:
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            if neighbor in eliminated:
+                stack.append(neighbor)
+            else:
+                result.add(neighbor)
+    return frozenset(result)
+
+
+def _elimination_search(
+    hypergraph: Hypergraph,
+    connex: FrozenSet[Variable],
+    bag_cost: Callable[[FrozenSet[Variable]], float],
+    exhaustive_limit: int = 14,
+) -> Tuple[float, List[Variable]]:
+    """Min over elimination orders of the max bag cost; returns (value, order).
+
+    Orders range over the non-connex vertices. Uses memoized DP over the
+    subset of already-eliminated vertices; falls back to min-fill beyond
+    ``exhaustive_limit`` free vertices.
+    """
+    free = tuple(v for v in hypergraph.vertices if v not in connex)
+    adjacency = hypergraph.primal_neighbors()
+    if not free:
+        return 0.0, []
+    if len(free) > exhaustive_limit:
+        order = _min_fill_order(hypergraph, connex)
+        eliminated: Set[Variable] = set()
+        worst = 0.0
+        for v in order:
+            bag = frozenset({v}) | _closed_neighborhood(
+                adjacency, v, frozenset(eliminated)
+            )
+            worst = max(worst, bag_cost(bag))
+            eliminated.add(v)
+        return worst, order
+
+    cost_cache: Dict[FrozenSet[Variable], float] = {}
+
+    def cached_cost(bag: FrozenSet[Variable]) -> float:
+        if bag not in cost_cache:
+            cost_cache[bag] = bag_cost(bag)
+        return cost_cache[bag]
+
+    memo: Dict[FrozenSet[Variable], Tuple[float, Optional[Variable]]] = {}
+    all_free = frozenset(free)
+
+    def best(eliminated: FrozenSet[Variable]) -> Tuple[float, Optional[Variable]]:
+        if eliminated == all_free:
+            return 0.0, None
+        if eliminated in memo:
+            return memo[eliminated]
+        best_value, best_vertex = math.inf, None
+        for v in free:
+            if v in eliminated:
+                continue
+            bag = frozenset({v}) | _closed_neighborhood(adjacency, v, eliminated)
+            value = max(cached_cost(bag), best(eliminated | {v})[0])
+            if value < best_value:
+                best_value, best_vertex = value, v
+        memo[eliminated] = (best_value, best_vertex)
+        return memo[eliminated]
+
+    value, _ = best(frozenset())
+    order: List[Variable] = []
+    state: FrozenSet[Variable] = frozenset()
+    while state != all_free:
+        _, choice = best(state)
+        assert choice is not None
+        order.append(choice)
+        state = state | {choice}
+    return value, order
+
+
+def fhw(hypergraph: Hypergraph, exhaustive_limit: int = 14) -> float:
+    """The fractional hypertree width of a hypergraph (exact when small)."""
+    cover_cache: Dict[FrozenSet[Variable], float] = {}
+
+    def cost(bag: FrozenSet[Variable]) -> float:
+        if bag not in cover_cache:
+            cover_cache[bag] = fractional_edge_cover(hypergraph, bag).value
+        return cover_cache[bag]
+
+    value, _ = _elimination_search(
+        hypergraph, frozenset(), cost, exhaustive_limit
+    )
+    return value
+
+
+def connex_fhw(
+    hypergraph: Hypergraph,
+    connex_set: Iterable[Variable],
+    exhaustive_limit: int = 14,
+) -> Tuple[float, ConnexDecomposition]:
+    """``fhw(H | V_b)`` together with a witnessing connex decomposition.
+
+    This is the δ-width for the all-zero delay assignment (Section 3.2):
+    the bags in ``A`` are excluded from the max, which the elimination DP
+    realizes by never costing the root bag.
+    """
+    connex = frozenset(connex_set)
+
+    def cost(bag: FrozenSet[Variable]) -> float:
+        return fractional_edge_cover(hypergraph, bag).value
+
+    value, order = _elimination_search(hypergraph, connex, cost, exhaustive_limit)
+    decomposition = connex_decomposition_from_order(hypergraph, connex, order)
+    return value, decomposition
+
+
+def decomposition_fhw(
+    decomposition: TreeDecomposition,
+    hypergraph: Hypergraph,
+    exclude: Iterable[object] = (),
+) -> float:
+    """Max over (non-excluded) bags of ρ*(bag) for a given decomposition."""
+    skip = set(exclude)
+    worst = 0.0
+    for node, bag in decomposition.bags.items():
+        if node in skip:
+            continue
+        worst = max(worst, fractional_edge_cover(hypergraph, bag).value)
+    return worst
+
+
+# ----------------------------------------------------------------------
+# Delay assignments: δ-width and δ-height (Section 3.2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BagDeltaCover:
+    """Solution of the per-bag program defining ρ+_t (Equation 3)."""
+
+    weights: Mapping[object, float]
+    alpha: float
+    rho_plus: float
+
+    @property
+    def u_plus(self) -> float:
+        """``u+_t = Σ_F u'_F`` for the minimizing cover (Theorem 2)."""
+        return sum(self.weights.values())
+
+
+def bag_delta_cover(
+    hypergraph: Hypergraph,
+    bag: Iterable[Variable],
+    bag_free: Iterable[Variable],
+    delta: float,
+) -> BagDeltaCover:
+    """Solve ``ρ+_t = min_u (Σ_F u_F − δ·α(V_f^t))`` over covers of the bag.
+
+    The slack variable α is optimized jointly with u (both directions of the
+    min/max interplay are linear). Weights follow the paper's Figure 5
+    bounds ``0 ≤ u_F ≤ 1``; α ≥ 1.
+    """
+    if delta < 0:
+        raise ParameterError(f"delay exponent must be >= 0, got {delta}")
+    bag_list = list(bag)
+    free_list = [v for v in bag_free]
+    labels = [
+        label
+        for label in hypergraph.labels
+        if hypergraph.edge(label) & set(bag_list)
+    ]
+    if not labels:
+        raise OptimizationError("bag_delta_cover: no edge intersects the bag")
+    m = len(labels)
+    # Variables u_0..u_{m-1}, alpha.
+    c = np.zeros(m + 1)
+    c[:m] = 1.0
+    c[m] = -delta
+    rows, b = [], []
+    for x in bag_list:
+        row = np.zeros(m + 1)
+        for j, label in enumerate(labels):
+            if x in hypergraph.edge(label):
+                row[j] = -1.0
+        if not row[:m].any():
+            raise OptimizationError(
+                f"bag_delta_cover: bag vertex {x!r} is in no hyperedge"
+            )
+        rows.append(row)
+        b.append(-1.0)
+    for x in free_list:
+        row = np.zeros(m + 1)
+        for j, label in enumerate(labels):
+            if x in hypergraph.edge(label):
+                row[j] = -1.0
+        row[m] = 1.0
+        rows.append(row)
+        b.append(0.0)
+    bounds = [(0.0, 1.0)] * m + [(1.0, max(1.0, float(m)))]
+    result = linprog(
+        c, A_ub=np.array(rows), b_ub=np.array(b), bounds=bounds, method="highs"
+    )
+    if not result.success:
+        raise OptimizationError(f"bag_delta_cover failed: {result.message}")
+    weights = {
+        label: float(max(0.0, w)) for label, w in zip(labels, result.x[:m])
+    }
+    alpha = float(result.x[m]) if free_list else math.inf
+    return BagDeltaCover(weights=weights, alpha=alpha, rho_plus=float(result.fun))
+
+
+@dataclass(frozen=True)
+class DelayAssignment:
+    """A delay assignment δ : bags → [0, ∞) with δ = 0 on the root."""
+
+    exponents: Mapping[object, float]
+
+    def of(self, node: object) -> float:
+        return float(self.exponents.get(node, 0.0))
+
+    @staticmethod
+    def uniform(
+        decomposition: TreeDecomposition, exponent: float
+    ) -> "DelayAssignment":
+        """The constant assignment used by Example 10 (root stays 0)."""
+        return DelayAssignment(
+            {
+                node: exponent
+                for node in decomposition.nodes
+                if node != decomposition.root
+            }
+        )
+
+
+def delta_width(
+    decomposition: ConnexDecomposition,
+    hypergraph: Hypergraph,
+    assignment: DelayAssignment,
+) -> float:
+    """The V_b-connex fractional hypertree δ-width: max ρ+_t over non-A bags."""
+    worst = 0.0
+    for node in decomposition.non_root_nodes():
+        cover = bag_delta_cover(
+            hypergraph,
+            decomposition.bags[node],
+            decomposition.bag_free(node),
+            assignment.of(node),
+        )
+        worst = max(worst, cover.rho_plus)
+    return worst
+
+
+def delta_height(
+    decomposition: TreeDecomposition, assignment: DelayAssignment
+) -> float:
+    """The δ-height: the maximum root-to-leaf sum of delay exponents."""
+    best = 0.0
+    for path in decomposition.root_to_leaf_paths():
+        best = max(best, sum(assignment.of(node) for node in path))
+    return best

@@ -1,0 +1,76 @@
+"""CSV loading and saving for relations and databases.
+
+Values are parsed as integers when possible and kept as strings
+otherwise — the structures only require mutually comparable, hashable
+values per column, so mixed files should keep a column's type uniform.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.database.catalog import Database
+from repro.database.relation import Relation
+from repro.exceptions import SchemaError
+
+
+def _parse_value(text: str):
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def load_relation_csv(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    has_header: bool = False,
+) -> Relation:
+    """Load one relation from a CSV file (no header by default).
+
+    The relation name defaults to the file stem; arity is inferred from
+    the first row and enforced on the rest.
+    """
+    path = Path(path)
+    rows = []
+    arity = None
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for index, record in enumerate(reader):
+            if index == 0 and has_header:
+                continue
+            if not record:
+                continue
+            parsed = tuple(_parse_value(cell) for cell in record)
+            if arity is None:
+                arity = len(parsed)
+            elif len(parsed) != arity:
+                raise SchemaError(
+                    f"{path}: row {index + 1} has {len(parsed)} columns, "
+                    f"expected {arity}"
+                )
+            rows.append(parsed)
+    if arity is None:
+        raise SchemaError(f"{path}: empty relation file")
+    return Relation(name or path.stem, arity, rows)
+
+
+def save_relation_csv(relation: Relation, path: Union[str, Path]) -> None:
+    """Write a relation's rows (sorted) to a CSV file."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        for row in relation.sorted_rows():
+            writer.writerow(row)
+
+
+def load_database(directory: Union[str, Path]) -> Database:
+    """Load every ``*.csv`` in a directory as a relation named by stem."""
+    directory = Path(directory)
+    files = sorted(directory.glob("*.csv"))
+    if not files:
+        raise SchemaError(f"{directory}: no .csv relation files found")
+    return Database([load_relation_csv(path) for path in files])

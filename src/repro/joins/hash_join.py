@@ -1,0 +1,94 @@
+"""Pairwise hash joins — the independent evaluation oracle.
+
+Used by the materialized baseline and, crucially, by the test-suite as an
+implementation of CQ semantics that shares no code with the
+worst-case-optimal join or the compressed representations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.database.catalog import Database
+from repro.exceptions import QueryError
+from repro.query.atoms import Constant, Variable
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+def hash_join(
+    rows_a: Iterable[Tuple],
+    vars_a: Sequence[Variable],
+    rows_b: Iterable[Tuple],
+    vars_b: Sequence[Variable],
+) -> Tuple[Set[Tuple], Tuple[Variable, ...]]:
+    """Natural join of two variable-labelled row sets.
+
+    Returns the joined rows and their schema: ``vars_a`` followed by the
+    variables of ``vars_b`` not already present.
+    """
+    vars_a = tuple(vars_a)
+    vars_b = tuple(vars_b)
+    shared = [v for v in vars_b if v in vars_a]
+    a_positions = [vars_a.index(v) for v in shared]
+    b_positions = [vars_b.index(v) for v in shared]
+    extra = [i for i, v in enumerate(vars_b) if v not in vars_a]
+    out_vars = vars_a + tuple(vars_b[i] for i in extra)
+    table: Dict[Tuple, List[Tuple]] = {}
+    for row in rows_b:
+        key = tuple(row[i] for i in b_positions)
+        table.setdefault(key, []).append(tuple(row[i] for i in extra))
+    result: Set[Tuple] = set()
+    for row in rows_a:
+        key = tuple(row[i] for i in a_positions)
+        for suffix in table.get(key, ()):
+            result.add(tuple(row) + suffix)
+    return result, out_vars
+
+
+def evaluate_by_hash_join(
+    query: ConjunctiveQuery, db: Database
+) -> Set[Tuple]:
+    """Evaluate a CQ with pairwise hash joins; returns head tuples.
+
+    Handles constants and repeated variables directly (no normalization
+    needed), which lets tests compare un-normalized and normalized plans.
+    """
+    current_rows: Set[Tuple] = {()}
+    current_vars: Tuple[Variable, ...] = ()
+    for atom in query.atoms:
+        relation = db[atom.relation]
+        if relation.arity != atom.arity:
+            raise QueryError(
+                f"atom {atom!r} arity mismatch with relation {relation.name!r}"
+            )
+        atom_vars = atom.variables()
+        keep_positions = [atom.variable_positions(v)[0] for v in atom_vars]
+        rows = []
+        for row in relation:
+            ok = True
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Constant) and row[position] != term.value:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            consistent = True
+            for v in atom_vars:
+                positions = atom.variable_positions(v)
+                first = row[positions[0]]
+                if any(row[p] != first for p in positions[1:]):
+                    consistent = False
+                    break
+            if consistent:
+                rows.append(tuple(row[p] for p in keep_positions))
+        current_rows, current_vars = hash_join(
+            current_rows, current_vars, rows, atom_vars
+        )
+        if not current_rows:
+            return set()
+    head_positions = []
+    for v in query.head:
+        if v not in current_vars:
+            raise QueryError(f"head variable {v!r} not produced by the body")
+        head_positions.append(current_vars.index(v))
+    return {tuple(row[p] for p in head_positions) for row in current_rows}

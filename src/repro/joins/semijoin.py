@@ -1,0 +1,34 @@
+"""Semijoin filtering for bottom-up reductions."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set, Tuple
+
+from repro.query.atoms import Variable
+
+
+def semijoin(
+    rows_a: Iterable[Tuple],
+    vars_a: Sequence[Variable],
+    rows_b: Iterable[Tuple],
+    vars_b: Sequence[Variable],
+) -> Set[Tuple]:
+    """Rows of ``a`` that agree with some row of ``b`` on shared variables.
+
+    With no shared variables this is ``a`` itself when ``b`` is non-empty
+    and empty otherwise, matching semijoin semantics on the cross product.
+    """
+    vars_a = tuple(vars_a)
+    vars_b = tuple(vars_b)
+    shared = [v for v in vars_a if v in vars_b]
+    rows_b = list(rows_b)
+    if not shared:
+        return set(map(tuple, rows_a)) if rows_b else set()
+    a_positions = [vars_a.index(v) for v in shared]
+    b_positions = [vars_b.index(v) for v in shared]
+    keys = {tuple(row[p] for p in b_positions) for row in rows_b}
+    return {
+        tuple(row)
+        for row in rows_a
+        if tuple(row[p] for p in a_positions) in keys
+    }

@@ -1,0 +1,21 @@
+"""Measurement utilities: space accounting, delay probes, tradeoff sweeps.
+
+The paper's guarantees are about three quantities (Figure 1): compression
+time ``T_C``, space ``S``, and delay/answer time. This package measures all
+three in implementation-independent units: *cells* for space (tuples, trie
+edges, tree nodes, dictionary entries) and *steps* for time (join candidate
+probes), next to wall-clock times for the benchmark reports.
+"""
+
+from repro.measure.space import SpaceReport
+from repro.measure.delay import DelayStats, measure_enumeration
+from repro.measure.tradeoff import TradeoffPoint, sweep_tau, format_table
+
+__all__ = [
+    "SpaceReport",
+    "DelayStats",
+    "measure_enumeration",
+    "TradeoffPoint",
+    "sweep_tau",
+    "format_table",
+]

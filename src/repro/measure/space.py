@@ -1,0 +1,50 @@
+"""Logical space accounting.
+
+``sys.getsizeof`` is dominated by CPython object headers and hides the
+asymptotics the paper is about, so space is counted in *cells*: one cell
+per stored tuple, trie edge, tree node or dictionary entry. The split
+between *structure* cells (what the compression adds) and *base* cells
+(the input and its linear-size indexes, the paper's ``O(|D|)`` term) lets
+benches report exactly the ``S`` of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpaceReport:
+    """Cell counts for one data structure instance."""
+
+    base_tuples: int = 0
+    index_cells: int = 0
+    tree_nodes: int = 0
+    dictionary_entries: int = 0
+    materialized_tuples: int = 0
+
+    @property
+    def structure_cells(self) -> int:
+        """Cells beyond the linear-size input: the paper's tradeoff term."""
+        return self.tree_nodes + self.dictionary_entries + self.materialized_tuples
+
+    @property
+    def total_cells(self) -> int:
+        return (
+            self.base_tuples
+            + self.index_cells
+            + self.tree_nodes
+            + self.dictionary_entries
+            + self.materialized_tuples
+        )
+
+    def __add__(self, other: "SpaceReport") -> "SpaceReport":
+        if not isinstance(other, SpaceReport):
+            return NotImplemented
+        return SpaceReport(
+            base_tuples=self.base_tuples + other.base_tuples,
+            index_cells=self.index_cells + other.index_cells,
+            tree_nodes=self.tree_nodes + other.tree_nodes,
+            dictionary_entries=self.dictionary_entries + other.dictionary_entries,
+            materialized_tuples=self.materialized_tuples + other.materialized_tuples,
+        )

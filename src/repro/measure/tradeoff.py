@@ -1,0 +1,129 @@
+"""Tradeoff sweeps: the space-vs-delay frontier of Theorem 1.
+
+:func:`sweep_tau` builds one compressed representation per τ and probes a
+sample of access requests, producing the series the paper's examples
+describe (e.g. Example 1: space ``O(N^{3/2}/τ)`` against delay ``Õ(τ)``).
+:func:`format_table` renders the points as the aligned text tables printed
+by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.database.catalog import Database
+from repro.joins.generic_join import JoinCounter
+from repro.measure.delay import DelayStats, measure_enumeration
+from repro.measure.space import SpaceReport
+from repro.query.adorned import AdornedView
+
+
+@dataclass
+class TradeoffPoint:
+    """One τ setting: its space, build time and observed delays."""
+
+    tau: float
+    space: SpaceReport
+    build_seconds: float
+    max_step_delay: int
+    mean_step_delay: float
+    max_wall_delay: float
+    total_outputs: int
+    accesses_probed: int
+
+    @property
+    def structure_cells(self) -> int:
+        return self.space.structure_cells
+
+
+def sweep_tau(
+    view: AdornedView,
+    db: Database,
+    taus: Sequence[float],
+    accesses: Sequence[Tuple],
+    weights: Optional[Mapping[int, float]] = None,
+) -> List[TradeoffPoint]:
+    """Build one structure per τ and measure delays over the access sample."""
+    # Imported here to avoid a circular import (structure reports its space
+    # through repro.measure.space).
+    from repro.core.structure import CompressedRepresentation
+
+    points: List[TradeoffPoint] = []
+    for tau in taus:
+        representation = CompressedRepresentation(
+            view, db, tau=tau, weights=weights
+        )
+        max_step = 0
+        wall_max = 0.0
+        mean_acc = 0.0
+        outputs = 0
+        for access in accesses:
+            counter = JoinCounter()
+            stats = measure_enumeration(
+                representation.enumerate(access, counter=counter),
+                counter=counter,
+                keep_gaps=True,
+            )
+            max_step = max(max_step, stats.step_max_gap)
+            wall_max = max(wall_max, stats.wall_max_gap)
+            mean_acc += stats.step_mean_gap
+            outputs += stats.outputs
+        points.append(
+            TradeoffPoint(
+                tau=tau,
+                space=representation.space_report(),
+                build_seconds=representation.stats.build_seconds,
+                max_step_delay=max_step,
+                mean_step_delay=mean_acc / max(1, len(accesses)),
+                max_wall_delay=wall_max,
+                total_outputs=outputs,
+                accesses_probed=len(accesses),
+            )
+        )
+    return points
+
+
+def format_table(
+    rows: Iterable[Sequence],
+    headers: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append(
+            [
+                f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(line[column]) for line in rendered)
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    for index, line in enumerate(rendered):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def tradeoff_rows(points: Sequence[TradeoffPoint]) -> List[Tuple]:
+    """Rows (τ, structure cells, max/mean step delay, outputs) per point."""
+    return [
+        (
+            point.tau,
+            point.structure_cells,
+            point.max_step_delay,
+            point.mean_step_delay,
+            point.total_outputs,
+        )
+        for point in points
+    ]

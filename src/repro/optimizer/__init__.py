@@ -1,0 +1,24 @@
+"""Parameter optimization (Section 6).
+
+* :func:`min_delay_cover` — MinDelayCover: given a space budget, the cover
+  (and τ) minimizing delay, solved as the paper's linear fractional program
+  via the Charnes–Cooper transformation (Proposition 11).
+* :func:`min_space_cover` — MinSpaceCover: given a delay budget, minimize
+  space by binary search over the space parameter (Proposition 12).
+* :mod:`repro.optimizer.planner` — per-bag parameter choice for Theorem 2
+  decompositions (optimal delay assignment under a space budget and its
+  inverse).
+"""
+
+from repro.optimizer.min_delay import MinDelayResult, min_delay_cover
+from repro.optimizer.min_space import MinSpaceResult, min_space_cover
+from repro.optimizer.planner import DecompositionPlan, plan_decomposition
+
+__all__ = [
+    "MinDelayResult",
+    "min_delay_cover",
+    "MinSpaceResult",
+    "min_space_cover",
+    "DecompositionPlan",
+    "plan_decomposition",
+]

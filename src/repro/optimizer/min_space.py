@@ -1,0 +1,85 @@
+"""MinSpaceCover (Section 6, Proposition 12).
+
+Given a delay budget Δ, minimize the space of Theorem 1. As the paper
+observes, the delay returned by MinDelayCover is non-increasing in the
+space budget, so a binary search over ``log Σ ∈ [log|D|, k·log|D|]``
+(k = number of atoms) combined with MinDelayCover solves the inverse
+problem in polynomial time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.exceptions import OptimizationError, ParameterError
+from repro.optimizer.min_delay import MinDelayResult, min_delay_cover
+from repro.query.adorned import AdornedView
+
+
+@dataclass(frozen=True)
+class MinSpaceResult:
+    """Optimal space budget (and knobs) for a delay budget."""
+
+    space: float
+    inner: MinDelayResult
+
+    @property
+    def weights(self) -> Mapping[int, float]:
+        return self.inner.weights
+
+    @property
+    def alpha(self) -> float:
+        return self.inner.alpha
+
+    @property
+    def tau(self) -> float:
+        return self.inner.tau
+
+
+def min_space_cover(
+    view: AdornedView,
+    sizes: Mapping[int, int],
+    delay_budget: float,
+    tolerance: float = 1e-3,
+    max_iterations: int = 80,
+) -> MinSpaceResult:
+    """Binary-search the smallest space whose optimal delay meets the budget.
+
+    Parameters
+    ----------
+    delay_budget:
+        The Δ of the delay constraint: we require ``τ ≤ Δ``.
+    tolerance:
+        Relative tolerance on ``log Σ`` at which the search stops.
+    """
+    if delay_budget < 1:
+        raise ParameterError(f"delay budget must be >= 1, got {delay_budget}")
+    total = max(2, sum(int(sizes[label]) for label in sizes))
+    low = math.log(total)
+    high = len(view.atoms) * math.log(total) + math.log(2.0)
+    log_delay = math.log(delay_budget)
+
+    def feasible(log_space: float) -> Optional[MinDelayResult]:
+        result = min_delay_cover(view, sizes, math.exp(log_space))
+        return result if result.log_tau <= log_delay + 1e-9 else None
+
+    best = feasible(high)
+    if best is None:
+        raise OptimizationError(
+            "delay budget unreachable even at the maximum space budget"
+        )
+    if (candidate := feasible(low)) is not None:
+        return MinSpaceResult(space=math.exp(low), inner=candidate)
+    iterations = 0
+    while high - low > tolerance and iterations < max_iterations:
+        middle = (low + high) / 2.0
+        candidate = feasible(middle)
+        if candidate is None:
+            low = middle
+        else:
+            high = middle
+            best = candidate
+        iterations += 1
+    return MinSpaceResult(space=math.exp(high), inner=best)

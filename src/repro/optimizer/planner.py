@@ -1,0 +1,102 @@
+"""Per-bag parameter planning for Theorem 2 (Section 6, last part).
+
+Given a V_b-connex decomposition and a global space budget, the optimal
+delay assignment solves MinDelayCover independently in every bag (each bag
+is a full adorned view whose bound side is its ancestor interface). The
+resulting δ-height predicts the overall delay ``Õ(|D|^h)``; the inverse
+problem (delay budget → minimal space) reuses the same binary search as
+MinSpaceCover.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.exceptions import OptimizationError, ParameterError
+from repro.hypergraph.connex import ConnexDecomposition
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.width import DelayAssignment, delta_height
+from repro.optimizer.min_delay import min_delay_cover
+from repro.query.adorned import AdornedView
+from repro.query.atoms import Atom, Variable
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class DecompositionPlan:
+    """Chosen per-bag knobs and the resulting global guarantees."""
+
+    assignment: DelayAssignment
+    bag_weights: Mapping[object, Mapping[int, float]]
+    bag_taus: Mapping[object, float]
+    delta_height: float
+
+    def predicted_delay(self, database_size: int) -> float:
+        """``|D|^h`` — the Theorem 2 delay bound for this plan."""
+        return float(max(2, database_size)) ** self.delta_height
+
+
+def _bag_view(
+    view: AdornedView,
+    hypergraph: Hypergraph,
+    decomposition: ConnexDecomposition,
+    node: object,
+) -> Tuple[AdornedView, Tuple[object, ...]]:
+    """The bag's induced adorned view and its hyperedge labels."""
+    rank = {v: i for i, v in enumerate(view.head)}
+    bag_vars = decomposition.bags[node]
+    bound = tuple(sorted(decomposition.bag_bound(node), key=rank.__getitem__))
+    free = tuple(sorted(decomposition.bag_free(node), key=rank.__getitem__))
+    head = bound + free
+    labels = hypergraph.edges_intersecting(bag_vars)
+    atoms = []
+    for label in labels:
+        members = tuple(v for v in head if v in hypergraph.edge(label))
+        atoms.append(Atom(f"E{label}", members))
+    query = ConjunctiveQuery(f"{view.name}__plan_{node}", head, atoms)
+    return AdornedView(query, "b" * len(bound) + "f" * len(free)), labels
+
+
+def plan_decomposition(
+    view: AdornedView,
+    hypergraph: Hypergraph,
+    decomposition: ConnexDecomposition,
+    sizes: Mapping[int, int],
+    space_budget: float,
+) -> DecompositionPlan:
+    """Optimal per-bag delay assignment under a per-bag space budget.
+
+    Every non-root bag gets the MinDelayCover solution for its induced
+    view; the delay exponents (log base |D| of the bag τ) form the delay
+    assignment whose δ-height gives the global delay bound.
+    """
+    if space_budget <= 1:
+        raise ParameterError(f"space budget must exceed 1, got {space_budget}")
+    total = max(2, sum(int(s) for s in sizes.values()))
+    exponents: Dict[object, float] = {}
+    bag_weights: Dict[object, Mapping[int, float]] = {}
+    bag_taus: Dict[object, float] = {}
+    for node in decomposition.non_root_nodes():
+        bag_view, labels = _bag_view(view, hypergraph, decomposition, node)
+        bag_sizes = {
+            index: int(sizes[label]) for index, label in enumerate(labels)
+        }
+        result = min_delay_cover(bag_view, bag_sizes, space_budget)
+        # Remap the bag-local atom indexes back to the global labels.
+        bag_weights[node] = {
+            label: result.weights.get(index, 0.0)
+            for index, label in enumerate(labels)
+        }
+        bag_taus[node] = result.tau
+        exponents[node] = (
+            result.log_tau / math.log(total) if result.log_tau > 0 else 0.0
+        )
+    assignment = DelayAssignment(exponents)
+    return DecompositionPlan(
+        assignment=assignment,
+        bag_weights=bag_weights,
+        bag_taus=bag_taus,
+        delta_height=delta_height(decomposition, assignment),
+    )

@@ -1,0 +1,36 @@
+"""Conjunctive queries, adorned views, parsing and normalization.
+
+The paper's object of study is an *adorned view* ``Q^η(x1,...,xk)`` over a
+conjunctive query: each head variable is annotated bound (``b``) or free
+(``f``), and an *access request* fixes the bound variables to constants and
+asks to enumerate the matching free-variable tuples (Section 2.2).
+
+This package models those objects:
+
+* :mod:`repro.query.atoms` — terms (variables/constants) and atoms;
+* :mod:`repro.query.conjunctive` — conjunctive queries;
+* :mod:`repro.query.adorned` — adorned views and access patterns;
+* :mod:`repro.query.parser` — a textual syntax,
+  e.g. ``"Q^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)"``;
+* :mod:`repro.query.rewriting` — the Example 3 linear-time rewriting that
+  removes constants and repeated variables, turning any full adorned view
+  into a natural join query.
+"""
+
+from repro.query.atoms import Variable, Constant, Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.adorned import AdornedView
+from repro.query.parser import parse_query, parse_view
+from repro.query.rewriting import normalize_view, NormalizedView
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Atom",
+    "ConjunctiveQuery",
+    "AdornedView",
+    "parse_query",
+    "parse_view",
+    "normalize_view",
+    "NormalizedView",
+]

@@ -1,0 +1,129 @@
+"""Adorned views and access patterns (Section 2.2)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.exceptions import QueryError
+from repro.query.atoms import Atom, Variable
+from repro.query.conjunctive import ConjunctiveQuery
+
+BOUND = "b"
+FREE = "f"
+
+
+class AdornedView:
+    """An adorned view ``Q^η(x1, ..., xk)``.
+
+    The pattern ``η`` assigns each head variable a binding type: bound
+    (``b``, supplied by the access request) or free (``f``, enumerated by
+    the answer). The order of the free variables in the head fixes the
+    lexicographic enumeration order of results.
+    """
+
+    __slots__ = ("query", "pattern")
+
+    def __init__(self, query: ConjunctiveQuery, pattern: str):
+        if len(pattern) != len(query.head):
+            raise QueryError(
+                f"view {query.name!r}: pattern {pattern!r} has length "
+                f"{len(pattern)}, head has {len(query.head)} variables"
+            )
+        for ch in pattern:
+            if ch not in (BOUND, FREE):
+                raise QueryError(
+                    f"view {query.name!r}: pattern character {ch!r} is not 'b' or 'f'"
+                )
+        self.query = query
+        self.pattern = pattern
+
+    # ------------------------------------------------------------------
+    # variable partitions
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.query.name
+
+    @property
+    def head(self) -> Tuple[Variable, ...]:
+        return self.query.head
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        return self.query.atoms
+
+    @property
+    def bound_variables(self) -> Tuple[Variable, ...]:
+        """Bound head variables, in head order (the order of access tuples)."""
+        return tuple(
+            v for v, ch in zip(self.query.head, self.pattern) if ch == BOUND
+        )
+
+    @property
+    def free_variables(self) -> Tuple[Variable, ...]:
+        """Free head variables, in head order (the lexicographic order)."""
+        return tuple(
+            v for v, ch in zip(self.query.head, self.pattern) if ch == FREE
+        )
+
+    @property
+    def is_boolean(self) -> bool:
+        """Every head variable bound."""
+        return all(ch == BOUND for ch in self.pattern)
+
+    @property
+    def is_non_parametric(self) -> bool:
+        """Every head variable free."""
+        return all(ch == FREE for ch in self.pattern)
+
+    @property
+    def is_full(self) -> bool:
+        """The underlying CQ is full (no projection)."""
+        return self.query.is_full
+
+    @property
+    def is_full_enumeration(self) -> bool:
+        """Full and non-parametric: 'output the whole result'."""
+        return self.is_full and self.is_non_parametric
+
+    def is_natural_join(self) -> bool:
+        return self.query.is_natural_join()
+
+    # ------------------------------------------------------------------
+    # access requests
+    # ------------------------------------------------------------------
+    def binding(self, access_tuple: Sequence) -> Dict[Variable, object]:
+        """Map the bound variables to the values of an access tuple."""
+        bound = self.bound_variables
+        if len(access_tuple) != len(bound):
+            raise QueryError(
+                f"view {self.name!r}: access tuple {tuple(access_tuple)!r} has "
+                f"{len(access_tuple)} values, expected {len(bound)}"
+            )
+        return dict(zip(bound, access_tuple))
+
+    def head_tuple(self, binding: Mapping[Variable, object]) -> Tuple:
+        """Assemble a full head tuple from a complete variable binding."""
+        try:
+            return tuple(binding[v] for v in self.query.head)
+        except KeyError as missing:
+            raise QueryError(
+                f"view {self.name!r}: binding missing variable {missing}"
+            ) from None
+
+    def split_head_tuple(self, head_tuple: Sequence) -> Tuple[Tuple, Tuple]:
+        """Split a head tuple into its (bound, free) components, head order."""
+        if len(head_tuple) != len(self.query.head):
+            raise QueryError(
+                f"view {self.name!r}: head tuple {tuple(head_tuple)!r} has wrong arity"
+            )
+        bound = tuple(
+            v for v, ch in zip(head_tuple, self.pattern) if ch == BOUND
+        )
+        free = tuple(v for v, ch in zip(head_tuple, self.pattern) if ch == FREE)
+        return bound, free
+
+    def __repr__(self) -> str:
+        head = ", ".join(v.name for v in self.query.head)
+        body = ", ".join(repr(a) for a in self.query.atoms)
+        return f"{self.name}^{self.pattern}({head}) = {body}"

@@ -1,0 +1,98 @@
+"""Terms and atoms of conjunctive queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant term appearing in a query body."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+Term = Union[Variable, Constant]
+
+
+class Atom:
+    """A relational atom ``R(t1, ..., tm)`` in a query body.
+
+    Attributes
+    ----------
+    relation:
+        Name of the relation this atom refers to. Several atoms may share a
+        relation name (self-joins).
+    terms:
+        The argument terms, in column order.
+    """
+
+    __slots__ = ("relation", "terms")
+
+    def __init__(self, relation: str, terms: Tuple[Term, ...]):
+        for term in terms:
+            if not isinstance(term, (Variable, Constant)):
+                raise QueryError(f"atom {relation!r}: bad term {term!r}")
+        self.relation = relation
+        self.terms = tuple(terms)
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Distinct variables in order of first occurrence."""
+        seen = []
+        for term in self.terms:
+            if isinstance(term, Variable) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    def variable_positions(self, var: Variable) -> Tuple[int, ...]:
+        """All column positions where ``var`` occurs in this atom."""
+        return tuple(i for i, t in enumerate(self.terms) if t == var)
+
+    def constants(self) -> Tuple[Tuple[int, object], ...]:
+        """(position, value) pairs for every constant argument."""
+        return tuple(
+            (i, t.value) for i, t in enumerate(self.terms) if isinstance(t, Constant)
+        )
+
+    def has_repeated_variables(self) -> bool:
+        vars_seen = [t for t in self.terms if isinstance(t, Variable)]
+        return len(vars_seen) != len(set(vars_seen))
+
+    def is_natural(self) -> bool:
+        """True iff all terms are distinct variables (natural-join atom)."""
+        return (
+            all(isinstance(t, Variable) for t in self.terms)
+            and not self.has_repeated_variables()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self.relation == other.relation and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.terms))
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({args})"

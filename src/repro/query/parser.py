@@ -1,0 +1,153 @@
+"""A small textual syntax for conjunctive queries and adorned views.
+
+Examples
+--------
+>>> parse_query("Q(x, y, z) = R(x, y), S(y, z), T(z, x)")
+Q(x, y, z) = R(x, y), S(y, z), T(z, x)
+>>> parse_view("V^bfb(x, y, z) = R(x, y), R(y, z), R(z, x)")
+V^bfb(x, y, z) = R(x, y), R(y, z), R(z, x)
+
+Grammar (whitespace-insensitive)::
+
+    view   := NAME ['^' PATTERN] '(' terms ')' '=' atom (',' atom)*
+    atom   := NAME '(' terms ')'
+    terms  := term (',' term)*
+    term   := NAME            -- a variable
+            | INTEGER         -- a constant
+            | "'" chars "'"   -- a string constant
+
+``PATTERN`` is a word over {b, f}. Relation and variable names share the
+identifier syntax ``[A-Za-z_][A-Za-z0-9_]*``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.exceptions import QueryError
+from repro.query.atoms import Atom, Constant, Variable
+from repro.query.adorned import AdornedView
+from repro.query.conjunctive import ConjunctiveQuery
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<int>-?\d+)"
+    r"|(?P<str>'[^']*')"
+    r"|(?P<punct>[\^(),=]))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise QueryError(f"parse error at {remainder[:20]!r}")
+        pos = match.end()
+        for kind in ("name", "int", "str", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> Tuple[str, str]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return ("eof", "")
+
+    def take(self, kind: str = None, value: str = None) -> str:
+        tok_kind, tok_value = self.peek()
+        if kind is not None and tok_kind != kind:
+            raise QueryError(
+                f"parse error in {self.text!r}: expected {kind}, got {tok_value!r}"
+            )
+        if value is not None and tok_value != value:
+            raise QueryError(
+                f"parse error in {self.text!r}: expected {value!r}, got {tok_value!r}"
+            )
+        self.index += 1
+        return tok_value
+
+    def parse_terms(self):
+        terms = []
+        self.take("punct", "(")
+        if self.peek() != ("punct", ")"):
+            while True:
+                kind, value = self.peek()
+                if kind == "name":
+                    terms.append(Variable(self.take("name")))
+                elif kind == "int":
+                    terms.append(Constant(int(self.take("int"))))
+                elif kind == "str":
+                    terms.append(Constant(self.take("str")[1:-1]))
+                else:
+                    raise QueryError(
+                        f"parse error in {self.text!r}: bad term {value!r}"
+                    )
+                if self.peek() == ("punct", ","):
+                    self.take()
+                else:
+                    break
+        self.take("punct", ")")
+        return tuple(terms)
+
+    def parse_view(self):
+        name = self.take("name")
+        pattern = None
+        if self.peek() == ("punct", "^"):
+            self.take()
+            pattern = self.take("name")
+        head_terms = self.parse_terms()
+        head = []
+        for term in head_terms:
+            if not isinstance(term, Variable):
+                raise QueryError(
+                    f"parse error in {self.text!r}: head term {term!r} "
+                    "must be a variable"
+                )
+            head.append(term)
+        self.take("punct", "=")
+        atoms = []
+        while True:
+            atom_name = self.take("name")
+            atoms.append(Atom(atom_name, self.parse_terms()))
+            if self.peek() == ("punct", ","):
+                self.take()
+            else:
+                break
+        if self.peek()[0] != "eof":
+            raise QueryError(
+                f"parse error in {self.text!r}: trailing input {self.peek()[1]!r}"
+            )
+        return name, pattern, tuple(head), tuple(atoms)
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query; an adornment, if present, is rejected."""
+    name, pattern, head, atoms = _Parser(text).parse_view()
+    if pattern is not None:
+        raise QueryError(
+            f"{text!r}: unexpected adornment on a plain query; use parse_view"
+        )
+    return ConjunctiveQuery(name, head, atoms)
+
+
+def parse_view(text: str) -> AdornedView:
+    """Parse an adorned view like ``V^bfb(x,y,z) = R(x,y), R(y,z), R(z,x)``."""
+    name, pattern, head, atoms = _Parser(text).parse_view()
+    if pattern is None:
+        raise QueryError(f"{text!r}: missing adornment; use parse_query")
+    return AdornedView(ConjunctiveQuery(name, head, atoms), pattern)

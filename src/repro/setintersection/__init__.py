@@ -1,0 +1,5 @@
+"""Fast set intersection as a special case of Theorem 1 (Section 3.1)."""
+
+from repro.setintersection.cohen_porat import SetIntersectionIndex
+
+__all__ = ["SetIntersectionIndex"]

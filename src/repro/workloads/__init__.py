@@ -1,0 +1,59 @@
+"""Workload generators and the paper's canonical queries and instances."""
+
+from repro.workloads.generators import (
+    random_relation,
+    random_graph,
+    zipf_relation,
+    star_database,
+    path_database,
+    loomis_whitney_database,
+    set_family,
+    triangle_database,
+)
+from repro.workloads.queries import (
+    triangle_view,
+    mutual_friend_view,
+    running_example_view,
+    running_example_database,
+    star_view,
+    loomis_whitney_view,
+    path_view,
+    figure2_view,
+    figure7_view,
+    figure7_database,
+)
+from repro.workloads.scenarios import (
+    coauthor_database,
+    coauthor_view,
+    social_network_database,
+    celebrity_social_network,
+    mln_rule_views,
+    mln_evidence_database,
+)
+
+__all__ = [
+    "random_relation",
+    "random_graph",
+    "zipf_relation",
+    "star_database",
+    "path_database",
+    "loomis_whitney_database",
+    "set_family",
+    "triangle_database",
+    "triangle_view",
+    "mutual_friend_view",
+    "running_example_view",
+    "running_example_database",
+    "star_view",
+    "loomis_whitney_view",
+    "path_view",
+    "figure2_view",
+    "figure7_view",
+    "figure7_database",
+    "coauthor_database",
+    "coauthor_view",
+    "social_network_database",
+    "celebrity_social_network",
+    "mln_rule_views",
+    "mln_evidence_database",
+]

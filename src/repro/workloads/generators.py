@@ -1,0 +1,200 @@
+"""Synthetic data generators.
+
+All generators are seeded and deterministic. Domains are integer ranges;
+the structures are value-agnostic, so integers keep instances compact and
+comparisons cheap.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.database.catalog import Database
+from repro.database.relation import Relation
+from repro.exceptions import ParameterError
+
+
+def random_relation(
+    name: str,
+    arity: int,
+    size: int,
+    domain: int,
+    seed: int = 0,
+) -> Relation:
+    """A relation of ``size`` distinct uniform tuples over [0, domain)."""
+    if domain <= 0:
+        raise ParameterError("domain must be positive")
+    if size > domain ** arity:
+        raise ParameterError(
+            f"cannot draw {size} distinct tuples from a domain of "
+            f"{domain ** arity}"
+        )
+    rng = random.Random(seed)
+    rows = set()
+    while len(rows) < size:
+        rows.add(tuple(rng.randrange(domain) for _ in range(arity)))
+    return Relation(name, arity, rows)
+
+
+def random_graph(
+    name: str,
+    nodes: int,
+    edges: int,
+    seed: int = 0,
+    symmetric: bool = False,
+    loops: bool = False,
+) -> Relation:
+    """A random directed graph as a binary relation.
+
+    With ``symmetric=True`` both orientations of every edge are stored —
+    the friend relation of Example 1.
+    """
+    if edges > nodes * nodes:
+        raise ParameterError("more edges than node pairs")
+    rng = random.Random(seed)
+    rows = set()
+    while len(rows) < edges:
+        a = rng.randrange(nodes)
+        b = rng.randrange(nodes)
+        if a == b and not loops:
+            continue
+        rows.add((a, b))
+        if symmetric:
+            rows.add((b, a))
+    return Relation(name, 2, rows)
+
+
+def zipf_relation(
+    name: str,
+    arity: int,
+    size: int,
+    domain: int,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> Relation:
+    """A relation with Zipf-skewed marginals (heavy hitters included).
+
+    Skewed data exercises the heavy-valuation machinery: a few bound
+    values participate in very many join results.
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (rank ** skew) for rank in range(1, domain + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def draw() -> int:
+        coin = rng.random()
+        low, high = 0, domain - 1
+        while low < high:
+            middle = (low + high) // 2
+            if cumulative[middle] < coin:
+                low = middle + 1
+            else:
+                high = middle
+        return low
+
+    rows = set()
+    attempts = 0
+    while len(rows) < size and attempts < 100 * size:
+        rows.add(tuple(draw() for _ in range(arity)))
+        attempts += 1
+    return Relation(name, arity, rows)
+
+
+def triangle_database(
+    nodes: int, edges: int, seed: int = 0, shared: bool = False
+) -> Database:
+    """Three binary relations R, S, T for the triangle query.
+
+    With ``shared=True`` all three atoms read the same symmetric relation
+    R — the mutual-friend setting of Example 1.
+    """
+    if shared:
+        friend = random_graph("R", nodes, edges, seed=seed, symmetric=True)
+        return Database([friend])
+    return Database(
+        [
+            random_graph("R", nodes, edges, seed=seed),
+            random_graph("S", nodes, edges, seed=seed + 1),
+            random_graph("T", nodes, edges, seed=seed + 2),
+        ]
+    )
+
+
+def star_database(
+    n_arms: int, size: int, domain: int, seed: int = 0
+) -> Database:
+    """Relations R1..Rn for the star join S_n (Example 7)."""
+    return Database(
+        [
+            random_relation(f"R{i}", 2, size, domain, seed=seed + i)
+            for i in range(1, n_arms + 1)
+        ]
+    )
+
+
+def path_database(
+    length: int, size: int, domain: int, seed: int = 0
+) -> Database:
+    """Relations R1..Rn for the path query P_n (Example 10)."""
+    return Database(
+        [
+            random_relation(f"R{i}", 2, size, domain, seed=seed + i)
+            for i in range(1, length + 1)
+        ]
+    )
+
+
+def loomis_whitney_database(
+    n: int, size: int, domain: int, seed: int = 0
+) -> Database:
+    """Relations S1..Sn of arity n-1 for the Loomis-Whitney join LW_n."""
+    if n < 3:
+        raise ParameterError("Loomis-Whitney needs n >= 3")
+    return Database(
+        [
+            random_relation(f"S{i}", n - 1, size, domain, seed=seed + i)
+            for i in range(1, n + 1)
+        ]
+    )
+
+
+def set_family(
+    n_sets: int,
+    universe: int,
+    mean_size: int,
+    seed: int = 0,
+    skew: float = 0.0,
+) -> Dict[int, List[int]]:
+    """A family of sets over [0, universe); sizes roughly geometric.
+
+    With ``skew > 0`` a few elements are far more popular than others,
+    creating the large intersections that stress the tradeoff.
+    """
+    rng = random.Random(seed)
+    family: Dict[int, List[int]] = {}
+    if skew > 0:
+        weights = [1.0 / ((e + 1) ** skew) for e in range(universe)]
+        total = sum(weights)
+        probabilities = [w / total for w in weights]
+    else:
+        probabilities = None
+    for set_id in range(n_sets):
+        size = max(1, int(rng.expovariate(1.0 / mean_size)))
+        size = min(size, universe)
+        if probabilities is None:
+            members = rng.sample(range(universe), size)
+        else:
+            members = set()
+            while len(members) < size:
+                members.add(
+                    rng.choices(range(universe), weights=probabilities)[0]
+                )
+            members = list(members)
+        family[set_id] = sorted(members)
+    return family

@@ -1,0 +1,135 @@
+"""The paper's canonical queries and worked-example instances.
+
+Every adorned view that appears in the paper is constructible here, plus
+the exact database of Examples 13–15 (used by the tests that pin the
+paper's numbers) and a reconstruction of the Figure 7 instance.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.database.catalog import Database
+from repro.database.relation import Relation
+from repro.exceptions import ParameterError
+from repro.query.adorned import AdornedView
+from repro.query.parser import parse_view
+
+
+def triangle_view(pattern: str = "bbf") -> AdornedView:
+    """The triangle query Δ (Example 2) over three relations."""
+    return parse_view(
+        f"Delta^{pattern}(x, y, z) = R(x, y), S(y, z), T(z, x)"
+    )
+
+
+def mutual_friend_view() -> AdornedView:
+    """Example 1: V^bfb(x, y, z) = R(x,y), R(y,z), R(z,x) on one relation."""
+    return parse_view("V^bfb(x, y, z) = R(x, y), R(y, z), R(z, x)")
+
+
+def running_example_view() -> AdornedView:
+    """Example 4: Q^fffbbb(x,y,z,w1,w2,w3) = R1(w1,x,y), R2(w2,y,z), R3(w3,x,z)."""
+    return parse_view(
+        "Q^fffbbb(x, y, z, w1, w2, w3) = "
+        "R1(w1, x, y), R2(w2, y, z), R3(w3, x, z)"
+    )
+
+
+def running_example_database() -> Database:
+    """The exact instance of Example 13."""
+    r1 = Relation(
+        "R1",
+        3,
+        [(1, 1, 1), (1, 1, 2), (1, 2, 1), (2, 1, 1), (3, 1, 1)],
+    )
+    r2 = Relation(
+        "R2",
+        3,
+        [(1, 1, 2), (1, 2, 1), (1, 2, 2), (2, 1, 1), (2, 1, 2)],
+    )
+    r3 = Relation(
+        "R3",
+        3,
+        [(1, 1, 1), (1, 1, 2), (1, 2, 1), (2, 1, 1), (2, 1, 2)],
+    )
+    return Database([r1, r2, r3])
+
+
+def star_view(n: int, pattern: str = None) -> AdornedView:
+    """Example 7: S_n^{b..bf}(x1..xn, z) = R1(x1,z), ..., Rn(xn,z)."""
+    if n < 1:
+        raise ParameterError("star join needs n >= 1 arms")
+    if pattern is None:
+        pattern = "b" * n + "f"
+    head = ", ".join([f"x{i}" for i in range(1, n + 1)] + ["z"])
+    body = ", ".join(f"R{i}(x{i}, z)" for i in range(1, n + 1))
+    return parse_view(f"S^{pattern}({head}) = {body}")
+
+
+def loomis_whitney_view(n: int, pattern: str = None) -> AdornedView:
+    """Example 6: LW_n with S_i omitting variable x_i.
+
+    Default adornment binds x1..x_{n-1} and frees x_n (the paper's
+    ``b···bf``).
+    """
+    if n < 3:
+        raise ParameterError("Loomis-Whitney needs n >= 3")
+    if pattern is None:
+        pattern = "b" * (n - 1) + "f"
+    head = ", ".join(f"x{i}" for i in range(1, n + 1))
+    atoms = []
+    for i in range(1, n + 1):
+        args = ", ".join(f"x{j}" for j in range(1, n + 1) if j != i)
+        atoms.append(f"S{i}({args})")
+    return parse_view(f"LW^{pattern}({head}) = {', '.join(atoms)}")
+
+
+def path_view(length: int, pattern: str = None) -> AdornedView:
+    """Example 10: P_n(x1..x_{n+1}) = R1(x1,x2), ..., Rn(xn,x_{n+1}).
+
+    Default adornment is the paper's ``bf···fb`` (endpoints bound).
+    """
+    if length < 1:
+        raise ParameterError("path needs length >= 1")
+    if pattern is None:
+        pattern = "b" + "f" * (length - 1) + "b"
+    head = ", ".join(f"x{i}" for i in range(1, length + 2))
+    body = ", ".join(f"R{i}(x{i}, x{i + 1})" for i in range(1, length + 1))
+    return parse_view(f"P^{pattern}({head}) = {body}")
+
+
+def figure2_view() -> AdornedView:
+    """The length-6 path of Figure 2 with V_b = {v1, v5, v6}."""
+    return parse_view(
+        "W^bfffbbf(v1, v2, v3, v4, v5, v6, v7) = "
+        "R1(v1, v2), R2(v2, v3), R3(v3, v4), R4(v4, v5), "
+        "R5(v5, v6), R6(v6, v7)"
+    )
+
+
+def figure7_view() -> AdornedView:
+    """The Figure 7 hypergraph: 4-cycle on v1..v4 plus triangle via v5.
+
+    The figure is schematic; this is the reconstruction consistent with
+    the text: fhw(H) = 2 while fhw(H | {v1..v4}) = 3/2 (the lower bag
+    {v1, v2, v5} is covered by the triangle R, V, W at 3/2).
+    """
+    return parse_view(
+        "G^bbbbf(v1, v2, v3, v4, v5) = "
+        "R(v1, v2), S(v2, v3), T(v3, v4), U(v4, v1), V(v1, v5), W(v2, v5)"
+    )
+
+
+def figure7_database(
+    nodes: int = 30, edges: int = 120, seed: int = 7
+) -> Database:
+    """A random instance for the Figure 7 query (six binary relations)."""
+    from repro.workloads.generators import random_graph
+
+    return Database(
+        [
+            random_graph(name, nodes, min(edges, nodes * (nodes - 1)), seed=seed + i)
+            for i, name in enumerate(["R", "S", "T", "U", "V", "W"])
+        ]
+    )

@@ -1,0 +1,169 @@
+"""Application scenarios from the paper's introduction.
+
+* Graph analytics over relational data (Section 1): the co-author graph
+  ``V(x, y) = R(x, p), R(y, p)`` over an author-paper table, accessed
+  through the neighborhood pattern ``V^bf``. The paper's DBLP data is not
+  redistributable; :func:`coauthor_database` generates a synthetic
+  bipartite table with the same shape (papers with few authors, authors
+  with skewed productivity).
+* The mutual-friend analysis of Example 1 over a synthetic social network
+  with power-law degrees.
+* Felix-style statistical inference (Section 1): logical rules accessed as
+  adorned views; :func:`mln_rule_views` provides a small rule set whose
+  bodies are CQs over synthetic evidence relations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.database.catalog import Database
+from repro.database.relation import Relation
+from repro.query.adorned import AdornedView
+from repro.query.parser import parse_view
+
+
+def coauthor_database(
+    n_authors: int = 300,
+    n_papers: int = 400,
+    mean_authors_per_paper: float = 2.5,
+    seed: int = 0,
+) -> Database:
+    """A synthetic author-paper table R(author, paper).
+
+    Author productivity is Zipf-like: a few prolific authors appear on
+    many papers, producing the dense co-author neighborhoods that make
+    materializing the co-author graph expensive.
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) for rank in range(n_authors)]
+    total = sum(weights)
+    probabilities = [w / total for w in weights]
+    rows = set()
+    for paper in range(n_papers):
+        n_coauthors = max(1, int(rng.expovariate(1.0 / mean_authors_per_paper)))
+        n_coauthors = min(n_coauthors, n_authors)
+        chosen = set()
+        while len(chosen) < n_coauthors:
+            chosen.add(rng.choices(range(n_authors), weights=probabilities)[0])
+        rows.update((author, paper) for author in chosen)
+    return Database([Relation("R", 2, rows)])
+
+
+def coauthor_view() -> AdornedView:
+    """The neighborhood access pattern V^bff(x, y, p) = R(x,p), R(y,p).
+
+    The paper's motivating view projects the paper variable away; the full
+    variant keeps ``p`` free (full CQs are the scope of Theorems 1-2), so a
+    request returns (co-author, shared paper) pairs — the co-author
+    neighborhood with provenance.
+    """
+    return parse_view("V^bff(x, y, p) = R(x, p), R(y, p)")
+
+
+def social_network_database(
+    n_users: int = 200,
+    n_friendships: int = 900,
+    hub_fraction: float = 0.05,
+    seed: int = 0,
+) -> Database:
+    """A symmetric friend relation with hub users (power-law-ish degrees)."""
+    rng = random.Random(seed)
+    n_hubs = max(1, int(n_users * hub_fraction))
+    rows = set()
+    while len(rows) < 2 * n_friendships:
+        if rng.random() < 0.5:
+            a = rng.randrange(n_hubs)
+        else:
+            a = rng.randrange(n_users)
+        b = rng.randrange(n_users)
+        if a == b:
+            continue
+        rows.add((a, b))
+        rows.add((b, a))
+    return Database([Relation("R", 2, rows)])
+
+
+def celebrity_social_network(
+    n_background_users: int = 120,
+    n_background_friendships: int = 500,
+    celebrity_degree: int = 400,
+    overlap_stride: int = 40,
+    seed: int = 11,
+) -> Tuple[Database, List[Tuple[int, int]]]:
+    """A friend graph with engineered heavy access pairs (Example 1).
+
+    Returns the database and the celebrity access tuples. Two pathologies
+    the tradeoff is about:
+
+    * users 1000/1001 are friends with large *disjoint interleaved* friend
+      sets — the mutual-friend query has a huge candidate space and an
+      empty answer (lazy evaluation pays Θ(degree); a stored 0-bit pays
+      O(1));
+    * users 1002/1003 share only every ``overlap_stride``-th friend — long
+      barren stretches between outputs stress the per-output delay.
+    """
+    rows = set(
+        social_network_database(
+            n_background_users, n_background_friendships, seed=seed
+        )["R"]
+    )
+    for k in range(celebrity_degree):
+        for a, b in [(1000, 2000 + 2 * k), (1001, 2001 + 2 * k)]:
+            rows.add((a, b))
+            rows.add((b, a))
+    rows.add((1000, 1001))
+    rows.add((1001, 1000))
+    for k in range(celebrity_degree):
+        rows.add((1002, 3000 + k))
+        rows.add((3000 + k, 1002))
+        target = 3000 + k if k % overlap_stride == 0 else 4000 + k
+        rows.add((1003, target))
+        rows.add((target, 1003))
+    rows.add((1002, 1003))
+    rows.add((1003, 1002))
+    accesses = [(1000, 1001), (1002, 1003), (1003, 1002)]
+    return Database([Relation("R", 2, rows)]), accesses
+
+
+def mln_rule_views() -> List[AdornedView]:
+    """Adorned views modeling Felix-style rule access patterns.
+
+    Each view is the body of a logical rule; during inference the engine
+    repeatedly asks for groundings given bindings of some arguments —
+    exactly the adorned-view model (Section 1, Applications).
+    """
+    return [
+        # "people who co-mention a word": bound person, free person+word
+        parse_view("Rule1^bff(p, q, w) = Mentions(p, w), Mentions(q, w)"),
+        # "affiliation-colleague path": bound person pair, free org
+        parse_view("Rule2^bfb(p, o, q) = WorksAt(p, o), WorksAt(q, o)"),
+        # "two-hop influence": endpoints bound, middle free
+        parse_view("Rule3^bfb(x, y, z) = Follows(x, y), Follows(y, z)"),
+    ]
+
+
+def mln_evidence_database(
+    n_entities: int = 150,
+    n_terms: int = 80,
+    density: int = 600,
+    seed: int = 0,
+) -> Database:
+    """Synthetic evidence relations for :func:`mln_rule_views`."""
+    rng = random.Random(seed)
+
+    def table(name: str, left: int, right: int, size: int, offset: int) -> Relation:
+        local = random.Random(seed + offset)
+        rows = set()
+        while len(rows) < size:
+            rows.add((local.randrange(left), local.randrange(right)))
+        return Relation(name, 2, rows)
+
+    return Database(
+        [
+            table("Mentions", n_entities, n_terms, density, 1),
+            table("WorksAt", n_entities, max(10, n_terms // 4), density // 2, 2),
+            table("Follows", n_entities, n_entities, density, 3),
+        ]
+    )

@@ -1,0 +1,148 @@
+"""The delay-balanced tree: Figure 3's exact shape and Lemma 4's bounds."""
+
+import math
+
+import pytest
+
+from repro.core.balanced_tree import build_delay_balanced_tree
+from repro.core.context import ViewContext
+from repro.core.cost import CostModel
+from repro.core.intervals import FInterval
+from repro.database.catalog import Database
+from repro.database.relation import Relation
+from repro.exceptions import ParameterError
+from repro.workloads.generators import triangle_database
+from repro.workloads.queries import (
+    running_example_database,
+    running_example_view,
+    triangle_view,
+)
+
+UNIT_WEIGHTS = {0: 1.0, 1: 1.0, 2: 1.0}
+
+
+@pytest.fixture
+def model():
+    ctx = ViewContext(running_example_view(), running_example_database())
+    return CostModel(ctx, UNIT_WEIGHTS, alpha=2.0)
+
+
+class TestFigure3:
+    def test_exact_tree_shape(self, model):
+        """The tree of Figure 3 for τ = 4, α = 2."""
+        tree = build_delay_balanced_tree(model, tau=4.0, alpha=2.0)
+        space = model.ctx.space
+        root = tree.root
+        assert space.values(root.interval.low) == (1, 1, 1)
+        assert space.values(root.interval.high) == (2, 2, 2)
+        assert space.values(root.beta) == (1, 1, 2)
+        # Left child rl: the unit interval [⟨1,1,1⟩, ⟨1,1,1⟩], a leaf.
+        rl = root.left
+        assert rl.is_leaf
+        assert space.values(rl.interval.low) == (1, 1, 1)
+        assert space.values(rl.interval.high) == (1, 1, 1)
+        # Right child rr: [⟨1,2,1⟩, ⟨2,2,2⟩] split at (1,2,2).
+        rr = root.right
+        assert space.values(rr.interval.low) == (1, 2, 1)
+        assert space.values(rr.interval.high) == (2, 2, 2)
+        assert space.values(rr.beta) == (1, 2, 2)
+        # Grandchildren rrl, rrr are leaves with the paper's intervals.
+        rrl, rrr = rr.left, rr.right
+        assert rrl.is_leaf and rrr.is_leaf
+        assert space.values(rrl.interval.low) == (1, 2, 1)
+        assert space.values(rrl.interval.high) == (1, 2, 1)
+        assert space.values(rrr.interval.low) == (2, 1, 1)
+        assert space.values(rrr.interval.high) == (2, 2, 2)
+        assert len(tree.nodes) == 5
+
+    def test_leaf_costs_below_thresholds(self, model):
+        """Example 14: T(rl) ≈ 2.449 < τ_1 ≈ 2.83; leaf costs < τ_2 = 2."""
+        tree = build_delay_balanced_tree(model, tau=4.0, alpha=2.0)
+        assert tree.threshold(1) == pytest.approx(4 / math.sqrt(2), abs=1e-9)
+        assert tree.threshold(2) == pytest.approx(2.0, abs=1e-9)
+        rl = tree.root.left
+        assert rl.cost == pytest.approx(math.sqrt(6), abs=1e-9)
+        assert rl.cost < tree.threshold(rl.level)
+        for leaf in tree.leaves():
+            assert (
+                leaf.cost < tree.threshold(leaf.level)
+                or leaf.interval.is_unit()
+            )
+
+
+class TestTreeProperties:
+    def test_cost_halves_along_edges(self, model):
+        """Lemma 4(1): every child's cost is at most half its parent's."""
+        tree = build_delay_balanced_tree(model, tau=1.0, alpha=2.0)
+        for node in tree.nodes:
+            for child in (node.left, node.right):
+                if child is not None:
+                    assert child.cost <= node.cost / 2 + 1e-9
+
+    def test_large_tau_gives_single_leaf(self, model):
+        tree = build_delay_balanced_tree(model, tau=100.0, alpha=2.0)
+        assert len(tree.nodes) == 1
+        assert tree.root.is_leaf
+
+    def test_smaller_tau_gives_larger_tree(self):
+        view = triangle_view("bbf")
+        db = triangle_database(25, 120, seed=4)
+        ctx = ViewContext(view, db)
+        sizes = []
+        for tau in (64.0, 8.0, 1.0):
+            model = CostModel(ctx, {0: 0.5, 1: 0.5, 2: 0.5}, alpha=1.0)
+            tree = build_delay_balanced_tree(model, tau=tau, alpha=1.0)
+            sizes.append(len(tree.nodes))
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+    def test_tree_size_bound(self, model):
+        """Lemma 4(2): |T| = O(Π|R_F|^{u_F}/τ^α) — check the 4x constant."""
+        for tau in (2.0, 4.0, 8.0):
+            tree = build_delay_balanced_tree(model, tau=tau, alpha=2.0)
+            agm = 5.0 ** 3  # |R1||R2||R3| with unit weights
+            assert len(tree.nodes) <= max(1, 4 * agm / tau ** 2)
+
+    def test_intervals_partition_space(self, model):
+        """Leaf intervals plus split points tile the whole tuple space."""
+        tree = build_delay_balanced_tree(model, tau=1.0, alpha=2.0)
+        space = model.ctx.space
+        covered = set()
+
+        def visit(node):
+            if node is None:
+                return
+            if node.is_leaf:
+                point = node.interval.low
+                while point is not None and point <= node.interval.high:
+                    covered.add(point)
+                    point = space.successor(point)
+                return
+            visit(node.left)
+            covered.add(node.beta)
+            visit(node.right)
+
+        visit(tree.root)
+        # Pruned zero-cost regions are allowed to be missing; everything
+        # covered must be distinct and within the space.
+        assert len(covered) == len(set(covered))
+        total = space.size()
+        assert len(covered) <= total
+
+    def test_empty_space_yields_empty_tree(self):
+        view = running_example_view()
+        db = Database(
+            [Relation("R1", 3), Relation("R2", 3), Relation("R3", 3)]
+        )
+        ctx = ViewContext(view, db)
+        model = CostModel(ctx, UNIT_WEIGHTS, alpha=2.0)
+        tree = build_delay_balanced_tree(model, tau=4.0, alpha=2.0)
+        assert tree.root is None
+        assert len(tree.nodes) == 0
+
+    def test_invalid_tau_rejected(self, model):
+        with pytest.raises(ParameterError):
+            build_delay_balanced_tree(model, tau=0.0, alpha=2.0)
+
+    def test_infinite_alpha_thresholds(self, model):
+        tree = build_delay_balanced_tree(model, tau=4.0, alpha=math.inf)
+        assert tree.threshold(2) == pytest.approx(1.0)

@@ -1,0 +1,79 @@
+"""Unit tests for the database catalog and statistics."""
+
+import pytest
+
+from repro.database.catalog import Database
+from repro.database.relation import Relation
+from repro.database.statistics import collect_statistics, relation_statistics
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def db():
+    return Database(
+        [
+            Relation("R", 2, [(1, 2), (3, 4)]),
+            Relation("S", 1, [(5,), (6,), (7,)]),
+        ]
+    )
+
+
+def test_lookup_and_contains(db):
+    assert db["R"].name == "R"
+    assert "S" in db
+    assert "X" not in db
+
+
+def test_unknown_relation_raises(db):
+    with pytest.raises(SchemaError):
+        db["missing"]
+
+
+def test_duplicate_name_rejected(db):
+    with pytest.raises(SchemaError):
+        db.add(Relation("R", 1, [(1,)]))
+
+
+def test_total_tuples(db):
+    assert db.total_tuples() == 5
+
+
+def test_iteration_and_len(db):
+    assert len(db) == 2
+    assert {r.name for r in db} == {"R", "S"}
+
+
+def test_replace_makes_copy(db):
+    replaced = db.replace(Relation("R", 2, [(9, 9)]))
+    assert set(replaced["R"]) == {(9, 9)}
+    assert set(db["R"]) == {(1, 2), (3, 4)}  # original untouched
+
+
+def test_active_domain_unions_occurrences(db):
+    domain = db.active_domain([("R", 0), ("R", 1), ("S", 0)])
+    assert domain == (1, 2, 3, 4, 5, 6, 7)
+
+
+def test_active_domain_sorted_and_distinct():
+    db = Database([Relation("R", 2, [(3, 3), (1, 3)])])
+    assert db.active_domain([("R", 0), ("R", 1)]) == (1, 3)
+
+
+def test_relation_statistics():
+    stats = relation_statistics(Relation("R", 2, [(1, 2), (1, 3), (2, 3)]))
+    assert stats.cardinality == 3
+    assert stats.arity == 2
+    assert stats.distinct_per_column == (2, 2)
+
+
+def test_collect_statistics(db):
+    stats = collect_statistics(db)
+    assert set(stats) == {"R", "S"}
+    assert stats["S"].cardinality == 3
+    assert stats["S"].distinct_per_column == (3,)
+
+
+def test_statistics_empty_relation():
+    stats = relation_statistics(Relation("E", 2))
+    assert stats.cardinality == 0
+    assert stats.max_column_multiplicity == 0

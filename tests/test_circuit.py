@@ -1,0 +1,105 @@
+"""d-representation circuits: correctness, sharing, and size bounds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database.catalog import Database
+from repro.database.relation import Relation
+from repro.exceptions import QueryError
+from repro.factorized.circuit import FactorizedCircuit
+from repro.joins.hash_join import evaluate_by_hash_join
+from repro.query.parser import parse_query
+from repro.workloads.generators import path_database, triangle_database
+from repro.workloads.queries import triangle_view
+
+
+PATH = parse_query(
+    "Q(x1, x2, x3, x4) = R1(x1, x2), R2(x2, x3), R3(x3, x4)"
+)
+
+
+class TestCorrectness:
+    def test_path_matches_flat_join(self):
+        db = path_database(3, 50, 9, seed=81)
+        circuit = FactorizedCircuit(PATH, db)
+        assert circuit.answer() == sorted(evaluate_by_hash_join(PATH, db))
+
+    def test_triangle_matches_flat_join(self):
+        view = triangle_view("fff")
+        db = triangle_database(12, 45, seed=82)
+        circuit = FactorizedCircuit(view, db)
+        assert circuit.answer() == sorted(
+            evaluate_by_hash_join(view.query, db)
+        )
+
+    def test_count_matches_enumeration(self):
+        db = path_database(3, 50, 9, seed=83)
+        circuit = FactorizedCircuit(PATH, db)
+        assert circuit.count() == len(circuit.answer())
+
+    def test_empty_result(self):
+        db = Database(
+            [
+                Relation("R1", 2, [(1, 2)]),
+                Relation("R2", 2, [(9, 9)]),
+                Relation("R3", 2, [(3, 4)]),
+            ]
+        )
+        circuit = FactorizedCircuit(PATH, db)
+        assert circuit.is_empty()
+        assert circuit.count() == 0
+        assert circuit.answer() == []
+
+    def test_partial_view_rejected(self):
+        db = triangle_database(10, 30, seed=84)
+        with pytest.raises(QueryError):
+            FactorizedCircuit(triangle_view("bff"), db)
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=14),
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=14),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_two_hop_property(self, r, s):
+        query = parse_query("Q(x, y, z) = R(x, y), S(y, z)")
+        db = Database([Relation("R", 2, r), Relation("S", 2, s)])
+        circuit = FactorizedCircuit(query, db)
+        assert circuit.answer() == sorted(evaluate_by_hash_join(query, db))
+        assert circuit.count() == len(evaluate_by_hash_join(query, db))
+
+
+class TestSharing:
+    def test_subcircuits_are_shared(self):
+        """Many x1 values funnel through 2 middle values: the suffix
+        circuits must be shared, keeping the DAG near-linear while the
+        flat result is quadratic."""
+        r1 = Relation("R1", 2, [(i, i % 2) for i in range(100)])
+        r2 = Relation("R2", 2, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        r3 = Relation("R3", 2, [(i % 2, i) for i in range(100)])
+        db = Database([r1, r2, r3])
+        circuit = FactorizedCircuit(PATH, db)
+        nodes, edges = circuit.size()
+        flat = circuit.count()
+        assert flat == 100 * 2 * 100 // 2 // 2 * 2  # 10000
+        # The shared DAG is two orders of magnitude below the flat size.
+        assert nodes < flat / 10
+        assert edges < flat / 10
+
+    def test_size_scales_linearly_for_acyclic(self):
+        sizes = []
+        for scale in (40, 80, 160):
+            r1 = Relation("R1", 2, [(i, i % 2) for i in range(scale)])
+            r2 = Relation("R2", 2, [(0, 0), (1, 1)])
+            r3 = Relation("R3", 2, [(i % 2, i) for i in range(scale)])
+            circuit = FactorizedCircuit(PATH, Database([r1, r2, r3]))
+            sizes.append(circuit.size()[0])
+        # Doubling the data roughly doubles the circuit (not squares it).
+        assert sizes[2] <= 3 * sizes[1] <= 9 * sizes[0]
+
+    def test_unit_and_empty_nodes(self):
+        query = parse_query("Q(x) = R(x)")
+        circuit = FactorizedCircuit(
+            query, Database([Relation("R", 1, [(1,), (2,)])])
+        )
+        assert circuit.answer() == [(1,), (2,)]
+        assert circuit.count() == 2

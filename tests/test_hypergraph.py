@@ -1,0 +1,153 @@
+"""Tests for hypergraphs and fractional covers, pinning the paper's numbers."""
+
+import math
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.hypergraph.covers import (
+    agm_bound,
+    fractional_edge_cover,
+    max_slack_cover,
+    slack,
+)
+from repro.hypergraph.hypergraph import Hypergraph, hypergraph_of_view
+from repro.query.atoms import Variable
+from repro.query.parser import parse_view
+from repro.workloads.queries import (
+    loomis_whitney_view,
+    running_example_view,
+    star_view,
+    triangle_view,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestHypergraph:
+    def test_from_view(self):
+        hg = hypergraph_of_view(triangle_view("bbf"))
+        assert set(hg.vertices) == {x, y, z}
+        assert len(hg.edges) == 3
+
+    def test_self_join_edges_are_distinct(self):
+        hg = hypergraph_of_view(
+            parse_view("V^bfb(x, y, z) = R(x, y), R(y, z), R(z, x)")
+        )
+        assert len(hg.edges) == 3
+        assert hg.labels == (0, 1, 2)
+
+    def test_edges_containing(self):
+        hg = hypergraph_of_view(triangle_view("bbf"))
+        assert hg.edges_containing(y) == (0, 1)
+
+    def test_edges_intersecting(self):
+        hg = hypergraph_of_view(triangle_view("bbf"))
+        assert set(hg.edges_intersecting({x})) == {0, 2}
+        assert set(hg.edges_intersecting({x, y, z})) == {0, 1, 2}
+
+    def test_induced(self):
+        hg = hypergraph_of_view(triangle_view("bbf"))
+        sub = hg.induced({x, y})
+        assert set(sub.vertices) == {x, y}
+        # Edge 1 = S(y,z) contributes {y}; edge 2 = T(z,x) contributes {x}.
+        assert sub.edge(0) == frozenset({x, y})
+        assert sub.edge(1) == frozenset({y})
+
+    def test_primal_neighbors(self):
+        hg = hypergraph_of_view(triangle_view("bbf"))
+        assert hg.primal_neighbors()[x] == {y, z}
+
+    def test_connectivity(self):
+        hg = hypergraph_of_view(triangle_view("bbf"))
+        assert hg.is_connected()
+        disconnected = Hypergraph([x, y], [(0, {x}), (1, {y})])
+        assert not disconnected.is_connected()
+
+    def test_non_natural_query_rejected(self):
+        view = parse_view("Q^bf(x, y) = R(x, x, y)")
+        with pytest.raises(QueryError):
+            hypergraph_of_view(view)
+
+
+class TestCovers:
+    def test_triangle_rho_star(self):
+        hg = hypergraph_of_view(triangle_view("bbf"))
+        cover = fractional_edge_cover(hg)
+        assert cover.value == pytest.approx(1.5, abs=1e-6)
+
+    def test_loomis_whitney_rho_star(self):
+        """Example 6: ρ* = n/(n-1) with weight 1/(n-1) per edge."""
+        for n in (3, 4, 5):
+            hg = hypergraph_of_view(loomis_whitney_view(n))
+            cover = fractional_edge_cover(hg)
+            assert cover.value == pytest.approx(n / (n - 1), abs=1e-6)
+
+    def test_star_rho_star(self):
+        hg = hypergraph_of_view(star_view(4))
+        assert fractional_edge_cover(hg).value == pytest.approx(4.0, abs=1e-6)
+
+    def test_cover_of_subset(self):
+        hg = hypergraph_of_view(triangle_view("bbf"))
+        cover = fractional_edge_cover(hg, [x, y])
+        assert cover.value == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_target_is_free(self):
+        hg = hypergraph_of_view(triangle_view("bbf"))
+        assert fractional_edge_cover(hg, []).value == 0.0
+
+    def test_slack_running_example(self):
+        """Section 3.1: u = (1,1,1) has slack 2 on V_f = {x, y, z}."""
+        view = running_example_view()
+        hg = hypergraph_of_view(view)
+        assert slack(hg, {0: 1, 1: 1, 2: 1}, view.free_variables) == pytest.approx(2.0)
+
+    def test_slack_star(self):
+        """Example 7: u = 1 everywhere has slack n on the free variable z."""
+        view = star_view(4)
+        hg = hypergraph_of_view(view)
+        weights = {i: 1.0 for i in range(4)}
+        assert slack(hg, weights, view.free_variables) == pytest.approx(4.0)
+
+    def test_slack_of_empty_subset_is_infinite(self):
+        hg = hypergraph_of_view(triangle_view("bbb"))
+        assert math.isinf(slack(hg, {0: 1}, []))
+
+    def test_slack_is_at_least_one_for_covers(self):
+        hg = hypergraph_of_view(triangle_view("fff"))
+        cover = fractional_edge_cover(hg)
+        assert slack(hg, cover.weights, hg.vertices) >= 1.0 - 1e-9
+
+    def test_agm_bound_triangle(self):
+        """AGM: triangle with |R|=|S|=|T|=N has bound N^{3/2}."""
+        hg = hypergraph_of_view(triangle_view("fff"))
+        sizes = {0: 100, 1: 100, 2: 100}
+        assert agm_bound(hg, sizes) == pytest.approx(100 ** 1.5, rel=1e-6)
+
+    def test_agm_bound_uses_given_weights(self):
+        hg = hypergraph_of_view(triangle_view("fff"))
+        sizes = {0: 100, 1: 100, 2: 100}
+        bound = agm_bound(hg, sizes, weights={0: 1.0, 1: 1.0, 2: 0.0})
+        assert bound == pytest.approx(10000.0)
+
+    def test_agm_bound_asymmetric_sizes(self):
+        """The optimal bound exploits a small relation."""
+        hg = hypergraph_of_view(triangle_view("fff"))
+        sizes = {0: 4, 1: 10000, 2: 10000}
+        assert agm_bound(hg, sizes) <= 4 * 10000 + 1e-6
+
+    def test_max_slack_cover_star(self):
+        """The slack-maximizing cover for the star keeps ρ = n, slack = n."""
+        view = star_view(3)
+        hg = hypergraph_of_view(view)
+        cover, alpha = max_slack_cover(
+            hg, view.free_variables, rho_budget=3.0
+        )
+        assert cover.value == pytest.approx(3.0, abs=1e-6)
+        assert alpha == pytest.approx(3.0, abs=1e-6)
+
+    def test_max_slack_cover_no_free(self):
+        hg = hypergraph_of_view(triangle_view("bbb"))
+        cover, alpha = max_slack_cover(hg, [])
+        assert math.isinf(alpha)
+        assert cover.value == pytest.approx(1.5, abs=1e-6)

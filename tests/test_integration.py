@@ -1,0 +1,100 @@
+"""End-to-end integration tests on the paper's application scenarios."""
+
+import pytest
+
+from conftest import oracle_accesses, oracle_answer
+from repro.baselines.lazy import LazyView
+from repro.baselines.materialized import MaterializedView
+from repro.core.structure import CompressedRepresentation
+from repro.measure.tradeoff import sweep_tau
+from repro.optimizer.min_delay import min_delay_cover
+from repro.workloads.queries import mutual_friend_view
+from repro.workloads.scenarios import (
+    coauthor_database,
+    coauthor_view,
+    mln_evidence_database,
+    mln_rule_views,
+    social_network_database,
+)
+
+
+class TestCoauthorGraph:
+    """Section 1's graph-analytics application: neighborhood queries over
+    the co-author view without materializing the whole graph."""
+
+    def test_neighborhood_queries(self):
+        db = coauthor_database(n_authors=60, n_papers=90, seed=1)
+        view = coauthor_view()
+        cr = CompressedRepresentation(view, db, tau=6.0)
+        for access in oracle_accesses(view, db, limit=8):
+            assert cr.answer(access) == oracle_answer(view, db, access)
+
+    def test_compression_beats_materialization_space(self):
+        """In the blow-up regime (papers with many co-authors) the
+        materialized co-author view explodes quadratically; a τ large
+        enough to keep the tree small wins on space while still bounding
+        delay far below lazy evaluation."""
+        db = coauthor_database(
+            n_authors=60, n_papers=40, mean_authors_per_paper=10.0, seed=2
+        )
+        view = coauthor_view()
+        materialized = MaterializedView(view, db)
+        compressed = CompressedRepresentation(view, db, tau=300.0)
+        assert materialized.output_size() > 1000  # the blow-up happened
+        assert (
+            compressed.space_report().structure_cells
+            < materialized.space_report().structure_cells
+        )
+
+
+class TestMutualFriends:
+    """Example 1 end to end on a hub-heavy social network."""
+
+    def test_tradeoff_sweep_is_monotone(self):
+        db = social_network_database(n_users=60, n_friendships=240, seed=3)
+        view = mutual_friend_view()
+        accesses = oracle_accesses(view, db, limit=5)
+        points = sweep_tau(
+            view, db, taus=(2.0, 8.0, 32.0), accesses=accesses
+        )
+        cells = [p.space.structure_cells for p in points]
+        assert cells == sorted(cells, reverse=True)
+
+    def test_answers_match_oracle(self):
+        db = social_network_database(n_users=50, n_friendships=180, seed=4)
+        view = mutual_friend_view()
+        cr = CompressedRepresentation(view, db, tau=4.0)
+        lazy = LazyView(view, db)
+        for access in oracle_accesses(view, db, limit=8):
+            expected = oracle_answer(view, db, access)
+            assert cr.answer(access) == expected
+            assert lazy.answer(access) == expected
+
+
+class TestMLNRules:
+    """Felix-style inference: every rule view is compressible and the
+    optimizer picks valid knobs for each (the partial-materialization
+    continuum the paper contrasts with Felix's discrete choice)."""
+
+    def test_all_rules_answer_correctly(self):
+        db = mln_evidence_database(n_entities=40, n_terms=25, density=160, seed=5)
+        for view in mln_rule_views():
+            cr = CompressedRepresentation(view, db, tau=4.0)
+            for access in oracle_accesses(view, db, limit=5):
+                assert cr.answer(access) == oracle_answer(view, db, access)
+
+    def test_optimizer_supplies_knobs_for_each_rule(self):
+        db = mln_evidence_database(n_entities=40, n_terms=25, density=160, seed=6)
+        for view in mln_rule_views():
+            sizes = {
+                i: len(db[atom.relation])
+                for i, atom in enumerate(view.atoms)
+            }
+            budget = max(4.0, float(db.total_tuples()) ** 1.25)
+            result = min_delay_cover(view, sizes, budget)
+            assert result.tau >= 1.0
+            cr = CompressedRepresentation(
+                view, db, tau=max(1.0, result.tau), weights=result.weights
+            )
+            for access in oracle_accesses(view, db, limit=3):
+                assert cr.answer(access) == oracle_answer(view, db, access)

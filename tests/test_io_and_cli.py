@@ -1,0 +1,123 @@
+"""CSV loading/saving and the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.database.relation import Relation
+from repro.exceptions import SchemaError
+from repro.io import load_database, load_relation_csv, save_relation_csv
+
+
+@pytest.fixture
+def triangle_dir(tmp_path):
+    (tmp_path / "R.csv").write_text("1,2\n2,3\n1,3\n")
+    (tmp_path / "S.csv").write_text("2,3\n3,1\n")
+    (tmp_path / "T.csv").write_text("3,1\n1,2\n3,2\n")
+    return tmp_path
+
+
+class TestIO:
+    def test_load_relation(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("1,2\n3,4\n")
+        relation = load_relation_csv(path)
+        assert relation.name == "R"
+        assert set(relation) == {(1, 2), (3, 4)}
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("a,b\n1,2\n")
+        relation = load_relation_csv(path, has_header=True)
+        assert set(relation) == {(1, 2)}
+
+    def test_string_values(self, tmp_path):
+        path = tmp_path / "People.csv"
+        path.write_text("ann,7\nbob,9\n")
+        relation = load_relation_csv(path)
+        assert ("ann", 7) in relation
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("1,2\n3\n")
+        with pytest.raises(SchemaError):
+            load_relation_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_relation_csv(path)
+
+    def test_roundtrip(self, tmp_path):
+        relation = Relation("R", 2, [(3, 4), (1, 2)])
+        path = tmp_path / "out.csv"
+        save_relation_csv(relation, path)
+        again = load_relation_csv(path, name="R")
+        assert again == relation
+
+    def test_load_database(self, triangle_dir):
+        db = load_database(triangle_dir)
+        assert {r.name for r in db} == {"R", "S", "T"}
+        assert len(db["R"]) == 3
+
+    def test_missing_directory_contents(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_database(tmp_path)
+
+
+class TestCLI:
+    VIEW = "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)"
+
+    def test_answer_command(self, triangle_dir, capsys):
+        code = main(
+            [
+                "answer",
+                "--view",
+                self.VIEW,
+                "--data",
+                str(triangle_dir),
+                "--tau",
+                "4",
+                "--access",
+                "1,2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "built:" in output
+        assert "answer(1, 2): 1 tuples" in output
+        assert "(3,)" in output
+
+    def test_sweep_command(self, triangle_dir, capsys):
+        code = main(
+            [
+                "sweep",
+                "--view",
+                self.VIEW,
+                "--data",
+                str(triangle_dir),
+                "--taus",
+                "2,16",
+                "--access",
+                "1,2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "frontier" in output
+        assert "16.0" in output
+
+    def test_sweep_requires_access(self, triangle_dir, capsys):
+        code = main(
+            ["sweep", "--view", self.VIEW, "--data", str(triangle_dir)]
+        )
+        assert code == 2
+
+    def test_widths_command(self, triangle_dir, capsys):
+        code = main(
+            ["widths", "--view", self.VIEW, "--data", str(triangle_dir)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fhw(H)        = 1.500" in output
+        assert "fhw(H | V_b)" in output

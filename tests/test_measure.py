@@ -1,0 +1,86 @@
+"""Measurement utilities: space accounting, delay probes, sweeps."""
+
+import pytest
+
+from repro.joins.generic_join import JoinCounter
+from repro.measure.delay import measure_enumeration
+from repro.measure.space import SpaceReport
+from repro.measure.tradeoff import format_table, sweep_tau, tradeoff_rows
+from repro.workloads.generators import triangle_database
+from repro.workloads.queries import triangle_view
+from conftest import oracle_accesses
+
+
+class TestSpaceReport:
+    def test_component_sums(self):
+        report = SpaceReport(
+            base_tuples=10,
+            index_cells=20,
+            tree_nodes=5,
+            dictionary_entries=7,
+            materialized_tuples=3,
+        )
+        assert report.structure_cells == 15
+        assert report.total_cells == 45
+
+    def test_addition(self):
+        a = SpaceReport(base_tuples=1, tree_nodes=2)
+        b = SpaceReport(base_tuples=3, dictionary_entries=4)
+        c = a + b
+        assert c.base_tuples == 4
+        assert c.tree_nodes == 2
+        assert c.dictionary_entries == 4
+
+
+class TestDelayMeasurement:
+    def test_counts_outputs_and_gaps(self):
+        def slow_iter(counter):
+            for i in range(5):
+                counter.steps += i + 1
+                yield i
+
+        counter = JoinCounter()
+        stats = measure_enumeration(
+            slow_iter(counter), counter=counter, keep_gaps=True
+        )
+        assert stats.outputs == 5
+        assert stats.step_total == 15
+        assert stats.step_max_gap == 5
+        # Five output gaps plus the exhaustion gap.
+        assert len(stats.step_gaps) == 6
+
+    def test_empty_enumeration(self):
+        stats = measure_enumeration(iter(()))
+        assert stats.outputs == 0
+        assert stats.wall_total >= 0
+        assert stats.wall_first >= 0
+
+    def test_wall_clock_monotone(self):
+        stats = measure_enumeration(iter(range(100)))
+        assert stats.wall_total >= stats.wall_max_gap >= 0
+
+
+class TestSweep:
+    def test_sweep_shapes(self):
+        view = triangle_view("bbf")
+        db = triangle_database(14, 50, seed=1)
+        accesses = oracle_accesses(view, db, limit=4)
+        points = sweep_tau(view, db, taus=(2.0, 16.0), accesses=accesses)
+        assert len(points) == 2
+        assert points[0].tau == 2.0
+        # Space decreases (weakly) with tau.
+        assert (
+            points[0].space.structure_cells
+            >= points[1].space.structure_cells
+        )
+        rows = tradeoff_rows(points)
+        assert len(rows) == 2
+
+    def test_format_table(self):
+        text = format_table(
+            [(1, 2.5, "x")], headers=("a", "b", "c"), title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1]
+        assert "2.500" in lines[3]

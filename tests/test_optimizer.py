@@ -1,0 +1,140 @@
+"""Section 6: MinDelayCover, MinSpaceCover, and the Theorem 2 planner."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.hypergraph.hypergraph import hypergraph_of_view
+from repro.hypergraph.width import connex_fhw
+from repro.optimizer.min_delay import min_delay_cover
+from repro.optimizer.min_space import min_space_cover
+from repro.optimizer.planner import plan_decomposition
+from repro.workloads.queries import (
+    path_view,
+    star_view,
+    triangle_view,
+)
+
+N = 10_000
+
+
+class TestMinDelayCover:
+    def test_star_tradeoff_curve(self):
+        """Example 7 / §3.3: with space N^k/τ^k, the optimal delay is
+        τ = N / Σ^{1/k}: log τ = log N − (log Σ)/k."""
+        k = 2
+        view = star_view(k)
+        sizes = {i: N for i in range(k)}
+        for budget_exp in (1.2, 1.5, 1.8):
+            budget = N ** budget_exp
+            result = min_delay_cover(view, sizes, budget)
+            expected_log_tau = max(
+                0.0, math.log(N) - math.log(budget) / k
+            )
+            assert result.log_tau == pytest.approx(
+                expected_log_tau, abs=0.05
+            )
+            assert result.alpha == pytest.approx(k, abs=0.05)
+
+    def test_huge_budget_means_constant_delay(self):
+        view = triangle_view("bbf")
+        sizes = {i: N for i in range(3)}
+        result = min_delay_cover(view, sizes, N ** 3)
+        assert result.tau == pytest.approx(1.0, abs=1e-6)
+
+    def test_linear_budget_triangle(self):
+        """Proposition 3 shape: triangle at linear space has τ ≈ N^{1/2}
+        with the ρ* = 3/2 cover and slack 1 (or better with slack)."""
+        view = triangle_view("bbf")
+        sizes = {i: N for i in range(3)}
+        result = min_delay_cover(view, sizes, N * 2)
+        # The space term Π|R|^u / τ^α must meet the budget.
+        assert result.predicted_space(sizes) <= N * 2 * 1.01
+        assert result.log_tau <= math.log(N)  # never worse than lazy
+
+    def test_all_bound_view_is_free(self):
+        view = triangle_view("bbb")
+        sizes = {i: N for i in range(3)}
+        result = min_delay_cover(view, sizes, N * 2)
+        assert result.tau == 1.0
+
+    def test_weights_form_a_cover(self):
+        view = triangle_view("bbf")
+        sizes = {i: N for i in range(3)}
+        result = min_delay_cover(view, sizes, N * 10)
+        hg = hypergraph_of_view(view)
+        for var in view.head:
+            coverage = sum(
+                result.weights.get(label, 0.0)
+                for label in hg.edges_containing(var)
+            )
+            assert coverage >= 1.0 - 1e-6
+
+    def test_bad_budget_rejected(self):
+        view = triangle_view("bbf")
+        with pytest.raises(ParameterError):
+            min_delay_cover(view, {i: N for i in range(3)}, 0.5)
+
+
+class TestMinSpaceCover:
+    def test_roundtrip_with_min_delay(self):
+        """Proposition 12: the space found supports the requested delay."""
+        view = star_view(2)
+        sizes = {i: N for i in range(2)}
+        for delay in (10.0, 100.0, 1000.0):
+            result = min_space_cover(view, sizes, delay)
+            assert result.inner.log_tau <= math.log(delay) + 1e-6
+            # Tightness: 10% less space must force more delay.
+            tighter = min_delay_cover(view, sizes, result.space * 0.5)
+            assert tighter.log_tau >= result.inner.log_tau - 1e-6
+
+    def test_space_decreases_with_delay_budget(self):
+        view = star_view(2)
+        sizes = {i: N for i in range(2)}
+        spaces = [
+            min_space_cover(view, sizes, delay).space
+            for delay in (2.0, 50.0, 5000.0)
+        ]
+        assert spaces[0] >= spaces[1] >= spaces[2]
+
+    def test_delay_one_needs_materialization_scale_space(self):
+        """τ = 1 forces space near the AGM bound (full materialization)."""
+        view = star_view(2)
+        sizes = {i: N for i in range(2)}
+        result = min_space_cover(view, sizes, 1.0)
+        assert math.log(result.space) >= 2 * math.log(N) * 0.9
+
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(ParameterError):
+            min_space_cover(star_view(2), {0: N, 1: N}, 0.5)
+
+
+class TestPlanner:
+    def test_plan_path_decomposition(self):
+        view = path_view(4)
+        hg = hypergraph_of_view(view)
+        _, decomposition = connex_fhw(hg, frozenset(view.bound_variables))
+        sizes = {i: N for i in range(4)}
+        plan = plan_decomposition(view, hg, decomposition, sizes, N ** 1.5)
+        assert plan.delta_height >= 0.0
+        assert set(plan.bag_taus) == set(decomposition.non_root_nodes())
+        for node in decomposition.non_root_nodes():
+            assert plan.assignment.of(node) >= 0.0
+
+    def test_bigger_budget_means_lower_height(self):
+        view = path_view(4)
+        hg = hypergraph_of_view(view)
+        _, decomposition = connex_fhw(hg, frozenset(view.bound_variables))
+        sizes = {i: N for i in range(4)}
+        generous = plan_decomposition(view, hg, decomposition, sizes, N ** 3)
+        tight = plan_decomposition(view, hg, decomposition, sizes, N ** 1.1)
+        assert generous.delta_height <= tight.delta_height + 1e-9
+
+    def test_predicted_delay(self):
+        view = path_view(3)
+        hg = hypergraph_of_view(view)
+        _, decomposition = connex_fhw(hg, frozenset(view.bound_variables))
+        sizes = {i: N for i in range(3)}
+        plan = plan_decomposition(view, hg, decomposition, sizes, N ** 2)
+        assert plan.predicted_delay(4 * N) >= 1.0

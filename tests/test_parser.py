@@ -1,0 +1,92 @@
+"""Unit tests for the query/view parser."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.atoms import Constant, Variable
+from repro.query.parser import parse_query, parse_view
+
+
+def test_parse_simple_query():
+    q = parse_query("Q(x, y) = R(x, y)")
+    assert q.name == "Q"
+    assert q.head == (Variable("x"), Variable("y"))
+    assert q.atoms[0].relation == "R"
+
+
+def test_parse_triangle_view():
+    v = parse_view("Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)")
+    assert v.pattern == "bbf"
+    assert len(v.atoms) == 3
+    assert v.bound_variables == (Variable("x"), Variable("y"))
+    assert v.free_variables == (Variable("z"),)
+
+
+def test_parse_integer_constant():
+    q = parse_query("Q(x) = R(x, 7)")
+    assert q.atoms[0].terms[1] == Constant(7)
+
+
+def test_parse_negative_constant():
+    q = parse_query("Q(x) = R(x, -3)")
+    assert q.atoms[0].terms[1] == Constant(-3)
+
+
+def test_parse_string_constant():
+    q = parse_query("Q(x) = R(x, 'alice')")
+    assert q.atoms[0].terms[1] == Constant("alice")
+
+
+def test_parse_repeated_variable():
+    q = parse_query("Q(y, z) = S(y, y, z)")
+    assert q.atoms[0].has_repeated_variables()
+
+
+def test_whitespace_insensitive():
+    a = parse_view("V^bf(x,y)=R(x,y)")
+    b = parse_view("V ^ bf ( x , y ) = R ( x , y )")
+    assert a.pattern == b.pattern
+    assert a.head == b.head
+
+
+def test_view_requires_adornment():
+    with pytest.raises(QueryError):
+        parse_view("Q(x, y) = R(x, y)")
+
+
+def test_query_rejects_adornment():
+    with pytest.raises(QueryError):
+        parse_query("Q^bf(x, y) = R(x, y)")
+
+
+def test_head_constant_rejected():
+    with pytest.raises(QueryError):
+        parse_query("Q(1) = R(x, y)")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(QueryError):
+        parse_query("Q(x) = R(x, y) extra")
+
+
+def test_malformed_rejected():
+    with pytest.raises(QueryError):
+        parse_query("Q(x = R(x)")
+
+
+def test_bad_pattern_rejected():
+    with pytest.raises(QueryError):
+        parse_view("Q^bq(x, y) = R(x, y)")
+
+
+def test_pattern_arity_mismatch():
+    with pytest.raises(QueryError):
+        parse_view("Q^b(x, y) = R(x, y)")
+
+
+def test_roundtrip_repr_parses_again():
+    v = parse_view("V^bfb(x, y, z) = R(x, y), R(y, z), R(z, x)")
+    again = parse_view(repr(v))
+    assert again.pattern == v.pattern
+    assert again.head == v.head
+    assert again.atoms == v.atoms

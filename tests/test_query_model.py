@@ -1,0 +1,128 @@
+"""Unit tests for atoms, conjunctive queries, and adorned views."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.atoms import Atom, Constant, Variable
+from repro.query.adorned import AdornedView
+from repro.query.conjunctive import ConjunctiveQuery
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+class TestAtom:
+    def test_variables_in_first_occurrence_order(self):
+        atom = Atom("R", (y, x, y))
+        assert atom.variables() == (y, x)
+
+    def test_variable_positions(self):
+        atom = Atom("R", (y, x, y))
+        assert atom.variable_positions(y) == (0, 2)
+        assert atom.variable_positions(x) == (1,)
+
+    def test_constants(self):
+        atom = Atom("R", (x, Constant(5), Constant("a")))
+        assert atom.constants() == ((1, 5), (2, "a"))
+
+    def test_is_natural(self):
+        assert Atom("R", (x, y)).is_natural()
+        assert not Atom("R", (x, x)).is_natural()
+        assert not Atom("R", (x, Constant(1))).is_natural()
+
+    def test_bad_term_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", (x, "oops"))
+
+    def test_equality(self):
+        assert Atom("R", (x, y)) == Atom("R", (x, y))
+        assert Atom("R", (x, y)) != Atom("R", (y, x))
+
+
+class TestConjunctiveQuery:
+    def test_body_variables_order(self):
+        q = ConjunctiveQuery("Q", (x, y, z), [Atom("R", (y, x)), Atom("S", (x, z))])
+        assert q.body_variables() == (y, x, z)
+
+    def test_full_query(self):
+        q = ConjunctiveQuery("Q", (x, y), [Atom("R", (x, y))])
+        assert q.is_full
+        assert q.is_natural_join()
+
+    def test_non_full_query(self):
+        q = ConjunctiveQuery("Q", (x,), [Atom("R", (x, y))])
+        assert not q.is_full
+
+    def test_boolean_query(self):
+        q = ConjunctiveQuery("Q", (), [Atom("R", (x, y))])
+        assert q.is_boolean
+
+    def test_head_variable_must_be_in_body(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery("Q", (z,), [Atom("R", (x, y))])
+
+    def test_duplicate_head_variable_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery("Q", (x, x), [Atom("R", (x, y))])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery("Q", (), [])
+
+    def test_atoms_for(self):
+        q = ConjunctiveQuery("Q", (x, y, z), [Atom("R", (x, y)), Atom("S", (y, z))])
+        assert q.atoms_for(y) == (0, 1)
+        assert q.atoms_for(x) == (0,)
+
+
+class TestAdornedView:
+    def _view(self, pattern="bbf"):
+        q = ConjunctiveQuery(
+            "Q", (x, y, z), [Atom("R", (x, y)), Atom("S", (y, z)), Atom("T", (z, x))]
+        )
+        return AdornedView(q, pattern)
+
+    def test_bound_and_free_partition(self):
+        v = self._view("bfb")
+        assert v.bound_variables == (x, z)
+        assert v.free_variables == (y,)
+
+    def test_pattern_length_validation(self):
+        q = ConjunctiveQuery("Q", (x, y), [Atom("R", (x, y))])
+        with pytest.raises(QueryError):
+            AdornedView(q, "b")
+
+    def test_pattern_characters_validation(self):
+        q = ConjunctiveQuery("Q", (x, y), [Atom("R", (x, y))])
+        with pytest.raises(QueryError):
+            AdornedView(q, "bx")
+
+    def test_boolean_and_non_parametric(self):
+        assert self._view("bbb").is_boolean
+        assert self._view("fff").is_non_parametric
+        assert self._view("fff").is_full_enumeration
+        assert not self._view("bbf").is_boolean
+
+    def test_binding(self):
+        v = self._view("bfb")
+        assert v.binding((1, 2)) == {x: 1, z: 2}
+
+    def test_binding_arity_checked(self):
+        with pytest.raises(QueryError):
+            self._view("bfb").binding((1,))
+
+    def test_head_tuple_roundtrip(self):
+        v = self._view("bfb")
+        head = v.head_tuple({x: 1, y: 2, z: 3})
+        assert head == (1, 2, 3)
+        bound, free = v.split_head_tuple(head)
+        assert bound == (1, 3)
+        assert free == (2,)
+
+    def test_head_tuple_missing_binding(self):
+        with pytest.raises(QueryError):
+            self._view("bfb").head_tuple({x: 1})
+
+    def test_is_natural_join(self):
+        assert self._view().is_natural_join()
+        q = ConjunctiveQuery("Q", (x, y), [Atom("R", (x, y, Constant(1)))])
+        assert not AdornedView(q, "bf").is_natural_join()

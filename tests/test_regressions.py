@@ -1,0 +1,115 @@
+"""Regression tests for bugs found during development.
+
+Each test pins a specific failure mode so it cannot silently return:
+
+1. box decomposition dropped closed endpoints when only the last
+   coordinate differs (the single-box case);
+2. the generic join selected its candidate stream by *total* key count
+   instead of *in-range* count, breaking the O(T) evaluation bound of
+   Proposition 6 on range-restricted sub-instances;
+3. counting |R_F ⋉ B| without a bound valuation walked the bound-first
+   trie at the wrong levels (needs the multiplicity-preserving free trie).
+"""
+
+from repro.core.context import ViewContext
+from repro.core.cost import CostModel
+from repro.core.intervals import FInterval
+from repro.core.structure import CompressedRepresentation
+from repro.database.catalog import Database
+from repro.database.index import TrieIndex
+from repro.database.relation import Relation
+from repro.joins.generic_join import JoinCounter, generic_join
+from repro.query.atoms import Variable
+from repro.query.parser import parse_view
+from repro.workloads.queries import running_example_database, running_example_view
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestClosedEndpointBoxes:
+    def test_last_coordinate_interval_keeps_endpoints(self):
+        """Width-1 interval [6, 8] must decompose to the single closed box
+        [6, 8], not the open (6, 8)."""
+        from repro.core.domain import Domain, TupleSpace
+        from repro.core.intervals import FBox, ScalarInterval
+
+        space = TupleSpace([Domain(range(10))])
+        boxes = FInterval((6,), (8,)).box_decomposition(space)
+        assert boxes == [FBox.canonical(space, (), ScalarInterval(6, 8))]
+
+    def test_triangle_small_tau_endpoints(self):
+        """The original symptom: missing answers at tau=1 for accesses
+        whose witness sat on an interval endpoint."""
+        from repro.workloads.generators import triangle_database
+        from repro.workloads.queries import triangle_view
+        from conftest import oracle_accesses, oracle_answer
+
+        view = triangle_view("bbf")
+        db = triangle_database(20, 60, seed=3)
+        cr = CompressedRepresentation(view, db, tau=1.0)
+        for access in oracle_accesses(view, db, limit=12):
+            assert cr.answer(access) == oracle_answer(view, db, access)
+
+
+class TestInRangeCandidateSelection:
+    def test_join_work_respects_empty_range(self):
+        """One atom has 0 keys in the range, the other 500: the join must
+        probe O(1), not 500 (the Proposition 6 bound through T)."""
+        big = TrieIndex(
+            Relation("A", 2, [(1, k) for k in range(500)]), [0, 1]
+        ).root
+        empty_in_range = TrieIndex(
+            Relation("B", 2, [(1, k + 10_000) for k in range(500)]), [0, 1]
+        ).root
+        counter = JoinCounter()
+        result = list(
+            generic_join(
+                [(big.children[1], (y,)), (empty_in_range.children[1], (y,))],
+                (y,),
+                ranges={y: (0, 499)},
+                counter=counter,
+            )
+        )
+        assert result == []
+        assert counter.steps == 0
+
+    def test_structure_delay_on_barren_stretch(self):
+        """End-to-end: a sparse-overlap access must not pay per-candidate
+        work inside zero-cost intervals."""
+        rows = set()
+        for k in range(300):
+            rows.add((1, 2 * k))        # R1: even ys
+            rows.add((2, 2 * k + 1))    # R2 side: odd ys
+        view = parse_view("Q^bbf(a, b, y) = R(a, y), R(b, y)")
+        db = Database([Relation("R", 2, rows)])
+        cr = CompressedRepresentation(view, db, tau=4.0)
+        counter = JoinCounter()
+        assert list(cr.enumerate((1, 2), counter=counter)) == []
+        # The heavy empty pair is answered from its 0-bit.
+        assert counter.steps <= 10
+
+
+class TestUnrestrictedCounting:
+    def test_free_trie_counts_multiplicities(self):
+        """|R1 ⋉ (x=1, y=1)| over all w1 must be 3 on the Example 13
+        instance (three w1 values share that free part)."""
+        ctx = ViewContext(running_example_view(), running_example_database())
+        model = CostModel(ctx, {0: 1.0, 1: 1.0, 2: 1.0}, alpha=2.0)
+        from repro.core.intervals import FBox, ScalarInterval
+
+        space = ctx.space
+        box = FBox.canonical(space, (0, 0), ScalarInterval(0, 1))
+        r1 = ctx.atoms[0]
+        count = model.atom_box_count(r1, box, r1.free_trie.root)
+        assert count == 3
+
+    def test_paper_t_value_depends_on_it(self):
+        ctx = ViewContext(running_example_view(), running_example_database())
+        model = CostModel(ctx, {0: 1.0, 1: 1.0, 2: 1.0}, alpha=2.0)
+        import math
+
+        root = FInterval.full(ctx.space)
+        assert abs(
+            model.interval_cost(root)
+            - (math.sqrt(36) + math.sqrt(8) + math.sqrt(3))
+        ) < 1e-9

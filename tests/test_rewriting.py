@@ -1,0 +1,83 @@
+"""Tests for the Example 3 normalization (constants and repeated variables)."""
+
+import pytest
+
+from repro.database.catalog import Database
+from repro.database.relation import Relation
+from repro.exceptions import QueryError
+from repro.joins.hash_join import evaluate_by_hash_join
+from repro.query.parser import parse_view
+from repro.query.rewriting import normalize_view
+
+
+@pytest.fixture
+def example3_db():
+    """Database for Q^fb(x, z) = R(x, y, a), S(y, y, z) with a = 7."""
+    r = Relation(
+        "R", 3, [(1, 2, 7), (1, 3, 7), (2, 2, 5), (4, 2, 7)]
+    )
+    s = Relation(
+        "S", 3, [(2, 2, 9), (2, 3, 9), (3, 3, 8), (2, 2, 5)]
+    )
+    return Database([r, s])
+
+
+def test_example3_rewriting(example3_db):
+    view = parse_view("Q^fbfb(x, y, z, u) = R(x, y, 7), S(y, y, z), T(z, u)")
+    db = example3_db.replace(Relation("T", 2, [(9, 1), (8, 2)]))
+    normalized = normalize_view(view, db)
+    assert normalized.view.is_natural_join()
+    # R got constant-selected and projected; S got the equality filter.
+    assert set(normalized.derived) == {"R__n0", "S__n1"}
+    r_prime = normalized.database["R__n0"]
+    assert set(r_prime) == {(1, 2), (1, 3), (4, 2)}
+    s_prime = normalized.database["S__n1"]
+    assert set(s_prime) == {(2, 9), (3, 8), (2, 5)}
+
+
+def test_rewriting_preserves_semantics(example3_db):
+    db = example3_db.replace(Relation("T", 2, [(9, 1), (8, 2), (5, 3)]))
+    view = parse_view("Q^fbfb(x, y, z, u) = R(x, y, 7), S(y, y, z), T(z, u)")
+    normalized = normalize_view(view, db)
+    original = evaluate_by_hash_join(view.query, db)
+    rewritten = evaluate_by_hash_join(
+        normalized.view.query, normalized.database
+    )
+    assert original == rewritten
+
+
+def test_natural_atoms_pass_through(example3_db):
+    view = parse_view("Q^bff(y, z, u) = S(y, z, u)")
+    normalized = normalize_view(view, example3_db)
+    assert normalized.derived == ()
+    assert normalized.view.atoms == view.atoms
+    assert set(normalized.database["S"]) == set(example3_db["S"])
+
+
+def test_adornment_is_preserved(example3_db):
+    view = parse_view("Q^bf(y, z) = S(y, y, z)")
+    normalized = normalize_view(view, example3_db)
+    assert normalized.view.pattern == "bf"
+    assert normalized.view.head == view.head
+
+
+def test_non_full_view_rejected(example3_db):
+    view = parse_view("Q^b(y) = S(y, y, z)")
+    with pytest.raises(QueryError):
+        normalize_view(view, example3_db)
+
+
+def test_arity_mismatch_detected(example3_db):
+    view = parse_view("Q^bf(y, z) = S(y, z)")
+    with pytest.raises(QueryError):
+        normalize_view(view, example3_db)
+
+
+def test_all_constants_atom():
+    db = Database([Relation("R", 2, [(1, 2), (3, 4)]), Relation("S", 1, [(5,)])])
+    view = parse_view("Q^f(x) = S(x), R(1, 2)")
+    normalized = normalize_view(view, db)
+    # R(1,2) becomes a zero-ary derived relation holding the empty tuple.
+    derived = normalized.database["R__n1"]
+    assert derived.arity == 0
+    assert len(derived) == 1

@@ -1,0 +1,178 @@
+"""Seek (enumerate_from) and the Section 3.2 projection extension."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import oracle_accesses, oracle_answer
+from repro.core.projection import ProjectedRepresentation
+from repro.core.structure import CompressedRepresentation
+from repro.database.catalog import Database
+from repro.database.relation import Relation
+from repro.exceptions import QueryError
+from repro.joins.generic_join import JoinCounter
+from repro.query.atoms import Variable
+from repro.query.parser import parse_view
+from repro.workloads.generators import star_database, triangle_database
+from repro.workloads.queries import star_view, triangle_view
+
+
+class TestEnumerateFrom:
+    @pytest.fixture
+    def setup(self):
+        view = triangle_view("bff")
+        db = triangle_database(15, 60, seed=31)
+        cr = CompressedRepresentation(view, db, tau=3.0)
+        accesses = oracle_accesses(view, db, limit=6)
+        return view, db, cr, accesses
+
+    def test_seek_matches_filtered_answer(self, setup):
+        view, db, cr, accesses = setup
+        for access in accesses:
+            full = cr.answer(access)
+            for start in [(0, 0), (3, 2), (7, 7), (100, 100)]:
+                expected = [t for t in full if t >= start]
+                got = list(cr.enumerate_from(access, start))
+                assert got == expected, (access, start)
+
+    def test_seek_from_existing_tuple_is_inclusive(self, setup):
+        view, db, cr, accesses = setup
+        for access in accesses:
+            full = cr.answer(access)
+            for row in full[:4]:
+                got = list(cr.enumerate_from(access, row))
+                assert got == [t for t in full if t >= row]
+
+    def test_seek_beyond_domain_returns_nothing(self, setup):
+        view, db, cr, accesses = setup
+        for access in accesses[:3]:
+            assert list(cr.enumerate_from(access, (10 ** 9, 0))) == []
+
+    def test_seek_with_nonexistent_values_rounds_up(self, setup):
+        view, db, cr, accesses = setup
+        for access in accesses[:4]:
+            full = cr.answer(access)
+            got = list(cr.enumerate_from(access, (2.5, -1)))
+            assert got == [t for t in full if t >= (2.5, -1)]
+
+    def test_wrong_start_arity(self, setup):
+        _, _, cr, accesses = setup
+        with pytest.raises(QueryError):
+            list(cr.enumerate_from(accesses[0], (1,)))
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=20),
+        st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=20),
+        st.tuples(st.integers(-1, 5), st.integers(-1, 5)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_seek_property(self, r, s, start):
+        view = parse_view("Q^bff(x, y, z) = R(x, y), S(y, z)")
+        db = Database([Relation("R", 2, r), Relation("S", 2, s)])
+        cr = CompressedRepresentation(view, db, tau=2.0)
+        for access in [(v,) for v in range(5)]:
+            full = cr.answer(access)
+            got = list(cr.enumerate_from(access, start))
+            assert got == [t for t in full if t >= start]
+
+
+class TestProjection:
+    def _oracle_distinct(self, view, db, access, keep_positions):
+        rows = oracle_answer(view, db, access)
+        return sorted({tuple(r[i] for i in keep_positions) for r in rows})
+
+    def test_triangle_project_z(self):
+        """V^bff(x, y, z), projecting z: distinct y values per x."""
+        view = triangle_view("bff")
+        db = triangle_database(15, 70, seed=33)
+        z = Variable("z")
+        pr = ProjectedRepresentation(view, db, tau=3.0, projected=[z])
+        for access in oracle_accesses(view, db, limit=8):
+            expected = self._oracle_distinct(view, db, access, [0])
+            assert pr.answer(access) == expected
+
+    def test_star_project_middle(self):
+        """Star join projecting the center z: distinct () per access —
+        the k-SetDisjointness view of Section 3.3."""
+        view = star_view(2)
+        db = star_database(2, 60, 10, seed=34)
+        z = Variable("z")
+        pr = ProjectedRepresentation(view, db, tau=4.0, projected=[z])
+        for access in oracle_accesses(view, db, limit=8):
+            rows = oracle_answer(view, db, access)
+            assert pr.answer(access) == ([()] if rows else [])
+            assert pr.exists(access) == bool(rows)
+
+    def test_coauthor_projection(self):
+        """The paper's V^bf(x, y) = R(x,p), R(y,p) — distinct co-authors."""
+        view = parse_view("V^bff(x, y, p) = R(x, p), R(y, p)")
+        from repro.workloads.scenarios import coauthor_database
+
+        db = coauthor_database(n_authors=30, n_papers=40, seed=35)
+        p = Variable("p")
+        pr = ProjectedRepresentation(view, db, tau=4.0, projected=[p])
+        for access in oracle_accesses(view, db, limit=6):
+            expected = self._oracle_distinct(view, db, access, [0])
+            assert pr.answer(access) == expected
+
+    def test_projection_reorders_output_variables(self):
+        """Projecting a middle variable: outputs keep head order."""
+        view = parse_view("Q^bfff(w, x, y, z) = R(w, x), S(x, y), T(y, z)")
+        db = Database(
+            [
+                Relation("R", 2, [(1, 2), (1, 3)]),
+                Relation("S", 2, [(2, 5), (3, 5), (3, 6)]),
+                Relation("T", 2, [(5, 7), (6, 8), (5, 9)]),
+            ]
+        )
+        y = Variable("y")
+        pr = ProjectedRepresentation(view, db, tau=2.0, projected=[y])
+        # Full results for w=1: (x,y,z) in {(2,5,7),(2,5,9),(3,5,7),
+        # (3,5,9),(3,6,8)}; distinct (x,z): sorted.
+        assert pr.answer((1,)) == [(2, 7), (2, 9), (3, 7), (3, 8), (3, 9)]
+
+    def test_projected_must_be_free(self):
+        view = triangle_view("bff")
+        db = triangle_database(10, 30, seed=36)
+        with pytest.raises(QueryError):
+            ProjectedRepresentation(
+                view, db, tau=2.0, projected=[Variable("x")]
+            )
+
+    def test_no_projection_degenerates_to_plain(self):
+        view = triangle_view("bff")
+        db = triangle_database(12, 40, seed=37)
+        pr = ProjectedRepresentation(view, db, tau=2.0, projected=[])
+        cr = CompressedRepresentation(view, db, tau=2.0)
+        for access in oracle_accesses(view, db, limit=5):
+            assert pr.answer(access) == cr.answer(access)
+
+    def test_distinct_output_cost_is_bounded(self):
+        """The seek pattern: duplicates never surface and the per-output
+        probes stay bounded even when each prefix has a huge block."""
+        # One x value joined with many (y-block) suffixes.
+        rows_r = [(1, k) for k in range(100)]
+        rows_s = [(k, j) for k in range(100) for j in range(3)]
+        view = parse_view("Q^bff(x, y, z) = R(x, y), S(y, z)")
+        db = Database(
+            [Relation("R", 2, rows_r), Relation("S", 2, rows_s)]
+        )
+        z = Variable("z")
+        pr = ProjectedRepresentation(view, db, tau=4.0, projected=[z])
+        counter = JoinCounter()
+        result = list(pr.enumerate((1,), counter=counter))
+        assert result == [(k,) for k in range(100)]
+        assert counter.steps <= 60 * len(result)
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=16),
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_projection_property(self, r, s):
+        view = parse_view("Q^bff(x, y, z) = R(x, y), S(y, z)")
+        db = Database([Relation("R", 2, r), Relation("S", 2, s)])
+        z = Variable("z")
+        pr = ProjectedRepresentation(view, db, tau=2.0, projected=[z])
+        for access in [(v,) for v in range(4)]:
+            expected = self._oracle_distinct(view, db, access, [0])
+            assert pr.answer(access) == expected

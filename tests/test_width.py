@@ -1,0 +1,218 @@
+"""Width computations: Figures 2 and 7, Examples 9, 16, 17.
+
+These tests pin every width number the paper states.
+"""
+
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.hypergraph.connex import (
+    all_connex_decompositions,
+    connex_decomposition_from_order,
+)
+from repro.hypergraph.decomposition import TreeDecomposition
+from repro.hypergraph.hypergraph import hypergraph_of_view
+from repro.hypergraph.width import (
+    DelayAssignment,
+    bag_delta_cover,
+    connex_fhw,
+    decomposition_fhw,
+    delta_height,
+    delta_width,
+    fhw,
+)
+from repro.query.atoms import Variable
+from repro.query.parser import parse_view
+from repro.workloads.queries import (
+    figure2_view,
+    figure7_view,
+    loomis_whitney_view,
+    path_view,
+    running_example_view,
+    triangle_view,
+)
+
+
+def v(name):
+    return Variable(name)
+
+
+class TestFhw:
+    def test_acyclic_path_has_fhw_one(self):
+        hg = hypergraph_of_view(path_view(4, pattern="fffff"))
+        assert fhw(hg) == pytest.approx(1.0, abs=1e-6)
+
+    def test_triangle_fhw(self):
+        hg = hypergraph_of_view(triangle_view("fff"))
+        assert fhw(hg) == pytest.approx(1.5, abs=1e-6)
+
+    def test_loomis_whitney_fhw(self):
+        hg = hypergraph_of_view(loomis_whitney_view(3, pattern="fff"))
+        assert fhw(hg) == pytest.approx(1.5, abs=1e-6)
+
+    def test_figure7_fhw_is_two(self):
+        hg = hypergraph_of_view(figure7_view())
+        assert fhw(hg) == pytest.approx(2.0, abs=1e-6)
+
+
+class TestConnexFhw:
+    def test_figure7_connex_width(self):
+        """Example 17: fhw = 2 but fhw(H | {v1..v4}) = 3/2."""
+        view = figure7_view()
+        hg = hypergraph_of_view(view)
+        width, decomposition = connex_fhw(
+            hg, frozenset(view.bound_variables)
+        )
+        assert width == pytest.approx(1.5, abs=1e-6)
+        decomposition.validate_connex(hg)
+
+    def test_example16_inverse_situation(self):
+        """Example 16: R(x,y), S(y,z) with V_b = {x,z} has connex width 2."""
+        view = parse_view("Q^bfb(x, y, z) = R(x, y), S(y, z)")
+        hg = hypergraph_of_view(view)
+        width, _ = connex_fhw(hg, frozenset(view.bound_variables))
+        assert width == pytest.approx(2.0, abs=1e-6)
+        assert fhw(hg) == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_connex_set_recovers_fhw(self):
+        hg = hypergraph_of_view(triangle_view("fff"))
+        width, _ = connex_fhw(hg, frozenset())
+        assert width == pytest.approx(fhw(hg), abs=1e-6)
+
+    def test_running_example_connex_width(self):
+        """Section 3.2 discussion: the running example has δ-width 5/3 at
+        δ = (1/3, 1/6) on Figure 2's right decomposition; at δ = 0 its
+        connex width drives Theorem 2's space O(|D|^f)."""
+        view = figure2_view()
+        hg = hypergraph_of_view(view)
+        width, _ = connex_fhw(hg, frozenset(view.bound_variables))
+        assert width == pytest.approx(2.0, abs=1e-6)
+
+
+class TestFigure2:
+    def _decomposition(self):
+        """The right-hand decomposition of Figure 2."""
+        bags = {
+            "tb": {v("v1"), v("v5"), v("v6")},
+            "t1": {v("v2"), v("v4"), v("v1"), v("v5")},
+            "t2": {v("v2"), v("v3"), v("v4")},
+            "t3": {v("v6"), v("v7")},
+        }
+        edges = [("tb", "t1"), ("t1", "t2"), ("tb", "t3")]
+        from repro.hypergraph.connex import ConnexDecomposition
+
+        return ConnexDecomposition(
+            bags, edges, "tb", {v("v1"), v("v5"), v("v6")}
+        )
+
+    def test_is_valid_for_the_path_hypergraph(self):
+        hg = hypergraph_of_view(figure2_view())
+        self._decomposition().validate(hg)
+
+    def test_example9_delta_width(self):
+        """Example 9: δ = (1/3, 1/6, 0) gives δ-width 5/3 and height 1/2."""
+        hg = hypergraph_of_view(figure2_view())
+        decomposition = self._decomposition()
+        assignment = DelayAssignment({"t1": 1 / 3, "t2": 1 / 6, "t3": 0.0})
+        assert delta_width(decomposition, hg, assignment) == pytest.approx(
+            5 / 3, abs=1e-6
+        )
+        assert delta_height(decomposition, assignment) == pytest.approx(
+            0.5, abs=1e-9
+        )
+
+    def test_example9_bag_covers(self):
+        """Example 9's per-bag numbers: ρ+ = 5/3 for t1, t2; 1 for t3."""
+        hg = hypergraph_of_view(figure2_view())
+        decomposition = self._decomposition()
+        t1 = bag_delta_cover(
+            hg,
+            decomposition.bags["t1"],
+            decomposition.bag_free("t1"),
+            1 / 3,
+        )
+        assert t1.rho_plus == pytest.approx(5 / 3, abs=1e-6)
+        assert t1.u_plus == pytest.approx(2.0, abs=1e-6)
+        t2 = bag_delta_cover(
+            hg,
+            decomposition.bags["t2"],
+            decomposition.bag_free("t2"),
+            1 / 6,
+        )
+        assert t2.rho_plus == pytest.approx(5 / 3, abs=1e-6)
+        assert t2.u_plus == pytest.approx(2.0, abs=1e-6)
+        t3 = bag_delta_cover(
+            hg,
+            decomposition.bags["t3"],
+            decomposition.bag_free("t3"),
+            0.0,
+        )
+        assert t3.rho_plus == pytest.approx(1.0, abs=1e-6)
+        assert t3.u_plus == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_delay_width_is_connex_fhw(self):
+        hg = hypergraph_of_view(figure2_view())
+        decomposition = self._decomposition()
+        zero = DelayAssignment({})
+        assert delta_width(decomposition, hg, zero) == pytest.approx(
+            2.0, abs=1e-6
+        )
+
+
+class TestDecompositions:
+    def test_validate_catches_missing_edge(self):
+        hg = hypergraph_of_view(triangle_view("fff"))
+        bad = TreeDecomposition(
+            {0: {v("x"), v("y")}, 1: {v("y"), v("z")}}, [(0, 1)], 0
+        )
+        with pytest.raises(DecompositionError):
+            bad.validate(hg)
+
+    def test_validate_catches_disconnected_variable(self):
+        hg = hypergraph_of_view(path_view(3, pattern="ffff"))
+        bad = TreeDecomposition(
+            {
+                0: {v("x1"), v("x2")},
+                1: {v("x2"), v("x3")},
+                2: {v("x3"), v("x4"), v("x1")},
+            },
+            [(0, 1), (1, 2)],
+            0,
+        )
+        # x1 appears in bags 0 and 2 but not 1: running intersection fails.
+        with pytest.raises(DecompositionError):
+            bad.validate(hg)
+
+    def test_elimination_orders_yield_valid_decompositions(self):
+        view = figure7_view()
+        hg = hypergraph_of_view(view)
+        connex = frozenset(view.bound_variables)
+        count = 0
+        for decomposition in all_connex_decompositions(hg, connex):
+            decomposition.validate_connex(hg)
+            count += 1
+        assert count == 1  # one free vertex => one order
+
+    def test_bag_bound_and_free(self):
+        view = figure2_view()
+        hg = hypergraph_of_view(view)
+        connex = frozenset(view.bound_variables)
+        order = [v("v3"), v("v2"), v("v4"), v("v7")]
+        decomposition = connex_decomposition_from_order(hg, connex, order)
+        decomposition.validate_connex(hg)
+        for node in decomposition.non_root_nodes():
+            bound = decomposition.bag_bound(node)
+            free = decomposition.bag_free(node)
+            assert bound | free == decomposition.bags[node]
+            assert not bound & free
+
+    def test_decomposition_fhw_excludes_root(self):
+        view = figure7_view()
+        hg = hypergraph_of_view(view)
+        _, decomposition = connex_fhw(hg, frozenset(view.bound_variables))
+        with_root = decomposition_fhw(decomposition, hg)
+        without_root = decomposition_fhw(
+            decomposition, hg, exclude=[decomposition.root]
+        )
+        assert with_root == pytest.approx(2.0, abs=1e-6)
+        assert without_root == pytest.approx(1.5, abs=1e-6)

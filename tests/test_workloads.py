@@ -1,0 +1,146 @@
+"""Workload generators: determinism, shapes, and paper instances."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.joins.hash_join import evaluate_by_hash_join
+from repro.workloads.generators import (
+    loomis_whitney_database,
+    path_database,
+    random_graph,
+    random_relation,
+    set_family,
+    star_database,
+    triangle_database,
+    zipf_relation,
+)
+from repro.workloads.queries import (
+    figure2_view,
+    figure7_database,
+    figure7_view,
+    loomis_whitney_view,
+    mutual_friend_view,
+    path_view,
+    running_example_database,
+    running_example_view,
+    star_view,
+    triangle_view,
+)
+from repro.workloads.scenarios import (
+    coauthor_database,
+    coauthor_view,
+    mln_evidence_database,
+    mln_rule_views,
+    social_network_database,
+)
+
+
+class TestGenerators:
+    def test_random_relation_deterministic(self):
+        a = random_relation("R", 2, 30, 10, seed=5)
+        b = random_relation("R", 2, 30, 10, seed=5)
+        assert set(a) == set(b)
+        assert len(a) == 30
+
+    def test_random_relation_capacity_check(self):
+        with pytest.raises(ParameterError):
+            random_relation("R", 1, 100, 10)
+
+    def test_random_graph_symmetric(self):
+        g = random_graph("G", 20, 40, seed=1, symmetric=True)
+        for (a, b) in g:
+            assert (b, a) in g
+
+    def test_random_graph_no_loops(self):
+        g = random_graph("G", 20, 40, seed=2)
+        assert all(a != b for a, b in g)
+
+    def test_zipf_relation_is_skewed(self):
+        r = zipf_relation("Z", 2, 200, 50, skew=1.5, seed=3)
+        counts = {}
+        for row in r:
+            counts[row[0]] = counts.get(row[0], 0) + 1
+        # Value 0 (heaviest rank) appears much more than the median value.
+        assert counts.get(0, 0) >= 3
+
+    def test_star_path_lw_shapes(self):
+        star = star_database(3, 20, 10, seed=4)
+        assert {r.name for r in star} == {"R1", "R2", "R3"}
+        path = path_database(2, 20, 10, seed=5)
+        assert {r.name for r in path} == {"R1", "R2"}
+        lw = loomis_whitney_database(4, 20, 6, seed=6)
+        assert all(r.arity == 3 for r in lw)
+
+    def test_lw_needs_three(self):
+        with pytest.raises(ParameterError):
+            loomis_whitney_database(2, 10, 5)
+
+    def test_set_family_shapes(self):
+        family = set_family(6, universe=30, mean_size=8, seed=7)
+        assert len(family) == 6
+        for members in family.values():
+            assert members == sorted(members)
+            assert all(0 <= e < 30 for e in members)
+
+    def test_triangle_shared_relation(self):
+        db = triangle_database(15, 40, seed=8, shared=True)
+        assert len(db) == 1
+        assert "R" in db
+
+
+class TestPaperInstances:
+    def test_running_example_sizes(self):
+        db = running_example_database()
+        assert all(len(db[name]) == 5 for name in ("R1", "R2", "R3"))
+
+    def test_running_example_view_shape(self):
+        view = running_example_view()
+        assert view.pattern == "fffbbb"
+        assert [v.name for v in view.free_variables] == ["x", "y", "z"]
+
+    def test_views_are_natural_joins(self):
+        for view in [
+            triangle_view("bbf"),
+            mutual_friend_view(),
+            running_example_view(),
+            star_view(4),
+            loomis_whitney_view(4),
+            path_view(5),
+            figure2_view(),
+            figure7_view(),
+        ]:
+            assert view.is_natural_join(), view.name
+
+    def test_figure7_database_matches_view(self):
+        view = figure7_view()
+        db = figure7_database(10, 40, seed=9)
+        # Evaluable end to end.
+        assert isinstance(evaluate_by_hash_join(view.query, db), set)
+
+    def test_default_patterns(self):
+        assert star_view(3).pattern == "bbbf"
+        assert loomis_whitney_view(4).pattern == "bbbf"
+        assert path_view(4).pattern == "bfffb"
+
+
+class TestScenarios:
+    def test_coauthor_database_shape(self):
+        db = coauthor_database(n_authors=40, n_papers=60, seed=1)
+        view = coauthor_view()
+        assert view.is_natural_join()
+        result = evaluate_by_hash_join(view.query, db)
+        # Co-authorship is symmetric in (x, y).
+        assert all((y, x, p) in result for (x, y, p) in result)
+
+    def test_social_network_symmetric(self):
+        db = social_network_database(n_users=30, n_friendships=60, seed=2)
+        r = db["R"]
+        for (a, b) in r:
+            assert (b, a) in r
+
+    def test_mln_rules_parse_and_evaluate(self):
+        views = mln_rule_views()
+        db = mln_evidence_database(n_entities=30, n_terms=20, density=80)
+        for view in views:
+            assert view.is_full
+            evaluate_by_hash_join(view.query, db)
