@@ -1,0 +1,18 @@
+# Contributor/CI entrypoints. `make test` is the exact tier-1 command the
+# roadmap pins; CI must run the same thing contributors do.
+
+PYTHON ?= python
+
+.PHONY: test collect bench-smoke bench
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+collect:
+	PYTHONPATH=src $(PYTHON) -m pytest --collect-only -q
+
+bench-smoke:
+	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_engine_serving.py -q
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q

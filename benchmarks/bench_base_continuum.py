@@ -9,7 +9,7 @@ the compressed structures realize every intermediate point.
 
 import pytest
 
-from conftest import emit, emit_table, probe_delays
+from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
 from repro.baselines.lazy import LazyView
 from repro.baselines.materialized import MaterializedView
 from repro.core.structure import CompressedRepresentation
@@ -30,16 +30,16 @@ def test_continuum_table(benchmark, workload):
     def sweep():
         rows = []
         lazy = LazyView(view, db)
-        gap, outputs, _ = probe_delays(lazy, accesses)
+        gap, outputs, _ = bench_probe_delays(lazy, accesses)
         rows.append(("lazy", 0, gap, outputs))
         for tau in (64.0, 16.0, 4.0):
             cr = CompressedRepresentation(view, db, tau=tau)
-            gap, outputs, _ = probe_delays(cr, accesses)
+            gap, outputs, _ = bench_probe_delays(cr, accesses)
             rows.append(
                 (f"CR tau={tau:.0f}", cr.space_report().structure_cells, gap, outputs)
             )
         materialized = MaterializedView(view, db)
-        gap, outputs, _ = probe_delays(materialized, accesses)
+        gap, outputs, _ = bench_probe_delays(materialized, accesses)
         rows.append(
             (
                 "materialized",
@@ -51,7 +51,7 @@ def test_continuum_table(benchmark, workload):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("strategy", "structure cells", "max_step_gap", "outputs"),
         title=(
@@ -59,7 +59,7 @@ def test_continuum_table(benchmark, workload):
             "requests: space grows downward, delay shrinks"
         ),
     )
-    emit(
+    bench_emit(
         "note: the CR rows budget for the *worst case* (AGM-driven); when "
         "|Q(D)| is far below the AGM bound the materialized row can be "
         "small — the CR's win is its delay at a *guaranteed* space."

@@ -13,7 +13,7 @@ capped by the lazy baseline's cost printed last).
 
 import pytest
 
-from conftest import emit, emit_table, probe_delays
+from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
 from repro.baselines.lazy import LazyView
 from repro.baselines.materialized import MaterializedView
 from repro.core.structure import CompressedRepresentation
@@ -39,15 +39,15 @@ def test_tradeoff_series(benchmark, workload):
         for tau in TAUS:
             cr = CompressedRepresentation(view, db, tau=tau)
             cells = cr.space_report().structure_cells
-            gap, outputs, steps = probe_delays(cr, accesses)
+            gap, outputs, steps = bench_probe_delays(cr, accesses)
             rows.append((tau, cells, gap, steps, outputs))
         lazy = LazyView(view, db)
-        gap, outputs, steps = probe_delays(lazy, accesses)
+        gap, outputs, steps = bench_probe_delays(lazy, accesses)
         rows.append(("lazy", 0, gap, steps, outputs))
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("tau", "cells", "max_step_gap", "steps", "outputs"),
         title=(
@@ -55,7 +55,7 @@ def test_tradeoff_series(benchmark, workload):
             "space O(N^1.5/tau), delay O~(tau)"
         ),
     )
-    emit(
+    bench_emit(
         "shape check: cells fall as tau grows; max_step_gap rises toward "
         "the lazy row; at small tau the gap is far below lazy's."
     )
@@ -66,7 +66,7 @@ def test_materialized_space_reference(benchmark, workload):
     mv = benchmark.pedantic(
         lambda: MaterializedView(view, db), rounds=1, iterations=1
     )
-    emit(
+    bench_emit(
         f"EXP-E1 reference: |Q(D)| = {mv.output_size()} materialized "
         f"tuples vs |D| = {db.total_tuples()} input tuples"
     )

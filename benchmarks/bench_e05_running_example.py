@@ -12,7 +12,7 @@ import math
 
 import pytest
 
-from conftest import emit, emit_table, probe_delays
+from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
 from repro.core.intervals import FInterval
 from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database
@@ -50,7 +50,7 @@ def test_paper_instance_numbers(benchmark):
             str(cr.dictionary.get(cr.tree.root.right.id, (1, 1, 1))),
         ),
     ]
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("quantity", "paper", "measured"),
         title="EXP-E5 running example: paper numbers (Examples 13-15, Fig. 3)",
@@ -84,7 +84,7 @@ def test_scaled_tradeoff(benchmark, scaled):
             cr = CompressedRepresentation(
                 view, db, tau=tau, weights=UNIT_WEIGHTS
             )
-            gap, outputs, _ = probe_delays(cr, accesses)
+            gap, outputs, _ = bench_probe_delays(cr, accesses)
             rows.append(
                 (
                     f"{tau:.1f}",
@@ -96,7 +96,7 @@ def test_scaled_tradeoff(benchmark, scaled):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("tau", "cells", "max_step_gap", "outputs"),
         title=(

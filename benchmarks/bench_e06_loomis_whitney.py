@@ -10,7 +10,7 @@ import math
 
 import pytest
 
-from conftest import emit, emit_table, probe_delays
+from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
 from repro.core.structure import CompressedRepresentation
 from repro.hypergraph.covers import fractional_edge_cover
 from repro.hypergraph.hypergraph import hypergraph_of_view
@@ -33,7 +33,7 @@ def test_rho_star_is_paper_value(benchmark, workload):
     cover = benchmark.pedantic(
         lambda: fractional_edge_cover(hg), rounds=3, iterations=1
     )
-    emit(
+    bench_emit(
         f"EXP-E6 LW_{n}: rho* measured {cover.value:.4f} vs paper "
         f"n/(n-1) = {n / (n - 1):.4f}"
     )
@@ -49,7 +49,7 @@ def test_linear_space_point(benchmark, workload):
         rows = []
         for tau in (1.0, tau_linear / 4, tau_linear, tau_linear * 4):
             cr = CompressedRepresentation(view, db, tau=tau)
-            gap, outputs, _ = probe_delays(cr, accesses)
+            gap, outputs, _ = bench_probe_delays(cr, accesses)
             rows.append(
                 (
                     f"{tau:.1f}",
@@ -62,7 +62,7 @@ def test_linear_space_point(benchmark, workload):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("tau", "cells", "|D|", "max_step_gap", "outputs"),
         title=(

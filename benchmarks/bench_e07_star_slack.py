@@ -10,7 +10,7 @@ the same answers and comparable delay.
 
 import pytest
 
-from conftest import emit, emit_table, probe_delays
+from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
 from repro.core.structure import CompressedRepresentation
 from repro.workloads.generators import zipf_relation
 from repro.database.catalog import Database
@@ -45,8 +45,8 @@ def test_slack_ablation(benchmark, workload):
             ignorant = CompressedRepresentation(
                 view, db, tau=tau, weights=UNIT, alpha=1.0
             )
-            gap_a, out_a, _ = probe_delays(aware, accesses)
-            gap_i, out_i, _ = probe_delays(ignorant, accesses)
+            gap_a, out_a, _ = bench_probe_delays(aware, accesses)
+            gap_i, out_i, _ = bench_probe_delays(ignorant, accesses)
             assert out_a == out_i  # identical answers
             rows.append(
                 (
@@ -60,7 +60,7 @@ def test_slack_ablation(benchmark, workload):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=(
             "tau",

@@ -10,7 +10,7 @@ import math
 
 import pytest
 
-from conftest import emit, emit_table, probe_delays
+from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
 from repro.core.decomposed import DecomposedRepresentation
 from repro.core.structure import CompressedRepresentation
 from repro.hypergraph.hypergraph import hypergraph_of_view
@@ -48,8 +48,8 @@ def test_theorem1_vs_theorem2(benchmark, workload):
                 decomposition=decomposition,
                 assignment=assignment,
             )
-            gap_flat, out_flat, _ = probe_delays(flat, accesses)
-            gap_nested, out_nested, _ = probe_delays(nested, accesses)
+            gap_flat, out_flat, _ = bench_probe_delays(flat, accesses)
+            gap_nested, out_nested, _ = bench_probe_delays(nested, accesses)
             assert out_flat == out_nested
             rows.append(
                 (
@@ -64,7 +64,7 @@ def test_theorem1_vs_theorem2(benchmark, workload):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=(
             "delta",

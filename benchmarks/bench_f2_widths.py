@@ -6,7 +6,7 @@ the bench also times the exact elimination-order searches.
 
 import pytest
 
-from conftest import emit_table
+from bench_reporting import bench_emit_table
 from repro.hypergraph.connex import ConnexDecomposition
 from repro.hypergraph.hypergraph import hypergraph_of_view
 from repro.hypergraph.width import (
@@ -69,7 +69,7 @@ def test_width_table(benchmark):
         return rows
 
     rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("quantity", "paper", "computed"),
         title="EXP-F2 width numbers: paper vs computed (exact searches)",

@@ -10,7 +10,7 @@ import math
 
 import pytest
 
-from conftest import emit, emit_table
+from bench_reporting import bench_emit, bench_emit_table
 from repro.hypergraph.hypergraph import hypergraph_of_view
 from repro.hypergraph.width import connex_fhw
 from repro.optimizer.min_delay import min_delay_cover
@@ -52,7 +52,7 @@ def test_min_delay_knobs_table(benchmark):
         return rows
 
     rows = benchmark.pedantic(solve_all, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("view", "logN budget", "alpha", "logN tau", "rho"),
         title=(
@@ -84,7 +84,7 @@ def test_min_space_roundtrip_table(benchmark):
         return rows
 
     rows = benchmark.pedantic(solve, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("delay budget", "logN space", "ln tau"),
         title=(
@@ -110,7 +110,7 @@ def test_planner(benchmark):
         return plan_decomposition(view, hg, decomposition, sizes, N ** 1.5)
 
     plan_result = benchmark.pedantic(plan, rounds=3, iterations=1)
-    emit(
+    bench_emit(
         f"EXP-OPT planner (path_4, budget N^1.5): delta-height = "
         f"{plan_result.delta_height:.3f}, predicted delay |D|^h = "
         f"{plan_result.predicted_delay(4 * N):.0f}"

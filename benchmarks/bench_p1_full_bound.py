@@ -7,7 +7,7 @@ shows probes-per-request staying flat while |D| grows 4x.
 
 import pytest
 
-from conftest import emit, emit_table
+from bench_reporting import bench_emit, bench_emit_table
 from repro.core.constant_delay import FullyBoundStructure
 from repro.workloads.generators import triangle_database
 from repro.workloads.queries import triangle_view
@@ -32,7 +32,7 @@ def test_constant_probe_scaling(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("|D|", "space cells", "probes/request"),
         title=(

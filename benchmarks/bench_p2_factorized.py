@@ -8,7 +8,7 @@ factor grows, plus enumeration throughput.
 
 import pytest
 
-from conftest import emit, emit_table
+from bench_reporting import bench_emit, bench_emit_table
 from repro.database.catalog import Database
 from repro.database.relation import Relation
 from repro.factorized.drep import FactorizedRepresentation
@@ -56,7 +56,7 @@ def test_factorized_vs_flat(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=(
             "|D|",
@@ -81,7 +81,7 @@ def test_constant_delay_enumeration(benchmark):
     stats = measure_enumeration(
         fr.enumerate(counter=counter), counter=counter, keep_gaps=False
     )
-    emit(
+    bench_emit(
         f"EXP-P2 delay: {stats.outputs} tuples, max step gap "
         f"{stats.step_max_gap} (constant), mean "
         f"{stats.step_total / max(1, stats.outputs):.2f} probes/tuple"

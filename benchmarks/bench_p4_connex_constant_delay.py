@@ -8,7 +8,7 @@ O(1) probes per output.
 
 import pytest
 
-from conftest import emit, emit_table, probe_delays
+from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
 from repro.baselines.materialized import MaterializedView
 from repro.core.constant_delay import ConnexConstantDelayStructure
 from repro.workloads.queries import figure7_database, figure7_view
@@ -34,7 +34,7 @@ def test_space_and_delay(benchmark, workload):
     def build_and_probe():
         connex = ConnexConstantDelayStructure(view, db)
         materialized = MaterializedView(view, db)
-        gap, outputs, _ = probe_delays(connex, accesses)
+        gap, outputs, _ = bench_probe_delays(connex, accesses)
         return connex, materialized, gap, outputs
 
     connex, materialized, gap, outputs = benchmark.pedantic(
@@ -54,7 +54,7 @@ def test_space_and_delay(benchmark, workload):
             1,
         ),
     ]
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("structure", "width", "cells", "max_step_gap"),
         title=(

@@ -8,7 +8,7 @@ grows linearly — the cleanest operational statement of the tradeoff.
 
 import pytest
 
-from conftest import emit, emit_table, probe_delays
+from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
 from repro.baselines.lazy import LazyView
 from repro.core.structure import CompressedRepresentation
 from repro.workloads.queries import mutual_friend_view
@@ -28,15 +28,15 @@ def test_delay_scaling(benchmark):
             )
             cr = CompressedRepresentation(view, db, tau=TAU)
             lazy = LazyView(view, db)
-            gap_cr, outputs, _ = probe_delays(cr, accesses)
-            gap_lazy, _, _ = probe_delays(lazy, accesses)
+            gap_cr, outputs, _ = bench_probe_delays(cr, accesses)
+            gap_lazy, _, _ = bench_probe_delays(lazy, accesses)
             rows.append(
                 (db.total_tuples(), gap_cr, gap_lazy, outputs)
             )
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("|D|", "CR max gap", "lazy max gap", "outputs"),
         title=(
@@ -85,8 +85,8 @@ def test_refinement_ablation(benchmark):
     def build_and_probe():
         refined = DecomposedRepresentation(view, db, refine=True)
         unrefined = DecomposedRepresentation(view, db, refine=False)
-        gap_r, out_r, steps_r = probe_delays(refined, [access])
-        gap_u, out_u, steps_u = probe_delays(unrefined, [access])
+        gap_r, out_r, steps_r = bench_probe_delays(refined, [access])
+        gap_u, out_u, steps_u = bench_probe_delays(unrefined, [access])
         assert sorted(refined.answer(access)) == sorted(
             unrefined.answer(access)
         )
@@ -96,7 +96,7 @@ def test_refinement_ablation(benchmark):
         ]
 
     rows = benchmark.pedantic(build_and_probe, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("variant", "max gap", "total steps", "outputs"),
         title=(

@@ -9,7 +9,7 @@ Section 3.3).
 
 import pytest
 
-from conftest import emit, emit_table
+from bench_reporting import bench_emit, bench_emit_table
 from repro.joins.generic_join import JoinCounter
 from repro.measure.delay import measure_enumeration
 from repro.setintersection.cohen_porat import SetIntersectionIndex
@@ -49,7 +49,7 @@ def test_tradeoff_series(benchmark, family):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    emit_table(
+    bench_emit_table(
         rows,
         headers=("tau", "cells", "max_step_gap", "N"),
         title=(

@@ -1,56 +1,22 @@
-"""Shared helpers for the benchmark harness.
+"""Benchmark-harness conftest: only the terminal-summary hook lives here.
 
-Every bench reports the paper-shape series (space vs τ, delays, who-wins
-comparisons) through :func:`emit`. Emitted blocks are buffered and printed
-in the terminal summary — after pytest's capture — so the tables reliably
-appear in ``pytest benchmarks/ --benchmark-only`` output and can be copied
-into EXPERIMENTS.md.
+All importable helpers are in :mod:`bench_reporting` — nothing should ever
+``from conftest import …`` again (it resolves against whichever conftest
+pytest imported first and once broke collection of the whole test tree).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
-
-from repro.joins.generic_join import JoinCounter
-from repro.measure.delay import measure_enumeration
-from repro.measure.tradeoff import format_table
-
-_REPORT: List[str] = []
-
-
-def emit(text: str) -> None:
-    """Buffer a report line/block for the end-of-run summary."""
-    _REPORT.append(text)
-
-
-def emit_table(rows: Iterable[Sequence], headers: Sequence[str], title: str) -> None:
-    emit(format_table(rows, headers, title=title))
+from bench_reporting import bench_report_blocks
 
 
 def pytest_terminal_summary(terminalreporter):
-    if not _REPORT:
+    blocks = bench_report_blocks()
+    if not blocks:
         return
     terminalreporter.write_line("")
     terminalreporter.write_sep("=", "reproduction report (paper-shape series)")
-    for block in _REPORT:
+    for block in blocks:
         terminalreporter.write_line("")
         for line in block.splitlines():
             terminalreporter.write_line(line)
-
-
-def probe_delays(structure, accesses):
-    """(max step gap, total outputs, total steps) over an access sample."""
-    worst_gap = 0
-    outputs = 0
-    steps = 0
-    for access in accesses:
-        counter = JoinCounter()
-        stats = measure_enumeration(
-            structure.enumerate(access, counter=counter),
-            counter=counter,
-            keep_gaps=False,
-        )
-        worst_gap = max(worst_gap, stats.step_max_gap)
-        outputs += stats.outputs
-        steps += stats.step_total
-    return worst_gap, outputs, steps

@@ -26,6 +26,8 @@ Main entry points
   — the two extremal baselines.
 * :func:`~repro.optimizer.min_delay_cover` / :func:`~repro.optimizer.min_space_cover`
   — Section 6 parameter optimization.
+* :class:`~repro.engine.server.ViewServer` — the serving engine: cached
+  representations, budget-driven τ selection, batched access requests.
 * :class:`~repro.setintersection.SetIntersectionIndex` — the Cohen-Porat
   special case.
 """
@@ -48,6 +50,13 @@ from repro.core import (
     DynamicRepresentation,
     FullyBoundStructure,
     ProjectedRepresentation,
+)
+from repro.engine import (
+    BatchResult,
+    CacheStats,
+    RepresentationCache,
+    ServingReport,
+    ViewServer,
 )
 from repro.factorized import FactorizedRepresentation
 from repro.baselines import LazyView, MaterializedView
@@ -85,6 +94,11 @@ __all__ = [
     "DecomposedRepresentation",
     "FullyBoundStructure",
     "ConnexConstantDelayStructure",
+    "ViewServer",
+    "RepresentationCache",
+    "CacheStats",
+    "BatchResult",
+    "ServingReport",
     "FactorizedRepresentation",
     "MaterializedView",
     "LazyView",

@@ -17,6 +17,19 @@ Sweep the space/delay frontier::
 Report the widths that drive the space bounds::
 
     python -m repro widths --view "..." --data ./relations
+
+Serve a request stream through the engine (one cached build, batched,
+deduplicated answers; see :mod:`repro.engine`)::
+
+    python -m repro serve \\
+        --view "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)" \\
+        --data ./relations --requests ./requests.txt --batch-size 32
+
+The requests file holds one access tuple per line (comma-separated bound
+values; blank lines and ``#`` comments are skipped). Instead of a fixed
+``--tau``, the engine can pick it: ``--space-budget CELLS`` minimizes
+delay within the budget (Proposition 11), ``--delay-budget TAU`` minimizes
+space under the delay bound (Proposition 12).
 """
 
 from __future__ import annotations
@@ -25,13 +38,17 @@ import argparse
 import sys
 from typing import List, Tuple
 
+from pathlib import Path
+
 from repro import (
     CompressedRepresentation,
+    ViewServer,
     connex_fhw,
     fhw,
     hypergraph_of_view,
     parse_view,
 )
+from repro.exceptions import ReproError
 from repro.io import load_database
 from repro.measure.tradeoff import format_table, sweep_tau, tradeoff_rows
 from repro.query.rewriting import normalize_view
@@ -98,6 +115,63 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _load_requests(path: str) -> List[Tuple]:
+    accesses: List[Tuple] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        accesses.append(_parse_access(line))
+    return accesses
+
+
+def _run_serve(args) -> int:
+    try:
+        return _serve(args)
+    except (ReproError, OSError) as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+
+
+def _serve(args) -> int:
+    view = parse_view(args.view)
+    db = load_database(args.data)
+    accesses = _load_requests(args.requests)
+    if not accesses:
+        print(f"{args.requests}: no access requests", file=sys.stderr)
+        return 2
+    server = ViewServer(
+        db, max_entries=args.cache_entries, max_cells=args.cache_cells
+    )
+    name = server.register(
+        view,
+        tau=args.tau,
+        space_budget=args.space_budget,
+        delay_budget=args.delay_budget,
+    )
+    registration = server.registration(name)
+    print(
+        f"registered {name!r}: tau={registration.tau:.3f} "
+        f"({registration.policy})"
+    )
+    report = server.serve_stream(name, accesses, batch_size=args.batch_size)
+    print(
+        f"served {report.requests} requests in {report.batches} batches: "
+        f"{report.unique_requests} traversals ({report.shared_requests} "
+        f"shared), {report.outputs} tuples"
+    )
+    print(
+        f"cache: {report.cache.hits} hits / {report.cache.misses} misses, "
+        f"{report.builds} builds, {report.cache.evictions} evictions"
+    )
+    print(
+        f"delays: max step gap {report.max_step_gap}; "
+        f"{report.wall_seconds * 1000:.1f} ms total "
+        f"({report.requests_per_second:.0f} req/s)"
+    )
+    return 0
+
+
 def _run_widths(args) -> int:
     view = parse_view(args.view)
     db = load_database(args.data)
@@ -138,6 +212,40 @@ def main(argv=None) -> int:
     widths = commands.add_parser("widths", help="report width exponents")
     _common(widths)
     widths.set_defaults(handler=_run_widths)
+
+    serve = commands.add_parser(
+        "serve", help="serve a request stream through the engine cache"
+    )
+    _common(serve)
+    serve.add_argument(
+        "--requests",
+        required=True,
+        help="file with one comma-separated access tuple per line",
+    )
+    knobs = serve.add_mutually_exclusive_group()
+    knobs.add_argument(
+        "--tau", type=float, default=None, help="fixed delay knob"
+    )
+    knobs.add_argument(
+        "--space-budget",
+        type=float,
+        default=None,
+        help="pick tau minimizing delay within this many cells",
+    )
+    knobs.add_argument(
+        "--delay-budget",
+        type=float,
+        default=None,
+        help="pick tau minimizing space under this delay bound",
+    )
+    serve.add_argument("--batch-size", type=int, default=32)
+    serve.add_argument(
+        "--cache-entries", type=int, default=8, help="LRU entry bound"
+    )
+    serve.add_argument(
+        "--cache-cells", type=int, default=None, help="LRU cell budget"
+    )
+    serve.set_defaults(handler=_run_serve)
 
     args = parser.parse_args(argv)
     return args.handler(args)

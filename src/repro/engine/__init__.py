@@ -1,0 +1,30 @@
+"""The access-serving engine (representation cache + view server).
+
+The paper's structures answer *access requests*; this package turns them
+into a serving layer: :class:`ViewServer` keeps built
+:class:`~repro.core.structure.CompressedRepresentation` instances in a
+bounded LRU :class:`RepresentationCache`, auto-selects τ from space or
+delay budgets via the Section 6 optimizers, serves deduplicated sorted
+batches, and is safe for concurrent readers (single-build guarantee,
+lock-free enumeration).
+"""
+
+from repro.engine.cache import CacheStats, RepresentationCache, representation_cells
+from repro.engine.server import (
+    DEFAULT_TAU,
+    BatchResult,
+    Registration,
+    ServingReport,
+    ViewServer,
+)
+
+__all__ = [
+    "CacheStats",
+    "RepresentationCache",
+    "representation_cells",
+    "DEFAULT_TAU",
+    "BatchResult",
+    "Registration",
+    "ServingReport",
+    "ViewServer",
+]

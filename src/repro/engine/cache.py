@@ -1,0 +1,175 @@
+"""The representation cache: bounded, LRU-evicting, cell-accounted.
+
+A served view is a long-lived artifact (the covers/factorized-results
+literature treats the compressed representation itself as the thing a
+system keeps around), so the engine caches built
+:class:`~repro.core.structure.CompressedRepresentation` instances across
+requests. Entries are keyed by ``(view key, τ)`` — the same view served at
+two different points of the space/delay tradeoff is two distinct
+structures.
+
+Size is accounted in the library's implementation-independent *cells*
+(:mod:`repro.measure.space`): an entry charges the cells the structure
+owns beyond the shared input tuples — its trie indexes plus the tree,
+dictionary and any materialized tuples (``total_cells − base_tuples``).
+Eviction is least-recently-used, triggered by either bound: a maximum
+entry count or a maximum total cell budget. A single entry larger than
+the cell budget is still admitted (and everything else evicted) — the
+alternative is rebuilding it on every request, which is strictly worse.
+
+The cache itself is not synchronized; :class:`~repro.engine.server.ViewServer`
+performs all cache bookkeeping under its registry lock and serves
+enumeration outside any lock.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.structure import CompressedRepresentation
+from repro.exceptions import ParameterError
+
+
+@dataclass
+class CacheStats:
+    """Counters describing one cache's lifetime behavior."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+@dataclass
+class _Entry:
+    representation: CompressedRepresentation
+    cells: int = field(default=0)
+
+
+def representation_cells(representation: CompressedRepresentation) -> int:
+    """Cells an instance owns beyond the shared input tuples."""
+    report = representation.space_report()
+    return report.total_cells - report.base_tuples
+
+
+class RepresentationCache:
+    """LRU cache of built compressed representations.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached structures; ``None`` means unbounded.
+    max_cells:
+        Maximum total cells across cached structures (see
+        :func:`representation_cells`); ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        max_cells: Optional[int] = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ParameterError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        if max_cells is not None and max_cells < 1:
+            raise ParameterError(f"max_cells must be >= 1, got {max_cells}")
+        self.max_entries = max_entries
+        self.max_cells = max_cells
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._total_cells = 0
+
+    # ------------------------------------------------------------------
+    # mapping-ish interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Keys from least- to most-recently used."""
+        return tuple(self._entries.keys())
+
+    @property
+    def total_cells(self) -> int:
+        """Cells currently held across all entries."""
+        return self._total_cells
+
+    def cells_of(self, key: Hashable) -> Optional[int]:
+        entry = self._entries.get(key)
+        return entry.cells if entry is not None else None
+
+    # ------------------------------------------------------------------
+    # cache operations
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[CompressedRepresentation]:
+        """The cached structure for ``key``, refreshing its recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.representation
+
+    def peek(self, key: Hashable) -> Optional[CompressedRepresentation]:
+        """Like :meth:`get` but touching neither recency nor stats."""
+        entry = self._entries.get(key)
+        return entry.representation if entry is not None else None
+
+    def put(
+        self, key: Hashable, representation: CompressedRepresentation
+    ) -> List[Hashable]:
+        """Insert (or replace) an entry; returns the keys evicted for it."""
+        cells = representation_cells(representation)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._total_cells -= old.cells
+        self._entries[key] = _Entry(representation, cells)
+        self._total_cells += cells
+        self.stats.insertions += 1
+        return self._evict()
+
+    def _evict(self) -> List[Hashable]:
+        evicted: List[Hashable] = []
+        while self._over_budget():
+            victim, entry = self._entries.popitem(last=False)
+            self._total_cells -= entry.cells
+            self.stats.evictions += 1
+            evicted.append(victim)
+        return evicted
+
+    def _over_budget(self) -> bool:
+        if len(self._entries) <= 1:
+            return False  # an oversized singleton is admitted regardless
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            return True
+        if self.max_cells is not None and self._total_cells > self.max_cells:
+            return True
+        return False
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; True when it was present."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._total_cells -= entry.cells
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._total_cells = 0

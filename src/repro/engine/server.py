@@ -1,0 +1,450 @@
+"""The access-serving engine: registered views + cached representations.
+
+:class:`ViewServer` is the long-lived serving layer the paper implies but
+the CLI never had: register adorned views once against a database, then
+answer access requests from a bounded cache of compressed representations
+instead of rebuilding ``(T, D)`` per invocation.
+
+Responsibilities
+----------------
+* **Registration** resolves each view to its natural-join form
+  (:func:`~repro.query.rewriting.normalize_view`) and picks τ: a fixed
+  value, or automatically from a space budget
+  (:func:`~repro.optimizer.min_delay_cover` — the smallest delay the
+  budget affords, Proposition 11) or a delay budget
+  (:func:`~repro.optimizer.min_space_cover` — the smallest space meeting
+  it, Proposition 12). Budget-selected covers are reused as the
+  structure's fractional edge cover, so the built instance realizes the
+  optimized tradeoff point.
+* **Caching**: structures are built lazily on first request and kept in a
+  :class:`~repro.engine.cache.RepresentationCache` keyed by
+  ``(view name, τ)`` with LRU eviction under entry/cell bounds.
+* **Batched serving**: a batch is deduplicated and sorted, one tree
+  traversal per *distinct* access request; duplicates share the answer,
+  and per-request delay statistics come from
+  :func:`~repro.measure.delay.measure_enumeration`.
+* **Concurrency**: one registry lock guards bookkeeping; at most one
+  build per key ever runs (waiters block on an event, then hit the
+  cache), and enumeration itself runs outside all locks — built
+  structures are immutable, so concurrent readers never contend.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.structure import CompressedRepresentation
+from repro.database.catalog import Database
+from repro.engine.cache import CacheStats, RepresentationCache
+from repro.exceptions import ParameterError, SchemaError
+from repro.joins.generic_join import JoinCounter
+from repro.measure.delay import DelayStats, measure_enumeration
+from repro.optimizer.min_delay import min_delay_cover
+from repro.optimizer.min_space import min_space_cover
+from repro.query.adorned import AdornedView
+from repro.query.parser import parse_view
+from repro.query.rewriting import normalize_view
+from repro.workloads.streams import batched
+
+DEFAULT_TAU = 8.0
+
+CacheKey = Tuple[str, float]
+
+
+@dataclass(frozen=True)
+class Registration:
+    """One registered view: its natural-join form and resolved knobs."""
+
+    name: str
+    view: AdornedView
+    natural_view: AdornedView
+    database: Database
+    tau: float
+    policy: str  # "fixed" | "space-budget" | "delay-budget"
+    budget: Optional[float] = None
+    weights: Optional[Mapping[int, float]] = None
+    sizes: Mapping[int, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Answers and measurements for one served batch.
+
+    ``answers`` aligns with the submitted batch; duplicate requests share
+    one answer list (the whole point of batching). ``request_stats`` holds
+    one :class:`~repro.measure.delay.DelayStats` per *distinct* access.
+    """
+
+    accesses: Tuple[Tuple, ...]
+    answers: Tuple[List[Tuple], ...]
+    request_stats: Mapping[Tuple, DelayStats]
+    unique_count: int
+
+    @property
+    def shared_count(self) -> int:
+        """Requests answered without a traversal of their own."""
+        return len(self.accesses) - self.unique_count
+
+    @property
+    def outputs(self) -> int:
+        """Total tuples delivered, duplicates included."""
+        return sum(len(rows) for rows in self.answers)
+
+    @property
+    def max_step_gap(self) -> int:
+        """Worst logical delay observed across the batch's traversals."""
+        if not self.request_stats:
+            return 0
+        return max(s.step_max_gap for s in self.request_stats.values())
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate of one request stream served through the engine.
+
+    ``builds`` and ``cache`` are deltas observed during this stream, not
+    server-lifetime totals — serving a warm cache reports zero builds.
+    """
+
+    requests: int
+    unique_requests: int
+    shared_requests: int
+    outputs: int
+    batches: int
+    builds: int
+    wall_seconds: float
+    max_step_gap: int
+    cache: CacheStats
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.requests / self.wall_seconds
+
+
+class ViewServer:
+    """Serve access requests for registered views from a bounded cache.
+
+    Parameters
+    ----------
+    db:
+        The database all registered views are evaluated against.
+    max_entries / max_cells:
+        Bounds of the representation cache (see
+        :class:`~repro.engine.cache.RepresentationCache`).
+
+    Example
+    -------
+    >>> from repro import ViewServer
+    >>> from repro.workloads import triangle_database
+    >>> server = ViewServer(triangle_database(nodes=30, edges=120, seed=1))
+    >>> name = server.register(
+    ...     "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)", tau=8,
+    ... )
+    >>> batch = server.answer_batch(name, [(3, 7), (1, 2), (3, 7)])
+    >>> batch.unique_count, batch.shared_count
+    (2, 1)
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        max_entries: Optional[int] = 8,
+        max_cells: Optional[int] = None,
+    ):
+        self.db = db
+        self._cache = RepresentationCache(
+            max_entries=max_entries, max_cells=max_cells
+        )
+        self._views: Dict[str, Registration] = {}
+        self._lock = threading.Lock()
+        self._building: Dict[CacheKey, threading.Event] = {}
+        self._build_counts: Dict[CacheKey, int] = {}
+        self._requests_served = 0
+
+    # ------------------------------------------------------------------
+    # registration and τ selection
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        view: Union[AdornedView, str],
+        tau: Optional[float] = None,
+        space_budget: Optional[float] = None,
+        delay_budget: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Register an adorned view; returns the name requests refer to.
+
+        Exactly one of ``tau``, ``space_budget`` and ``delay_budget`` may
+        be given; with none, ``DEFAULT_TAU`` is used. Budgets are in the
+        optimizer's units: space in cells (relative to the relation
+        sizes), delay as the τ bound of Theorem 1.
+        """
+        if isinstance(view, str):
+            view = parse_view(view)
+        knobs = [
+            knob
+            for knob in (tau, space_budget, delay_budget)
+            if knob is not None
+        ]
+        if len(knobs) > 1:
+            raise ParameterError(
+                "give at most one of tau, space_budget, delay_budget"
+            )
+        name = name or view.name
+        if view.is_natural_join():
+            natural_view, database = view, self.db
+        else:
+            normalized = normalize_view(view, self.db)
+            natural_view, database = normalized.view, normalized.database
+        sizes = {
+            label: len(database[atom.relation])
+            for label, atom in enumerate(natural_view.atoms)
+        }
+        weights: Optional[Mapping[int, float]] = None
+        if space_budget is not None:
+            optimum = min_delay_cover(natural_view, sizes, space_budget)
+            policy, budget = "space-budget", float(space_budget)
+            tau, weights = max(1.0, optimum.tau), dict(optimum.weights)
+        elif delay_budget is not None:
+            optimum = min_space_cover(natural_view, sizes, delay_budget)
+            policy, budget = "delay-budget", float(delay_budget)
+            tau, weights = max(1.0, optimum.tau), dict(optimum.weights)
+        else:
+            policy, budget = "fixed", None
+            tau = float(tau) if tau is not None else DEFAULT_TAU
+            if tau <= 0:
+                raise ParameterError(f"tau must be positive, got {tau}")
+        registration = Registration(
+            name=name,
+            view=view,
+            natural_view=natural_view,
+            database=database,
+            tau=tau,
+            policy=policy,
+            budget=budget,
+            weights=weights,
+            sizes=sizes,
+        )
+        with self._lock:
+            if name in self._views:
+                raise SchemaError(f"view {name!r} is already registered")
+            self._views[name] = registration
+        return name
+
+    def registration(self, name: str) -> Registration:
+        with self._lock:
+            try:
+                return self._views[name]
+            except KeyError:
+                raise SchemaError(f"unknown view {name!r}") from None
+
+    def views(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._views.keys())
+
+    # ------------------------------------------------------------------
+    # cached build
+    # ------------------------------------------------------------------
+    def _key(self, registration: Registration, tau: Optional[float]) -> CacheKey:
+        # The registration's exact τ must round-trip through the key: _build
+        # reuses the optimizer's cover only when the key τ matches it.
+        resolved = registration.tau if tau is None else float(tau)
+        return (registration.name, resolved)
+
+    def representation(
+        self, name: str, tau: Optional[float] = None
+    ) -> CompressedRepresentation:
+        """The cached structure for ``(name, τ)``, building it on a miss.
+
+        At most one thread ever builds a given key: late arrivals wait on
+        the builder's event and then read the freshly cached entry.
+        """
+        registration = self.registration(name)
+        key = self._key(registration, tau)
+        while True:
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    return cached
+                event = self._building.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._building[key] = event
+                    building = True
+                else:
+                    building = False
+            if not building:
+                event.wait()
+                continue  # the builder has published (or failed); retry
+            try:
+                built = self._build(registration, key[1])
+                with self._lock:
+                    self._cache.put(key, built)
+                    self._build_counts[key] = (
+                        self._build_counts.get(key, 0) + 1
+                    )
+                return built
+            finally:
+                with self._lock:
+                    del self._building[key]
+                event.set()
+
+    def _build(
+        self, registration: Registration, tau: float
+    ) -> CompressedRepresentation:
+        # The optimizer's cover is tied to the τ it was solved for; a
+        # caller-supplied τ falls back to the default max-slack cover.
+        weights = (
+            registration.weights if tau == registration.tau else None
+        )
+        return CompressedRepresentation(
+            registration.natural_view,
+            registration.database,
+            tau=tau,
+            weights=weights,
+        )
+
+    def build_count(self, name: str, tau: Optional[float] = None) -> int:
+        """How many times ``(name, τ)`` was actually built (cache misses)."""
+        registration = self.registration(name)
+        key = self._key(registration, tau)
+        with self._lock:
+            return self._build_counts.get(key, 0)
+
+    def invalidate(self, name: str) -> int:
+        """Drop all cached structures of one view; returns entries dropped."""
+        with self._lock:
+            victims = [key for key in self._cache.keys() if key[0] == name]
+            for key in victims:
+                self._cache.invalidate(key)
+            return len(victims)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def answer(self, name: str, access: Sequence) -> List[Tuple]:
+        """Answer one access request (convenience wrapper over the cache)."""
+        rows = self.representation(name).answer(access)
+        with self._lock:
+            self._requests_served += 1
+        return rows
+
+    def answer_batch(
+        self,
+        name: str,
+        accesses: Iterable[Sequence],
+        tau: Optional[float] = None,
+        measure: bool = True,
+    ) -> BatchResult:
+        """Serve a batch of access requests with one traversal per distinct one.
+
+        The batch is deduplicated and traversed in sorted order (the tree
+        is laid out lexicographically, so nearby bound values touch nearby
+        dictionary entries); every duplicate request shares the answer
+        list computed by its representative. With ``measure=True`` each
+        traversal is timed through :func:`measure_enumeration`.
+        """
+        batch = tuple(tuple(access) for access in accesses)
+        representation = self.representation(name, tau)
+        unique = sorted(set(batch))
+        answers_by_access: Dict[Tuple, List[Tuple]] = {}
+        stats: Dict[Tuple, DelayStats] = {}
+        for access in unique:
+            if measure:
+                rows: List[Tuple] = []
+                counter = JoinCounter()
+
+                def collect(iterator):
+                    for row in iterator:
+                        rows.append(row)
+                        yield row
+
+                stats[access] = measure_enumeration(
+                    collect(representation.enumerate(access, counter=counter)),
+                    counter=counter,
+                )
+            else:
+                rows = representation.answer(access)
+            answers_by_access[access] = rows
+        with self._lock:
+            self._requests_served += len(batch)
+        return BatchResult(
+            accesses=batch,
+            answers=tuple(answers_by_access[access] for access in batch),
+            request_stats=stats,
+            unique_count=len(unique),
+        )
+
+    def serve_stream(
+        self,
+        name: str,
+        accesses: Iterable[Sequence],
+        batch_size: int = 32,
+        tau: Optional[float] = None,
+        measure: bool = True,
+    ) -> ServingReport:
+        """Drain a request stream in batches and aggregate the measurements."""
+        started = time.perf_counter()
+        with self._lock:
+            builds_before = sum(self._build_counts.values())
+            stats_before = replace(self._cache.stats)
+        requests = unique = outputs = batches = 0
+        max_gap = 0
+        for chunk in batched(accesses, batch_size):
+            result = self.answer_batch(name, chunk, tau=tau, measure=measure)
+            requests += len(result.accesses)
+            unique += result.unique_count
+            outputs += result.outputs
+            batches += 1
+            max_gap = max(max_gap, result.max_step_gap)
+        with self._lock:
+            builds = sum(self._build_counts.values()) - builds_before
+            stats_after = self._cache.stats
+            cache_stats = CacheStats(
+                hits=stats_after.hits - stats_before.hits,
+                misses=stats_after.misses - stats_before.misses,
+                evictions=stats_after.evictions - stats_before.evictions,
+                insertions=stats_after.insertions - stats_before.insertions,
+            )
+        return ServingReport(
+            requests=requests,
+            unique_requests=unique,
+            shared_requests=requests - unique,
+            outputs=outputs,
+            batches=batches,
+            builds=builds,
+            wall_seconds=time.perf_counter() - started,
+            max_step_gap=max_gap,
+            cache=cache_stats,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> RepresentationCache:
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        with self._lock:
+            return replace(self._cache.stats)
+
+    @property
+    def requests_served(self) -> int:
+        with self._lock:
+            return self._requests_served

@@ -22,6 +22,11 @@ from repro.workloads.queries import (
     figure7_view,
     figure7_database,
 )
+from repro.workloads.streams import (
+    batched,
+    productive_accesses,
+    request_stream,
+)
 from repro.workloads.scenarios import (
     coauthor_database,
     coauthor_view,
@@ -50,6 +55,9 @@ __all__ = [
     "figure2_view",
     "figure7_view",
     "figure7_database",
+    "batched",
+    "productive_accesses",
+    "request_stream",
     "coauthor_database",
     "coauthor_view",
     "social_network_database",

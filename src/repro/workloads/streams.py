@@ -1,0 +1,109 @@
+"""Access-request streams: the serving engine's workload side.
+
+A serving system sees a *stream* of access requests, not a single one —
+popular bound values recur (Zipf-style popularity), some requests miss
+entirely, and requests arrive in batches. :func:`request_stream` produces
+such a stream for any adorned view: productive access tuples are the
+distinct bound-variable projections of the true result (computed once by
+the independent hash-join evaluator), drawn with Zipf-skewed popularity,
+interleaved with deterministic misses.
+
+Everything is seeded and deterministic, like the rest of
+:mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.database.catalog import Database
+from repro.exceptions import ParameterError
+from repro.joins.hash_join import evaluate_by_hash_join
+from repro.query.adorned import AdornedView
+
+
+def productive_accesses(view: AdornedView, db: Database) -> List[Tuple]:
+    """Sorted distinct access tuples with at least one answer.
+
+    These are the bound-variable projections of ``Q(D)``, computed by the
+    pairwise hash-join evaluator (no shared code with the compressed
+    structures, so streams are usable as an oracle workload too).
+    """
+    bound_positions = [
+        i for i, ch in enumerate(view.pattern) if ch == "b"
+    ]
+    keys = {
+        tuple(row[i] for i in bound_positions)
+        for row in evaluate_by_hash_join(view.query, db)
+    }
+    return sorted(keys)
+
+
+def request_stream(
+    view: AdornedView,
+    db: Database,
+    n_requests: int,
+    seed: int = 0,
+    skew: float = 1.0,
+    miss_rate: float = 0.0,
+) -> List[Tuple]:
+    """A seeded stream of ``n_requests`` access tuples for one view.
+
+    Parameters
+    ----------
+    skew:
+        Zipf exponent of the popularity distribution over the productive
+        access tuples: 0 is uniform, 1+ concentrates the stream on a few
+        heavy hitters (which is what makes a representation cache and
+        batch deduplication pay off).
+    miss_rate:
+        Fraction of requests (in expectation) drawn as guaranteed misses —
+        access tuples outside the productive set, as a real traffic mix
+        would contain.
+    """
+    if n_requests < 0:
+        raise ParameterError(f"n_requests must be >= 0, got {n_requests}")
+    if skew < 0:
+        raise ParameterError(f"skew must be >= 0, got {skew}")
+    if not 0.0 <= miss_rate <= 1.0:
+        raise ParameterError(f"miss_rate must be in [0, 1], got {miss_rate}")
+    keys = productive_accesses(view, db)
+    n_bound = sum(1 for ch in view.pattern if ch == "b")
+    if not keys and miss_rate < 1.0:
+        # Nothing is productive: the whole stream is misses by necessity.
+        miss_rate = 1.0
+    rng = random.Random(seed)
+    key_set = set(keys)
+    weights = [1.0 / (rank ** skew) for rank in range(1, len(keys) + 1)]
+    stream: List[Tuple] = []
+    for _ in range(n_requests):
+        if rng.random() < miss_rate or not keys:
+            # Rejection-sample so the miss guarantee holds even when the
+            # database itself contains negative values.
+            while True:
+                miss = tuple(
+                    -1 - rng.randrange(1_000_000) for _ in range(n_bound)
+                )
+                if miss not in key_set:
+                    break
+            stream.append(miss)
+        else:
+            stream.append(rng.choices(keys, weights=weights)[0])
+    return stream
+
+
+def batched(
+    stream: Iterable[Sequence], batch_size: int
+) -> Iterator[List[Tuple]]:
+    """Chunk a request stream into serving batches of ``batch_size``."""
+    if batch_size < 1:
+        raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
+    pending: List[Tuple] = []
+    for access in stream:
+        pending.append(tuple(access))
+        if len(pending) >= batch_size:
+            yield pending
+            pending = []
+    if pending:
+        yield pending

@@ -1,54 +1,16 @@
-"""Shared fixtures and the independent evaluation oracle.
+"""Shared fixtures for the test suite.
 
-The oracle evaluates adorned views with pairwise hash joins
-(:mod:`repro.joins.hash_join`), which shares no code with the tries, the
-worst-case-optimal join, or any compressed structure — so agreement is
-meaningful evidence of correctness.
+The independent hash-join oracle lives in :mod:`oracle` (``tests/oracle.py``)
+— a plain importable module, so test imports never depend on conftest
+loading order (see the module docstring there for the history).
 """
 
 from __future__ import annotations
-
-from typing import Dict, List, Tuple
 
 import pytest
 
 from repro.database.catalog import Database
 from repro.database.relation import Relation
-from repro.joins.hash_join import evaluate_by_hash_join
-from repro.query.adorned import AdornedView
-
-
-def oracle_answer(view: AdornedView, db: Database, access: Tuple) -> List[Tuple]:
-    """Sorted free-variable answers of ``view[access]`` by hash joins."""
-    full = evaluate_by_hash_join(view.query, db)
-    bound_positions = [
-        i for i, ch in enumerate(view.pattern) if ch == "b"
-    ]
-    free_positions = [i for i, ch in enumerate(view.pattern) if ch == "f"]
-    access = tuple(access)
-    return sorted(
-        tuple(row[i] for i in free_positions)
-        for row in full
-        if tuple(row[i] for i in bound_positions) == access
-    )
-
-
-def oracle_accesses(view: AdornedView, db: Database, limit: int = 12) -> List[Tuple]:
-    """A deterministic sample of productive access tuples plus two misses."""
-    full = sorted(evaluate_by_hash_join(view.query, db))
-    bound_positions = [i for i, ch in enumerate(view.pattern) if ch == "b"]
-    seen = []
-    for row in full:
-        key = tuple(row[i] for i in bound_positions)
-        if key not in seen:
-            seen.append(key)
-        if len(seen) >= limit:
-            break
-    misses = [
-        tuple(-1 for _ in bound_positions),
-        tuple(10 ** 9 for _ in bound_positions),
-    ]
-    return seen + misses
 
 
 @pytest.fixture

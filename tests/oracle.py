@@ -1,0 +1,54 @@
+"""The independent evaluation oracle, as a plain importable module.
+
+The oracle evaluates adorned views with pairwise hash joins
+(:mod:`repro.joins.hash_join`), which shares no code with the tries, the
+worst-case-optimal join, or any compressed structure — so agreement is
+meaningful evidence of correctness.
+
+This used to live in ``tests/conftest.py``, but ``from conftest import …``
+resolves against whichever ``conftest`` module pytest imported first —
+with both ``tests/`` and ``benchmarks/`` collected, that was
+``benchmarks/conftest.py`` and every test module failed at import time.
+A regular module has an unambiguous name, so the collision cannot recur.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.database.catalog import Database
+from repro.joins.hash_join import evaluate_by_hash_join
+from repro.query.adorned import AdornedView
+
+
+def oracle_answer(view: AdornedView, db: Database, access: Tuple) -> List[Tuple]:
+    """Sorted free-variable answers of ``view[access]`` by hash joins."""
+    full = evaluate_by_hash_join(view.query, db)
+    bound_positions = [
+        i for i, ch in enumerate(view.pattern) if ch == "b"
+    ]
+    free_positions = [i for i, ch in enumerate(view.pattern) if ch == "f"]
+    access = tuple(access)
+    return sorted(
+        tuple(row[i] for i in free_positions)
+        for row in full
+        if tuple(row[i] for i in bound_positions) == access
+    )
+
+
+def oracle_accesses(view: AdornedView, db: Database, limit: int = 12) -> List[Tuple]:
+    """A deterministic sample of productive access tuples plus two misses."""
+    full = sorted(evaluate_by_hash_join(view.query, db))
+    bound_positions = [i for i, ch in enumerate(view.pattern) if ch == "b"]
+    seen = []
+    for row in full:
+        key = tuple(row[i] for i in bound_positions)
+        if key not in seen:
+            seen.append(key)
+        if len(seen) >= limit:
+            break
+    misses = [
+        tuple(-1 for _ in bound_positions),
+        tuple(10 ** 9 for _ in bound_positions),
+    ]
+    return seen + misses

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import oracle_accesses, oracle_answer
+from oracle import oracle_accesses, oracle_answer
 from repro.core.constant_delay import ConnexConstantDelayStructure
 from repro.database.catalog import Database
 from repro.database.relation import Relation

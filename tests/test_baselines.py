@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import oracle_accesses, oracle_answer
+from oracle import oracle_accesses, oracle_answer
 from repro.baselines.lazy import LazyView
 from repro.baselines.materialized import MaterializedView
 from repro.core.structure import CompressedRepresentation

@@ -4,7 +4,7 @@ import itertools
 
 import pytest
 
-from conftest import oracle_accesses, oracle_answer
+from oracle import oracle_accesses, oracle_answer
 from repro.core.constant_delay import (
     ConnexConstantDelayStructure,
     FullyBoundStructure,

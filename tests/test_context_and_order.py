@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import oracle_accesses, oracle_answer
+from oracle import oracle_accesses, oracle_answer
 from repro.core.context import ViewContext
 from repro.core.decomposed import DecomposedRepresentation
 from repro.core.projection import ProjectedRepresentation

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import oracle_accesses, oracle_answer
+from oracle import oracle_accesses, oracle_answer
 from repro.core.decomposed import DecomposedRepresentation
 from repro.database.catalog import Database
 from repro.database.relation import Relation

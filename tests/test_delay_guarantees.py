@@ -36,7 +36,7 @@ class TestDelayScalesWithTau:
         stays within a polylog factor of τ."""
         view = triangle_view("bbf")
         db = triangle_database(40, 500, seed=7)
-        from conftest import oracle_accesses
+        from oracle import oracle_accesses
 
         accesses = oracle_accesses(view, db, limit=10)
         worst = {}
@@ -58,7 +58,7 @@ class TestAnswerTime:
         """Proposition 10: TA = Õ(|q| + τ·|q|^{1/α}) in steps."""
         view = triangle_view("bbf")
         db = triangle_database(40, 500, seed=8)
-        from conftest import oracle_accesses
+        from oracle import oracle_accesses
 
         accesses = oracle_accesses(view, db, limit=10)
         tau = 8.0

@@ -7,7 +7,7 @@ library must degrade to the min-fill heuristic while staying *sound*
 
 import pytest
 
-from conftest import oracle_accesses, oracle_answer
+from oracle import oracle_accesses, oracle_answer
 from repro.core.decomposed import DecomposedRepresentation
 from repro.hypergraph.connex import (
     connex_decomposition_from_order,

@@ -121,3 +121,62 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "fhw(H)        = 1.500" in output
         assert "fhw(H | V_b)" in output
+
+    def test_serve_command(self, triangle_dir, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("1,2\n3,1\n1,2\n# comment\n\n9,9\n")
+        code = main(
+            [
+                "serve",
+                "--view",
+                self.VIEW,
+                "--data",
+                str(triangle_dir),
+                "--requests",
+                str(requests),
+                "--tau",
+                "4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "registered 'Delta': tau=4.000 (fixed)" in output
+        # 4 requests, one duplicate shared, comment/blank lines skipped.
+        assert "served 4 requests" in output
+        assert "3 traversals (1 shared)" in output
+        assert "1 builds" in output
+
+    def test_serve_command_with_space_budget(self, triangle_dir, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("1,2\n")
+        code = main(
+            [
+                "serve",
+                "--view",
+                self.VIEW,
+                "--data",
+                str(triangle_dir),
+                "--requests",
+                str(requests),
+                "--space-budget",
+                "40",
+            ]
+        )
+        assert code == 0
+        assert "(space-budget)" in capsys.readouterr().out
+
+    def test_serve_requires_requests(self, triangle_dir, tmp_path, capsys):
+        empty = tmp_path / "requests.txt"
+        empty.write_text("# nothing here\n")
+        code = main(
+            [
+                "serve",
+                "--view",
+                self.VIEW,
+                "--data",
+                str(triangle_dir),
+                "--requests",
+                str(empty),
+            ]
+        )
+        assert code == 2

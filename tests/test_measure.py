@@ -8,7 +8,7 @@ from repro.measure.space import SpaceReport
 from repro.measure.tradeoff import format_table, sweep_tau, tradeoff_rows
 from repro.workloads.generators import triangle_database
 from repro.workloads.queries import triangle_view
-from conftest import oracle_accesses
+from oracle import oracle_accesses
 
 
 class TestSpaceReport:

@@ -7,7 +7,7 @@ strongest single guard against regressions in the core machinery.
 
 from hypothesis import given, settings, strategies as st
 
-from conftest import oracle_answer
+from oracle import oracle_answer
 from repro.core.decomposed import DecomposedRepresentation
 from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database

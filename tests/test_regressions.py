@@ -42,7 +42,7 @@ class TestClosedEndpointBoxes:
         whose witness sat on an interval endpoint."""
         from repro.workloads.generators import triangle_database
         from repro.workloads.queries import triangle_view
-        from conftest import oracle_accesses, oracle_answer
+        from oracle import oracle_accesses, oracle_answer
 
         view = triangle_view("bbf")
         db = triangle_database(20, 60, seed=3)

@@ -9,7 +9,7 @@ import itertools
 
 import pytest
 
-from conftest import oracle_accesses, oracle_answer
+from oracle import oracle_accesses, oracle_answer
 from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database
 from repro.database.relation import Relation

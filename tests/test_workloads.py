@@ -26,6 +26,11 @@ from repro.workloads.queries import (
     star_view,
     triangle_view,
 )
+from repro.workloads.streams import (
+    batched,
+    productive_accesses,
+    request_stream,
+)
 from repro.workloads.scenarios import (
     coauthor_database,
     coauthor_view,
@@ -144,3 +149,70 @@ class TestScenarios:
         for view in views:
             assert view.is_full
             evaluate_by_hash_join(view.query, db)
+
+
+class TestRequestStreams:
+    def _setup(self):
+        view = triangle_view("bbf")
+        db = triangle_database(nodes=20, edges=90, seed=3)
+        return view, db
+
+    def test_deterministic_and_sized(self):
+        view, db = self._setup()
+        a = request_stream(view, db, 25, seed=7, skew=1.0, miss_rate=0.2)
+        b = request_stream(view, db, 25, seed=7, skew=1.0, miss_rate=0.2)
+        assert a == b
+        assert len(a) == 25
+        assert request_stream(view, db, 0) == []
+
+    def test_zero_miss_rate_is_all_productive(self):
+        view, db = self._setup()
+        productive = set(productive_accesses(view, db))
+        stream = request_stream(view, db, 30, seed=1, miss_rate=0.0)
+        assert productive  # the instance has answers to ask about
+        assert all(access in productive for access in stream)
+
+    def test_full_miss_rate_is_all_misses(self):
+        view, db = self._setup()
+        productive = set(productive_accesses(view, db))
+        stream = request_stream(view, db, 30, seed=1, miss_rate=1.0)
+        assert all(access not in productive for access in stream)
+
+    def test_skew_concentrates_the_stream(self):
+        view, db = self._setup()
+        def top_share(skew):
+            stream = request_stream(view, db, 300, seed=5, skew=skew)
+            counts = {}
+            for access in stream:
+                counts[access] = counts.get(access, 0) + 1
+            return max(counts.values()) / len(stream)
+        assert top_share(2.5) > top_share(0.0)
+
+    def test_productive_accesses_match_oracle_keys(self):
+        view, db = self._setup()
+        bound = [i for i, ch in enumerate(view.pattern) if ch == "b"]
+        expected = sorted(
+            {
+                tuple(row[i] for i in bound)
+                for row in evaluate_by_hash_join(view.query, db)
+            }
+        )
+        assert productive_accesses(view, db) == expected
+
+    def test_batched_chunks(self):
+        view, db = self._setup()
+        stream = request_stream(view, db, 10, seed=2)
+        chunks = list(batched(stream, 4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert [a for chunk in chunks for a in chunk] == stream
+
+    def test_invalid_parameters_rejected(self):
+        view, db = self._setup()
+        with pytest.raises(ParameterError):
+            request_stream(view, db, -1)
+        with pytest.raises(ParameterError):
+            request_stream(view, db, 5, skew=-0.1)
+        with pytest.raises(ParameterError):
+            request_stream(view, db, 5, miss_rate=1.5)
+        with pytest.raises(ParameterError):
+            list(batched([], 0))
