@@ -2,8 +2,9 @@
 # roadmap pins; CI must run the same thing contributors do.
 
 PYTHON ?= python
+SMOKE_REPORT ?= .bench/smoke.json
 
-.PHONY: test collect bench-smoke bench
+.PHONY: test collect lint format bench-smoke bench
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -11,8 +12,22 @@ test:
 collect:
 	PYTHONPATH=src $(PYTHON) -m pytest --collect-only -q
 
+lint:
+	ruff check src tests benchmarks
+	ruff format --check src
+
+format:
+	ruff format src
+	ruff check --fix src tests benchmarks
+
+# The smoke run writes a JSON report and fails if any benchmark errored
+# or the run silently collected nothing — CI gates on it.
 bench-smoke:
-	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_engine_serving.py -q
+	mkdir -p $(dir $(SMOKE_REPORT))
+	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_engine_serving.py benchmarks/bench_async_serving.py \
+		-q --benchmark-json=$(SMOKE_REPORT)
+	$(PYTHON) benchmarks/check_smoke_report.py $(SMOKE_REPORT) 5
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q

@@ -1,0 +1,235 @@
+"""EXP-ASYNC — sharded, async serving of a mixed multi-view stream.
+
+A production cache budget is per process; a mixed workload over several
+views thrashes it. This bench serves one 200-request stream that
+alternates batches between two views of the same triangle database —
+``Delta^bbf`` (shard variable bound → routed) and ``Rev^bbf`` (shard
+variable free → scatter-gather) — three ways, all under the *same
+per-server cell budget*:
+
+* **sync** — one :class:`~repro.engine.ViewServer`; the budget holds one
+  structure, so every view switch rebuilds (the rebuild storm);
+* **async-1-shard** — the asyncio front end over the same single server:
+  concurrent batches coalesce on the cache's single-build guarantee, so
+  the front end alone already blunts the storm — but evictions remain
+  and the build count depends on scheduling luck;
+* **async-N-shard** — :class:`~repro.engine.ShardedViewServer` behind the
+  front end: per-shard structures are fractions of the full ones, so the
+  same per-shard budget keeps *every* view resident — zero evictions,
+  and each structure built exactly once per shard, whatever the arrival
+  order.
+
+Acceptance: async-N-shard throughput >= 2x sync, and every answer in
+every mode is bit-identical to the independent hash-join oracle
+(scatter-gather included).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) keeps the workload (the stream is
+small) and trims repeated rounds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from bench_reporting import bench_emit, bench_emit_table
+from repro.engine import AsyncViewServer, ShardedViewServer, ViewServer
+from repro.joins.hash_join import evaluate_by_hash_join
+from repro.query.parser import parse_view
+from repro.workloads import (
+    batched,
+    request_stream,
+    triangle_database,
+    triangle_view,
+)
+
+TAU = 8.0
+N_SHARDS = 4
+N_REQUESTS = 200  # total across both views
+BATCH_SIZE = 8
+SHARD_KEY = {"R": 0, "T": 1}  # the triangle's x: R(x, y), T(z, x)
+# The acceptance bar is 2x; locally this lands ~4-5x. CI smoke runs on
+# noisy shared runners where wall-clock ratios wobble, so the smoke gate
+# relies on the structural assertions alone (exact build counts, zero
+# shard evictions carry the deterministic claim) and only reports the
+# ratio; full-mode runs assert the 2x floor.
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+MIN_SPEEDUP = 2.0
+
+
+def oracle_table(view, db):
+    """access tuple -> sorted free answers, via the independent evaluator."""
+    bound = [i for i, ch in enumerate(view.pattern) if ch == "b"]
+    free = [i for i, ch in enumerate(view.pattern) if ch == "f"]
+    table = {}
+    for row in evaluate_by_hash_join(view.query, db):
+        key = tuple(row[i] for i in bound)
+        table.setdefault(key, []).append(tuple(row[i] for i in free))
+    return {key: sorted(rows) for key, rows in table.items()}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = triangle_database(nodes=40, edges=240, seed=7)
+    routed = triangle_view("bbf")
+    scatter = parse_view("Rev^bbf(y, z, x) = R(x, y), S(y, z), T(z, x)")
+    half = N_REQUESTS // 2
+    streams = {
+        "Delta": request_stream(routed, db, half, seed=3, skew=1.1, miss_rate=0.1),
+        "Rev": request_stream(scatter, db, half, seed=4, skew=1.1, miss_rate=0.1),
+    }
+    # The mixed stream: batches alternate views, which is what makes a
+    # too-small cache thrash.
+    chunks = {
+        name: list(batched(stream, BATCH_SIZE))
+        for name, stream in streams.items()
+    }
+    mixed = []
+    for pair in zip(chunks["Delta"], chunks["Rev"]):
+        mixed.append(("Delta", pair[0]))
+        mixed.append(("Rev", pair[1]))
+    oracles = {"Delta": oracle_table(routed, db), "Rev": oracle_table(scatter, db)}
+    # Budget: roomy enough for every per-shard structure, too small for
+    # two full ones — the bench's whole premise, asserted below.
+    views = {"Delta": routed, "Rev": scatter}
+    budget = 1300
+    return db, views, mixed, oracles, budget
+
+
+def register_both(backend, views):
+    for name, view in views.items():
+        backend.register(view, tau=TAU, name=name)
+
+
+def verify(mixed, answered, oracles):
+    mismatches = 0
+    for (name, chunk), result in zip(mixed, answered):
+        table = oracles[name]
+        for access, rows in zip(result.accesses, result.answers):
+            if list(rows) != table.get(access, []):
+                mismatches += 1
+    return mismatches
+
+
+def serve_sync(db, views, mixed, budget):
+    server = ViewServer(db, max_entries=8, max_cells=budget)
+    register_both(server, views)
+    started = time.perf_counter()
+    answered = [
+        server.answer_batch(name, chunk, measure=False)
+        for name, chunk in mixed
+    ]
+    return server, answered, time.perf_counter() - started
+
+
+def serve_async(db, views, mixed, budget, n_shards):
+    if n_shards > 1:
+        backend = ShardedViewServer(
+            db, n_shards, SHARD_KEY, max_entries=8, max_cells=budget
+        )
+    else:
+        backend = ViewServer(db, max_entries=8, max_cells=budget)
+    register_both(backend, views)
+    server = AsyncViewServer(backend, max_workers=N_SHARDS, max_pending=8)
+
+    async def drive():
+        started = time.perf_counter()
+        results = await asyncio.gather(
+            *(
+                server.serve(name, chunk, measure=False)
+                for name, chunk in mixed
+            )
+        )
+        return results, time.perf_counter() - started
+
+    try:
+        results, wall = asyncio.run(drive())
+    finally:
+        server.close()
+    return backend, [r.result for r in results], wall
+
+
+def test_async_sharded_throughput(benchmark, workload):
+    db, views, mixed, oracles, budget = workload
+    requests = sum(len(chunk) for _, chunk in mixed)
+
+    sync_server, sync_answers, sync_wall = serve_sync(db, views, mixed, budget)
+    async1_backend, async1_answers, async1_wall = serve_async(
+        db, views, mixed, budget, n_shards=1
+    )
+
+    def run_sharded():
+        return serve_async(db, views, mixed, budget, n_shards=N_SHARDS)
+
+    sharded_backend, sharded_answers, sharded_wall = benchmark.pedantic(
+        run_sharded, rounds=1, iterations=1
+    )
+
+    # Every answer in every mode must match the independent oracle.
+    assert verify(mixed, sync_answers, oracles) == 0
+    assert verify(mixed, async1_answers, oracles) == 0
+    assert verify(mixed, sharded_answers, oracles) == 0
+
+    # The premise: the budget thrashes one server but keeps every
+    # per-shard structure resident (each view built once per shard).
+    assert sync_server.total_builds() > len(views) * N_SHARDS
+    assert sharded_backend.total_builds() == len(views) * N_SHARDS
+    assert sharded_backend.cache_stats.evictions == 0
+
+    speedup = sync_wall / max(sharded_wall, 1e-9)
+    bench_emit_table(
+        [
+            ("sync 1-server", f"{sync_wall * 1000:.1f}",
+             f"{requests / sync_wall:.0f}", sync_server.total_builds()),
+            ("async 1-shard", f"{async1_wall * 1000:.1f}",
+             f"{requests / async1_wall:.0f}", async1_backend.total_builds()),
+            (f"async {N_SHARDS}-shard", f"{sharded_wall * 1000:.1f}",
+             f"{requests / sharded_wall:.0f}", sharded_backend.total_builds()),
+        ],
+        headers=("mode", "ms", "req/s", "builds"),
+        title=(
+            f"EXP-ASYNC: {requests}-request mixed stream (2 views, batches "
+            f"alternating), cell budget {budget}/server; "
+            f"sharded speedup {speedup:.1f}x"
+        ),
+    )
+    bench_emit(
+        "shape check: the per-server budget holds one full structure but "
+        "all per-shard ones, so sharding replaces the rebuild storm with "
+        f"exactly {len(views) * N_SHARDS} resident builds and zero "
+        "evictions (async-1-shard merely coalesces concurrent rebuilds); "
+        f"speedup must be >= {MIN_SPEEDUP}x outside smoke mode."
+    )
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, f"sharded speedup only {speedup:.1f}x"
+
+
+def test_scatter_gather_matches_oracle(benchmark, workload):
+    db, views, mixed, oracles, budget = workload
+    backend = ShardedViewServer(
+        db, N_SHARDS, SHARD_KEY, max_entries=8, max_cells=budget
+    )
+    register_both(backend, views)
+    assert backend.route("Delta") == ("routed", 0)
+    assert backend.route("Rev") == ("scatter", None)
+    stream = [access for name, chunk in mixed if name == "Rev" for access in chunk]
+
+    result = benchmark.pedantic(
+        lambda: backend.answer_batch("Rev", stream, measure=False),
+        rounds=1,
+        iterations=1,
+    )
+    table = oracles["Rev"]
+    mismatches = sum(
+        1
+        for access, rows in zip(result.accesses, result.answers)
+        if list(rows) != table.get(access, [])
+    )
+    bench_emit(
+        f"EXP-ASYNC scatter-gather: {len(result.accesses)} requests fanned "
+        f"to {N_SHARDS} shards and merged; {mismatches} oracle mismatches"
+    )
+    assert mismatches == 0

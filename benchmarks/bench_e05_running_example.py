@@ -12,7 +12,7 @@ import math
 
 import pytest
 
-from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
+from bench_reporting import bench_emit_table, bench_probe_delays
 from repro.core.intervals import FInterval
 from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database

@@ -6,7 +6,6 @@ is *linear* with delay Õ(|D|^{1/(n-1)}). The query has no out-of-the-box
 factorization (the paper's point: this is beyond d-representations).
 """
 
-import math
 
 import pytest
 

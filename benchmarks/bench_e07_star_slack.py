@@ -10,7 +10,7 @@ the same answers and comparable delay.
 
 import pytest
 
-from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
+from bench_reporting import bench_emit_table, bench_probe_delays
 from repro.core.structure import CompressedRepresentation
 from repro.workloads.generators import zipf_relation
 from repro.database.catalog import Database

@@ -10,7 +10,7 @@ import math
 
 import pytest
 
-from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
+from bench_reporting import bench_emit_table, bench_probe_delays
 from repro.core.decomposed import DecomposedRepresentation
 from repro.core.structure import CompressedRepresentation
 from repro.hypergraph.hypergraph import hypergraph_of_view

@@ -4,7 +4,6 @@ Prints every width number the paper states next to the computed value;
 the bench also times the exact elimination-order searches.
 """
 
-import pytest
 
 from bench_reporting import bench_emit_table
 from repro.hypergraph.connex import ConnexDecomposition

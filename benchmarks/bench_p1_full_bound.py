@@ -7,7 +7,7 @@ shows probes-per-request staying flat while |D| grows 4x.
 
 import pytest
 
-from bench_reporting import bench_emit, bench_emit_table
+from bench_reporting import bench_emit_table
 from repro.core.constant_delay import FullyBoundStructure
 from repro.workloads.generators import triangle_database
 from repro.workloads.queries import triangle_view

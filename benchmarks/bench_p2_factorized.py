@@ -6,7 +6,6 @@ larger. Series: factorized cells vs flat output tuples as the blow-up
 factor grows, plus enumeration throughput.
 """
 
-import pytest
 
 from bench_reporting import bench_emit, bench_emit_table
 from repro.database.catalog import Database

@@ -8,7 +8,7 @@ O(1) probes per output.
 
 import pytest
 
-from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
+from bench_reporting import bench_emit_table, bench_probe_delays
 from repro.baselines.materialized import MaterializedView
 from repro.core.constant_delay import ConnexConstantDelayStructure
 from repro.workloads.queries import figure7_database, figure7_view

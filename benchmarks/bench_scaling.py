@@ -6,9 +6,8 @@ structure's worst per-output gap nearly flat while lazy evaluation's gap
 grows linearly — the cleanest operational statement of the tradeoff.
 """
 
-import pytest
 
-from bench_reporting import bench_emit, bench_emit_table, bench_probe_delays
+from bench_reporting import bench_emit_table, bench_probe_delays
 from repro.baselines.lazy import LazyView
 from repro.core.structure import CompressedRepresentation
 from repro.workloads.queries import mutual_friend_view

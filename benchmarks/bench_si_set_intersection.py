@@ -9,7 +9,7 @@ Section 3.3).
 
 import pytest
 
-from bench_reporting import bench_emit, bench_emit_table
+from bench_reporting import bench_emit_table
 from repro.joins.generic_join import JoinCounter
 from repro.measure.delay import measure_enumeration
 from repro.setintersection.cohen_porat import SetIntersectionIndex

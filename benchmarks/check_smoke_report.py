@@ -1,0 +1,54 @@
+"""Gate `make bench-smoke` on its JSON report, not just pytest's exit code.
+
+pytest already exits nonzero when a benchmark test errors or asserts;
+what it cannot catch is the quieter failure where the smoke run collects
+nothing (a rename, a bad marker expression, an import silently skipping a
+module) and "passes" having measured zero benchmarks. This checker reads
+the ``--benchmark-json`` report and fails the make target when:
+
+* the report is missing or unparseable,
+* it contains no benchmark entries at all,
+* any entry is missing timing stats (an errored run).
+
+Usage: ``python benchmarks/check_smoke_report.py PATH [MIN_BENCHMARKS]``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def check(path: str, minimum: int = 1) -> int:
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"bench-smoke: cannot read report {path!r}: {error}")
+        return 1
+    benchmarks = report.get("benchmarks", [])
+    if len(benchmarks) < minimum:
+        print(
+            f"bench-smoke: report has {len(benchmarks)} benchmarks, "
+            f"expected >= {minimum} — did collection silently skip them?"
+        )
+        return 1
+    broken = [
+        entry.get("name", "<unnamed>")
+        for entry in benchmarks
+        if not entry.get("stats") or entry["stats"].get("mean") is None
+    ]
+    if broken:
+        print(f"bench-smoke: benchmarks without stats (errored?): {broken}")
+        return 1
+    names = ", ".join(entry.get("name", "<unnamed>") for entry in benchmarks)
+    print(f"bench-smoke: {len(benchmarks)} benchmarks ok ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print("usage: check_smoke_report.py REPORT_JSON [MIN_BENCHMARKS]")
+        sys.exit(2)
+    minimum = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    sys.exit(check(sys.argv[1], minimum))

@@ -52,11 +52,16 @@ from repro.core import (
     ProjectedRepresentation,
 )
 from repro.engine import (
+    AsyncServingReport,
+    AsyncViewServer,
     BatchResult,
     CacheStats,
     RepresentationCache,
     ServingReport,
+    ShardedViewServer,
     ViewServer,
+    infer_shard_key,
+    partition_database,
 )
 from repro.factorized import FactorizedRepresentation
 from repro.baselines import LazyView, MaterializedView
@@ -95,6 +100,11 @@ __all__ = [
     "FullyBoundStructure",
     "ConnexConstantDelayStructure",
     "ViewServer",
+    "ShardedViewServer",
+    "AsyncViewServer",
+    "AsyncServingReport",
+    "infer_shard_key",
+    "partition_database",
     "RepresentationCache",
     "CacheStats",
     "BatchResult",

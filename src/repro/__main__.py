@@ -25,6 +25,16 @@ deduplicated answers; see :mod:`repro.engine`)::
         --view "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)" \\
         --data ./relations --requests ./requests.txt --batch-size 32
 
+Scale the same stream out: ``--shards N`` hash-partitions the database
+across N per-shard servers (``--shard-key R:0,T:1`` overrides the key
+inferred from the view), and ``--async`` puts the asyncio front end in
+front (thread-pool execution, ``--workers``, backpressure via
+``--max-pending``)::
+
+    python -m repro serve --async --shards 4 \\
+        --view "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)" \\
+        --data ./relations --requests ./requests.txt
+
 The requests file holds one access tuple per line (comma-separated bound
 values; blank lines and ``#`` comments are skipped). Instead of a fixed
 ``--tau``, the engine can pick it: ``--space-budget CELLS`` minimizes
@@ -35,17 +45,21 @@ space under the delay bound (Proposition 12).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from pathlib import Path
 
 from repro import (
+    AsyncViewServer,
     CompressedRepresentation,
+    ShardedViewServer,
     ViewServer,
     connex_fhw,
     fhw,
     hypergraph_of_view,
+    infer_shard_key,
     parse_view,
 )
 from repro.exceptions import ReproError
@@ -133,6 +147,30 @@ def _run_serve(args) -> int:
         return 2
 
 
+def _parse_shard_key(text: str) -> Dict[str, int]:
+    """``"R:0,T:1"`` → ``{"R": 0, "T": 1}``."""
+    key: Dict[str, int] = {}
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        relation, _, column = piece.partition(":")
+        relation = relation.strip()
+        if not relation or not column.strip().isdigit():
+            raise ReproError(
+                f"bad shard key entry {piece!r} (expected RELATION:COLUMN)"
+            )
+        if relation in key:
+            raise ReproError(
+                f"shard key names relation {relation!r} twice "
+                f"(columns {key[relation]} and {column.strip()})"
+            )
+        key[relation] = int(column.strip())
+    if not key:
+        raise ReproError(f"shard key {text!r} names no relations")
+    return key
+
+
 def _serve(args) -> int:
     view = parse_view(args.view)
     db = load_database(args.data)
@@ -140,21 +178,83 @@ def _serve(args) -> int:
     if not accesses:
         print(f"{args.requests}: no access requests", file=sys.stderr)
         return 2
-    server = ViewServer(
-        db, max_entries=args.cache_entries, max_cells=args.cache_cells
-    )
-    name = server.register(
+    if args.shards < 1:
+        raise ReproError(f"--shards must be >= 1, got {args.shards}")
+    if args.shard_key is not None and args.shards <= 1:
+        raise ReproError("--shard-key is meaningless without --shards N > 1")
+    if not args.use_async and (
+        args.workers is not None or args.max_pending is not None
+    ):
+        raise ReproError("--workers/--max-pending are async knobs; add --async")
+    if args.shards > 1:
+        shard_key = (
+            _parse_shard_key(args.shard_key)
+            if args.shard_key is not None
+            else infer_shard_key(view)
+        )
+        backend = ShardedViewServer(
+            db,
+            args.shards,
+            shard_key,
+            max_entries=args.cache_entries,
+            max_cells=args.cache_cells,
+        )
+    else:
+        backend = ViewServer(
+            db, max_entries=args.cache_entries, max_cells=args.cache_cells
+        )
+    name = backend.register(
         view,
         tau=args.tau,
         space_budget=args.space_budget,
         delay_budget=args.delay_budget,
     )
-    registration = server.registration(name)
+    registration = backend.registration(name)
+    # Budget-driven tau is resolved per shard; shard 0's is representative.
+    scope = ", shard 0" if args.shards > 1 and registration.budget else ""
     print(
         f"registered {name!r}: tau={registration.tau:.3f} "
-        f"({registration.policy})"
+        f"({registration.policy}{scope})"
     )
-    report = server.serve_stream(name, accesses, batch_size=args.batch_size)
+    if args.shards > 1:
+        mode, position = backend.route(name)
+        detail = f" on bound position {position}" if mode == "routed" else ""
+        print(
+            f"sharding: {args.shards} shards over "
+            f"{sorted(backend.shard_key)} ({mode}{detail})"
+        )
+    if args.use_async:
+        workers = args.workers if args.workers is not None else 4
+        max_pending = args.max_pending if args.max_pending is not None else 32
+        server = AsyncViewServer(
+            backend,
+            max_workers=workers,
+            max_pending=max_pending,
+        )
+        try:
+            report = asyncio.run(
+                server.serve_stream(
+                    name, accesses, batch_size=args.batch_size
+                )
+            )
+        finally:
+            server.close()
+        _print_stream_report(report)
+        print(
+            f"async: queue max {report.queue_seconds_max * 1000:.1f} ms "
+            f"(mean {report.queue_seconds_mean * 1000:.1f} ms), "
+            f"service mean {report.service_seconds_mean * 1000:.1f} ms, "
+            f"{workers} workers, {max_pending} max in flight"
+        )
+    else:
+        report = backend.serve_stream(
+            name, accesses, batch_size=args.batch_size
+        )
+        _print_stream_report(report)
+    return 0
+
+
+def _print_stream_report(report) -> None:
     print(
         f"served {report.requests} requests in {report.batches} batches: "
         f"{report.unique_requests} traversals ({report.shared_requests} "
@@ -169,7 +269,6 @@ def _serve(args) -> int:
         f"{report.wall_seconds * 1000:.1f} ms total "
         f"({report.requests_per_second:.0f} req/s)"
     )
-    return 0
 
 
 def _run_widths(args) -> int:
@@ -243,7 +342,41 @@ def main(argv=None) -> int:
         "--cache-entries", type=int, default=8, help="LRU entry bound"
     )
     serve.add_argument(
-        "--cache-cells", type=int, default=None, help="LRU cell budget"
+        "--cache-cells",
+        type=int,
+        default=None,
+        help="LRU cell budget (per shard when sharded)",
+    )
+    serve.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve through the asyncio front end (thread-pool execution)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="hash-partition the database across N per-shard servers",
+    )
+    serve.add_argument(
+        "--shard-key",
+        default=None,
+        help="RELATION:COLUMN[,RELATION:COLUMN...]; inferred from the view "
+        "when omitted",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="async thread-pool width (default 4; needs --async)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="async backpressure: max batches in flight "
+        "(default 32; needs --async)",
     )
     serve.set_defaults(handler=_run_serve)
 

@@ -19,7 +19,11 @@ from repro.core.context import ViewContext, AtomBinding
 from repro.core.intervals import FBox, FInterval, ScalarInterval
 from repro.core.cost import CostModel
 from repro.core.splitting import split_interval
-from repro.core.balanced_tree import DelayBalancedTree, TreeNode, build_delay_balanced_tree
+from repro.core.balanced_tree import (
+    DelayBalancedTree,
+    TreeNode,
+    build_delay_balanced_tree,
+)
 from repro.core.dictionary import HeavyDictionary, build_dictionary
 from repro.core.structure import CompressedRepresentation
 from repro.core.projection import ProjectedRepresentation

@@ -55,7 +55,13 @@ class TreeNode:
 class DelayBalancedTree:
     """The constructed tree plus its tuning parameters."""
 
-    def __init__(self, root: Optional[TreeNode], nodes: List[TreeNode], tau: float, alpha: float):
+    def __init__(
+        self,
+        root: Optional[TreeNode],
+        nodes: List[TreeNode],
+        tau: float,
+        alpha: float,
+    ):
         self.root = root
         self.nodes = nodes
         self.tau = tau

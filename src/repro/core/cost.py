@@ -18,7 +18,7 @@ coordinate. Exponents ``û_F = 0`` contribute a factor of 1 by the usual
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.context import AtomBinding, ViewContext
 from repro.core.intervals import FBox, FInterval

@@ -29,7 +29,6 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database
-from repro.database.relation import Relation
 from repro.exceptions import DecompositionError, ParameterError, QueryError
 from repro.hypergraph.connex import ConnexDecomposition
 from repro.hypergraph.hypergraph import hypergraph_of_view

@@ -21,7 +21,7 @@ matching the paper's preprocessing-then-query model.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence
 
 from repro.database.relation import Relation
 from repro.exceptions import SchemaError
@@ -119,7 +119,8 @@ class TrieIndex:
                 )
         if len(set(column_order)) != len(column_order):
             raise SchemaError(
-                f"index on {relation.name!r}: duplicate column in order {column_order!r}"
+                f"index on {relation.name!r}: duplicate column in "
+                f"order {column_order!r}"
             )
         self.relation = relation
         self.column_order = tuple(column_order)

@@ -9,7 +9,7 @@ mutually comparable, hashable values.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, Mapping, Sequence, Tuple
 
 from repro.exceptions import SchemaError
 
@@ -46,7 +46,8 @@ class Relation:
             tup = tuple(row)
             if len(tup) != arity:
                 raise SchemaError(
-                    f"relation {name!r}: row {tup!r} has arity {len(tup)}, expected {arity}"
+                    f"relation {name!r}: row {tup!r} has arity "
+                    f"{len(tup)}, expected {arity}"
                 )
             deduped.add(tup)
         self._rows = frozenset(deduped)
@@ -100,7 +101,9 @@ class Relation:
         new_rows = {tuple(row[p] for p in positions) for row in self._rows}
         return Relation(name or f"pi({self.name})", len(positions), new_rows)
 
-    def select_constants(self, bindings: Mapping[int, Value], name: str = None) -> "Relation":
+    def select_constants(
+        self, bindings: Mapping[int, Value], name: str = None
+    ) -> "Relation":
         """Keep rows whose value at each position matches the given constant."""
         for p in bindings:
             if not 0 <= p < self.arity:
@@ -113,7 +116,9 @@ class Relation:
         ]
         return Relation(name or f"sigma({self.name})", self.arity, new_rows)
 
-    def select_equal_columns(self, groups: Sequence[Sequence[int]], name: str = None) -> "Relation":
+    def select_equal_columns(
+        self, groups: Sequence[Sequence[int]], name: str = None
+    ) -> "Relation":
         """Keep rows where, within each group of positions, all values agree.
 
         Used by the Example 3 rewriting to eliminate repeated variables in an
@@ -164,7 +169,9 @@ class Relation:
         result._rows = self._rows | other._rows
         return result
 
-    def semijoin_values(self, position: int, values: Iterable[Value], name: str = None) -> "Relation":
+    def semijoin_values(
+        self, position: int, values: Iterable[Value], name: str = None
+    ) -> "Relation":
         """Keep rows whose value at ``position`` is in ``values``."""
         allowed = set(values)
         return Relation(

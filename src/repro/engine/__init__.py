@@ -1,14 +1,24 @@
-"""The access-serving engine (representation cache + view server).
+"""The access-serving engine (representation cache + view servers).
 
 The paper's structures answer *access requests*; this package turns them
 into a serving layer: :class:`ViewServer` keeps built
 :class:`~repro.core.structure.CompressedRepresentation` instances in a
-bounded LRU :class:`RepresentationCache`, auto-selects τ from space or
-delay budgets via the Section 6 optimizers, serves deduplicated sorted
-batches, and is safe for concurrent readers (single-build guarantee,
-lock-free enumeration).
+bounded LRU :class:`RepresentationCache` (internally thread-safe, with a
+single-build :meth:`~RepresentationCache.get_or_build` guarantee),
+auto-selects τ from space or delay budgets via the Section 6 optimizers,
+and serves deduplicated sorted batches. :class:`ShardedViewServer`
+hash-partitions the bound-value space across per-shard servers (routing
+bound requests, scatter-gathering free ones), and
+:class:`AsyncViewServer` multiplexes request streams over either back
+end from an event loop, with thread-pool execution, backpressure, and
+per-batch delay accounting.
 """
 
+from repro.engine.async_server import (
+    AsyncBatchResult,
+    AsyncServingReport,
+    AsyncViewServer,
+)
 from repro.engine.cache import CacheStats, RepresentationCache, representation_cells
 from repro.engine.server import (
     DEFAULT_TAU,
@@ -16,6 +26,13 @@ from repro.engine.server import (
     Registration,
     ServingReport,
     ViewServer,
+)
+from repro.engine.sharding import (
+    ShardedViewServer,
+    infer_shard_key,
+    merge_delay_stats,
+    partition_database,
+    stable_hash,
 )
 
 __all__ = [
@@ -27,4 +44,12 @@ __all__ = [
     "Registration",
     "ServingReport",
     "ViewServer",
+    "ShardedViewServer",
+    "infer_shard_key",
+    "merge_delay_stats",
+    "partition_database",
+    "stable_hash",
+    "AsyncBatchResult",
+    "AsyncServingReport",
+    "AsyncViewServer",
 ]

@@ -1,0 +1,395 @@
+"""The asyncio serving front end: multiplex request streams over one engine.
+
+The compressed representations only pay off when a resident structure
+amortizes over many access requests;
+:class:`~repro.engine.server.ViewServer` keeps structures alive but serves
+from the caller's thread. :class:`AsyncViewServer` puts an event loop in
+front: builds and batch answering run on a bounded
+``ThreadPoolExecutor`` (builds already carry the single-build guarantee
+and enumeration is lock-free for readers, so worker threads never
+contend), a bounded semaphore applies backpressure to over-eager
+producers, and every served batch reports its queue and service delay.
+
+The back end is duck-typed: a plain ``ViewServer`` or a
+:class:`~repro.engine.sharding.ShardedViewServer`. For a sharded back
+end the front end splits each batch along the shard plan and awaits the
+per-shard sub-batches concurrently — scatter-gather requests fan out to
+every shard, routed requests touch exactly one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    AsyncIterator,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.database.catalog import Database
+from repro.engine.cache import CacheStats
+from repro.engine.server import BatchResult, Registration, ViewServer
+from repro.engine.sharding import ShardedViewServer
+from repro.exceptions import ParameterError
+from repro.query.adorned import AdornedView
+from repro.workloads.streams import batched
+
+Backend = Union[ViewServer, ShardedViewServer]
+
+
+@dataclass(frozen=True)
+class AsyncBatchResult:
+    """One served batch plus its life-cycle timing.
+
+    ``queue_seconds`` spans submission to the first worker picking the
+    batch up (semaphore wait + executor queueing — the backpressure
+    delay); ``service_seconds`` spans first pickup to the last shard
+    finishing.
+    """
+
+    result: BatchResult
+    queue_seconds: float
+    service_seconds: float
+    shards: Tuple[int, ...] = ()
+
+    @property
+    def turnaround_seconds(self) -> float:
+        return self.queue_seconds + self.service_seconds
+
+
+@dataclass(frozen=True)
+class AsyncServingReport:
+    """Aggregate of one request stream served through the async front end.
+
+    ``builds`` and ``cache`` are deltas observed during this stream (a
+    warm engine reports zero builds); queue/service statistics aggregate
+    the per-batch :class:`AsyncBatchResult` timings.
+    """
+
+    requests: int
+    unique_requests: int
+    shared_requests: int
+    outputs: int
+    batches: int
+    builds: int
+    wall_seconds: float
+    max_step_gap: int
+    queue_seconds_max: float
+    queue_seconds_mean: float
+    service_seconds_mean: float
+    cache: CacheStats
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.requests / self.wall_seconds
+
+
+class AsyncViewServer:
+    """Async facade over a ``ViewServer`` or ``ShardedViewServer``.
+
+    Parameters
+    ----------
+    backend:
+        A database (a fresh ``ViewServer`` is created over it) or an
+        existing back end to wrap.
+    max_workers:
+        Thread-pool width. Builds and per-shard sub-batches occupy
+        workers; readers never block each other, so a handful suffices.
+    max_pending:
+        Backpressure bound: at most this many :meth:`serve` calls may be
+        in flight (queued + executing). Further callers — and
+        :meth:`serve_stream`'s intake — wait.
+    max_entries / max_cells:
+        Cache bounds, used only when ``backend`` is a database.
+
+    One event loop at a time: the internal semaphore binds to the loop
+    of the first ``await``, so drive a given instance from a single
+    ``asyncio.run`` (or call :meth:`reset` between loops).
+    """
+
+    def __init__(
+        self,
+        backend: Union[Backend, Database],
+        max_workers: int = 4,
+        max_pending: int = 32,
+        max_entries: Optional[int] = 8,
+        max_cells: Optional[int] = None,
+    ):
+        if max_workers < 1:
+            raise ParameterError(f"max_workers must be >= 1, got {max_workers}")
+        if max_pending < 1:
+            raise ParameterError(f"max_pending must be >= 1, got {max_pending}")
+        if isinstance(backend, Database):
+            backend = ViewServer(
+                backend, max_entries=max_entries, max_cells=max_cells
+            )
+        self.backend: Backend = backend
+        self.max_pending = max_pending
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._semaphore = asyncio.Semaphore(max_pending)
+
+    # ------------------------------------------------------------------
+    # passthrough registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        view: Union[AdornedView, str],
+        tau: Optional[float] = None,
+        space_budget: Optional[float] = None,
+        delay_budget: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        return self.backend.register(
+            view,
+            tau=tau,
+            space_budget=space_budget,
+            delay_budget=delay_budget,
+            name=name,
+        )
+
+    def registration(self, name: str) -> Registration:
+        return self.backend.registration(name)
+
+    def views(self) -> Tuple[str, ...]:
+        return self.backend.views()
+
+    @property
+    def is_sharded(self) -> bool:
+        return isinstance(self.backend, ShardedViewServer)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    async def serve(
+        self,
+        name: str,
+        accesses: Iterable[Sequence],
+        tau: Optional[float] = None,
+        measure: bool = True,
+    ) -> AsyncBatchResult:
+        """Serve one batch on the thread pool; await the merged result.
+
+        With a sharded back end the batch is split along its shard plan
+        and the non-empty sub-batches run concurrently; the returned
+        timing spans the whole fan-out.
+        """
+        batch = [tuple(access) for access in accesses]
+        loop = asyncio.get_running_loop()
+        submitted = time.perf_counter()
+        async with self._semaphore:
+            if isinstance(self.backend, ShardedViewServer):
+                return await self._serve_sharded(
+                    loop, name, batch, tau, measure, submitted
+                )
+            (result, started, finished) = await loop.run_in_executor(
+                self._executor,
+                self._timed_batch,
+                self.backend,
+                None,
+                name,
+                batch,
+                tau,
+                measure,
+            )
+            return AsyncBatchResult(
+                result=result,
+                queue_seconds=started - submitted,
+                service_seconds=finished - started,
+            )
+
+    async def _serve_sharded(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        name: str,
+        batch: List[Tuple],
+        tau: Optional[float],
+        measure: bool,
+        submitted: float,
+    ) -> AsyncBatchResult:
+        backend: ShardedViewServer = self.backend
+        # One route resolution serves plan and merge (a concurrent
+        # re-registration must not flip the mode mid-batch), and the
+        # per-access hash planning runs off the loop thread.
+        route = backend.route(name)
+        plan = await loop.run_in_executor(
+            self._executor, backend.plan_batch, name, batch, route
+        )
+        work = [
+            (index, sub_batch)
+            for index, sub_batch in enumerate(plan)
+            if sub_batch
+        ]
+        timed = await asyncio.gather(
+            *(
+                loop.run_in_executor(
+                    self._executor,
+                    self._timed_batch,
+                    backend,
+                    index,
+                    name,
+                    sub_batch,
+                    tau,
+                    measure,
+                )
+                for index, sub_batch in work
+            )
+        )
+        shard_results: List[Optional[BatchResult]] = [None] * len(plan)
+        started = time.perf_counter()  # >= every sub_started; min() folds down
+        finished = 0.0
+        for (index, _), (result, sub_started, sub_finished) in zip(work, timed):
+            shard_results[index] = result
+            started = min(started, sub_started)
+            finished = max(finished, sub_finished)
+        # The gather merge is O(total outputs); keep it off the loop
+        # thread so other batches keep flowing while it runs — but its
+        # duration is real service time, so it extends the span.
+        merged = await loop.run_in_executor(
+            self._executor, backend.merge_batch, name, batch, shard_results, route
+        )
+        finished = max(finished, time.perf_counter())
+        return AsyncBatchResult(
+            result=merged,
+            queue_seconds=started - submitted,
+            service_seconds=max(0.0, finished - started),
+            shards=tuple(index for index, _ in work),
+        )
+
+    @staticmethod
+    def _timed_batch(backend, shard_index, name, accesses, tau, measure):
+        started = time.perf_counter()
+        if shard_index is None:
+            result = backend.answer_batch(name, accesses, tau=tau, measure=measure)
+        else:
+            result = backend.answer_shard(
+                shard_index, name, accesses, tau=tau, measure=measure
+            )
+        return result, started, time.perf_counter()
+
+    async def serve_stream(
+        self,
+        name: str,
+        accesses: Union[Iterable[Sequence], AsyncIterator[List[Tuple]]],
+        batch_size: int = 32,
+        tau: Optional[float] = None,
+        measure: bool = True,
+    ) -> AsyncServingReport:
+        """Drain a stream, keeping up to ``max_pending`` batches in flight.
+
+        ``accesses`` is either a plain iterable of access tuples (chunked
+        into ``batch_size`` batches here) or an async iterator *of
+        batches* — e.g. :func:`repro.workloads.streams.arrivals`, which
+        paces batches like live traffic. Intake is backpressured: once
+        ``max_pending`` batches are in flight the producer is not read
+        until one completes.
+        """
+        started = time.perf_counter()
+        builds_before = self.backend.total_builds()
+        stats_before = self._stats_snapshot()
+        pending = set()
+        results: List[AsyncBatchResult] = []
+
+        async def flush(keep: int) -> None:
+            nonlocal pending
+            while len(pending) > keep:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                # Retrieve every completed task's outcome before raising,
+                # so sibling failures in the same round are not dropped as
+                # never-retrieved exceptions.
+                failures = []
+                for task in done:
+                    error = task.exception()
+                    if error is not None:
+                        failures.append(error)
+                    else:
+                        results.append(task.result())
+                if failures:
+                    raise failures[0]
+
+        async def submit(chunk: List[Tuple]) -> None:
+            await flush(self.max_pending - 1)
+            pending.add(
+                asyncio.create_task(
+                    self.serve(name, chunk, tau=tau, measure=measure)
+                )
+            )
+
+        try:
+            if hasattr(accesses, "__aiter__"):
+                async for chunk in accesses:
+                    await submit([tuple(access) for access in chunk])
+            else:
+                for chunk in batched(accesses, batch_size):
+                    await submit(chunk)
+            await flush(0)
+        except BaseException:
+            # A failed batch must not strand its siblings: cancel and
+            # drain everything still in flight before propagating.
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            raise
+
+        stats_after = self._stats_snapshot()
+        wall = time.perf_counter() - started
+        requests = sum(len(r.result.accesses) for r in results)
+        unique = sum(r.result.unique_count for r in results)
+        queue_times = [r.queue_seconds for r in results]
+        service_times = [r.service_seconds for r in results]
+        return AsyncServingReport(
+            requests=requests,
+            unique_requests=unique,
+            shared_requests=requests - unique,
+            outputs=sum(r.result.outputs for r in results),
+            batches=len(results),
+            builds=self.backend.total_builds() - builds_before,
+            wall_seconds=wall,
+            max_step_gap=max(
+                (r.result.max_step_gap for r in results), default=0
+            ),
+            queue_seconds_max=max(queue_times, default=0.0),
+            queue_seconds_mean=(
+                sum(queue_times) / len(queue_times) if queue_times else 0.0
+            ),
+            service_seconds_mean=(
+                sum(service_times) / len(service_times)
+                if service_times
+                else 0.0
+            ),
+            cache=stats_after.delta(stats_before),
+        )
+
+    def _stats_snapshot(self) -> CacheStats:
+        return self.backend.cache_stats
+
+    # ------------------------------------------------------------------
+    # life cycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Re-arm the semaphore for a fresh event loop (idle servers only)."""
+        self._semaphore = asyncio.Semaphore(self.max_pending)
+
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent)."""
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncViewServer":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        # shutdown(wait=True) joins worker threads; keep that off the
+        # event loop so sibling tasks are not frozen behind a slow build.
+        await asyncio.get_running_loop().run_in_executor(None, self.close)

@@ -17,16 +17,23 @@ entry count or a maximum total cell budget. A single entry larger than
 the cell budget is still admitted (and everything else evicted) — the
 alternative is rebuilding it on every request, which is strictly worse.
 
-The cache itself is not synchronized; :class:`~repro.engine.server.ViewServer`
-performs all cache bookkeeping under its registry lock and serves
-enumeration outside any lock.
+The cache is internally synchronized: every public operation holds the
+cache lock, and :meth:`RepresentationCache.get_or_build` provides the
+single-build guarantee (at most one thread ever runs the factory for a
+given key; late arrivals wait on the builder's event, then read the
+freshly cached entry). Builds and cell measurement run *outside* the
+lock — only bookkeeping is serialized — and a publish re-checks for a
+resident entry so that an eviction or invalidation racing a build in
+flight can never double-count cells: ``total_cells`` always equals the
+sum of :func:`representation_cells` over the current residents.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Hashable, List, Optional, Tuple
 
 from repro.core.structure import CompressedRepresentation
 from repro.exceptions import ParameterError
@@ -49,6 +56,23 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.requests if self.requests else 0.0
 
+    def delta(self, before: "CacheStats") -> "CacheStats":
+        """The counters accumulated since the ``before`` snapshot."""
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            evictions=self.evictions - before.evictions,
+            insertions=self.insertions - before.insertions,
+        )
+
+    def add(self, other: "CacheStats") -> "CacheStats":
+        """Accumulate another counter set into this one (returns self)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.insertions += other.insertions
+        return self
+
 
 @dataclass
 class _Entry:
@@ -63,7 +87,7 @@ def representation_cells(representation: CompressedRepresentation) -> int:
 
 
 class RepresentationCache:
-    """LRU cache of built compressed representations.
+    """Thread-safe LRU cache of built compressed representations.
 
     Parameters
     ----------
@@ -90,52 +114,85 @@ class RepresentationCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self._total_cells = 0
+        self._lock = threading.RLock()
+        self._building: "OrderedDict[Hashable, threading.Event]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # mapping-ish interface
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> Tuple[Hashable, ...]:
         """Keys from least- to most-recently used."""
-        return tuple(self._entries.keys())
+        with self._lock:
+            return tuple(self._entries.keys())
 
     @property
     def total_cells(self) -> int:
         """Cells currently held across all entries."""
-        return self._total_cells
+        with self._lock:
+            return self._total_cells
 
     def cells_of(self, key: Hashable) -> Optional[int]:
-        entry = self._entries.get(key)
-        return entry.cells if entry is not None else None
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.cells if entry is not None else None
+
+    def stats_snapshot(self) -> CacheStats:
+        """A consistent point-in-time copy of the lifetime counters."""
+        with self._lock:
+            return replace(self.stats)
 
     # ------------------------------------------------------------------
     # cache operations
     # ------------------------------------------------------------------
     def get(self, key: Hashable) -> Optional[CompressedRepresentation]:
         """The cached structure for ``key``, refreshing its recency."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry.representation
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.representation
 
     def peek(self, key: Hashable) -> Optional[CompressedRepresentation]:
         """Like :meth:`get` but touching neither recency nor stats."""
-        entry = self._entries.get(key)
-        return entry.representation if entry is not None else None
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.representation if entry is not None else None
 
     def put(
         self, key: Hashable, representation: CompressedRepresentation
     ) -> List[Hashable]:
-        """Insert (or replace) an entry; returns the keys evicted for it."""
+        """Insert (or replace) an entry; returns the keys evicted for it.
+
+        The cell measurement (a walk of the structure's tries) runs
+        outside the lock; only the bookkeeping is serialized.
+        """
         cells = representation_cells(representation)
+        with self._lock:
+            return self._publish(key, representation, cells)
+
+    def _publish(
+        self,
+        key: Hashable,
+        representation: CompressedRepresentation,
+        cells: int,
+    ) -> List[Hashable]:
+        # Caller holds the lock. Popping any resident entry first is what
+        # keeps the accounting exact when a build in flight races an
+        # eviction or a concurrent replacement: the new charge is only
+        # added after the old one (if any) has been subtracted.
         old = self._entries.pop(key, None)
         if old is not None:
             self._total_cells -= old.cells
@@ -143,6 +200,57 @@ class RepresentationCache:
         self._total_cells += cells
         self.stats.insertions += 1
         return self._evict()
+
+    def get_or_build(
+        self,
+        key: Hashable,
+        factory: Callable[[], CompressedRepresentation],
+    ) -> CompressedRepresentation:
+        """The cached structure for ``key``, building it on a miss.
+
+        At most one thread ever runs ``factory`` for a given key: late
+        arrivals block on the builder's event and then read the freshly
+        cached entry (or claim the build themselves if the builder failed
+        or its entry was already evicted). The factory runs outside the
+        cache lock, so concurrent builds of *different* keys — and all
+        reads — proceed unhindered.
+        """
+        missed = False
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    if not missed:
+                        # A wait-then-hit call already recorded its miss;
+                        # one call is one request, not two.
+                        self.stats.hits += 1
+                    return entry.representation
+                if not missed:
+                    # One logical miss per call, however many retries the
+                    # build race takes.
+                    self.stats.misses += 1
+                    missed = True
+                event = self._building.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._building[key] = event
+                    claimed = True
+                else:
+                    claimed = False
+            if not claimed:
+                event.wait()
+                continue  # the builder published (or failed); re-check
+            try:
+                built = factory()
+                cells = representation_cells(built)
+                with self._lock:
+                    self._publish(key, built, cells)
+                return built
+            finally:
+                with self._lock:
+                    del self._building[key]
+                event.set()
 
     def _evict(self) -> List[Hashable]:
         evicted: List[Hashable] = []
@@ -164,12 +272,14 @@ class RepresentationCache:
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; True when it was present."""
-        entry = self._entries.pop(key, None)
-        if entry is None:
-            return False
-        self._total_cells -= entry.cells
-        return True
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._total_cells -= entry.cells
+            return True
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._total_cells = 0
+        with self._lock:
+            self._entries.clear()
+            self._total_cells = 0

@@ -23,9 +23,12 @@ Responsibilities
   traversal per *distinct* access request; duplicates share the answer,
   and per-request delay statistics come from
   :func:`~repro.measure.delay.measure_enumeration`.
-* **Concurrency**: one registry lock guards bookkeeping; at most one
-  build per key ever runs (waiters block on an event, then hit the
-  cache), and enumeration itself runs outside all locks — built
+* **Concurrency**: the cache is internally synchronized and provides
+  the single-build guarantee through
+  :meth:`~repro.engine.cache.RepresentationCache.get_or_build` (at most
+  one build per key ever runs; waiters block on the builder's event,
+  then hit the cache). A separate registry lock guards the server's own
+  bookkeeping, and enumeration runs outside all locks — built
   structures are immutable, so concurrent readers never contend.
 """
 
@@ -33,7 +36,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import (
     Dict,
     Iterable,
@@ -60,12 +63,17 @@ from repro.workloads.streams import batched
 
 DEFAULT_TAU = 8.0
 
-CacheKey = Tuple[str, float]
+CacheKey = Tuple[str, float, int]
 
 
 @dataclass(frozen=True)
 class Registration:
-    """One registered view: its natural-join form and resolved knobs."""
+    """One registered view: its natural-join form and resolved knobs.
+
+    ``generation`` distinguishes re-registrations under a reused name:
+    cache keys embed it, so a structure built for one generation can
+    never be served (or hit by a waiter) as another generation's answer.
+    """
 
     name: str
     view: AdornedView
@@ -76,6 +84,7 @@ class Registration:
     budget: Optional[float] = None
     weights: Optional[Mapping[int, float]] = None
     sizes: Mapping[int, int] = field(default_factory=dict)
+    generation: int = 0
 
 
 @dataclass(frozen=True)
@@ -135,6 +144,47 @@ class ServingReport:
         return self.requests / self.wall_seconds
 
 
+def drain_stream(
+    server,
+    name: str,
+    accesses: Iterable[Sequence],
+    batch_size: int = 32,
+    tau: Optional[float] = None,
+    measure: bool = True,
+) -> ServingReport:
+    """Drain a request stream through any serving back end, batch by batch.
+
+    ``server`` needs the common serving surface — ``answer_batch``,
+    ``total_builds()`` and ``cache_stats`` — which :class:`ViewServer`
+    and :class:`~repro.engine.sharding.ShardedViewServer` both expose;
+    their ``serve_stream`` methods are this helper, so stream accounting
+    cannot drift between the plain and the sharded path.
+    """
+    started = time.perf_counter()
+    builds_before = server.total_builds()
+    stats_before = server.cache_stats
+    requests = unique = outputs = batches = 0
+    max_gap = 0
+    for chunk in batched(accesses, batch_size):
+        result = server.answer_batch(name, chunk, tau=tau, measure=measure)
+        requests += len(result.accesses)
+        unique += result.unique_count
+        outputs += result.outputs
+        batches += 1
+        max_gap = max(max_gap, result.max_step_gap)
+    return ServingReport(
+        requests=requests,
+        unique_requests=unique,
+        shared_requests=requests - unique,
+        outputs=outputs,
+        batches=batches,
+        builds=server.total_builds() - builds_before,
+        wall_seconds=time.perf_counter() - started,
+        max_step_gap=max_gap,
+        cache=server.cache_stats.delta(stats_before),
+    )
+
+
 class ViewServer:
     """Serve access requests for registered views from a bounded cache.
 
@@ -171,9 +221,13 @@ class ViewServer:
         )
         self._views: Dict[str, Registration] = {}
         self._lock = threading.Lock()
-        self._building: Dict[CacheKey, threading.Event] = {}
         self._build_counts: Dict[CacheKey, int] = {}
+        # Monotonic lifetime total: per-key counters are pruned when their
+        # generation dies, but stream build-deltas need a counter that
+        # never runs backwards.
+        self._total_builds = 0
         self._requests_served = 0
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # registration and τ selection
@@ -228,22 +282,43 @@ class ViewServer:
             tau = float(tau) if tau is not None else DEFAULT_TAU
             if tau <= 0:
                 raise ParameterError(f"tau must be positive, got {tau}")
-        registration = Registration(
-            name=name,
-            view=view,
-            natural_view=natural_view,
-            database=database,
-            tau=tau,
-            policy=policy,
-            budget=budget,
-            weights=weights,
-            sizes=sizes,
-        )
         with self._lock:
             if name in self._views:
                 raise SchemaError(f"view {name!r} is already registered")
-            self._views[name] = registration
+            self._generation += 1
+            self._views[name] = Registration(
+                name=name,
+                view=view,
+                natural_view=natural_view,
+                database=database,
+                tau=tau,
+                policy=policy,
+                budget=budget,
+                weights=weights,
+                sizes=sizes,
+                generation=self._generation,
+            )
         return name
+
+    def unregister(self, name: str) -> bool:
+        """Drop a registration and its cached structures; True if it existed."""
+        with self._lock:
+            registration = self._views.pop(name, None)
+        if registration is None:
+            return False
+        # Scope the sweep to the popped generation: a concurrent
+        # re-registration under the same name owns fresh keys that this
+        # unregister must not evict.
+        for key in self._cache.keys():
+            if key[0] == name and key[2] == registration.generation:
+                self._cache.invalidate(key)
+        with self._lock:
+            # Dead generations can never be queried again; drop their
+            # build counters so a churning server does not leak them.
+            for key in list(self._build_counts):
+                if key[0] == name and key[2] == registration.generation:
+                    del self._build_counts[key]
+        return True
 
     def registration(self, name: str) -> Registration:
         with self._lock:
@@ -261,9 +336,10 @@ class ViewServer:
     # ------------------------------------------------------------------
     def _key(self, registration: Registration, tau: Optional[float]) -> CacheKey:
         # The registration's exact τ must round-trip through the key: _build
-        # reuses the optimizer's cover only when the key τ matches it.
+        # reuses the optimizer's cover only when the key τ matches it. The
+        # generation keeps re-registrations under a reused name apart.
         resolved = registration.tau if tau is None else float(tau)
-        return (registration.name, resolved)
+        return (registration.name, resolved, registration.generation)
 
     def representation(
         self, name: str, tau: Optional[float] = None
@@ -275,33 +351,32 @@ class ViewServer:
         """
         registration = self.registration(name)
         key = self._key(registration, tau)
-        while True:
+
+        def build() -> CompressedRepresentation:
+            built = self._build(registration, key[1])
             with self._lock:
-                cached = self._cache.get(key)
-                if cached is not None:
-                    return cached
-                event = self._building.get(key)
-                if event is None:
-                    event = threading.Event()
-                    self._building[key] = event
-                    building = True
-                else:
-                    building = False
-            if not building:
-                event.wait()
-                continue  # the builder has published (or failed); retry
-            try:
-                built = self._build(registration, key[1])
-                with self._lock:
-                    self._cache.put(key, built)
+                self._total_builds += 1
+                # Skip the per-key counter for a generation unregistered
+                # mid-build, or the sweep in unregister() races back in.
+                if self._views.get(name) is registration:
                     self._build_counts[key] = (
                         self._build_counts.get(key, 0) + 1
                     )
-                return built
-            finally:
-                with self._lock:
-                    del self._building[key]
-                event.set()
+            return built
+
+        built = self._cache.get_or_build(key, build)
+        with self._lock:
+            # Identity, not name: a concurrent unregister + re-register
+            # under the same name is a different generation, and this
+            # structure was built from the old one.
+            registered = self._views.get(name) is registration
+        if not registered:
+            # An unregister raced the build: its invalidate ran before the
+            # publish, so drop the orphan here (whichever of the two
+            # cleanups runs last sees the entry). The caller still gets
+            # the structure — its request predates the unregistration.
+            self._cache.invalidate(key)
+        return built
 
     def _build(
         self, registration: Registration, tau: float
@@ -325,13 +400,20 @@ class ViewServer:
         with self._lock:
             return self._build_counts.get(key, 0)
 
+    def total_builds(self) -> int:
+        """Builds over the server's lifetime (monotonic — unregistering a
+        view prunes its per-key counters but never this total)."""
+        with self._lock:
+            return self._total_builds
+
     def invalidate(self, name: str) -> int:
         """Drop all cached structures of one view; returns entries dropped."""
-        with self._lock:
-            victims = [key for key in self._cache.keys() if key[0] == name]
-            for key in victims:
-                self._cache.invalidate(key)
-            return len(victims)
+        victims = [key for key in self._cache.keys() if key[0] == name]
+        dropped = 0
+        for key in victims:
+            if self._cache.invalidate(key):
+                dropped += 1
+        return dropped
 
     # ------------------------------------------------------------------
     # serving
@@ -398,38 +480,8 @@ class ViewServer:
         measure: bool = True,
     ) -> ServingReport:
         """Drain a request stream in batches and aggregate the measurements."""
-        started = time.perf_counter()
-        with self._lock:
-            builds_before = sum(self._build_counts.values())
-            stats_before = replace(self._cache.stats)
-        requests = unique = outputs = batches = 0
-        max_gap = 0
-        for chunk in batched(accesses, batch_size):
-            result = self.answer_batch(name, chunk, tau=tau, measure=measure)
-            requests += len(result.accesses)
-            unique += result.unique_count
-            outputs += result.outputs
-            batches += 1
-            max_gap = max(max_gap, result.max_step_gap)
-        with self._lock:
-            builds = sum(self._build_counts.values()) - builds_before
-            stats_after = self._cache.stats
-            cache_stats = CacheStats(
-                hits=stats_after.hits - stats_before.hits,
-                misses=stats_after.misses - stats_before.misses,
-                evictions=stats_after.evictions - stats_before.evictions,
-                insertions=stats_after.insertions - stats_before.insertions,
-            )
-        return ServingReport(
-            requests=requests,
-            unique_requests=unique,
-            shared_requests=requests - unique,
-            outputs=outputs,
-            batches=batches,
-            builds=builds,
-            wall_seconds=time.perf_counter() - started,
-            max_step_gap=max_gap,
-            cache=cache_stats,
+        return drain_stream(
+            self, name, accesses, batch_size=batch_size, tau=tau, measure=measure
         )
 
     # ------------------------------------------------------------------
@@ -441,8 +493,7 @@ class ViewServer:
 
     @property
     def cache_stats(self) -> CacheStats:
-        with self._lock:
-            return replace(self._cache.stats)
+        return self._cache.stats_snapshot()
 
     @property
     def requests_served(self) -> int:

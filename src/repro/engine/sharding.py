@@ -1,0 +1,592 @@
+"""Hash-sharded serving: partition the bound-value space across servers.
+
+The ROADMAP's scale-out step: one :class:`~repro.engine.server.ViewServer`
+per shard, each owning a slice of the database and its own bounded
+:class:`~repro.engine.cache.RepresentationCache`. Sharding multiplies the
+aggregate cache capacity (per-shard structures are fractions of the full
+ones, so a fixed per-process cell budget holds *all* hot views instead of
+thrashing) and gives the async front end independent back ends to fan
+batches out to.
+
+Partitioning
+------------
+A *shard key* maps relation names to column positions that all hold the
+same query variable. Every listed relation is split by
+``stable_hash(value) % n_shards`` on its key column; unlisted relations
+are shared (the same immutable :class:`~repro.database.relation.Relation`
+object in every shard, no copies). Because a result tuple binding the
+shard variable to ``v`` can only draw key-relation tuples carrying ``v``,
+each result lives in exactly one shard: per-shard answers are disjoint
+and their union is the full answer.
+
+Routing
+-------
+Per registered view, the shard key's columns must resolve to one head
+variable of the view (validated at registration — self-joins that place
+different variables on a key column are rejected):
+
+* variable **bound** → every access request pins its shard; batches are
+  split and routed, each shard serving only its slice;
+* variable **free** → *scatter-gather*: every shard answers the full
+  batch over its slice and the sorted per-shard answer lists are merged
+  (disjointness makes the merge a plain ordered union);
+* view touches **no sharded relation** → its relations are replicated in
+  every shard, so requests are pinned to shard 0.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import zlib
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.database.catalog import Database
+from repro.database.relation import Relation
+from repro.engine.cache import CacheStats
+from repro.engine.server import (
+    BatchResult,
+    Registration,
+    ServingReport,
+    ViewServer,
+    drain_stream,
+)
+from repro.exceptions import ParameterError, SchemaError
+from repro.measure.delay import DelayStats
+from repro.query.adorned import AdornedView
+from repro.query.atoms import Variable
+from repro.query.parser import parse_view
+
+ShardKey = Mapping[str, int]
+
+# Routing modes resolved at registration time.
+ROUTED = "routed"
+SCATTER = "scatter"
+PINNED = "pinned"
+
+
+def stable_hash(value: object) -> int:
+    """An equality-consistent, restart-stable hash of one bound value.
+
+    Routing must agree with ``==`` (equal values answer identically on an
+    unsharded server, so they must pin the same shard) and ideally not
+    move across process restarts. Python's builtin ``hash`` is
+    equality-consistent by contract but salted per process for strings,
+    while textual hashing is restart-stable but blind to equality
+    (``1`` vs ``1.0``, or ``(1,)`` vs ``(1.0,)``). So: strings and bytes
+    hash via CRC32 of their contents, tuples via a CRC fold of their
+    elements' ``stable_hash`` (restart-stable all the way down), and
+    everything else — numbers, user types, exotic containers — via the
+    builtin ``hash``. The fallback keeps equality-consistency always;
+    restart stability there is only as strong as the value's own
+    ``__hash__`` (exact for numbers, salted for e.g. frozensets of
+    strings).
+    """
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return zlib.crc32(bytes(value))
+    if isinstance(value, tuple):
+        # Fold element hashes so equal tuples of equal (possibly
+        # mixed-type) elements agree, e.g. (1,) and (1.0,).
+        acc = len(value)
+        for element in value:
+            acc = zlib.crc32(stable_hash(element).to_bytes(4, "big"), acc)
+        return acc
+    return hash(value) & 0xFFFFFFFF
+
+
+def infer_shard_key(view: AdornedView) -> Dict[str, int]:
+    """Derive a shard key from one view: the first shardable head variable.
+
+    Bound head variables are preferred (their requests route to a single
+    shard); free head variables are the fallback (scatter-gather). A
+    variable is shardable when every atom mentioning it uses a consistent
+    column per relation — self-joins that move it between columns
+    disqualify it.
+    """
+    for var in view.bound_variables + view.free_variables:
+        key: Dict[str, int] = {}
+        consistent = True
+        found = False
+        for atom in view.atoms:
+            positions = atom.variable_positions(var)
+            if not positions:
+                continue
+            found = True
+            column = positions[0]
+            if key.setdefault(atom.relation, column) != column:
+                consistent = False
+                break
+        if not (found and consistent):
+            continue
+        # Partitioning splits *every* atom of a listed relation, so a
+        # self-join whose other atom binds a different variable on the
+        # key column disqualifies the candidate too.
+        if all(
+            atom.terms[key[atom.relation]] == var
+            for atom in view.atoms
+            if atom.relation in key
+        ):
+            return key
+    raise SchemaError(
+        f"view {view.name!r}: no head variable occupies a consistent "
+        "column per relation; pass an explicit shard key"
+    )
+
+
+def partition_database(
+    db: Database,
+    shard_key: ShardKey,
+    n_shards: int,
+    hash_fn=stable_hash,
+) -> List[Database]:
+    """Split ``db`` into ``n_shards`` databases along the shard key.
+
+    Listed relations are partitioned by ``hash_fn(row[column]) % n_shards``;
+    all other relations are shared by reference. Empty slices are kept
+    (a shard may legitimately own no tuples of some relation).
+    """
+    if n_shards < 1:
+        raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
+    if not shard_key:
+        raise ParameterError("shard_key must list at least one relation")
+    for name, column in shard_key.items():
+        relation = db[name]  # raises SchemaError for unknown relations
+        if not 0 <= column < relation.arity:
+            raise ParameterError(
+                f"shard key column {column} out of range for relation "
+                f"{name!r} of arity {relation.arity}"
+            )
+    buckets: Dict[str, List[List[Tuple]]] = {
+        name: [[] for _ in range(n_shards)] for name in shard_key
+    }
+    for name, column in shard_key.items():
+        rows_by_shard = buckets[name]
+        for row in db[name]:
+            rows_by_shard[hash_fn(row[column]) % n_shards].append(row)
+    shards: List[Database] = []
+    for index in range(n_shards):
+        relations = []
+        for relation in db:
+            if relation.name in shard_key:
+                relations.append(
+                    Relation(
+                        relation.name,
+                        relation.arity,
+                        buckets[relation.name][index],
+                    )
+                )
+            else:
+                relations.append(relation)
+        shards.append(Database(relations))
+    return shards
+
+
+def merge_delay_stats(parts: Sequence[DelayStats]) -> DelayStats:
+    """Conservatively combine per-shard stats of one scattered request.
+
+    Outputs, steps and wall totals add up; gaps take the worst shard
+    (the merged enumeration interleaves shards, so no merged gap exceeds
+    the worst per-shard gap plus merge overhead, which cells don't see).
+    """
+    merged = DelayStats()
+    for stats in parts:
+        merged.outputs += stats.outputs
+        merged.wall_total += stats.wall_total
+        merged.wall_max_gap = max(merged.wall_max_gap, stats.wall_max_gap)
+        merged.wall_first = max(merged.wall_first, stats.wall_first)
+        merged.step_total += stats.step_total
+        merged.step_max_gap = max(merged.step_max_gap, stats.step_max_gap)
+        merged.step_gaps.extend(stats.step_gaps)
+    return merged
+
+
+class ShardedViewServer:
+    """N hash-partitioned :class:`ViewServer` back ends behind one facade.
+
+    Mirrors the ``ViewServer`` serving surface (``register`` /
+    ``answer`` / ``answer_batch`` / ``serve_stream`` / ``total_builds`` /
+    ``cache_stats``) so callers — including
+    :class:`~repro.engine.async_server.AsyncViewServer`, which fans the
+    per-shard sub-batches out to its thread pool — can treat both
+    interchangeably.
+
+    Parameters
+    ----------
+    db:
+        The full database; it is partitioned once at construction.
+    n_shards:
+        Number of shards (>= 1).
+    shard_key:
+        Mapping of relation names to key column positions (required and
+        non-empty). Every listed relation is partitioned; the rest are
+        shared. :func:`infer_shard_key` derives one from a
+        representative view.
+    max_entries / max_cells:
+        Representation-cache bounds **per shard** — sharding multiplies
+        the aggregate budget, which is exactly its point.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        n_shards: int,
+        shard_key: ShardKey,
+        max_entries: Optional[int] = 8,
+        max_cells: Optional[int] = None,
+        hash_fn=stable_hash,
+    ):
+        self.shard_key: Dict[str, int] = dict(shard_key or {})
+        self.databases = partition_database(
+            db, self.shard_key, n_shards, hash_fn=hash_fn
+        )
+        self.shards: List[ViewServer] = [
+            ViewServer(shard_db, max_entries=max_entries, max_cells=max_cells)
+            for shard_db in self.databases
+        ]
+        self._hash_fn = hash_fn
+        # Maps name -> (mode, bound position); None marks a registration
+        # in flight (the name is claimed but not yet routable).
+        self._routes: Dict[str, Optional[Tuple[str, Optional[int]]]] = {}
+        self._routes_lock = threading.Lock()
+        self._served_lock = threading.Lock()
+        self._requests_served = 0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # registration and routing
+    # ------------------------------------------------------------------
+    def _resolve_route(self, view: AdornedView) -> Tuple[str, Optional[int]]:
+        """(mode, bound position) the shard key implies for one view."""
+        variables = set()
+        for atom in view.atoms:
+            column = self.shard_key.get(atom.relation)
+            if column is None:
+                continue
+            if column >= atom.arity:
+                raise SchemaError(
+                    f"view {view.name!r}: shard key column {column} out of "
+                    f"range for atom {atom!r}"
+                )
+            term = atom.terms[column]
+            if not isinstance(term, Variable):
+                raise SchemaError(
+                    f"view {view.name!r}: shard key column of {atom!r} "
+                    f"holds constant {term!r}; shard routing needs a "
+                    "variable"
+                )
+            variables.add(term)
+        if not variables:
+            return (PINNED, 0)  # no sharded relation: replicated everywhere
+        if len(variables) > 1:
+            raise SchemaError(
+                f"view {view.name!r}: shard key columns bind distinct "
+                f"variables {sorted(v.name for v in variables)}; per-shard "
+                "answers would not partition the result"
+            )
+        (variable,) = variables
+        bound = view.bound_variables
+        if variable in bound:
+            return (ROUTED, bound.index(variable))
+        if variable in view.free_variables:
+            return (SCATTER, None)
+        raise SchemaError(
+            f"view {view.name!r}: shard variable {variable.name!r} is "
+            "projected away; per-shard answers may overlap (pick a head "
+            "variable as the shard key)"
+        )
+
+    def register(
+        self,
+        view: Union[AdornedView, str],
+        tau: Optional[float] = None,
+        space_budget: Optional[float] = None,
+        delay_budget: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Register a view on every shard; returns the serving name.
+
+        Budget-driven τ selection runs per shard against the shard's own
+        relation sizes — shards sit at their own points of the
+        space/delay tradeoff, which is what a per-shard cache budget
+        means.
+        """
+        if isinstance(view, str):
+            view = parse_view(view)
+        route = self._resolve_route(view)
+        intended = name or view.name
+        with self._routes_lock:
+            # Claim the name first so concurrent registrations of the
+            # same name fail fast instead of half-registering both.
+            if intended in self._routes:
+                raise SchemaError(f"view {intended!r} is already registered")
+            self._routes[intended] = None
+        registered: List[ViewServer] = []
+        try:
+            for server in self.shards:
+                resolved = server.register(
+                    view,
+                    tau=tau,
+                    space_budget=space_budget,
+                    delay_budget=delay_budget,
+                    name=name,
+                )
+                assert resolved == intended
+                registered.append(server)
+        except BaseException:
+            # All shards or none: a half-registered view would wedge the
+            # name (unroutable here, 'already registered' on retry).
+            for server in registered:
+                server.unregister(intended)
+            with self._routes_lock:
+                del self._routes[intended]
+            raise
+        with self._routes_lock:
+            self._routes[intended] = route
+        return intended
+
+    def unregister(self, name: str) -> bool:
+        """Drop a view from every shard and the route table; True if known."""
+        with self._routes_lock:
+            # A None route is a registration still in flight — not ours
+            # to drop; concurrent unregisters see the claim gone and
+            # return False instead of racing the per-shard sweep.
+            if self._routes.get(name) is None:
+                return False
+            del self._routes[name]
+        for server in self.shards:
+            server.unregister(name)
+        return True
+
+    def route(self, name: str) -> Tuple[str, Optional[int]]:
+        """The (mode, bound position) pair a view was registered with."""
+        with self._routes_lock:
+            route = self._routes.get(name)
+        if route is None:  # unknown, or a registration still in flight
+            raise SchemaError(f"unknown view {name!r}")
+        return route
+
+    def registration(self, name: str) -> Registration:
+        """Shard 0's registration — representative, not universal.
+
+        Under a budget policy each shard optimizes τ against its own
+        relation sizes, so other shards may sit at different τ; inspect
+        ``server.shards[i].registration(name)`` for the full picture.
+        """
+        self.route(name)
+        return self.shards[0].registration(name)
+
+    def views(self) -> Tuple[str, ...]:
+        with self._routes_lock:
+            return tuple(
+                name
+                for name, route in self._routes.items()
+                if route is not None
+            )
+
+    def shard_of(self, name: str, access: Sequence) -> Optional[int]:
+        """The shard one access pins, or ``None`` for scatter views."""
+        mode, position = self.route(name)
+        if mode == SCATTER:
+            return None
+        if mode == PINNED:
+            return 0
+        access = tuple(access)
+        if position >= len(access):
+            raise SchemaError(
+                f"view {name!r}: access tuple {access!r} too short for "
+                f"bound position {position}"
+            )
+        return self._hash_fn(access[position]) % self.n_shards
+
+    # ------------------------------------------------------------------
+    # batch planning, execution, merging
+    # ------------------------------------------------------------------
+    def plan_batch(
+        self,
+        name: str,
+        accesses: Iterable[Sequence],
+        route: Optional[Tuple[str, Optional[int]]] = None,
+    ) -> List[List[Tuple]]:
+        """Per-shard sub-batches for one batch (index-aligned to shards).
+
+        Scatter views repeat the whole batch on every shard; routed views
+        split it; shards with no work get an empty list, which execution
+        skips. Callers serving a whole batch resolve the route once and
+        pass it to both this and :meth:`merge_batch`, so a concurrent
+        re-registration cannot flip the mode between plan and merge.
+        """
+        batch = [tuple(access) for access in accesses]
+        mode, position = route or self.route(name)
+        if mode == SCATTER:
+            return [list(batch) for _ in range(self.n_shards)]
+        if mode == PINNED:
+            return [batch] + [[] for _ in range(self.n_shards - 1)]
+        sub_batches: List[List[Tuple]] = [[] for _ in range(self.n_shards)]
+        for access in batch:
+            if position >= len(access):
+                raise SchemaError(
+                    f"view {name!r}: access tuple {access!r} too short for "
+                    f"bound position {position}"
+                )
+            sub_batches[
+                self._hash_fn(access[position]) % self.n_shards
+            ].append(access)
+        return sub_batches
+
+    def answer_shard(
+        self,
+        shard_index: int,
+        name: str,
+        accesses: Sequence[Sequence],
+        tau: Optional[float] = None,
+        measure: bool = True,
+    ) -> BatchResult:
+        """One shard's answer to its sub-batch (the fan-out work unit)."""
+        return self.shards[shard_index].answer_batch(
+            name, accesses, tau=tau, measure=measure
+        )
+
+    def merge_batch(
+        self,
+        name: str,
+        accesses: Iterable[Sequence],
+        shard_results: Sequence[Optional[BatchResult]],
+        route: Optional[Tuple[str, Optional[int]]] = None,
+    ) -> BatchResult:
+        """Gather per-shard results back into one batch-aligned result.
+
+        ``route`` must be the same resolution the batch was planned with
+        (see :meth:`plan_batch`); merging scatter-planned results in
+        routed mode would silently drop rows.
+        """
+        batch = tuple(tuple(access) for access in accesses)
+        mode, _ = route or self.route(name)
+        unique = sorted(set(batch))
+        answers_by_access: Dict[Tuple, List[Tuple]] = {}
+        stats: Dict[Tuple, DelayStats] = {}
+        if mode == SCATTER:
+            per_shard: List[Dict[Tuple, List[Tuple]]] = []
+            per_shard_stats: List[Dict[Tuple, DelayStats]] = []
+            for result in shard_results:
+                if result is None:
+                    continue
+                per_shard.append(dict(zip(result.accesses, result.answers)))
+                per_shard_stats.append(dict(result.request_stats))
+            for access in unique:
+                parts = [
+                    shard_answers[access]
+                    for shard_answers in per_shard
+                    if access in shard_answers
+                ]
+                # Shards partition the result space, so the sorted
+                # per-shard lists are disjoint: merging is a plain union.
+                answers_by_access[access] = list(heapq.merge(*parts))
+                measured = [
+                    shard_stats[access]
+                    for shard_stats in per_shard_stats
+                    if access in shard_stats
+                ]
+                if measured:
+                    stats[access] = merge_delay_stats(measured)
+        else:
+            for result in shard_results:
+                if result is None:
+                    continue
+                for access, rows in zip(result.accesses, result.answers):
+                    answers_by_access[access] = rows
+                stats.update(result.request_stats)
+        missing = [a for a in unique if a not in answers_by_access]
+        if missing:
+            raise SchemaError(
+                f"view {name!r}: shard results missing accesses {missing!r}"
+            )
+        with self._served_lock:
+            # Facade-level count: a scattered request is still one request,
+            # however many shards its fan-out touched.
+            self._requests_served += len(batch)
+        return BatchResult(
+            accesses=batch,
+            answers=tuple(answers_by_access[access] for access in batch),
+            request_stats=stats,
+            unique_count=len(unique),
+        )
+
+    # ------------------------------------------------------------------
+    # serving (sequential executor; the async front end parallelizes)
+    # ------------------------------------------------------------------
+    def answer(self, name: str, access: Sequence) -> List[Tuple]:
+        """Answer one access request through the routing layer."""
+        result = self.answer_batch(name, [access], measure=False)
+        return list(result.answers[0])
+
+    def answer_batch(
+        self,
+        name: str,
+        accesses: Iterable[Sequence],
+        tau: Optional[float] = None,
+        measure: bool = True,
+    ) -> BatchResult:
+        batch = [tuple(access) for access in accesses]
+        route = self.route(name)
+        plan = self.plan_batch(name, batch, route=route)
+        shard_results: List[Optional[BatchResult]] = [
+            self.answer_shard(index, name, sub_batch, tau=tau, measure=measure)
+            if sub_batch
+            else None
+            for index, sub_batch in enumerate(plan)
+        ]
+        return self.merge_batch(name, batch, shard_results, route=route)
+
+    def serve_stream(
+        self,
+        name: str,
+        accesses: Iterable[Sequence],
+        batch_size: int = 32,
+        tau: Optional[float] = None,
+        measure: bool = True,
+    ) -> ServingReport:
+        """Drain a stream through the routing layer, one batch at a time."""
+        return drain_stream(
+            self, name, accesses, batch_size=batch_size, tau=tau, measure=measure
+        )
+
+    # ------------------------------------------------------------------
+    # aggregation and introspection
+    # ------------------------------------------------------------------
+    def total_builds(self) -> int:
+        return sum(server.total_builds() for server in self.shards)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        merged = CacheStats()
+        for server in self.shards:
+            merged.add(server.cache_stats)
+        return merged
+
+    @property
+    def total_cache_cells(self) -> int:
+        """Cells resident across every shard's cache (aggregate budget)."""
+        return sum(server.cache.total_cells for server in self.shards)
+
+    @property
+    def requests_served(self) -> int:
+        with self._served_lock:
+            return self._requests_served
+
+    def invalidate(self, name: str) -> int:
+        self.route(name)
+        return sum(server.invalidate(name) for server in self.shards)

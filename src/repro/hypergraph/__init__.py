@@ -7,7 +7,11 @@ and the V_b-connex decompositions with their δ-width and δ-height
 (Section 3.2). This package implements all of them.
 """
 
-from repro.hypergraph.hypergraph import Hypergraph, hypergraph_of_query, hypergraph_of_view
+from repro.hypergraph.hypergraph import (
+    Hypergraph,
+    hypergraph_of_query,
+    hypergraph_of_view,
+)
 from repro.hypergraph.covers import (
     CoverResult,
     agm_bound,

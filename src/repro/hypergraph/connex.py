@@ -19,7 +19,17 @@ eliminate ``V \\ C`` first.
 from __future__ import annotations
 
 from itertools import permutations
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.exceptions import DecompositionError
 from repro.hypergraph.decomposition import TreeDecomposition

@@ -16,13 +16,23 @@ the paper's Figure 5 convention ``0 ≤ u_F ≤ 1``).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 from scipy.optimize import linprog
 
-from repro.exceptions import DecompositionError, OptimizationError, ParameterError
+from repro.exceptions import OptimizationError, ParameterError
 from repro.hypergraph.connex import (
     ConnexDecomposition,
     connex_decomposition_from_order,
@@ -34,7 +44,9 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.query.atoms import Variable
 
 
-def rho_star(hypergraph: Hypergraph, subset: Optional[Iterable[Variable]] = None) -> float:
+def rho_star(
+    hypergraph: Hypergraph, subset: Optional[Iterable[Variable]] = None
+) -> float:
     """The fractional edge cover number ρ*(subset) (default: all vertices)."""
     return fractional_edge_cover(hypergraph, subset).value
 

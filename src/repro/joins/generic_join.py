@@ -20,7 +20,7 @@ Section 2.1).
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.database.index import TrieNode
 from repro.exceptions import QueryError
@@ -39,7 +39,9 @@ class JoinCounter:
         self.steps = 0
 
 
-def _check_subsequence(atom_vars: Sequence[Variable], order: Sequence[Variable]) -> None:
+def _check_subsequence(
+    atom_vars: Sequence[Variable], order: Sequence[Variable]
+) -> None:
     positions = {v: i for i, v in enumerate(order)}
     last = -1
     for v in atom_vars:

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.database.catalog import Database
 from repro.joins.generic_join import JoinCounter
-from repro.measure.delay import DelayStats, measure_enumeration
+from repro.measure.delay import measure_enumeration
 from repro.measure.space import SpaceReport
 from repro.query.adorned import AdornedView
 

@@ -16,13 +16,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping
 
 import numpy as np
 from scipy.optimize import linprog
 
 from repro.exceptions import OptimizationError, ParameterError
-from repro.hypergraph.hypergraph import Hypergraph, hypergraph_of_view
+from repro.hypergraph.hypergraph import hypergraph_of_view
 from repro.query.adorned import AdornedView
 
 
@@ -47,7 +47,7 @@ class MinDelayResult:
         for label, weight in self.weights.items():
             if weight > 0:
                 product *= float(sizes[label]) ** weight
-        return product / (self.tau ** self.alpha)
+        return product / (self.tau**self.alpha)
 
 
 def min_delay_cover(

@@ -14,13 +14,13 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
-from repro.exceptions import OptimizationError, ParameterError
+from repro.exceptions import ParameterError
 from repro.hypergraph.connex import ConnexDecomposition
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.width import DelayAssignment, delta_height
 from repro.optimizer.min_delay import min_delay_cover
 from repro.query.adorned import AdornedView
-from repro.query.atoms import Atom, Variable
+from repro.query.atoms import Atom
 from repro.query.conjunctive import ConjunctiveQuery
 
 

@@ -18,7 +18,7 @@ from repro.database.catalog import Database
 from repro.database.relation import Relation
 from repro.exceptions import QueryError
 from repro.query.adorned import AdornedView
-from repro.query.atoms import Atom, Constant, Variable
+from repro.query.atoms import Atom, Variable
 from repro.query.conjunctive import ConjunctiveQuery
 
 

@@ -23,6 +23,7 @@ from repro.workloads.queries import (
     figure7_database,
 )
 from repro.workloads.streams import (
+    arrivals,
     batched,
     productive_accesses,
     request_stream,
@@ -55,6 +56,7 @@ __all__ = [
     "figure2_view",
     "figure7_view",
     "figure7_database",
+    "arrivals",
     "batched",
     "productive_accesses",
     "request_stream",

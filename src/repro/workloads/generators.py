@@ -8,11 +8,29 @@ comparisons cheap.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from itertools import accumulate
+from typing import Dict, List
 
 from repro.database.catalog import Database
 from repro.database.relation import Relation
 from repro.exceptions import ParameterError
+
+
+def zipf_cumulative_weights(
+    count: int, skew: float, normalize: bool = False
+) -> List[float]:
+    """Cumulative ``1/rank**skew`` weights for ranks 1..count.
+
+    The single source of the Zipf popularity curve used by both the data
+    generators and the request streams. With ``normalize`` the weights
+    are scaled to sum to 1 *before* accumulating (so the last entry is
+    1.0 up to rounding).
+    """
+    weights = [1.0 / (rank**skew) for rank in range(1, count + 1)]
+    if normalize and weights:
+        total = sum(weights)
+        weights = [weight / total for weight in weights]
+    return list(accumulate(weights))
 
 
 def random_relation(
@@ -25,7 +43,7 @@ def random_relation(
     """A relation of ``size`` distinct uniform tuples over [0, domain)."""
     if domain <= 0:
         raise ParameterError("domain must be positive")
-    if size > domain ** arity:
+    if size > domain**arity:
         raise ParameterError(
             f"cannot draw {size} distinct tuples from a domain of "
             f"{domain ** arity}"
@@ -79,13 +97,7 @@ def zipf_relation(
     values participate in very many join results.
     """
     rng = random.Random(seed)
-    weights = [1.0 / (rank ** skew) for rank in range(1, domain + 1)]
-    total = sum(weights)
-    cumulative = []
-    acc = 0.0
-    for w in weights:
-        acc += w / total
-        cumulative.append(acc)
+    cumulative = zipf_cumulative_weights(domain, skew, normalize=True)
 
     def draw() -> int:
         coin = rng.random()

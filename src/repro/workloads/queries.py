@@ -7,7 +7,6 @@ paper's numbers) and a reconstruction of the Figure 7 instance.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from repro.database.catalog import Database
 from repro.database.relation import Relation

@@ -16,7 +16,7 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.database.catalog import Database
 from repro.database.relation import Relation

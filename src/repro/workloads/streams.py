@@ -14,13 +14,15 @@ Everything is seeded and deterministic, like the rest of
 
 from __future__ import annotations
 
+import asyncio
 import random
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import AsyncIterator, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.database.catalog import Database
 from repro.exceptions import ParameterError
 from repro.joins.hash_join import evaluate_by_hash_join
 from repro.query.adorned import AdornedView
+from repro.workloads.generators import zipf_cumulative_weights
 
 
 def productive_accesses(view: AdornedView, db: Database) -> List[Tuple]:
@@ -73,9 +75,18 @@ def request_stream(
     if not keys and miss_rate < 1.0:
         # Nothing is productive: the whole stream is misses by necessity.
         miss_rate = 1.0
+    elif keys and n_bound == 0 and miss_rate > 0.0:
+        # A non-parametric view has exactly one access tuple, (), and it
+        # is productive here — a guaranteed miss cannot exist, so an
+        # explicitly requested miss mix is unsatisfiable, not overridable.
+        # (With no productive keys, () itself is the miss and streams fine.)
+        raise ParameterError(
+            "a view with no bound variables has () as its only access "
+            f"tuple; miss_rate {miss_rate} is unsatisfiable"
+        )
     rng = random.Random(seed)
     key_set = set(keys)
-    weights = [1.0 / (rank ** skew) for rank in range(1, len(keys) + 1)]
+    cum_weights = zipf_cumulative_weights(len(keys), skew)
     stream: List[Tuple] = []
     for _ in range(n_requests):
         if rng.random() < miss_rate or not keys:
@@ -89,7 +100,7 @@ def request_stream(
                     break
             stream.append(miss)
         else:
-            stream.append(rng.choices(keys, weights=weights)[0])
+            stream.append(rng.choices(keys, cum_weights=cum_weights)[0])
     return stream
 
 
@@ -107,3 +118,29 @@ def batched(
             pending = []
     if pending:
         yield pending
+
+
+async def arrivals(
+    stream: Iterable[Sequence],
+    batch_size: int,
+    rate: Optional[float] = None,
+    seed: int = 0,
+) -> AsyncIterator[List[Tuple]]:
+    """An async arrival process over a request stream: the serving workload.
+
+    Yields ``batch_size`` batches like :func:`batched`, but as an async
+    iterator suitable for
+    :meth:`~repro.engine.async_server.AsyncViewServer.serve_stream`. With
+    ``rate`` set, batches arrive as a seeded Poisson process of that many
+    batches per second (exponential inter-arrival sleeps) — the knob that
+    turns a replay into an open-loop load test. ``rate=None`` yields
+    batches back to back (closed loop: the consumer's backpressure is the
+    only pacing).
+    """
+    if rate is not None and rate <= 0:
+        raise ParameterError(f"rate must be positive, got {rate}")
+    rng = random.Random(seed)
+    for chunk in batched(stream, batch_size):
+        if rate is not None:
+            await asyncio.sleep(rng.expovariate(rate))
+        yield chunk

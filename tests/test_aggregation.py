@@ -10,7 +10,6 @@ from repro.database.relation import Relation
 from repro.exceptions import QueryError
 from repro.factorized.drep import FactorizedRepresentation
 from repro.joins.hash_join import evaluate_by_hash_join
-from repro.joins.generic_join import JoinCounter
 from repro.query.parser import parse_query, parse_view
 from repro.workloads.generators import path_database, triangle_database
 from repro.workloads.queries import figure7_database, figure7_view, path_view, triangle_view

@@ -1,0 +1,317 @@
+"""The asyncio front end: serving, backpressure, timing, stream driving."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from oracle import oracle_accesses, oracle_answer
+from repro.engine import AsyncViewServer, ShardedViewServer
+from repro.engine.server import BatchResult
+from repro.exceptions import ParameterError
+from repro.query.parser import parse_view
+from repro.workloads import (
+    arrivals,
+    request_stream,
+    triangle_database,
+    triangle_view,
+)
+
+SHARD_KEY = {"R": 0, "T": 1}
+
+
+@pytest.fixture
+def triangle_setup():
+    view = triangle_view("bbf")
+    db = triangle_database(nodes=25, edges=120, seed=5)
+    return view, db
+
+
+class SlowBackend:
+    """A ViewServer stand-in that records concurrency while sleeping."""
+
+    def __init__(self, delay=0.02):
+        self.delay = delay
+        self.in_flight = 0
+        self.max_in_flight = 0
+        self._lock = threading.Lock()
+
+    def register(self, view, **kwargs):
+        return "slow"
+
+    def answer_batch(self, name, accesses, tau=None, measure=True):
+        with self._lock:
+            self.in_flight += 1
+            self.max_in_flight = max(self.max_in_flight, self.in_flight)
+        time.sleep(self.delay)
+        with self._lock:
+            self.in_flight -= 1
+        batch = tuple(tuple(a) for a in accesses)
+        return BatchResult(
+            accesses=batch,
+            answers=tuple([] for _ in batch),
+            request_stats={},
+            unique_count=len(set(batch)),
+        )
+
+    def total_builds(self):
+        return 0
+
+    @property
+    def cache_stats(self):
+        from repro.engine import CacheStats
+
+        return CacheStats()
+
+
+class TestServe:
+    def test_answers_match_oracle_plain_backend(self, triangle_setup):
+        view, db = triangle_setup
+        server = AsyncViewServer(db, max_entries=4)
+        name = server.register(view, tau=8.0)
+        accesses = oracle_accesses(view, db, limit=6)
+
+        async def main():
+            return await server.serve(name, accesses)
+
+        result = asyncio.run(main())
+        server.close()
+        for access, rows in zip(result.result.accesses, result.result.answers):
+            assert list(rows) == oracle_answer(view, db, access)
+        assert result.queue_seconds >= 0.0
+        assert result.service_seconds >= 0.0
+        assert result.turnaround_seconds == pytest.approx(
+            result.queue_seconds + result.service_seconds
+        )
+        assert result.shards == ()
+
+    def test_answers_match_oracle_sharded_backend(self, triangle_setup):
+        view, db = triangle_setup
+        backend = ShardedViewServer(db, 4, SHARD_KEY)
+        server = AsyncViewServer(backend, max_workers=4)
+        name = server.register(view, tau=8.0)
+        stream = request_stream(view, db, 40, seed=3, skew=1.0, miss_rate=0.2)
+
+        async def main():
+            return await server.serve(name, stream)
+
+        result = asyncio.run(main())
+        server.close()
+        for access, rows in zip(result.result.accesses, result.result.answers):
+            assert list(rows) == oracle_answer(view, db, access)
+        # The fan-out actually touched the shards the plan named.
+        assert result.shards
+        assert all(0 <= index < 4 for index in result.shards)
+
+    def test_scatter_gather_through_the_front_end(self, triangle_setup):
+        _, db = triangle_setup
+        view = parse_view("Rev^bbf(y, z, x) = R(x, y), S(y, z), T(z, x)")
+        backend = ShardedViewServer(db, 3, SHARD_KEY)
+        server = AsyncViewServer(backend, max_workers=3)
+        name = server.register(view, tau=8.0)
+        accesses = oracle_accesses(view, db, limit=5)
+
+        async def main():
+            return await server.serve(name, accesses)
+
+        result = asyncio.run(main())
+        server.close()
+        assert result.shards == (0, 1, 2)  # every shard answers
+        for access, rows in zip(result.result.accesses, result.result.answers):
+            assert list(rows) == oracle_answer(view, db, access)
+
+    def test_parameter_validation(self, triangle_setup):
+        _, db = triangle_setup
+        with pytest.raises(ParameterError):
+            AsyncViewServer(db, max_workers=0)
+        with pytest.raises(ParameterError):
+            AsyncViewServer(db, max_pending=0)
+
+
+class TestBackpressure:
+    def test_workers_bound_concurrency(self):
+        backend = SlowBackend()
+        server = AsyncViewServer(backend, max_workers=2, max_pending=16)
+
+        async def main():
+            await asyncio.gather(
+                *(server.serve("slow", [(i,)]) for i in range(10))
+            )
+
+        asyncio.run(main())
+        server.close()
+        assert backend.max_in_flight <= 2
+
+    def test_pending_bound_applies_before_the_pool(self):
+        backend = SlowBackend(delay=0.01)
+        server = AsyncViewServer(backend, max_workers=8, max_pending=3)
+
+        async def main():
+            return await asyncio.gather(
+                *(server.serve("slow", [(i,)]) for i in range(12))
+            )
+
+        results = asyncio.run(main())
+        server.close()
+        # With 12 batches squeezed through 3 tickets, later batches must
+        # have waited in the semaphore: some queue delay is visible.
+        assert backend.max_in_flight <= 3
+        assert max(r.queue_seconds for r in results) > 0.0
+
+    def test_stream_intake_is_backpressured(self):
+        backend = SlowBackend(delay=0.005)
+        server = AsyncViewServer(backend, max_workers=4, max_pending=2)
+        stream = [(i,) for i in range(40)]
+
+        async def main():
+            return await server.serve_stream("slow", stream, batch_size=4)
+
+        report = asyncio.run(main())
+        server.close()
+        assert report.batches == 10
+        assert report.requests == 40
+        assert backend.max_in_flight <= 2
+
+
+class TestServeStream:
+    def test_totals_match_the_sync_engine(self, triangle_setup):
+        view, db = triangle_setup
+        stream = request_stream(view, db, 30, seed=4, skew=1.5)
+        server = AsyncViewServer(db, max_entries=4)
+        name = server.register(view, tau=8.0)
+
+        async def main():
+            return await server.serve_stream(name, stream, batch_size=8)
+
+        report = asyncio.run(main())
+        server.close()
+        assert report.requests == 30
+        assert report.batches == 4
+        assert report.builds == 1
+        assert report.unique_requests + report.shared_requests == 30
+        assert report.outputs == sum(
+            len(oracle_answer(view, db, access)) for access in stream
+        )
+        assert report.requests_per_second > 0
+        assert report.queue_seconds_max >= report.queue_seconds_mean >= 0.0
+        assert report.service_seconds_mean > 0.0
+
+    def test_warm_stream_reports_deltas(self, triangle_setup):
+        view, db = triangle_setup
+        stream = request_stream(view, db, 12, seed=6)
+        server = AsyncViewServer(db, max_entries=4)
+        name = server.register(view, tau=8.0)
+
+        async def main():
+            cold = await server.serve_stream(name, stream, batch_size=4)
+            warm = await server.serve_stream(name, stream, batch_size=4)
+            return cold, warm
+
+        cold, warm = asyncio.run(main())
+        server.close()
+        assert cold.builds == 1
+        assert warm.builds == 0
+        assert warm.cache.misses == 0
+
+    def test_async_iterator_of_arrivals_drives_the_stream(self, triangle_setup):
+        view, db = triangle_setup
+        stream = request_stream(view, db, 20, seed=8, miss_rate=0.2)
+        backend = ShardedViewServer(db, 2, SHARD_KEY)
+        server = AsyncViewServer(backend, max_workers=2)
+        name = server.register(view, tau=8.0)
+
+        async def main():
+            return await server.serve_stream(
+                name, arrivals(stream, 5, rate=2000.0, seed=1)
+            )
+
+        report = asyncio.run(main())
+        server.close()
+        assert report.requests == 20
+        assert report.batches == 4
+        assert report.outputs == sum(
+            len(oracle_answer(view, db, access)) for access in stream
+        )
+
+    def test_failed_batch_does_not_strand_in_flight_siblings(
+        self, triangle_setup
+    ):
+        view, db = triangle_setup
+        backend = ShardedViewServer(db, 2, SHARD_KEY)
+        server = AsyncViewServer(backend, max_workers=2, max_pending=4)
+        name = server.register(view, tau=8.0)
+        good = request_stream(view, db, 12, seed=1)
+        poisoned = good + [()]  # too short to pin a shard -> SchemaError
+
+        async def main():
+            return await server.serve_stream(name, poisoned, batch_size=4)
+
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            asyncio.run(main())  # raises cleanly, no stranded tasks
+        # The engine is still healthy afterwards.
+        server.reset()
+
+        async def healthy():
+            return await server.serve_stream(name, good, batch_size=4)
+
+        report = asyncio.run(healthy())
+        server.close()
+        assert report.requests == 12
+
+    def test_reset_rearms_for_a_second_loop(self, triangle_setup):
+        view, db = triangle_setup
+        server = AsyncViewServer(db, max_entries=4)
+        name = server.register(view, tau=8.0)
+
+        async def one_round():
+            return await server.serve(name, [(1, 2)])
+
+        asyncio.run(one_round())
+        server.reset()
+        result = asyncio.run(one_round())
+        server.close()
+        assert list(result.result.answers[0]) == oracle_answer(
+            view, db, (1, 2)
+        )
+
+    def test_context_manager_closes_the_pool(self, triangle_setup):
+        view, db = triangle_setup
+
+        async def main():
+            async with AsyncViewServer(db, max_entries=4) as server:
+                name = server.register(view, tau=8.0)
+                return await server.serve(name, [(1, 2)])
+
+        result = asyncio.run(main())
+        assert list(result.result.answers[0]) == oracle_answer(
+            view, db, (1, 2)
+        )
+
+
+class TestArrivals:
+    def test_batches_match_batched_and_are_deterministic(self, triangle_setup):
+        view, db = triangle_setup
+        stream = request_stream(view, db, 13, seed=2)
+
+        async def collect(**kwargs):
+            return [chunk async for chunk in arrivals(stream, 4, **kwargs)]
+
+        plain = asyncio.run(collect())
+        paced_a = asyncio.run(collect(rate=5000.0, seed=7))
+        paced_b = asyncio.run(collect(rate=5000.0, seed=7))
+        assert [len(c) for c in plain] == [4, 4, 4, 1]
+        assert plain == paced_a == paced_b
+        assert [a for chunk in plain for a in chunk] == stream
+
+    def test_rate_must_be_positive(self, triangle_setup):
+        view, db = triangle_setup
+        stream = request_stream(view, db, 4, seed=2)
+
+        async def drain():
+            return [c async for c in arrivals(stream, 2, rate=0.0)]
+
+        with pytest.raises(ParameterError):
+            asyncio.run(drain())

@@ -7,7 +7,6 @@ import pytest
 from repro.core.balanced_tree import build_delay_balanced_tree
 from repro.core.context import ViewContext
 from repro.core.cost import CostModel
-from repro.core.intervals import FInterval
 from repro.database.catalog import Database
 from repro.database.relation import Relation
 from repro.exceptions import ParameterError

@@ -1,0 +1,159 @@
+"""The CI pipeline is data: validate the workflow, Makefile, and smoke gate.
+
+actionlint is not vendored, so this is the repo's own schema check: the
+workflow must parse, expose the four pipeline stages as distinct jobs
+(lint → test matrix → bench-smoke), run the same make targets
+contributors run, and upload the benchmark report artifact. A drifted
+Makefile or a renamed target fails here, not on the first broken push.
+"""
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+import yaml
+
+from check_smoke_report import check as check_smoke_report
+
+REPO = Path(__file__).resolve().parent.parent
+WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
+MAKEFILE = REPO / "Makefile"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    data = yaml.safe_load(WORKFLOW.read_text())
+    assert isinstance(data, dict)
+    return data
+
+
+@pytest.fixture(scope="module")
+def make_targets():
+    targets = set()
+    for line in MAKEFILE.read_text().splitlines():
+        match = re.match(r"^([A-Za-z][\w-]*):", line)
+        if match:
+            targets.add(match.group(1))
+    return targets
+
+
+class TestWorkflowSchema:
+    def test_triggers_on_push_and_pull_request(self, workflow):
+        # YAML 1.1 parses the bare key `on` as boolean True.
+        triggers = workflow.get("on", workflow.get(True))
+        assert triggers is not None, "workflow has no `on:` block"
+        assert "push" in triggers
+        assert "pull_request" in triggers
+
+    def test_has_the_four_distinct_jobs(self, workflow):
+        jobs = workflow["jobs"]
+        assert set(jobs) == {"lint", "collect", "test", "bench-smoke"}
+        collect_lines = [
+            step.get("run", "") for step in jobs["collect"]["steps"]
+        ]
+        assert any("make collect" in line for line in collect_lines)
+        test_lines = [step.get("run", "") for step in jobs["test"]["steps"]]
+        assert any("make test" in line for line in test_lines)
+
+    def test_every_job_is_runnable(self, workflow):
+        for name, job in workflow["jobs"].items():
+            assert "runs-on" in job, f"job {name} has no runner"
+            steps = job.get("steps")
+            assert steps, f"job {name} has no steps"
+            for step in steps:
+                assert "uses" in step or "run" in step, (
+                    f"job {name} has a step with neither uses nor run"
+                )
+
+    def test_pipeline_ordering(self, workflow):
+        jobs = workflow["jobs"]
+        assert jobs["collect"]["needs"] == "lint"
+        assert jobs["test"]["needs"] == "collect"
+        assert jobs["bench-smoke"]["needs"] == "test"
+
+    def test_python_version_matrix(self, workflow):
+        matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
+        versions = [str(v) for v in matrix["python-version"]]
+        assert versions == ["3.10", "3.11", "3.12"]
+
+    def test_lint_job_runs_make_lint(self, workflow):
+        run_lines = [
+            step.get("run", "")
+            for step in workflow["jobs"]["lint"]["steps"]
+        ]
+        assert any("make lint" in line for line in run_lines)
+        assert any("ruff" in line for line in run_lines)
+
+    def test_bench_smoke_uploads_report_artifact(self, workflow):
+        steps = workflow["jobs"]["bench-smoke"]["steps"]
+        assert any(
+            "make bench-smoke" in step.get("run", "") for step in steps
+        )
+        uploads = [
+            step
+            for step in steps
+            if "upload-artifact" in step.get("uses", "")
+        ]
+        assert len(uploads) == 1
+        assert uploads[0]["with"]["path"] == ".bench/smoke.json"
+
+
+class TestMakefileContract:
+    def test_targets_the_workflow_relies_on_exist(self, make_targets):
+        assert {"lint", "collect", "test", "bench-smoke"} <= make_targets
+
+    def test_bench_smoke_writes_and_checks_the_report(self):
+        text = MAKEFILE.read_text()
+        assert "--benchmark-json" in text
+        assert "check_smoke_report.py" in text
+
+    def test_ruff_is_configured(self):
+        pyproject = (REPO / "pyproject.toml").read_text()
+        assert "[tool.ruff]" in pyproject
+        assert "[tool.ruff.format]" in pyproject
+
+
+class TestSmokeReportGate:
+    def test_accepts_a_healthy_report(self, tmp_path):
+        report = tmp_path / "smoke.json"
+        report.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {"name": "test_a", "stats": {"mean": 0.1}},
+                        {"name": "test_b", "stats": {"mean": 0.2}},
+                    ]
+                }
+            )
+        )
+        assert check_smoke_report(str(report), 2) == 0
+
+    def test_rejects_missing_empty_and_errored_reports(self, tmp_path):
+        assert check_smoke_report(str(tmp_path / "absent.json")) == 1
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"benchmarks": []}))
+        assert check_smoke_report(str(empty)) == 1
+        errored = tmp_path / "errored.json"
+        errored.write_text(
+            json.dumps({"benchmarks": [{"name": "test_a", "stats": {}}]})
+        )
+        assert check_smoke_report(str(errored)) == 1
+
+    def test_gate_runs_as_a_script(self, tmp_path):
+        report = tmp_path / "smoke.json"
+        report.write_text(
+            json.dumps({"benchmarks": [{"name": "t", "stats": {"mean": 1}}]})
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "benchmarks" / "check_smoke_report.py"),
+                str(report),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

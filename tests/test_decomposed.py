@@ -7,7 +7,6 @@ from repro.core.decomposed import DecomposedRepresentation
 from repro.database.catalog import Database
 from repro.database.relation import Relation
 from repro.exceptions import ParameterError, QueryError
-from repro.hypergraph.connex import ConnexDecomposition
 from repro.hypergraph.hypergraph import hypergraph_of_view
 from repro.hypergraph.width import DelayAssignment, connex_fhw
 from repro.joins.generic_join import JoinCounter

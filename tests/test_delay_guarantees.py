@@ -6,9 +6,7 @@ answer time follows Õ(|q| + τ·|q|^{1/α}), and delays are dramatically
 smaller than lazy evaluation's first-tuple cost on adversarial instances.
 """
 
-import math
 
-import pytest
 
 from repro.baselines.lazy import LazyView
 from repro.core.structure import CompressedRepresentation

@@ -1,15 +1,11 @@
 """The heavy-pair dictionary: Example 15 and Proposition 7's size bound."""
 
-import math
 
 import pytest
 
-from repro.core.balanced_tree import build_delay_balanced_tree
 from repro.core.context import ViewContext
-from repro.core.cost import CostModel
 from repro.core.dictionary import (
     bound_candidates,
-    build_dictionary,
     output_nonempty_in,
 )
 from repro.core.intervals import FInterval

@@ -1,5 +1,6 @@
 """The access-serving engine: cache, ViewServer, batching, concurrency."""
 
+import random
 import threading
 
 import pytest
@@ -112,9 +113,27 @@ class TestViewServer:
         for tau in (2.0, 4.0, 8.0):  # third build evicts tau=2
             server.representation(name, tau)
         assert server.cache_stats.evictions == 1
-        assert (name, 2.0) not in server.cache
+        generation = server.registration(name).generation
+        assert (name, 2.0, generation) not in server.cache
         server.representation(name, 2.0)
         assert server.build_count(name, tau=2.0) == 2
+
+    def test_reregistration_is_a_new_generation(self, triangle_setup):
+        view, db = triangle_setup
+        server = ViewServer(db)
+        name = server.register(view, tau=8.0)
+        server.representation(name)
+        first = server.registration(name).generation
+        assert server.unregister(name) is True
+        assert len(server.cache) == 0
+        assert server.total_builds() == 1  # lifetime total stays monotonic
+        name = server.register(view, tau=8.0)
+        assert server.registration(name).generation > first
+        server.representation(name)
+        # The new generation has its own cache key and build counter, so
+        # a structure from the old generation can never be served as it.
+        assert server.build_count(name) == 1
+        assert len(server.cache) == 1
 
     def test_duplicate_registration_rejected(self, triangle_setup):
         view, db = triangle_setup
@@ -270,6 +289,123 @@ class TestTauAutoSelection:
             assert server.answer(name, access) == oracle_answer(
                 view, db, access
             )
+
+
+class TestCacheConcurrency:
+    """Regression: eviction racing an in-flight build must not skew cells."""
+
+    def _assert_accounting_exact(self, cache):
+        residents = sum(
+            representation_cells(cache.peek(key)) for key in cache.keys()
+        )
+        assert cache.total_cells == residents
+
+    def test_get_or_build_hammer_keeps_accounting_exact(self):
+        view = triangle_view("bbf")
+        db = triangle_database(nodes=10, edges=35, seed=3)
+        taus = [2.0, 4.0, 8.0, 16.0, 32.0]
+        # A budget small enough that almost every publish evicts someone,
+        # so evictions constantly race builds in flight.
+        probe = _build(view, db, 8.0)
+        cache = RepresentationCache(
+            max_entries=3, max_cells=2 * representation_cells(probe)
+        )
+        errors = []
+
+        def worker(seed):
+            rng = random.Random(seed)
+            try:
+                for _ in range(15):
+                    tau = rng.choice(taus)
+                    built = cache.get_or_build(
+                        ("V", tau), lambda tau=tau: _build(view, db, tau)
+                    )
+                    assert built.tau == tau
+                    if rng.random() < 0.3:
+                        cache.invalidate(("V", rng.choice(taus)))
+            except Exception as error:  # propagate to the main thread
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        self._assert_accounting_exact(cache)
+        stats = cache.stats
+        assert stats.insertions >= 1
+        assert stats.evictions >= 1  # the race under test actually happened
+
+    def test_single_build_per_key_under_contention(self, triangle_setup):
+        view, db = triangle_setup
+        cache = RepresentationCache(max_entries=4)
+        calls = []
+        barrier = threading.Barrier(6)
+        results = []
+
+        def factory():
+            calls.append(threading.get_ident())
+            return _build(view, db, 8.0)
+
+        def reader():
+            barrier.wait()
+            results.append(cache.get_or_build("k", factory))
+
+        threads = [threading.Thread(target=reader) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        assert len(set(id(r) for r in results)) == 1
+        # One call is one request — a wait-then-hit caller records its
+        # miss only, a late-scheduled caller a plain hit.
+        assert cache.stats.requests == 6
+        assert cache.stats.misses >= 1
+        self._assert_accounting_exact(cache)
+
+    def test_failed_build_releases_the_key(self, triangle_setup):
+        view, db = triangle_setup
+        cache = RepresentationCache(max_entries=4)
+
+        def broken():
+            raise RuntimeError("flaky build")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build("k", broken)
+        # The key is not wedged: the next caller builds successfully.
+        built = cache.get_or_build("k", lambda: _build(view, db, 8.0))
+        assert built is cache.peek("k")
+        self._assert_accounting_exact(cache)
+
+    def test_invalidate_racing_publish_keeps_accounting_exact(
+        self, triangle_setup
+    ):
+        view, db = triangle_setup
+        cache = RepresentationCache(max_entries=4)
+        release = threading.Event()
+        mid_build = threading.Event()
+
+        def slow_factory():
+            mid_build.set()
+            release.wait(timeout=5.0)
+            return _build(view, db, 8.0)
+
+        builder = threading.Thread(
+            target=lambda: cache.get_or_build("k", slow_factory)
+        )
+        builder.start()
+        mid_build.wait(timeout=5.0)
+        # Invalidating a key whose build is in flight is a no-op drop …
+        assert cache.invalidate("k") is False
+        release.set()
+        builder.join()
+        # … and the publish lands with exact accounting.
+        assert "k" in cache
+        self._assert_accounting_exact(cache)
 
 
 class TestConcurrency:

@@ -7,9 +7,9 @@ from repro.database.relation import Relation
 from repro.exceptions import QueryError
 from repro.factorized.drep import FactorizedRepresentation
 from repro.joins.hash_join import evaluate_by_hash_join
-from repro.query.parser import parse_query, parse_view
+from repro.query.parser import parse_query
 from repro.workloads.generators import path_database, triangle_database
-from repro.workloads.queries import path_view, triangle_view
+from repro.workloads.queries import triangle_view
 
 
 class TestCorrectness:

@@ -1,6 +1,5 @@
 """End-to-end integration tests on the paper's application scenarios."""
 
-import pytest
 
 from oracle import oracle_accesses, oracle_answer
 from repro.baselines.lazy import LazyView

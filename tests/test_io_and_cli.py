@@ -165,6 +165,110 @@ class TestCLI:
         assert code == 0
         assert "(space-budget)" in capsys.readouterr().out
 
+    def test_serve_sharded(self, triangle_dir, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("1,2\n3,1\n1,2\n9,9\n")
+        code = main(
+            [
+                "serve",
+                "--view",
+                self.VIEW,
+                "--data",
+                str(triangle_dir),
+                "--requests",
+                str(requests),
+                "--tau",
+                "4",
+                "--shards",
+                "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sharding: 2 shards over ['R', 'T'] (routed" in output
+        assert "served 4 requests" in output
+
+    def test_serve_async_sharded(self, triangle_dir, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("1,2\n3,1\n1,2\n9,9\n")
+        code = main(
+            [
+                "serve",
+                "--view",
+                self.VIEW,
+                "--data",
+                str(triangle_dir),
+                "--requests",
+                str(requests),
+                "--tau",
+                "4",
+                "--async",
+                "--shards",
+                "2",
+                "--shard-key",
+                "R:0,T:1",
+                "--workers",
+                "2",
+                "--batch-size",
+                "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sharding: 2 shards" in output
+        assert "served 4 requests in 2 batches" in output
+        assert "async: queue max" in output
+
+    def test_serve_rejects_orphan_scale_flags(
+        self, triangle_dir, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("1,2\n")
+        base = [
+            "serve",
+            "--view",
+            self.VIEW,
+            "--data",
+            str(triangle_dir),
+            "--requests",
+            str(requests),
+        ]
+        # --shard-key without --shards would be silently ignored otherwise.
+        assert main(base + ["--shard-key", "R:0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        # --shards 0 is a typo, not a request for an unsharded server.
+        assert main(base + ["--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        # A relation listed twice is a conflicting spec, not last-wins.
+        assert main(base + ["--shards", "2", "--shard-key", "R:0,R:1"]) == 2
+        assert "twice" in capsys.readouterr().err
+        # --workers / --max-pending only act through the async front end.
+        assert main(base + ["--workers", "2"]) == 2
+        assert "--async" in capsys.readouterr().err
+        assert main(base + ["--max-pending", "4"]) == 2
+        assert "--async" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_shard_key(self, triangle_dir, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("1,2\n")
+        code = main(
+            [
+                "serve",
+                "--view",
+                self.VIEW,
+                "--data",
+                str(triangle_dir),
+                "--requests",
+                str(requests),
+                "--shards",
+                "2",
+                "--shard-key",
+                "bogus",
+            ]
+        )
+        assert code == 2
+        assert "shard key" in capsys.readouterr().err
+
     def test_serve_requires_requests(self, triangle_dir, tmp_path, capsys):
         empty = tmp_path / "requests.txt"
         empty.write_text("# nothing here\n")

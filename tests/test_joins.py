@@ -1,6 +1,5 @@
 """Tests for the worst-case-optimal join, hash join, and semijoin."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings, strategies as st

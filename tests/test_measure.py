@@ -1,6 +1,5 @@
 """Measurement utilities: space accounting, delay probes, sweeps."""
 
-import pytest
 
 from repro.joins.generic_join import JoinCounter
 from repro.measure.delay import measure_enumeration

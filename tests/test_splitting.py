@@ -15,7 +15,7 @@ from repro.core.intervals import FInterval
 from repro.core.splitting import split_interval
 from repro.database.catalog import Database
 from repro.database.relation import Relation
-from repro.hypergraph.covers import max_slack_cover, slack
+from repro.hypergraph.covers import max_slack_cover
 from repro.hypergraph.hypergraph import hypergraph_of_view
 from repro.query.parser import parse_view
 from repro.workloads.queries import running_example_database, running_example_view

@@ -28,7 +28,6 @@ from repro.workloads.queries import (
     figure7_view,
     loomis_whitney_view,
     path_view,
-    running_example_view,
     triangle_view,
 )
 

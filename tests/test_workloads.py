@@ -2,7 +2,10 @@
 
 import pytest
 
+from repro.database.catalog import Database
+from repro.database.relation import Relation
 from repro.exceptions import ParameterError
+from repro.query.parser import parse_view
 from repro.joins.hash_join import evaluate_by_hash_join
 from repro.workloads.generators import (
     loomis_whitney_database,
@@ -216,3 +219,72 @@ class TestRequestStreams:
             request_stream(view, db, 5, miss_rate=1.5)
         with pytest.raises(ParameterError):
             list(batched([], 0))
+
+    def test_same_seed_means_identical_stream_across_parameters(self):
+        view, db = self._setup()
+        for skew in (0.0, 1.0, 2.5):
+            for miss_rate in (0.0, 0.3):
+                a = request_stream(
+                    view, db, 40, seed=11, skew=skew, miss_rate=miss_rate
+                )
+                b = request_stream(
+                    view, db, 40, seed=11, skew=skew, miss_rate=miss_rate
+                )
+                assert a == b
+        # A different seed reshuffles the stream.
+        assert request_stream(view, db, 40, seed=11) != request_stream(
+            view, db, 40, seed=12
+        )
+
+    def test_zero_skew_spreads_bound_tuples_evenly(self):
+        view, db = self._setup()
+        stream = request_stream(view, db, 600, seed=3, skew=0.0)
+        counts = {}
+        for access in stream:
+            counts[access] = counts.get(access, 0) + 1
+        # Uniform draws: the heaviest tuple stays a small fraction.
+        assert max(counts.values()) / len(stream) < 0.1
+
+    def test_empty_view_yields_only_misses_of_right_arity(self):
+        # No R tuple joins S: the view's result is empty, so the stream
+        # degrades to all misses regardless of the requested miss rate.
+        db = Database(
+            [
+                Relation("R", 2, [(1, 2), (3, 4)]),
+                Relation("S", 2, [(9, 9)]),
+            ]
+        )
+        view = parse_view("E^bbf(x, y, z) = R(x, y), S(y, z)")
+        assert productive_accesses(view, db) == []
+        stream = request_stream(view, db, 15, seed=5, miss_rate=0.0)
+        assert len(stream) == 15
+        assert all(len(access) == 2 for access in stream)
+        assert all(access not in {(1, 2), (3, 4)} for access in stream)
+
+    def test_non_parametric_view_stream_terminates(self):
+        # Regression: with zero bound positions the only access tuple is
+        # (), so a "guaranteed miss" cannot exist — the old code
+        # rejection-sampled forever. Requesting misses anyway is an
+        # error; without them the stream is all ().
+        view, db = self._setup()
+        full = parse_view("F^fff(x, y, z) = R(x, y), S(y, z), T(z, x)")
+        assert request_stream(full, db, 8, seed=1) == [()] * 8
+        with pytest.raises(ParameterError):
+            request_stream(full, db, 8, seed=1, miss_rate=0.5)
+        # With no productive keys, () itself is the guaranteed miss and
+        # any miss mix streams fine.
+        empty = Database(
+            [Relation("R", 2, [(1, 2)]), Relation("S", 2, [(9, 9)])]
+        )
+        none_productive = parse_view("N^ff(x, y) = R(x, y), S(x, y)")
+        stream = request_stream(none_productive, empty, 6, miss_rate=1.0)
+        assert stream == [()] * 6
+
+    def test_empty_database_relation_is_served(self):
+        db = Database(
+            [Relation("R", 2, []), Relation("S", 2, [(1, 2)])]
+        )
+        view = parse_view("E^bf(x, y) = R(x, y)")
+        assert productive_accesses(view, db) == []
+        stream = request_stream(view, db, 5, seed=1)
+        assert len(stream) == 5
