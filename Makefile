@@ -4,7 +4,7 @@
 PYTHON ?= python
 SMOKE_REPORT ?= .bench/smoke.json
 
-.PHONY: test collect lint format bench-smoke bench
+.PHONY: test collect lint format bench-smoke bench-warm bench
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -28,6 +28,13 @@ bench-smoke:
 		benchmarks/bench_engine_serving.py benchmarks/bench_async_serving.py \
 		-q --benchmark-json=$(SMOKE_REPORT)
 	$(PYTHON) benchmarks/check_smoke_report.py $(SMOKE_REPORT) 5
+
+# Warm-start gate: fails unless a restarted server warms from its
+# snapshot directory >= 5x faster than the cold build (and the
+# process-built sharded answers stay oracle-identical).
+bench-warm:
+	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_snapshot_warmstart.py -q
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q

@@ -1,0 +1,213 @@
+"""EXP-SNAPSHOT — warm starts from disk and process-parallel builds.
+
+The compressed ``(T, D)`` structures are expensive to build and cheap to
+serve from; this bench measures the two ways the snapshot layer exploits
+that asymmetry:
+
+* **warm start** — a two-view workload (the skewed co-author database
+  served through ``Coauthor^bff`` and ``Shared^bbf``) is built cold by a
+  fresh :class:`~repro.engine.ViewServer` with a snapshot directory,
+  then a "restarted" server (new process state, same directory, same
+  data) acquires both structures again. The restart must decode instead
+  of rebuild: zero builds, one disk hit per view, and a >= 5x wall-clock
+  advantage (acceptance).
+* **process-parallel sharded builds** — a 2-shard
+  :class:`~repro.engine.ShardedViewServer` with a shared
+  :class:`~repro.engine.ParallelBuilder` prebuilds per-shard structures
+  on worker processes (workers build + encode snapshots, the parent
+  decodes). Parallel hardware is not assumed (CI may pin one core), so
+  the assertion is correctness, not speed: batch answers must be
+  bit-identical to the in-process sharded path and to the independent
+  hash-join oracle.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the workload for CI; the
+warm-start acceptance threshold is the same 5x in both modes (measured
+margins are ~17x smoke / ~37x full).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from bench_reporting import bench_emit, bench_emit_table
+from oracle import oracle_answer
+from repro import ShardedViewServer, ViewServer, parse_view
+from repro.workloads import request_stream, triangle_database, triangle_view
+from repro.workloads.scenarios import coauthor_database
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+TAU = 8.0
+N_AUTHORS, N_PAPERS = (150, 200) if SMOKE else (300, 400)
+N_REQUESTS = 20 if SMOKE else 60
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = coauthor_database(n_authors=N_AUTHORS, n_papers=N_PAPERS)
+    views = [
+        ("Coauthor", parse_view("Coauthor^bff(x, y, p) = R(x, p), R(y, p)")),
+        ("Shared", parse_view("Shared^bbf(x, y, p) = R(x, p), R(y, p)")),
+    ]
+    streams = {
+        name: request_stream(
+            view, db, N_REQUESTS, seed=5, skew=1.1, miss_rate=0.1
+        )
+        for name, view in views
+    }
+    return db, views, streams
+
+
+def _start_server(db, views, snapshot_dir):
+    """Register and acquire both structures; the timed warm/cold unit."""
+    server = ViewServer(db, max_entries=4, snapshot_dir=snapshot_dir)
+    for name, view in views:
+        server.register(view, tau=TAU, name=name)
+        server.representation(name)
+    return server
+
+
+def test_warm_start_vs_cold_build(benchmark, workload, tmp_path_factory):
+    db, views, streams = workload
+    snapshot_dir = tmp_path_factory.mktemp("snapshots")
+
+    started = time.perf_counter()
+    cold_server = _start_server(db, views, snapshot_dir)
+    cold_seconds = time.perf_counter() - started
+    assert cold_server.total_builds() == len(views)
+    assert cold_server.cache.stats.disk_writes == len(views)
+
+    warm_server = benchmark.pedantic(
+        lambda: _start_server(db, views, snapshot_dir), rounds=1, iterations=1
+    )
+    warm_seconds = benchmark.stats.stats.mean
+
+    # The restart decoded snapshots instead of rebuilding...
+    assert warm_server.total_builds() == 0
+    assert warm_server.cache.stats.disk_hits == len(views)
+    # ...and serves the exact same answers as the cold server.
+    outputs = 0
+    for name, _ in views:
+        cold_report = cold_server.serve_stream(
+            name, streams[name], measure=False
+        )
+        warm_report = warm_server.serve_stream(
+            name, streams[name], measure=False
+        )
+        assert warm_report.outputs == cold_report.outputs
+        assert warm_report.builds == 0
+        outputs += warm_report.outputs
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    bench_emit_table(
+        [
+            ("cold build", f"{cold_seconds * 1000:.1f}", len(views), 0),
+            ("warm start", f"{warm_seconds * 1000:.1f}", 0, len(views)),
+        ],
+        headers=("mode", "ms", "builds", "disk hits"),
+        title=(
+            f"EXP-SNAPSHOT warm start: 2 views over co-author data "
+            f"(|D|={db.total_tuples()}, tau={TAU}); speedup {speedup:.1f}x"
+        ),
+    )
+    bench_emit(
+        f"shape check: restart decoded {len(views)} snapshots, rebuilt "
+        f"nothing, then served {outputs} tuples identically; "
+        "warm start must be >= 5x faster than the cold build."
+    )
+    assert speedup >= 5.0, f"warm start speedup only {speedup:.1f}x"
+
+
+def test_warm_start_answers_match_oracle(workload, tmp_path_factory):
+    db, views, streams = workload
+    snapshot_dir = tmp_path_factory.mktemp("snapshots-oracle")
+    _start_server(db, views, snapshot_dir)  # populate the disk tier
+    warm_server = _start_server(db, views, snapshot_dir)
+    assert warm_server.total_builds() == 0
+    mismatches = 0
+    checked = 0
+    for name, view in views:
+        sample = sorted(set(streams[name]))[:10]
+        result = warm_server.answer_batch(name, sample, measure=False)
+        for access, rows in zip(result.accesses, result.answers):
+            checked += 1
+            if list(rows) != oracle_answer(view, db, access):
+                mismatches += 1
+    bench_emit(
+        f"EXP-SNAPSHOT oracle check: {checked} warm-start answers, "
+        f"{mismatches} mismatches"
+    )
+    assert mismatches == 0
+
+
+def test_process_parallel_sharded_build_matches_inprocess(benchmark):
+    nodes, edges = (30, 160) if SMOKE else (40, 240)
+    db = triangle_database(nodes=nodes, edges=edges, seed=7)
+    view = triangle_view("bbf")
+    stream = request_stream(view, db, N_REQUESTS, seed=3, skew=1.1)
+    shard_key = {"R": 0, "T": 1}
+    snapshot_dir = tempfile.mkdtemp(prefix="repro-shard-snaps-")
+    try:
+        parallel = ShardedViewServer(
+            db, 2, shard_key, build_workers=2, snapshot_dir=snapshot_dir
+        )
+        name = parallel.register(view, tau=TAU)
+
+        def prebuild():
+            return parallel.prebuild(name)
+
+        started = time.perf_counter()
+        representations = benchmark.pedantic(prebuild, rounds=1, iterations=1)
+        prebuild_seconds = time.perf_counter() - started
+        assert len(representations) == 2
+        assert parallel.total_builds() == 2
+
+        inprocess = ShardedViewServer(db, 2, shard_key)
+        baseline = inprocess.register(view, tau=TAU)
+
+        mismatches = 0
+        sample = sorted(set(stream))
+        parallel_result = parallel.answer_batch(name, sample, measure=False)
+        inprocess_result = inprocess.answer_batch(
+            baseline, sample, measure=False
+        )
+        for access, rows, expected in zip(
+            parallel_result.accesses,
+            parallel_result.answers,
+            inprocess_result.answers,
+        ):
+            if list(rows) != list(expected):
+                mismatches += 1
+            if list(rows) != oracle_answer(view, db, access):
+                mismatches += 1
+
+        builder = parallel.builder
+        bench_emit_table(
+            [
+                (
+                    "process-parallel prebuild",
+                    f"{prebuild_seconds * 1000:.1f}",
+                    builder.process_builds,
+                    builder.fallback_builds,
+                ),
+            ],
+            headers=("mode", "ms", "process builds", "fallbacks"),
+            title=(
+                "EXP-SNAPSHOT sharded builds: 2 shards, 2 build workers "
+                f"(triangle bbf, N={db.total_tuples()})"
+            ),
+        )
+        bench_emit(
+            f"shape check: {len(sample)} batched accesses answered "
+            f"identically by the process-built and in-process shards "
+            f"({mismatches} mismatches); workers build + snapshot, the "
+            "parent decodes."
+        )
+        assert mismatches == 0
+        parallel.close()
+    finally:
+        shutil.rmtree(snapshot_dir, ignore_errors=True)

@@ -50,12 +50,19 @@ from repro.core import (
     DynamicRepresentation,
     FullyBoundStructure,
     ProjectedRepresentation,
+    SnapshotStore,
+    database_fingerprint,
+    decode_snapshot,
+    encode_snapshot,
+    load_snapshot,
+    save_snapshot,
 )
 from repro.engine import (
     AsyncServingReport,
     AsyncViewServer,
     BatchResult,
     CacheStats,
+    ParallelBuilder,
     RepresentationCache,
     ServingReport,
     ShardedViewServer,
@@ -109,6 +116,13 @@ __all__ = [
     "CacheStats",
     "BatchResult",
     "ServingReport",
+    "ParallelBuilder",
+    "SnapshotStore",
+    "database_fingerprint",
+    "encode_snapshot",
+    "decode_snapshot",
+    "save_snapshot",
+    "load_snapshot",
     "FactorizedRepresentation",
     "MaterializedView",
     "LazyView",

@@ -40,6 +40,26 @@ values; blank lines and ``#`` comments are skipped). Instead of a fixed
 ``--tau``, the engine can pick it: ``--space-budget CELLS`` minimizes
 delay within the budget (Proposition 11), ``--delay-budget TAU`` minimizes
 space under the delay bound (Proposition 12).
+
+Persistence and process parallelism: ``--snapshot-dir DIR`` makes every
+built structure durable (a restarted server warms from the directory
+instead of rebuilding; stale data is refused by fingerprint), and
+``--build-workers N`` moves builds onto N worker processes::
+
+    python -m repro serve --snapshot-dir ./snapshots --build-workers 2 \\
+        --view "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)" \\
+        --data ./relations --requests ./requests.txt
+
+Standalone snapshots use the ``snapshot`` subcommand: ``save`` builds a
+structure and writes one file, ``load`` decodes it (verifying it against
+the data directory) and answers requests, ``inspect`` prints the header
+without decoding::
+
+    python -m repro snapshot save --view "..." --data ./relations \\
+        --tau 8 --out view.snap
+    python -m repro snapshot load --file view.snap --data ./relations \\
+        --access 1,2
+    python -m repro snapshot inspect --file view.snap
 """
 
 from __future__ import annotations
@@ -61,6 +81,12 @@ from repro import (
     hypergraph_of_view,
     infer_shard_key,
     parse_view,
+)
+from repro.core.snapshot import (
+    database_fingerprint,
+    inspect_snapshot_file,
+    load_snapshot,
+    save_snapshot,
 )
 from repro.exceptions import ReproError
 from repro.io import load_database
@@ -186,6 +212,10 @@ def _serve(args) -> int:
         args.workers is not None or args.max_pending is not None
     ):
         raise ReproError("--workers/--max-pending are async knobs; add --async")
+    if args.build_workers is not None and args.build_workers < 1:
+        raise ReproError(
+            f"--build-workers must be >= 1, got {args.build_workers}"
+        )
     if args.shards > 1:
         shard_key = (
             _parse_shard_key(args.shard_key)
@@ -198,10 +228,18 @@ def _serve(args) -> int:
             shard_key,
             max_entries=args.cache_entries,
             max_cells=args.cache_cells,
+            snapshot_dir=args.snapshot_dir,
+            cache_policy=args.cache_policy,
+            build_workers=args.build_workers,
         )
     else:
         backend = ViewServer(
-            db, max_entries=args.cache_entries, max_cells=args.cache_cells
+            db,
+            max_entries=args.cache_entries,
+            max_cells=args.cache_cells,
+            snapshot_dir=args.snapshot_dir,
+            cache_policy=args.cache_policy,
+            build_workers=args.build_workers,
         )
     name = backend.register(
         view,
@@ -223,34 +261,44 @@ def _serve(args) -> int:
             f"sharding: {args.shards} shards over "
             f"{sorted(backend.shard_key)} ({mode}{detail})"
         )
-    if args.use_async:
-        workers = args.workers if args.workers is not None else 4
-        max_pending = args.max_pending if args.max_pending is not None else 32
-        server = AsyncViewServer(
-            backend,
-            max_workers=workers,
-            max_pending=max_pending,
-        )
-        try:
-            report = asyncio.run(
-                server.serve_stream(
-                    name, accesses, batch_size=args.batch_size
-                )
+    try:
+        if args.use_async:
+            workers = args.workers if args.workers is not None else 4
+            max_pending = (
+                args.max_pending if args.max_pending is not None else 32
             )
-        finally:
-            server.close()
-        _print_stream_report(report)
-        print(
-            f"async: queue max {report.queue_seconds_max * 1000:.1f} ms "
-            f"(mean {report.queue_seconds_mean * 1000:.1f} ms), "
-            f"service mean {report.service_seconds_mean * 1000:.1f} ms, "
-            f"{workers} workers, {max_pending} max in flight"
-        )
-    else:
-        report = backend.serve_stream(
-            name, accesses, batch_size=args.batch_size
-        )
-        _print_stream_report(report)
+            server = AsyncViewServer(
+                backend,
+                max_workers=workers,
+                max_pending=max_pending,
+            )
+            try:
+                report = asyncio.run(
+                    server.serve_stream(
+                        name, accesses, batch_size=args.batch_size
+                    )
+                )
+            finally:
+                server.close()
+            _print_stream_report(report)
+            print(
+                f"async: queue max {report.queue_seconds_max * 1000:.1f} ms "
+                f"(mean {report.queue_seconds_mean * 1000:.1f} ms), "
+                f"service mean {report.service_seconds_mean * 1000:.1f} ms, "
+                f"{workers} workers, {max_pending} max in flight"
+            )
+        else:
+            report = backend.serve_stream(
+                name, accesses, batch_size=args.batch_size
+            )
+            _print_stream_report(report)
+        if args.snapshot_dir is not None:
+            print(
+                f"snapshots: {report.cache.disk_hits} warm loads, "
+                f"{report.cache.disk_writes} writes in {args.snapshot_dir}"
+            )
+    finally:
+        backend.close()
     return 0
 
 
@@ -269,6 +317,67 @@ def _print_stream_report(report) -> None:
         f"{report.wall_seconds * 1000:.1f} ms total "
         f"({report.requests_per_second:.0f} req/s)"
     )
+
+
+def _snapshot_save(args) -> int:
+    try:
+        view = parse_view(args.view)
+        db = load_database(args.data)
+        structure = CompressedRepresentation(view, db, tau=args.tau)
+        written = save_snapshot(
+            args.out, structure, fingerprint=database_fingerprint(db)
+        )
+    except (ReproError, OSError) as error:
+        print(f"snapshot save: {error}", file=sys.stderr)
+        return 2
+    stats = structure.stats
+    print(
+        f"saved {args.out}: {written} bytes "
+        f"(tau={stats.tau}, tree={stats.tree_nodes}, "
+        f"dict={stats.dictionary_entries}, "
+        f"built in {stats.build_seconds * 1000:.1f} ms)"
+    )
+    return 0
+
+
+def _snapshot_load(args) -> int:
+    try:
+        fingerprint = None
+        if args.data is not None:
+            fingerprint = database_fingerprint(load_database(args.data))
+        structure = load_snapshot(args.file, expected_fingerprint=fingerprint)
+    except (ReproError, OSError) as error:
+        print(f"snapshot load: {error}", file=sys.stderr)
+        return 2
+    checked = "fingerprint verified" if fingerprint else "fingerprint unchecked"
+    print(f"loaded {args.file}: {type(structure).__name__} ({checked})")
+    for access_text in args.access or []:
+        access = _parse_access(access_text)
+        rows = structure.answer(access)
+        print(f"answer{access}: {len(rows)} tuples")
+        for row in rows[: args.limit]:
+            print(f"  {row}")
+        if len(rows) > args.limit:
+            print(f"  ... {len(rows) - args.limit} more")
+    return 0
+
+
+def _snapshot_inspect(args) -> int:
+    try:
+        info = inspect_snapshot_file(args.file)
+    except ReproError as error:
+        print(f"snapshot inspect: {error}", file=sys.stderr)
+        return 2
+    print(f"{args.file}:")
+    print(f"  format version: {info['version']}")
+    print(f"  kind:           {info['kind']}")
+    print(f"  fingerprint:    {info['fingerprint']}")
+    print(
+        f"  payload:        {info['payload_present']}/{info['payload_bytes']} "
+        f"bytes ({'complete' if info['complete'] else 'TRUNCATED'})"
+    )
+    print(f"  file size:      {info['file_bytes']} bytes")
+    return 0
 
 
 def _run_widths(args) -> int:
@@ -378,7 +487,70 @@ def main(argv=None) -> int:
         help="async backpressure: max batches in flight "
         "(default 32; needs --async)",
     )
+    serve.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="persist built structures here and warm-start from them "
+        "on restart (per-shard subdirectories when sharded)",
+    )
+    serve.add_argument(
+        "--cache-policy",
+        choices=["lru", "cost"],
+        default="lru",
+        help="cache eviction policy: recency only, or cost-aware "
+        "(weigh build seconds x cells)",
+    )
+    serve.add_argument(
+        "--build-workers",
+        type=int,
+        default=None,
+        help="build structures on N worker processes (real cores; "
+        "falls back in-process if unavailable)",
+    )
     serve.set_defaults(handler=_run_serve)
+
+    snapshot = commands.add_parser(
+        "snapshot", help="save, load or inspect representation snapshots"
+    )
+    snapshot_commands = snapshot.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+
+    snap_save = snapshot_commands.add_parser(
+        "save", help="build a structure and write it as one snapshot file"
+    )
+    _common(snap_save)
+    snap_save.add_argument("--tau", type=float, default=8.0)
+    snap_save.add_argument(
+        "--out", required=True, help="snapshot file to write"
+    )
+    snap_save.set_defaults(handler=_snapshot_save)
+
+    snap_load = snapshot_commands.add_parser(
+        "load", help="decode a snapshot and answer access requests"
+    )
+    snap_load.add_argument(
+        "--file", required=True, help="snapshot file to load"
+    )
+    snap_load.add_argument(
+        "--data",
+        default=None,
+        help="directory of <relation>.csv files; when given, the "
+        "snapshot must fingerprint-match it",
+    )
+    snap_load.add_argument(
+        "--access", action="append", help="comma-separated bound values"
+    )
+    snap_load.add_argument("--limit", type=int, default=20)
+    snap_load.set_defaults(handler=_snapshot_load)
+
+    snap_inspect = snapshot_commands.add_parser(
+        "inspect", help="print a snapshot's header without decoding it"
+    )
+    snap_inspect.add_argument(
+        "--file", required=True, help="snapshot file to inspect"
+    )
+    snap_inspect.set_defaults(handler=_snapshot_inspect)
 
     args = parser.parse_args(argv)
     return args.handler(args)

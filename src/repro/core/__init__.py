@@ -25,6 +25,16 @@ from repro.core.balanced_tree import (
     build_delay_balanced_tree,
 )
 from repro.core.dictionary import HeavyDictionary, build_dictionary
+from repro.core.snapshot import (
+    SnapshotStore,
+    database_fingerprint,
+    decode_snapshot,
+    encode_snapshot,
+    inspect_snapshot,
+    inspect_snapshot_file,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.core.structure import CompressedRepresentation
 from repro.core.projection import ProjectedRepresentation
 from repro.core.dynamic import DynamicRepresentation
@@ -46,6 +56,14 @@ __all__ = [
     "build_delay_balanced_tree",
     "HeavyDictionary",
     "build_dictionary",
+    "SnapshotStore",
+    "database_fingerprint",
+    "decode_snapshot",
+    "encode_snapshot",
+    "inspect_snapshot",
+    "inspect_snapshot_file",
+    "load_snapshot",
+    "save_snapshot",
     "CompressedRepresentation",
     "ProjectedRepresentation",
     "DynamicRepresentation",

@@ -19,12 +19,12 @@ Two implementation notes beyond the paper:
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.cost import CostModel
 from repro.core.intervals import FInterval
 from repro.core.splitting import split_interval
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, SnapshotError
 
 _MAX_DEPTH = 512
 
@@ -88,6 +88,65 @@ class DelayBalancedTree:
 
     def leaves(self) -> List[TreeNode]:
         return [node for node in self.nodes if node.is_leaf]
+
+    # ------------------------------------------------------------------
+    # explicit state (the snapshot boundary)
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict:
+        """Plain-data state: node records plus parameters, no object links.
+
+        Nodes are recorded positionally (``node.id`` equals its index in
+        ``nodes`` by construction); child links become node ids so the
+        state crosses pickle/process boundaries without dragging the
+        recursive object graph along.
+        """
+        records = []
+        for node in self.nodes:
+            records.append(
+                (
+                    node.interval.low,
+                    node.interval.high,
+                    node.level,
+                    node.cost,
+                    node.beta,
+                    node.left.id if node.left is not None else None,
+                    node.right.id if node.right is not None else None,
+                )
+            )
+        return {
+            "tau": self.tau,
+            "alpha": self.alpha,
+            "root": self.root.id if self.root is not None else None,
+            "nodes": records,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "DelayBalancedTree":
+        """Rebuild a tree (nodes, links, parameters) from :meth:`to_state`."""
+        try:
+            records = state["nodes"]
+            nodes = [
+                TreeNode(
+                    node_id,
+                    FInterval(tuple(low), tuple(high)),
+                    level,
+                    cost,
+                )
+                for node_id, (low, high, level, cost, _, _, _) in enumerate(
+                    records
+                )
+            ]
+            for node, (_, _, _, _, beta, left, right) in zip(nodes, records):
+                node.beta = tuple(beta) if beta is not None else None
+                node.left = nodes[left] if left is not None else None
+                node.right = nodes[right] if right is not None else None
+            root_id = state["root"]
+            root = nodes[root_id] if root_id is not None else None
+            return cls(root, nodes, state["tau"], state["alpha"])
+        except (KeyError, IndexError, TypeError, ValueError) as error:
+            raise SnapshotError(
+                f"malformed delay-balanced tree state: {error}"
+            ) from error
 
 
 def build_delay_balanced_tree(

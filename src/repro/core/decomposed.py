@@ -29,7 +29,12 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database
-from repro.exceptions import DecompositionError, ParameterError, QueryError
+from repro.exceptions import (
+    DecompositionError,
+    ParameterError,
+    QueryError,
+    SnapshotError,
+)
 from repro.hypergraph.connex import ConnexDecomposition
 from repro.hypergraph.hypergraph import hypergraph_of_view
 from repro.hypergraph.width import (
@@ -227,6 +232,111 @@ class DecomposedRepresentation:
                 positions = tuple(bound_positions[t] for t in atom.terms)
                 checks.append((self.db[atom.relation], positions))
         return checks
+
+    # ------------------------------------------------------------------
+    # explicit state (the snapshot boundary)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict:
+        """Plain-data state: decomposition shape plus per-bag structures.
+
+        Bag representations are stored through their own
+        :meth:`~repro.core.structure.CompressedRepresentation.snapshot_state`
+        (each bag carries its projected bag database), *after* the
+        Algorithm 4 refinement — restoring skips the refinement pass
+        because the stored dictionary bits already reflect it.
+        """
+        from repro.core.snapshot import database_state, view_state
+
+        decomposition = self.decomposition
+        return {
+            "view": view_state(self.view),
+            "db": database_state(self.db),
+            "decomposition": {
+                "bags": sorted(
+                    (node, sorted(v.name for v in bag))
+                    for node, bag in decomposition.bags.items()
+                ),
+                "edges": sorted(
+                    (node, parent)
+                    for node, parent in decomposition.parent.items()
+                    if parent is not None
+                ),
+                "root": decomposition.root,
+                "connex": sorted(v.name for v in decomposition.connex_set),
+            },
+            "assignment": sorted(self.assignment.exponents.items()),
+            "bags": [
+                {
+                    "node": node,
+                    "bound": [v.name for v in self._bags[node].bound_vars],
+                    "free": [v.name for v in self._bags[node].free_vars],
+                    "representation": self._bags[
+                        node
+                    ].representation.snapshot_state(),
+                }
+                for node in self._preorder
+            ],
+            "build_seconds": self.build_seconds,
+        }
+
+    @classmethod
+    def from_snapshot_state(cls, state: Dict) -> "DecomposedRepresentation":
+        from repro.core.snapshot import database_from_state, view_from_state
+
+        try:
+            view = view_from_state(state["view"])
+            db = database_from_state(state["db"])
+            shape = state["decomposition"]
+            decomposition = ConnexDecomposition(
+                {
+                    node: frozenset(Variable(name) for name in names)
+                    for node, names in shape["bags"]
+                },
+                [tuple(edge) for edge in shape["edges"]],
+                shape["root"],
+                frozenset(Variable(name) for name in shape["connex"]),
+            )
+            self = object.__new__(cls)
+            self.view, self.db = view, db
+            self.hypergraph = hypergraph_of_view(view)
+            self.decomposition = decomposition
+            self.assignment = DelayAssignment(dict(state["assignment"]))
+            self.delta_height = delta_height(decomposition, self.assignment)
+            self._var_rank = {v: i for i, v in enumerate(view.head)}
+            self._bags = {}
+            for bag_state in state["bags"]:
+                node = bag_state["node"]
+                self._bags[node] = _BagStructure(
+                    node=node,
+                    bound_vars=tuple(
+                        Variable(name) for name in bag_state["bound"]
+                    ),
+                    free_vars=tuple(
+                        Variable(name) for name in bag_state["free"]
+                    ),
+                    representation=CompressedRepresentation.from_snapshot_state(
+                        bag_state["representation"]
+                    ),
+                )
+            self._root_checks = self._build_root_checks()
+            self._preorder = [
+                node
+                for node in decomposition.preorder()
+                if node != decomposition.root
+            ]
+            missing = [n for n in self._preorder if n not in self._bags]
+            if missing:
+                raise SnapshotError(
+                    f"decomposed snapshot missing bag structures {missing!r}"
+                )
+            self.build_seconds = state["build_seconds"]
+            return self
+        except SnapshotError:
+            raise
+        except (KeyError, TypeError, ValueError, DecompositionError) as error:
+            raise SnapshotError(
+                f"malformed decomposed-representation state: {error}"
+            ) from error
 
     # ------------------------------------------------------------------
     # Algorithm 5: query answering

@@ -56,6 +56,25 @@ class HeavyDictionary:
     def items(self):
         return self._entries.items()
 
+    # ------------------------------------------------------------------
+    # explicit state (the snapshot boundary)
+    # ------------------------------------------------------------------
+    def to_state(self) -> List[Tuple[int, Tuple, int]]:
+        """Plain-data state: sorted ``(node id, access, bit)`` triples."""
+        return sorted(
+            (node_id, access, bit)
+            for (node_id, access), bit in self._entries.items()
+        )
+
+    @classmethod
+    def from_state(
+        cls, state: Sequence[Tuple[int, Tuple, int]]
+    ) -> "HeavyDictionary":
+        dictionary = cls()
+        for node_id, access, bit in state:
+            dictionary.set(int(node_id), tuple(access), int(bit))
+        return dictionary
+
 
 def bound_candidates(ctx) -> List[Tuple]:
     """Join of the bound-variable projections: the heavy-valuation superset.

@@ -27,7 +27,7 @@ from repro.baselines.lazy import LazyView
 from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database
 from repro.database.relation import Relation
-from repro.exceptions import SchemaError
+from repro.exceptions import SchemaError, SnapshotError
 from repro.joins.generic_join import JoinCounter
 from repro.measure.space import SpaceReport
 from repro.query.adorned import AdornedView
@@ -110,6 +110,10 @@ class DynamicRepresentation:
             self._pending += 1
         self._maybe_rebuild()
 
+    def base_database(self) -> Database:
+        """The database the current compressed structure was built from."""
+        return self._db
+
     def current_database(self) -> Database:
         """The logical database: base plus buffered updates."""
         if not self._pending:
@@ -141,6 +145,77 @@ class DynamicRepresentation:
         threshold = self.rebuild_fraction * max(1, self._db.total_tuples())
         if self._pending > threshold:
             self.rebuild()
+
+    # ------------------------------------------------------------------
+    # explicit state (the snapshot boundary)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict:
+        """Plain-data state: base database, buffered churn, inner structure.
+
+        The update buffers are part of the state: a restored instance
+        resumes exactly where the original stood — same pending count,
+        same dirty/clean answering mode, same distance to the next
+        amortized rebuild.
+        """
+        from repro.core.snapshot import database_state, view_state
+
+        return {
+            "view": view_state(self.view),
+            "db": database_state(self._db),
+            "tau": self.tau,
+            "rebuild_fraction": self.rebuild_fraction,
+            "weights": (
+                sorted(dict(self._weights).items())
+                if self._weights is not None
+                else None
+            ),
+            "alpha": self._alpha,
+            "structure": self._structure.snapshot_state(),
+            "inserts": sorted(
+                (name, sorted(rows, key=repr))
+                for name, rows in self._inserts.items()
+            ),
+            "deletes": sorted(
+                (name, sorted(rows, key=repr))
+                for name, rows in self._deletes.items()
+            ),
+            "pending": self._pending,
+            "rebuilds": self.rebuilds,
+        }
+
+    @classmethod
+    def from_snapshot_state(cls, state: Dict) -> "DynamicRepresentation":
+        from repro.core.snapshot import database_from_state, view_from_state
+
+        try:
+            self = object.__new__(cls)
+            self.view = view_from_state(state["view"])
+            self.tau = float(state["tau"])
+            self.rebuild_fraction = state["rebuild_fraction"]
+            weights = state["weights"]
+            self._weights = dict(weights) if weights is not None else None
+            self._alpha = state["alpha"]
+            self._db = database_from_state(state["db"])
+            self._structure = CompressedRepresentation.from_snapshot_state(
+                state["structure"]
+            )
+            self._inserts = {
+                name: {tuple(row) for row in rows}
+                for name, rows in state["inserts"]
+            }
+            self._deletes = {
+                name: {tuple(row) for row in rows}
+                for name, rows in state["deletes"]
+            }
+            self._pending = int(state["pending"])
+            self.rebuilds = int(state["rebuilds"])
+            return self
+        except SnapshotError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            raise SnapshotError(
+                f"malformed dynamic-representation state: {error}"
+            ) from error
 
     # ------------------------------------------------------------------
     # query API

@@ -1,0 +1,422 @@
+"""The versioned snapshot codec: durable, portable representations.
+
+The paper's structures are expensive to build (``Õ(Π|R_F|^{u_F})``
+preprocessing) and cheap to serve from — exactly the asymmetry a durable
+format should exploit. This module encodes the three long-lived
+representation classes (:class:`~repro.core.structure.CompressedRepresentation`,
+:class:`~repro.core.decomposed.DecomposedRepresentation`,
+:class:`~repro.core.dynamic.DynamicRepresentation`) to a stable,
+version-stamped binary format and decodes them in any process — the
+foundation of the engine's warm-start cache tier and of the
+process-parallel build path (workers build + encode, the parent decodes).
+
+Format
+------
+A snapshot is a fixed header followed by a pickled *plain-data* state::
+
+    magic(4) | version(u16) | kind len(u16) | kind (utf-8)
+    | fingerprint len(u16) | fingerprint (utf-8)
+    | payload crc32(u32) | payload length(u64) | payload
+
+Every field the decoder trusts is validated before unpickling: magic and
+version mismatches, truncated blobs, and CRC failures all raise the typed
+:class:`~repro.exceptions.SnapshotError` — a snapshot file can never
+surface a raw ``UnpicklingError``. The header carries the *source
+database fingerprint* (a SHA-256 over relation names, arities and rows),
+so a loader can refuse snapshots built from different data without
+decoding the payload.
+
+The payload is a pickle of plain containers only (dicts, lists, tuples,
+numbers, strings): the representation classes expose explicit
+``snapshot_state()`` / ``from_snapshot_state()`` methods instead of
+pickling their object graphs, which carry tries, caches and (in the
+engine layer) locks that must not cross the boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import re
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.database.catalog import Database
+from repro.database.relation import Relation
+from repro.exceptions import SnapshotError
+from repro.query.adorned import AdornedView
+from repro.query.atoms import Atom, Constant, Variable
+from repro.query.conjunctive import ConjunctiveQuery
+
+SNAPSHOT_MAGIC = b"RPRS"
+SNAPSHOT_VERSION = 1
+
+_HEADER_PREFIX = struct.Struct(">4sH")
+_U16 = struct.Struct(">H")
+_TRAILER = struct.Struct(">IQ")
+
+
+# ----------------------------------------------------------------------
+# view and database state (shared by every representation kind)
+# ----------------------------------------------------------------------
+def _term_state(term) -> Tuple[str, object]:
+    if isinstance(term, Variable):
+        return ("v", term.name)
+    if isinstance(term, Constant):
+        return ("c", term.value)
+    raise SnapshotError(f"cannot encode query term {term!r}")
+
+
+def _term_from_state(state) -> Union[Variable, Constant]:
+    tag, payload = state
+    if tag == "v":
+        return Variable(payload)
+    if tag == "c":
+        return Constant(payload)
+    raise SnapshotError(f"unknown term tag {tag!r}")
+
+
+def view_state(view: AdornedView) -> Dict:
+    """Plain-data state of an adorned view (names, pattern, atom terms)."""
+    return {
+        "name": view.name,
+        "pattern": view.pattern,
+        "head": [v.name for v in view.head],
+        "atoms": [
+            (atom.relation, [_term_state(t) for t in atom.terms])
+            for atom in view.atoms
+        ],
+    }
+
+
+def view_from_state(state: Dict) -> AdornedView:
+    try:
+        head = tuple(Variable(name) for name in state["head"])
+        atoms = [
+            Atom(relation, tuple(_term_from_state(t) for t in terms))
+            for relation, terms in state["atoms"]
+        ]
+        query = ConjunctiveQuery(state["name"], head, atoms)
+        return AdornedView(query, state["pattern"])
+    except SnapshotError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise SnapshotError(f"malformed view state: {error}") from error
+
+
+def database_state(db: Database) -> List[Tuple[str, int, List[Tuple]]]:
+    """Plain-data state of a database: ``(name, arity, rows)`` triples.
+
+    Rows are ordered by their ``repr`` so the state — and anything hashed
+    over it — is deterministic even for relations whose values are not
+    mutually comparable.
+    """
+    return [
+        (relation.name, relation.arity, sorted(relation.rows, key=repr))
+        for relation in sorted(db, key=lambda r: r.name)
+    ]
+
+
+def database_from_state(state) -> Database:
+    try:
+        return Database(
+            Relation(name, arity, (tuple(row) for row in rows))
+            for name, arity, rows in state
+        )
+    except (TypeError, ValueError) as error:
+        raise SnapshotError(f"malformed database state: {error}") from error
+
+
+def database_fingerprint(db: Database) -> str:
+    """SHA-256 over relation names, arities and rows (restart-stable).
+
+    ``repr`` of the standard value types (ints, floats, strings, tuples)
+    is stable across processes — unlike ``hash``, which is salted — so
+    equal databases fingerprint identically on every machine.
+    """
+    digest = hashlib.sha256()
+    for name, arity, rows in database_state(db):
+        digest.update(f"{name}\x00{arity}\x00".encode("utf-8"))
+        for row in rows:
+            digest.update(repr(row).encode("utf-8"))
+        digest.update(b"\x01")
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the codec
+# ----------------------------------------------------------------------
+def _registry() -> Dict[str, type]:
+    # Imported lazily: the representation modules import this module's
+    # view/database helpers inside their own snapshot methods.
+    from repro.core.decomposed import DecomposedRepresentation
+    from repro.core.dynamic import DynamicRepresentation
+    from repro.core.structure import CompressedRepresentation
+
+    return {
+        "compressed": CompressedRepresentation,
+        "decomposed": DecomposedRepresentation,
+        "dynamic": DynamicRepresentation,
+    }
+
+
+def snapshot_kind(representation) -> str:
+    """The format kind string of one representation instance."""
+    for kind, cls in _registry().items():
+        if type(representation) is cls:
+            return kind
+    raise SnapshotError(
+        f"cannot snapshot objects of type {type(representation).__name__}"
+    )
+
+
+def _own_fingerprint(representation) -> str:
+    db = getattr(representation, "db", None)
+    if db is None:
+        db = representation.base_database()
+    return database_fingerprint(db)
+
+
+def encode_snapshot(
+    representation, fingerprint: Optional[str] = None
+) -> bytes:
+    """Encode a representation to the versioned binary snapshot format.
+
+    ``fingerprint`` identifies the *source* database the caller built
+    from (the engine passes its serving database's fingerprint, which may
+    precede normalization or sharding); it defaults to the fingerprint of
+    the representation's own database.
+    """
+    kind = snapshot_kind(representation)
+    if fingerprint is None:
+        fingerprint = _own_fingerprint(representation)
+    payload = pickle.dumps(
+        representation.snapshot_state(), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    kind_bytes = kind.encode("utf-8")
+    fingerprint_bytes = fingerprint.encode("utf-8")
+    return b"".join(
+        (
+            _HEADER_PREFIX.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION),
+            _U16.pack(len(kind_bytes)),
+            kind_bytes,
+            _U16.pack(len(fingerprint_bytes)),
+            fingerprint_bytes,
+            _TRAILER.pack(zlib.crc32(payload), len(payload)),
+            payload,
+        )
+    )
+
+
+def _parse_header(blob: bytes) -> Tuple[str, str, int, int, int]:
+    """(kind, fingerprint, crc, payload length, payload offset)."""
+
+    def take(structure: struct.Struct, offset: int):
+        end = offset + structure.size
+        if end > len(blob):
+            raise SnapshotError(
+                f"truncated snapshot: header needs {end} bytes, "
+                f"got {len(blob)}"
+            )
+        return structure.unpack_from(blob, offset), end
+
+    (magic, version), offset = take(_HEADER_PREFIX, 0)
+    if magic != SNAPSHOT_MAGIC:
+        raise SnapshotError(
+            f"not a repro snapshot (bad magic {magic!r})"
+        )
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot format version {version} is not supported "
+            f"(this library reads version {SNAPSHOT_VERSION})"
+        )
+
+    def take_string(offset: int) -> Tuple[str, int]:
+        (length,), offset = take(_U16, offset)
+        end = offset + length
+        if end > len(blob):
+            raise SnapshotError(
+                f"truncated snapshot: header needs {end} bytes, "
+                f"got {len(blob)}"
+            )
+        try:
+            return blob[offset:end].decode("utf-8"), end
+        except UnicodeDecodeError as error:
+            raise SnapshotError(
+                f"corrupted snapshot header: {error}"
+            ) from error
+
+    kind, offset = take_string(offset)
+    fingerprint, offset = take_string(offset)
+    (crc, length), offset = take(_TRAILER, offset)
+    return kind, fingerprint, crc, length, offset
+
+
+def inspect_snapshot(blob: bytes) -> Dict:
+    """Header metadata of a snapshot blob, without unpickling the payload."""
+    kind, fingerprint, crc, length, offset = _parse_header(blob)
+    return {
+        "version": SNAPSHOT_VERSION,
+        "kind": kind,
+        "fingerprint": fingerprint,
+        "payload_bytes": length,
+        "payload_present": len(blob) - offset,
+        "complete": len(blob) - offset == length,
+    }
+
+
+def decode_snapshot(
+    blob: bytes, expected_fingerprint: Optional[str] = None
+):
+    """Decode a snapshot blob back into a live representation.
+
+    Raises :class:`~repro.exceptions.SnapshotError` for any malformed,
+    truncated, corrupted, version-mismatched or wrong-database blob.
+    """
+    kind, fingerprint, crc, length, offset = _parse_header(blob)
+    registry = _registry()
+    if kind not in registry:
+        raise SnapshotError(f"unknown snapshot kind {kind!r}")
+    if (
+        expected_fingerprint is not None
+        and fingerprint != expected_fingerprint
+    ):
+        raise SnapshotError(
+            "snapshot was built from a different database "
+            f"(fingerprint {fingerprint[:12]}…, "
+            f"expected {expected_fingerprint[:12]}…)"
+        )
+    payload = blob[offset:]
+    if len(payload) != length:
+        raise SnapshotError(
+            f"truncated snapshot: payload has {len(payload)} bytes, "
+            f"header declares {length}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise SnapshotError("corrupted snapshot: payload CRC mismatch")
+    try:
+        state = pickle.loads(payload)
+    except Exception as error:  # unpickling raises arbitrary types
+        raise SnapshotError(
+            f"corrupted snapshot payload: {error}"
+        ) from error
+    return registry[kind].from_snapshot_state(state)
+
+
+# ----------------------------------------------------------------------
+# files and directories
+# ----------------------------------------------------------------------
+def save_snapshot(
+    path: Union[str, Path],
+    representation,
+    fingerprint: Optional[str] = None,
+) -> int:
+    """Encode to a file (atomically, via a same-directory rename).
+
+    Returns the number of bytes written.
+    """
+    blob = encode_snapshot(representation, fingerprint=fingerprint)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_name(path.name + ".tmp")
+    scratch.write_bytes(blob)
+    scratch.replace(path)
+    return len(blob)
+
+
+def load_snapshot(
+    path: Union[str, Path], expected_fingerprint: Optional[str] = None
+):
+    """Decode a snapshot file; missing files raise :class:`SnapshotError`."""
+    try:
+        blob = Path(path).read_bytes()
+    except OSError as error:
+        raise SnapshotError(f"cannot read snapshot {path}: {error}") from error
+    return decode_snapshot(blob, expected_fingerprint=expected_fingerprint)
+
+
+def inspect_snapshot_file(path: Union[str, Path]) -> Dict:
+    try:
+        blob = Path(path).read_bytes()
+    except OSError as error:
+        raise SnapshotError(f"cannot read snapshot {path}: {error}") from error
+    info = inspect_snapshot(blob)
+    info["file_bytes"] = len(blob)
+    return info
+
+
+class SnapshotStore:
+    """A directory of snapshots keyed by human-meaningful labels.
+
+    The engine's disk tier: labels are arbitrary strings (the engine uses
+    ``view|tau|policy`` compositions), mapped to stable filenames as a
+    readable slug plus a hash of the full label — restart-stable, so a
+    rebooted server resolves the same labels to the same files.
+
+    The store carries the serving database's fingerprint: every save
+    stamps it into the header and every load verifies it, so a snapshot
+    directory pointed at different data refuses to warm-start from it.
+    """
+
+    SUFFIX = ".snap"
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        fingerprint: Optional[str] = None,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint
+
+    def path_for(self, label: str) -> Path:
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", label)[:64].strip("._") or "snap"
+        digest = hashlib.sha256(label.encode("utf-8")).hexdigest()[:16]
+        return self.directory / f"{slug}-{digest}{self.SUFFIX}"
+
+    def __contains__(self, label: str) -> bool:
+        return self.path_for(label).exists()
+
+    def save(self, label: str, representation) -> bool:
+        """Write one snapshot; False (not an exception) on failure.
+
+        The disk tier is an optimization: a full disk, a read-only
+        directory, or a structure whose values happen not to pickle must
+        degrade the engine to memory-only behavior, not fail the build
+        that just succeeded.
+        """
+        try:
+            save_snapshot(
+                self.path_for(label),
+                representation,
+                fingerprint=self.fingerprint,
+            )
+            return True
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            return False
+
+    def load(self, label: str):
+        """The decoded representation, or None when no snapshot exists.
+
+        Corrupted, truncated, version-mismatched or wrong-database files
+        raise :class:`SnapshotError` — callers decide whether that is a
+        cache miss (the engine) or a hard error (the CLI).
+        """
+        path = self.path_for(label)
+        if not path.exists():
+            return None
+        return load_snapshot(path, expected_fingerprint=self.fingerprint)
+
+    def labels_on_disk(self) -> List[Path]:
+        """The snapshot files currently present (sorted for determinism)."""
+        return sorted(self.directory.glob(f"*{self.SUFFIX}"))
+
+    def remove(self, label: str) -> bool:
+        path = self.path_for(label)
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False

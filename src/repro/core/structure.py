@@ -34,7 +34,7 @@ from repro.core.cost import CostModel
 from repro.core.dictionary import HeavyDictionary, build_dictionary
 from repro.core.intervals import FBox
 from repro.database.catalog import Database
-from repro.exceptions import ParameterError, QueryError
+from repro.exceptions import ParameterError, QueryError, SnapshotError
 from repro.hypergraph.covers import max_slack_cover, slack
 from repro.hypergraph.hypergraph import Hypergraph, hypergraph_of_view
 from repro.joins.generic_join import JoinCounter, generic_join
@@ -96,26 +96,7 @@ class CompressedRepresentation:
         else:
             normalized = normalize_view(view, db)
             self.view, self.db = normalized.view, normalized.database
-        self.ctx = ViewContext(self.view, self.db)
-        self.hypergraph: Hypergraph = hypergraph_of_view(self.view)
-        free = self.ctx.free_order
-        if weights is None:
-            cover, cover_alpha = max_slack_cover(self.hypergraph, free)
-            weights = cover.weights
-            if alpha is None:
-                alpha = cover_alpha
-        else:
-            weights = dict(weights)
-            self._validate_cover(weights)
-            if alpha is None:
-                alpha = slack(self.hypergraph, weights, free)
-        if not math.isinf(alpha) and alpha < 1.0 - 1e-9:
-            raise ParameterError(f"slack alpha must be >= 1, got {alpha}")
-        alpha = max(alpha, 1.0) if not math.isinf(alpha) else alpha
-        self.tau = float(tau)
-        self.alpha = float(alpha)
-        self.weights = {label: float(w) for label, w in weights.items()}
-        self.cost_model = CostModel(self.ctx, self.weights, self.alpha)
+        self._bind(tau, weights, alpha)
         self.tree: DelayBalancedTree = build_delay_balanced_tree(
             self.cost_model, self.tau, self.alpha
         )
@@ -137,6 +118,36 @@ class CompressedRepresentation:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
+    def _bind(self, tau, weights, alpha) -> None:
+        """Attach context, cover knobs and cost model (no structure build).
+
+        Everything here is derived deterministically from ``(view, db)``
+        plus the explicit parameters; both the building constructor and
+        the snapshot restore path run it, so a restored instance carries
+        live tries and a live cost model without re-running the expensive
+        tree/dictionary construction.
+        """
+        self.ctx = ViewContext(self.view, self.db)
+        self.hypergraph: Hypergraph = hypergraph_of_view(self.view)
+        free = self.ctx.free_order
+        if weights is None:
+            cover, cover_alpha = max_slack_cover(self.hypergraph, free)
+            weights = cover.weights
+            if alpha is None:
+                alpha = cover_alpha
+        else:
+            weights = dict(weights)
+            self._validate_cover(weights)
+            if alpha is None:
+                alpha = slack(self.hypergraph, weights, free)
+        if not math.isinf(alpha) and alpha < 1.0 - 1e-9:
+            raise ParameterError(f"slack alpha must be >= 1, got {alpha}")
+        alpha = max(alpha, 1.0) if not math.isinf(alpha) else alpha
+        self.tau = float(tau)
+        self.alpha = float(alpha)
+        self.weights = {label: float(w) for label, w in weights.items()}
+        self.cost_model = CostModel(self.ctx, self.weights, self.alpha)
+
     def _validate_cover(self, weights: Mapping[int, float]) -> None:
         for var in self.ctx.bound_order + self.ctx.free_order:
             coverage = sum(
@@ -175,6 +186,72 @@ class CompressedRepresentation:
             outputs.setdefault(access, []).append(index_tuple)
             count += 1
         return outputs, count
+
+    # ------------------------------------------------------------------
+    # explicit state (the snapshot boundary)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict:
+        """Plain-data state sufficient to restore this instance exactly.
+
+        The state records the *normalized* view and database (what the
+        structure was actually built over) plus the expensive build
+        artifacts — tree and dictionary — as explicit records. Tries,
+        domains and the cost model are cheap deterministic functions of
+        ``(view, db)`` and are rebuilt on restore rather than stored.
+        """
+        from repro.core.snapshot import database_state, view_state
+
+        stats = self.stats
+        return {
+            "view": view_state(self.view),
+            "db": database_state(self.db),
+            "tau": self.tau,
+            "alpha": self.alpha,
+            "weights": sorted(self.weights.items()),
+            "tree": self.tree.to_state(),
+            "dictionary": self.dictionary.to_state(),
+            "stats": {
+                "tau": stats.tau,
+                "alpha": stats.alpha,
+                "weights": sorted(dict(stats.weights).items()),
+                "tree_nodes": stats.tree_nodes,
+                "tree_depth": stats.tree_depth,
+                "dictionary_entries": stats.dictionary_entries,
+                "output_tuples": stats.output_tuples,
+                "build_seconds": stats.build_seconds,
+            },
+        }
+
+    @classmethod
+    def from_snapshot_state(cls, state: Dict) -> "CompressedRepresentation":
+        """Restore an instance from :meth:`snapshot_state` output.
+
+        Enumeration behavior (answers, order, delay steps) is identical
+        to the original: the tree and dictionary are restored bit for bit
+        and the rebuilt context is a pure function of the stored view and
+        database.
+        """
+        from repro.core.snapshot import database_from_state, view_from_state
+
+        try:
+            view = view_from_state(state["view"])
+            db = database_from_state(state["db"])
+            self = object.__new__(cls)
+            self.original_view = view
+            self.view, self.db = view, db
+            self._bind(state["tau"], dict(state["weights"]), state["alpha"])
+            self.tree = DelayBalancedTree.from_state(state["tree"])
+            self.dictionary = HeavyDictionary.from_state(state["dictionary"])
+            stats = dict(state["stats"])
+            stats["weights"] = dict(stats["weights"])
+            self.stats = BuildStats(**stats)
+            return self
+        except SnapshotError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            raise SnapshotError(
+                f"malformed compressed-representation state: {error}"
+            ) from error
 
     # ------------------------------------------------------------------
     # Algorithm 2: query answering

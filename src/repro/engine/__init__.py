@@ -19,7 +19,13 @@ from repro.engine.async_server import (
     AsyncServingReport,
     AsyncViewServer,
 )
-from repro.engine.cache import CacheStats, RepresentationCache, representation_cells
+from repro.engine.cache import (
+    CacheStats,
+    RepresentationCache,
+    build_seconds_of,
+    representation_cells,
+)
+from repro.engine.parallel import ParallelBuilder
 from repro.engine.server import (
     DEFAULT_TAU,
     BatchResult,
@@ -38,6 +44,8 @@ from repro.engine.sharding import (
 __all__ = [
     "CacheStats",
     "RepresentationCache",
+    "ParallelBuilder",
+    "build_seconds_of",
     "representation_cells",
     "DEFAULT_TAU",
     "BatchResult",

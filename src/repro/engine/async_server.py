@@ -108,8 +108,12 @@ class AsyncViewServer:
         Backpressure bound: at most this many :meth:`serve` calls may be
         in flight (queued + executing). Further callers — and
         :meth:`serve_stream`'s intake — wait.
-    max_entries / max_cells:
-        Cache bounds, used only when ``backend`` is a database.
+    max_entries / max_cells / snapshot_dir / cache_policy / build_workers:
+        Backend construction knobs (cache bounds, warm-start snapshot
+        directory, eviction policy, process-parallel build pool), used
+        only when ``backend`` is a database; see :class:`ViewServer`.
+        A backend built here is owned here: :meth:`close` releases its
+        build pool along with the serving threads.
 
     One event loop at a time: the internal semaphore binds to the loop
     of the first ``await``, so drive a given instance from a single
@@ -123,14 +127,23 @@ class AsyncViewServer:
         max_pending: int = 32,
         max_entries: Optional[int] = 8,
         max_cells: Optional[int] = None,
+        snapshot_dir=None,
+        cache_policy: str = "lru",
+        build_workers: Optional[int] = None,
     ):
         if max_workers < 1:
             raise ParameterError(f"max_workers must be >= 1, got {max_workers}")
         if max_pending < 1:
             raise ParameterError(f"max_pending must be >= 1, got {max_pending}")
+        self._owns_backend = isinstance(backend, Database)
         if isinstance(backend, Database):
             backend = ViewServer(
-                backend, max_entries=max_entries, max_cells=max_cells
+                backend,
+                max_entries=max_entries,
+                max_cells=max_cells,
+                snapshot_dir=snapshot_dir,
+                cache_policy=cache_policy,
+                build_workers=build_workers,
             )
         self.backend: Backend = backend
         self.max_pending = max_pending
@@ -383,8 +396,14 @@ class AsyncViewServer:
         self._semaphore = asyncio.Semaphore(self.max_pending)
 
     def close(self) -> None:
-        """Shut the thread pool down (idempotent)."""
+        """Shut the thread pool down (idempotent).
+
+        A backend constructed by this facade (from a bare database) is
+        owned by it, so its build worker pool is released too.
+        """
         self._executor.shutdown(wait=True)
+        if self._owns_backend:
+            self.backend.close()
 
     async def __aenter__(self) -> "AsyncViewServer":
         return self

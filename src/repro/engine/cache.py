@@ -26,6 +26,24 @@ lock — only bookkeeping is serialized — and a publish re-checks for a
 resident entry so that an eviction or invalidation racing a build in
 flight can never double-count cells: ``total_cells`` always equals the
 sum of :func:`representation_cells` over the current residents.
+
+Two orthogonal knobs extend the plain LRU design:
+
+* **Eviction policy** — ``policy="lru"`` (default) evicts by recency
+  alone; ``policy="cost"`` weighs what an eviction throws away, scoring
+  residents by ``build_seconds × cells`` (both from the structure's own
+  :class:`~repro.core.structure.BuildStats`) and evicting the cheapest
+  first, recency as the tie-break. Under a mixed workload this keeps the
+  slow-to-rebuild structures resident while fast cheap ones churn.
+* **Disk tier** — give the cache a
+  :class:`~repro.core.snapshot.SnapshotStore` and entries become
+  durable: ``get_or_build`` consults the store before running the
+  factory (a warm start decodes instead of rebuilding), writes a
+  snapshot after each successful build, and eviction *demotes* entries
+  to disk rather than discarding them outright. Snapshot I/O runs
+  outside the cache lock; a failed write degrades to memory-only
+  behavior, and a corrupted or wrong-database snapshot is treated as a
+  miss (the store's fingerprint check refuses to decode it).
 """
 
 from __future__ import annotations
@@ -35,8 +53,11 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Callable, Hashable, List, Optional, Tuple
 
+from repro.core.snapshot import SnapshotStore
 from repro.core.structure import CompressedRepresentation
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, SnapshotError
+
+EVICTION_POLICIES = ("lru", "cost")
 
 
 @dataclass
@@ -47,6 +68,8 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     insertions: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
 
     @property
     def requests(self) -> int:
@@ -63,6 +86,8 @@ class CacheStats:
             misses=self.misses - before.misses,
             evictions=self.evictions - before.evictions,
             insertions=self.insertions - before.insertions,
+            disk_hits=self.disk_hits - before.disk_hits,
+            disk_writes=self.disk_writes - before.disk_writes,
         )
 
     def add(self, other: "CacheStats") -> "CacheStats":
@@ -71,6 +96,8 @@ class CacheStats:
         self.misses += other.misses
         self.evictions += other.evictions
         self.insertions += other.insertions
+        self.disk_hits += other.disk_hits
+        self.disk_writes += other.disk_writes
         return self
 
 
@@ -78,6 +105,9 @@ class CacheStats:
 class _Entry:
     representation: CompressedRepresentation
     cells: int = field(default=0)
+    build_seconds: float = field(default=0.0)
+    snapshot_label: Optional[str] = field(default=None)
+    on_disk: bool = field(default=False)
 
 
 def representation_cells(representation: CompressedRepresentation) -> int:
@@ -86,8 +116,16 @@ def representation_cells(representation: CompressedRepresentation) -> int:
     return report.total_cells - report.base_tuples
 
 
+def build_seconds_of(representation) -> float:
+    """Seconds the structure took to build (0.0 when unmeasured)."""
+    stats = getattr(representation, "stats", None)
+    if stats is not None:
+        return float(getattr(stats, "build_seconds", 0.0))
+    return float(getattr(representation, "build_seconds", 0.0))
+
+
 class RepresentationCache:
-    """Thread-safe LRU cache of built compressed representations.
+    """Thread-safe bounded cache of built compressed representations.
 
     Parameters
     ----------
@@ -96,12 +134,22 @@ class RepresentationCache:
     max_cells:
         Maximum total cells across cached structures (see
         :func:`representation_cells`); ``None`` means unbounded.
+    policy:
+        Eviction policy: ``"lru"`` (recency only) or ``"cost"``
+        (evict the resident with the smallest ``build_seconds × cells``
+        first — the cheapest entry to lose — recency as the tie-break).
+    snapshot_store:
+        Optional :class:`~repro.core.snapshot.SnapshotStore` enabling the
+        disk tier: warm loads on miss, snapshot writes on build, and
+        demotion (rather than discard) on eviction.
     """
 
     def __init__(
         self,
         max_entries: Optional[int] = None,
         max_cells: Optional[int] = None,
+        policy: str = "lru",
+        snapshot_store: Optional[SnapshotStore] = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ParameterError(
@@ -109,8 +157,15 @@ class RepresentationCache:
             )
         if max_cells is not None and max_cells < 1:
             raise ParameterError(f"max_cells must be >= 1, got {max_cells}")
+        if policy not in EVICTION_POLICIES:
+            raise ParameterError(
+                f"unknown eviction policy {policy!r}; "
+                f"expected one of {EVICTION_POLICIES}"
+            )
         self.max_entries = max_entries
         self.max_cells = max_cells
+        self.policy = policy
+        self.snapshot_store = snapshot_store
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self._total_cells = 0
@@ -172,23 +227,49 @@ class RepresentationCache:
             return entry.representation if entry is not None else None
 
     def put(
-        self, key: Hashable, representation: CompressedRepresentation
+        self,
+        key: Hashable,
+        representation: CompressedRepresentation,
+        snapshot_label: Optional[str] = None,
     ) -> List[Hashable]:
         """Insert (or replace) an entry; returns the keys evicted for it.
 
         The cell measurement (a walk of the structure's tries) runs
-        outside the lock; only the bookkeeping is serialized.
+        outside the lock; only the bookkeeping is serialized. With a disk
+        tier, evicted entries are demoted to snapshots (also outside the
+        lock) instead of discarded.
         """
         cells = representation_cells(representation)
         with self._lock:
-            return self._publish(key, representation, cells)
+            evicted = self._publish(
+                key,
+                representation,
+                cells,
+                build_seconds_of(representation),
+                self._label_for(key, snapshot_label),
+                on_disk=False,
+            )
+        self._demote(evicted)
+        return [victim for victim, _ in evicted]
+
+    def _label_for(
+        self, key: Hashable, snapshot_label: Optional[str]
+    ) -> Optional[str]:
+        if self.snapshot_store is None:
+            return None
+        # repr of the standard key shapes (tuples of names and numbers)
+        # is restart-stable, so the default label round-trips a reboot.
+        return snapshot_label if snapshot_label is not None else repr(key)
 
     def _publish(
         self,
         key: Hashable,
         representation: CompressedRepresentation,
         cells: int,
-    ) -> List[Hashable]:
+        build_seconds: float = 0.0,
+        snapshot_label: Optional[str] = None,
+        on_disk: bool = False,
+    ) -> List[Tuple[Hashable, _Entry]]:
         # Caller holds the lock. Popping any resident entry first is what
         # keeps the accounting exact when a build in flight races an
         # eviction or a concurrent replacement: the new charge is only
@@ -196,7 +277,13 @@ class RepresentationCache:
         old = self._entries.pop(key, None)
         if old is not None:
             self._total_cells -= old.cells
-        self._entries[key] = _Entry(representation, cells)
+        self._entries[key] = _Entry(
+            representation,
+            cells,
+            build_seconds=build_seconds,
+            snapshot_label=snapshot_label,
+            on_disk=on_disk,
+        )
         self._total_cells += cells
         self.stats.insertions += 1
         return self._evict()
@@ -205,6 +292,7 @@ class RepresentationCache:
         self,
         key: Hashable,
         factory: Callable[[], CompressedRepresentation],
+        snapshot_label: Optional[str] = None,
     ) -> CompressedRepresentation:
         """The cached structure for ``key``, building it on a miss.
 
@@ -214,6 +302,12 @@ class RepresentationCache:
         or its entry was already evicted). The factory runs outside the
         cache lock, so concurrent builds of *different* keys — and all
         reads — proceed unhindered.
+
+        With a disk tier, a miss first consults the snapshot store under
+        ``snapshot_label`` (default: ``repr(key)``): a valid snapshot is
+        decoded instead of built — the warm-start path — and a fresh
+        build is snapshotted before it is published. Corrupt or
+        wrong-database snapshots count as plain misses.
         """
         missed = False
         while True:
@@ -242,24 +336,93 @@ class RepresentationCache:
                 event.wait()
                 continue  # the builder published (or failed); re-check
             try:
-                built = factory()
+                label = self._label_for(key, snapshot_label)
+                built, from_disk = self._warm_load(label)
+                if built is None:
+                    built = factory()
                 cells = representation_cells(built)
+                on_disk = from_disk
+                if not from_disk and label is not None:
+                    # Snapshot before publishing: once the entry is
+                    # visible, eviction can race the write, and a
+                    # demotion would only duplicate it.
+                    on_disk = self.snapshot_store.save(label, built)
                 with self._lock:
-                    self._publish(key, built, cells)
+                    if from_disk:
+                        self.stats.disk_hits += 1
+                    elif on_disk:
+                        self.stats.disk_writes += 1
+                    evicted = self._publish(
+                        key,
+                        built,
+                        cells,
+                        build_seconds_of(built),
+                        label,
+                        on_disk=on_disk,
+                    )
+                self._demote(evicted)
                 return built
             finally:
                 with self._lock:
                     del self._building[key]
                 event.set()
 
-    def _evict(self) -> List[Hashable]:
-        evicted: List[Hashable] = []
+    def _warm_load(
+        self, label: Optional[str]
+    ) -> Tuple[Optional[CompressedRepresentation], bool]:
+        """(decoded snapshot, True) on a disk hit, (None, False) otherwise."""
+        if self.snapshot_store is None or label is None:
+            return None, False
+        try:
+            restored = self.snapshot_store.load(label)
+        except SnapshotError:
+            # Corrupt, truncated, version-mismatched, or built from a
+            # different database: a miss, not a serving failure.
+            return None, False
+        if restored is None:
+            return None, False
+        return restored, True
+
+    def _demote(self, evicted: List[Tuple[Hashable, _Entry]]) -> None:
+        """Write evicted entries to the disk tier (outside the lock)."""
+        if self.snapshot_store is None:
+            return
+        written = 0
+        for _, entry in evicted:
+            if entry.on_disk or entry.snapshot_label is None:
+                continue
+            if self.snapshot_store.save(
+                entry.snapshot_label, entry.representation
+            ):
+                written += 1
+        if written:
+            with self._lock:
+                self.stats.disk_writes += written
+
+    def _evict(self) -> List[Tuple[Hashable, _Entry]]:
+        evicted: List[Tuple[Hashable, _Entry]] = []
         while self._over_budget():
-            victim, entry = self._entries.popitem(last=False)
+            victim = self._pick_victim()
+            entry = self._entries.pop(victim)
             self._total_cells -= entry.cells
             self.stats.evictions += 1
-            evicted.append(victim)
+            evicted.append((victim, entry))
         return evicted
+
+    def _pick_victim(self) -> Hashable:
+        """The next eviction victim under the configured policy."""
+        if self.policy == "cost":
+            # Cheapest loss first: the least build work × footprint. The
+            # iteration order is least- to most-recently used, and the
+            # strict < keeps the earliest (stalest) minimum on ties.
+            victim = None
+            victim_score = None
+            for key, entry in self._entries.items():
+                score = entry.build_seconds * max(1, entry.cells)
+                if victim_score is None or score < victim_score:
+                    victim, victim_score = key, score
+            return victim
+        return next(iter(self._entries))  # LRU: least recently used
 
     def _over_budget(self) -> bool:
         if len(self._entries) <= 1:
@@ -270,14 +433,25 @@ class RepresentationCache:
             return True
         return False
 
-    def invalidate(self, key: Hashable) -> bool:
-        """Drop one entry; True when it was present."""
+    def invalidate(self, key: Hashable, drop_snapshot: bool = True) -> bool:
+        """Drop one entry; True when it was present.
+
+        Unlike eviction (which demotes), invalidation means the structure
+        is no longer valid to serve — by default its disk snapshot is
+        removed too, so a later warm load cannot resurrect it.
+        """
         with self._lock:
             entry = self._entries.pop(key, None)
             if entry is None:
                 return False
             self._total_cells -= entry.cells
-            return True
+        if (
+            drop_snapshot
+            and self.snapshot_store is not None
+            and entry.snapshot_label is not None
+        ):
+            self.snapshot_store.remove(entry.snapshot_label)
+        return True
 
     def clear(self) -> None:
         with self._lock:

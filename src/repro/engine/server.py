@@ -34,9 +34,11 @@ Responsibilities
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     Dict,
     Iterable,
@@ -48,9 +50,15 @@ from typing import (
     Union,
 )
 
+from repro.core.snapshot import (
+    SnapshotStore,
+    database_fingerprint,
+    view_state,
+)
 from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database
 from repro.engine.cache import CacheStats, RepresentationCache
+from repro.engine.parallel import ParallelBuilder
 from repro.exceptions import ParameterError, SchemaError
 from repro.joins.generic_join import JoinCounter
 from repro.measure.delay import DelayStats, measure_enumeration
@@ -195,6 +203,22 @@ class ViewServer:
     max_entries / max_cells:
         Bounds of the representation cache (see
         :class:`~repro.engine.cache.RepresentationCache`).
+    snapshot_dir:
+        Optional directory enabling the persistent warm-start tier:
+        builds are snapshotted there (stamped with this database's
+        fingerprint), misses consult it before building, and evictions
+        demote to it. A restarted server pointed at the same directory
+        and the same data decodes instead of rebuilding.
+    cache_policy:
+        ``"lru"`` or ``"cost"`` — see
+        :class:`~repro.engine.cache.RepresentationCache`.
+    build_workers / builder:
+        Process-parallel builds: ``build_workers=N`` gives the server
+        its own :class:`~repro.engine.parallel.ParallelBuilder` pool of
+        N worker processes (closed by :meth:`close`); ``builder=``
+        shares an existing pool (the sharded facade does this so total
+        build parallelism stays bounded). Builds fall back in-process
+        whenever the pool is unavailable.
 
     Example
     -------
@@ -214,10 +238,27 @@ class ViewServer:
         db: Database,
         max_entries: Optional[int] = 8,
         max_cells: Optional[int] = None,
+        snapshot_dir: Optional[Union[str, Path]] = None,
+        cache_policy: str = "lru",
+        build_workers: Optional[int] = None,
+        builder: Optional[ParallelBuilder] = None,
     ):
         self.db = db
+        store = None
+        if snapshot_dir is not None:
+            store = SnapshotStore(
+                snapshot_dir, fingerprint=database_fingerprint(db)
+            )
+        self._owns_builder = False
+        if builder is None and build_workers is not None:
+            builder = ParallelBuilder(build_workers)
+            self._owns_builder = True
+        self._builder = builder
         self._cache = RepresentationCache(
-            max_entries=max_entries, max_cells=max_cells
+            max_entries=max_entries,
+            max_cells=max_cells,
+            policy=cache_policy,
+            snapshot_store=store,
         )
         self._views: Dict[str, Registration] = {}
         self._lock = threading.Lock()
@@ -341,6 +382,25 @@ class ViewServer:
         resolved = registration.tau if tau is None else float(tau)
         return (registration.name, resolved, registration.generation)
 
+    def _snapshot_label(
+        self, registration: Registration, tau: float
+    ) -> str:
+        """The disk-tier label of one ``(registration, τ)`` build.
+
+        Deliberately excludes the generation (which restarts from 1 in a
+        fresh process — the whole point is surviving restarts) and
+        instead pins what actually determines the built structure: the
+        view's structural digest, τ, and the τ-selection policy/budget.
+        The database itself is covered by the store's fingerprint.
+        """
+        digest = hashlib.sha256(
+            repr(view_state(registration.natural_view)).encode("utf-8")
+        ).hexdigest()[:12]
+        return (
+            f"{registration.name}|{digest}|tau={tau!r}"
+            f"|{registration.policy}|{registration.budget!r}"
+        )
+
     def representation(
         self, name: str, tau: Optional[float] = None
     ) -> CompressedRepresentation:
@@ -364,7 +424,12 @@ class ViewServer:
                     )
             return built
 
-        built = self._cache.get_or_build(key, build)
+        label = (
+            self._snapshot_label(registration, key[1])
+            if self._cache.snapshot_store is not None
+            else None
+        )
+        built = self._cache.get_or_build(key, build, snapshot_label=label)
         with self._lock:
             # Identity, not name: a concurrent unregister + re-register
             # under the same name is a different generation, and this
@@ -386,6 +451,13 @@ class ViewServer:
         weights = (
             registration.weights if tau == registration.tau else None
         )
+        if self._builder is not None:
+            return self._builder.build(
+                registration.natural_view,
+                registration.database,
+                tau=tau,
+                weights=weights,
+            )
         return CompressedRepresentation(
             registration.natural_view,
             registration.database,
@@ -485,8 +557,25 @@ class ViewServer:
         )
 
     # ------------------------------------------------------------------
-    # introspection
+    # life cycle and introspection
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the build worker pool, if this server owns one.
+
+        Serving keeps working afterwards (builds fall back in-process);
+        shared builders are the owner's to close.
+        """
+        if self._owns_builder and self._builder is not None:
+            self._builder.close()
+
+    @property
+    def builder(self) -> Optional[ParallelBuilder]:
+        return self._builder
+
+    @property
+    def snapshot_store(self) -> Optional[SnapshotStore]:
+        return self._cache.snapshot_store
+
     @property
     def cache(self) -> RepresentationCache:
         return self._cache

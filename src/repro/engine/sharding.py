@@ -39,6 +39,8 @@ from __future__ import annotations
 import heapq
 import threading
 import zlib
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import (
     Dict,
     Iterable,
@@ -50,9 +52,11 @@ from typing import (
     Union,
 )
 
+from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database
 from repro.database.relation import Relation
 from repro.engine.cache import CacheStats
+from repro.engine.parallel import ParallelBuilder
 from repro.engine.server import (
     BatchResult,
     Registration,
@@ -235,6 +239,18 @@ class ShardedViewServer:
     max_entries / max_cells:
         Representation-cache bounds **per shard** — sharding multiplies
         the aggregate budget, which is exactly its point.
+    snapshot_dir:
+        Optional warm-start directory; each shard persists under its own
+        ``shard-N`` subdirectory, fingerprinted with its own database
+        slice (so a resharded or re-keyed partition refuses stale
+        snapshots shard by shard).
+    cache_policy:
+        Per-shard cache eviction policy (``"lru"`` or ``"cost"``).
+    build_workers:
+        Size of ONE :class:`~repro.engine.parallel.ParallelBuilder`
+        process pool shared by every shard, so per-shard structure
+        construction uses real cores while total build parallelism stays
+        bounded. ``None`` keeps builds in-process.
     """
 
     def __init__(
@@ -245,14 +261,33 @@ class ShardedViewServer:
         max_entries: Optional[int] = 8,
         max_cells: Optional[int] = None,
         hash_fn=stable_hash,
+        snapshot_dir: Optional[Union[str, Path]] = None,
+        cache_policy: str = "lru",
+        build_workers: Optional[int] = None,
     ):
         self.shard_key: Dict[str, int] = dict(shard_key or {})
         self.databases = partition_database(
             db, self.shard_key, n_shards, hash_fn=hash_fn
         )
+        self._builder: Optional[ParallelBuilder] = (
+            ParallelBuilder(build_workers)
+            if build_workers is not None
+            else None
+        )
         self.shards: List[ViewServer] = [
-            ViewServer(shard_db, max_entries=max_entries, max_cells=max_cells)
-            for shard_db in self.databases
+            ViewServer(
+                shard_db,
+                max_entries=max_entries,
+                max_cells=max_cells,
+                snapshot_dir=(
+                    Path(snapshot_dir) / f"shard-{index}"
+                    if snapshot_dir is not None
+                    else None
+                ),
+                cache_policy=cache_policy,
+                builder=self._builder,
+            )
+            for index, shard_db in enumerate(self.databases)
         ]
         self._hash_fn = hash_fn
         # Maps name -> (mode, bound position); None marks a registration
@@ -411,6 +446,45 @@ class ShardedViewServer:
                 f"bound position {position}"
             )
         return self._hash_fn(access[position]) % self.n_shards
+
+    # ------------------------------------------------------------------
+    # builds
+    # ------------------------------------------------------------------
+    def prebuild(
+        self, name: str, tau: Optional[float] = None
+    ) -> List[CompressedRepresentation]:
+        """Build (or warm-load) one view's structure on every shard, at once.
+
+        Lazy serving builds each shard's structure on its first request —
+        fine for routed traffic, but a scatter view's first batch pays
+        every shard's build back to back. This fans the builds out: one
+        thread per shard drives that shard's cached build path, and with
+        a shared :class:`~repro.engine.parallel.ParallelBuilder` the
+        builds land on worker *processes*, using real cores. Returns the
+        per-shard structures, shard order.
+        """
+        self.route(name)  # unknown views fail before any build starts
+        if self.n_shards == 1:
+            return [self.shards[0].representation(name, tau)]
+        with ThreadPoolExecutor(
+            max_workers=self.n_shards, thread_name_prefix="repro-prebuild"
+        ) as pool:
+            futures = [
+                pool.submit(server.representation, name, tau)
+                for server in self.shards
+            ]
+            return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Release the shared build worker pool (serving keeps working)."""
+        for server in self.shards:
+            server.close()
+        if self._builder is not None:
+            self._builder.close()
+
+    @property
+    def builder(self) -> Optional[ParallelBuilder]:
+        return self._builder
 
     # ------------------------------------------------------------------
     # batch planning, execution, merging

@@ -37,3 +37,14 @@ class ParameterError(ReproError):
 
 class OptimizationError(ReproError):
     """An LP used for cover/parameter search is infeasible or failed."""
+
+
+class SnapshotError(ReproError):
+    """A serialized representation snapshot cannot be used.
+
+    Raised by :mod:`repro.core.snapshot` for malformed, truncated or
+    corrupted snapshot blobs, for version/format mismatches, and for
+    snapshots whose source database fingerprint differs from the database
+    they are being loaded against. Decoding never surfaces raw unpickling
+    errors — every failure mode maps here.
+    """

@@ -100,15 +100,56 @@ class TestWorkflowSchema:
         assert len(uploads) == 1
         assert uploads[0]["with"]["path"] == ".bench/smoke.json"
 
+    def test_bench_smoke_job_runs_the_warm_start_gate(self, workflow):
+        # The warm-start benchmark is a hard gate: a restarted server
+        # that rebuilds instead of decoding snapshots fails CI.
+        run_lines = [
+            step.get("run", "")
+            for step in workflow["jobs"]["bench-smoke"]["steps"]
+        ]
+        assert any("make bench-warm" in line for line in run_lines)
+
+    def test_every_setup_python_step_caches_pip(self, workflow):
+        for name, job in workflow["jobs"].items():
+            setups = [
+                step
+                for step in job["steps"]
+                if "setup-python" in step.get("uses", "")
+            ]
+            assert setups, f"job {name} never sets up python"
+            for step in setups:
+                config = step.get("with", {})
+                assert config.get("cache") == "pip", (
+                    f"job {name}: setup-python step without pip caching"
+                )
+                assert config.get("cache-dependency-path") == (
+                    "requirements-dev.txt"
+                ), f"job {name}: pip cache not keyed on requirements-dev.txt"
+
 
 class TestMakefileContract:
     def test_targets_the_workflow_relies_on_exist(self, make_targets):
-        assert {"lint", "collect", "test", "bench-smoke"} <= make_targets
+        assert {
+            "lint",
+            "collect",
+            "test",
+            "bench-smoke",
+            "bench-warm",
+        } <= make_targets
 
     def test_bench_smoke_writes_and_checks_the_report(self):
         text = MAKEFILE.read_text()
         assert "--benchmark-json" in text
         assert "check_smoke_report.py" in text
+
+    def test_bench_warm_runs_the_snapshot_benchmark(self):
+        # `make bench-warm` and the CI step must keep pointing at the
+        # benchmark whose assertions actually gate warm-start behavior.
+        text = MAKEFILE.read_text()
+        target = text[text.index("bench-warm:"):]
+        target = target[: target.index("\n\n")]
+        assert "bench_snapshot_warmstart.py" in target
+        assert "REPRO_BENCH_SMOKE=1" in target
 
     def test_ruff_is_configured(self):
         pyproject = (REPO / "pyproject.toml").read_text()

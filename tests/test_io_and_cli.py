@@ -284,3 +284,159 @@ class TestCLI:
             ]
         )
         assert code == 2
+
+
+class TestSnapshotCLI:
+    VIEW = "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)"
+
+    def test_serve_warm_starts_from_snapshot_dir(
+        self, triangle_dir, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("1,2\n3,1\n")
+        snapshots = tmp_path / "snaps"
+        argv = [
+            "serve",
+            "--view",
+            self.VIEW,
+            "--data",
+            str(triangle_dir),
+            "--requests",
+            str(requests),
+            "--snapshot-dir",
+            str(snapshots),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "1 builds" in cold
+        assert "0 warm loads, 1 writes" in cold
+        # The "restarted" invocation decodes instead of rebuilding.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 builds" in warm
+        assert "1 warm loads, 0 writes" in warm
+
+    def test_serve_with_build_workers(self, triangle_dir, tmp_path, capsys):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("1,2\n")
+        code = main(
+            [
+                "serve",
+                "--view",
+                self.VIEW,
+                "--data",
+                str(triangle_dir),
+                "--requests",
+                str(requests),
+                "--build-workers",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "served 1 requests" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_build_workers(
+        self, triangle_dir, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("1,2\n")
+        code = main(
+            [
+                "serve",
+                "--view",
+                self.VIEW,
+                "--data",
+                str(triangle_dir),
+                "--requests",
+                str(requests),
+                "--build-workers",
+                "0",
+            ]
+        )
+        assert code == 2
+        assert "--build-workers" in capsys.readouterr().err
+
+    def test_snapshot_save_inspect_load_flow(
+        self, triangle_dir, tmp_path, capsys
+    ):
+        out = tmp_path / "delta.snap"
+        code = main(
+            [
+                "snapshot",
+                "save",
+                "--view",
+                self.VIEW,
+                "--data",
+                str(triangle_dir),
+                "--tau",
+                "4",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert f"saved {out}" in capsys.readouterr().out
+
+        assert (
+            main(["snapshot", "inspect", "--file", str(out)]) == 0
+        )
+        inspected = capsys.readouterr().out
+        assert "kind:           compressed" in inspected
+        assert "complete" in inspected
+
+        code = main(
+            [
+                "snapshot",
+                "load",
+                "--file",
+                str(out),
+                "--data",
+                str(triangle_dir),
+                "--access",
+                "1,2",
+            ]
+        )
+        assert code == 0
+        loaded = capsys.readouterr().out
+        assert "fingerprint verified" in loaded
+        assert "answer(1, 2)" in loaded
+
+    def test_snapshot_load_refuses_changed_data(
+        self, triangle_dir, tmp_path, capsys
+    ):
+        out = tmp_path / "delta.snap"
+        assert (
+            main(
+                [
+                    "snapshot",
+                    "save",
+                    "--view",
+                    self.VIEW,
+                    "--data",
+                    str(triangle_dir),
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        (triangle_dir / "R.csv").write_text("1,2\n2,3\n1,3\n9,9\n")
+        code = main(
+            [
+                "snapshot",
+                "load",
+                "--file",
+                str(out),
+                "--data",
+                str(triangle_dir),
+            ]
+        )
+        assert code == 2
+        assert "different database" in capsys.readouterr().err
+
+    def test_snapshot_inspect_rejects_non_snapshots(self, tmp_path, capsys):
+        junk = tmp_path / "junk.snap"
+        junk.write_bytes(b"definitely not a snapshot")
+        assert main(["snapshot", "inspect", "--file", str(junk)]) == 2
+        assert "magic" in capsys.readouterr().err

@@ -1,0 +1,355 @@
+"""The snapshot codec: round-trips, format safety, and the store.
+
+Round-trips are property-style over the :mod:`repro.workloads.scenarios`
+shapes the serving layer actually sees — skewed data, self-joins, empty
+views, and views whose normalization rewrites constants away — asserting
+that a decoded representation enumerates *identical* sorted answers with
+*identical* logical delay statistics (step totals and worst gaps through
+a :class:`~repro.joins.generic_join.JoinCounter`) to the original.
+
+Safety is the satellite contract: malformed, truncated, corrupted,
+version-mismatched and wrong-database snapshots all raise the typed
+:class:`~repro.exceptions.SnapshotError`, never a raw unpickling error.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import (
+    CompressedRepresentation,
+    Database,
+    DecomposedRepresentation,
+    DynamicRepresentation,
+    Relation,
+    parse_view,
+)
+from repro.core.snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    SnapshotStore,
+    database_fingerprint,
+    database_from_state,
+    database_state,
+    decode_snapshot,
+    encode_snapshot,
+    inspect_snapshot,
+    inspect_snapshot_file,
+    load_snapshot,
+    save_snapshot,
+    view_from_state,
+    view_state,
+)
+from repro.exceptions import SnapshotError
+from repro.joins.generic_join import JoinCounter
+from repro.measure.delay import measure_enumeration
+from repro.workloads import random_graph, triangle_database, triangle_view
+from repro.workloads.scenarios import (
+    coauthor_database,
+    coauthor_view,
+    mln_evidence_database,
+    mln_rule_views,
+    social_network_database,
+)
+from repro.workloads.streams import productive_accesses
+
+
+def _scenarios():
+    """(label, view, database) triples spanning the workload shapes."""
+    coauthors = coauthor_database(n_authors=60, n_papers=80, seed=3)
+    social = social_network_database(n_users=30, n_friendships=90, seed=5)
+    mln = mln_evidence_database(n_entities=40, n_terms=25, density=150, seed=2)
+    empty = Database(
+        [
+            random_graph("R", 20, 60, seed=1),
+            Relation("S", 2, []),  # an empty relation empties the join
+            random_graph("T", 20, 60, seed=2),
+        ]
+    )
+    constants = parse_view("C^bf(x, y) = R(x, y), S(y, 3)")
+    constant_db = Database(
+        [
+            random_graph("R", 15, 60, seed=4),
+            Relation("S", 2, [(v, 3) for v in range(0, 15, 2)]),
+        ]
+    )
+    return [
+        ("skewed self-join", coauthor_view(), coauthors),
+        (
+            "mutual friends",
+            parse_view("V^bfb(x, y, z) = R(x, y), R(y, z), R(z, x)"),
+            social,
+        ),
+        ("mln rule", mln_rule_views()[2], mln),
+        ("empty view", triangle_view("bbf"), empty),
+        ("normalized constants", constants, constant_db),
+    ]
+
+
+def _accesses(view, db, limit=8):
+    productive = productive_accesses(view, db)[:limit]
+    miss = tuple(-1 for _ in view.bound_variables)
+    return productive + [miss]
+
+
+def _measured_answers(representation, accesses):
+    measured = []
+    for access in accesses:
+        counter = JoinCounter()
+        rows = []
+
+        def collect(iterator):
+            for row in iterator:
+                rows.append(row)
+                yield row
+
+        stats = measure_enumeration(
+            collect(representation.enumerate(access, counter=counter)),
+            counter=counter,
+            keep_gaps=True,
+        )
+        measured.append(
+            (access, rows, counter.steps, stats.step_max_gap, stats.step_gaps)
+        )
+    return measured
+
+
+class TestCompressedRoundTrips:
+    @pytest.mark.parametrize(
+        "label,view,db", _scenarios(), ids=lambda v: v if isinstance(v, str) else ""
+    )
+    @pytest.mark.parametrize("tau", [2.0, 16.0])
+    def test_identical_answers_and_delay_stats(self, label, view, db, tau):
+        original = CompressedRepresentation(view, db, tau=tau)
+        restored = decode_snapshot(encode_snapshot(original))
+        accesses = _accesses(view, db)
+        before = _measured_answers(original, accesses)
+        after = _measured_answers(restored, accesses)
+        assert before == after
+        # The restored enumeration is sorted exactly like the original.
+        for _, rows, _, _, _ in after:
+            assert rows == sorted(rows)
+
+    @pytest.mark.parametrize(
+        "label,view,db", _scenarios(), ids=lambda v: v if isinstance(v, str) else ""
+    )
+    def test_restored_parameters_and_space_match(self, label, view, db):
+        original = CompressedRepresentation(view, db, tau=8.0)
+        restored = decode_snapshot(encode_snapshot(original))
+        assert restored.tau == original.tau
+        assert restored.alpha == original.alpha
+        assert restored.weights == original.weights
+        assert len(restored.tree.nodes) == len(original.tree.nodes)
+        assert restored.tree.depth() == original.tree.depth()
+        assert sorted(restored.dictionary.items()) == sorted(
+            original.dictionary.items()
+        )
+        assert (
+            restored.space_report().total_cells
+            == original.space_report().total_cells
+        )
+        assert restored.stats == original.stats
+
+    def test_enumerate_from_agrees_after_restore(self):
+        db = coauthor_database(n_authors=50, n_papers=70, seed=9)
+        view = coauthor_view()
+        original = CompressedRepresentation(view, db, tau=4.0)
+        restored = decode_snapshot(encode_snapshot(original))
+        access = productive_accesses(view, db)[0]
+        rows = original.answer(access)
+        assert len(rows) >= 2
+        start = rows[len(rows) // 2]
+        assert list(original.enumerate_from(access, start)) == list(
+            restored.enumerate_from(access, start)
+        )
+
+
+class TestOtherKinds:
+    def test_decomposed_round_trip(self):
+        db = triangle_database(nodes=25, edges=120, seed=11)
+        view = triangle_view("bbf")
+        original = DecomposedRepresentation(view, db)
+        restored = decode_snapshot(encode_snapshot(original))
+        assert isinstance(restored, DecomposedRepresentation)
+        assert restored.delta_height == original.delta_height
+        for access in _accesses(view, db):
+            assert restored.answer(access) == original.answer(access)
+        assert (
+            restored.space_report().total_cells
+            == original.space_report().total_cells
+        )
+
+    def test_dynamic_round_trip_preserves_buffered_updates(self):
+        db = triangle_database(nodes=25, edges=120, seed=11)
+        view = triangle_view("bbf")
+        original = DynamicRepresentation(
+            view, db, tau=8.0, rebuild_fraction=float("inf")
+        )
+        original.insert("R", (900, 901))
+        original.insert("S", (901, 902))
+        original.insert("T", (902, 900))
+        original.delete("R", next(iter(db["R"])))
+        restored = decode_snapshot(encode_snapshot(original))
+        assert isinstance(restored, DynamicRepresentation)
+        assert restored.is_dirty
+        assert restored.pending_updates == original.pending_updates
+        assert restored.answer((900, 901)) == original.answer((900, 901))
+        for access in _accesses(view, db, limit=4):
+            assert restored.answer(access) == original.answer(access)
+        # The restored instance keeps absorbing updates and rebuilding.
+        restored.rebuild()
+        assert not restored.is_dirty
+        assert restored.answer((900, 901)) == [(902,)]
+
+
+class TestViewAndDatabaseState:
+    def test_view_state_round_trips_constants_and_self_joins(self):
+        for view in [
+            parse_view("C^bf(x, y) = R(x, y), S(y, 3)"),
+            coauthor_view(),
+            triangle_view("fbf"),
+        ]:
+            restored = view_from_state(view_state(view))
+            assert repr(restored) == repr(view)
+
+    def test_database_state_round_trips(self):
+        db = triangle_database(nodes=10, edges=40, seed=1)
+        restored = database_from_state(database_state(db))
+        assert {r.name: r.rows for r in restored} == {
+            r.name: r.rows for r in db
+        }
+
+    def test_fingerprint_is_order_insensitive_and_data_sensitive(self):
+        rows = [(1, 2), (3, 4), (5, 6)]
+        a = Database([Relation("R", 2, rows)])
+        b = Database([Relation("R", 2, reversed(rows))])
+        assert database_fingerprint(a) == database_fingerprint(b)
+        c = Database([Relation("R", 2, rows + [(7, 8)])])
+        assert database_fingerprint(a) != database_fingerprint(c)
+
+
+@pytest.fixture(scope="module")
+def sample_blob():
+    db = triangle_database(nodes=15, edges=60, seed=3)
+    view = triangle_view("bbf")
+    return encode_snapshot(CompressedRepresentation(view, db, tau=8.0)), db
+
+
+class TestFormatSafety:
+    def test_rejects_non_snapshot_bytes(self):
+        for junk in [b"", b"x", b"garbage garbage garbage", b"PK\x03\x04zip"]:
+            with pytest.raises(SnapshotError):
+                decode_snapshot(junk)
+
+    def test_rejects_raw_pickles(self):
+        # A plain pickle is the classic confusion: it must be refused as
+        # "not a snapshot", not unpickled.
+        with pytest.raises(SnapshotError, match="magic"):
+            decode_snapshot(pickle.dumps({"kind": "compressed"}))
+
+    def test_rejects_version_mismatch(self, sample_blob):
+        blob, _ = sample_blob
+        bumped = (
+            SNAPSHOT_MAGIC
+            + (SNAPSHOT_VERSION + 1).to_bytes(2, "big")
+            + blob[len(SNAPSHOT_MAGIC) + 2:]
+        )
+        with pytest.raises(SnapshotError, match="version"):
+            decode_snapshot(bumped)
+
+    def test_rejects_truncation_at_every_prefix_length(self, sample_blob):
+        blob, _ = sample_blob
+        for cut in [3, 5, 9, 20, len(blob) // 2, len(blob) - 1]:
+            with pytest.raises(SnapshotError):
+                decode_snapshot(blob[:cut])
+
+    def test_rejects_payload_corruption(self, sample_blob):
+        blob, _ = sample_blob
+        corrupted = bytearray(blob)
+        corrupted[-10] ^= 0xFF
+        with pytest.raises(SnapshotError, match="CRC"):
+            decode_snapshot(bytes(corrupted))
+
+    def test_rejects_wrong_database_fingerprint(self, sample_blob):
+        blob, db = sample_blob
+        other = triangle_database(nodes=15, edges=60, seed=4)
+        with pytest.raises(SnapshotError, match="different database"):
+            decode_snapshot(
+                blob, expected_fingerprint=database_fingerprint(other)
+            )
+        # The matching fingerprint decodes fine.
+        decoded = decode_snapshot(
+            blob, expected_fingerprint=database_fingerprint(db)
+        )
+        assert isinstance(decoded, CompressedRepresentation)
+
+    def test_inspect_reads_headers_without_decoding(self, sample_blob):
+        blob, db = sample_blob
+        info = inspect_snapshot(blob)
+        assert info["kind"] == "compressed"
+        assert info["version"] == SNAPSHOT_VERSION
+        assert info["fingerprint"] == database_fingerprint(db)
+        assert info["complete"]
+        # Truncated payloads are inspectable (header intact) but flagged.
+        partial = inspect_snapshot(blob[:-5])
+        assert not partial["complete"]
+
+    def test_missing_file_raises_snapshot_error(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(tmp_path / "absent.snap")
+        with pytest.raises(SnapshotError, match="cannot read"):
+            inspect_snapshot_file(tmp_path / "absent.snap")
+
+
+class TestSnapshotFilesAndStore:
+    def test_save_and_load_file(self, tmp_path):
+        db = triangle_database(nodes=15, edges=60, seed=3)
+        rep = CompressedRepresentation(triangle_view("bbf"), db, tau=8.0)
+        path = tmp_path / "view.snap"
+        written = save_snapshot(path, rep)
+        assert path.stat().st_size == written
+        restored = load_snapshot(
+            path, expected_fingerprint=database_fingerprint(db)
+        )
+        assert restored.answer((3, 7)) == rep.answer((3, 7))
+
+    def test_store_round_trip_and_labels(self, tmp_path):
+        db = triangle_database(nodes=15, edges=60, seed=3)
+        rep = CompressedRepresentation(triangle_view("bbf"), db, tau=8.0)
+        store = SnapshotStore(tmp_path, fingerprint=database_fingerprint(db))
+        label = "Delta|abc123|tau=8.0|fixed|None"
+        assert store.load(label) is None
+        assert store.save(label, rep)
+        assert label in store
+        assert len(store.labels_on_disk()) == 1
+        restored = store.load(label)
+        assert restored.answer((3, 7)) == rep.answer((3, 7))
+        # Same label, fresh store instance: restart-stable file naming.
+        again = SnapshotStore(tmp_path, fingerprint=database_fingerprint(db))
+        assert label in again
+        assert again.remove(label)
+        assert label not in again
+
+    def test_store_refuses_other_databases_snapshots(self, tmp_path):
+        db = triangle_database(nodes=15, edges=60, seed=3)
+        rep = CompressedRepresentation(triangle_view("bbf"), db, tau=8.0)
+        writer = SnapshotStore(tmp_path, fingerprint=database_fingerprint(db))
+        assert writer.save("shared-label", rep)
+        other = triangle_database(nodes=15, edges=60, seed=4)
+        reader = SnapshotStore(
+            tmp_path, fingerprint=database_fingerprint(other)
+        )
+        with pytest.raises(SnapshotError, match="different database"):
+            reader.load("shared-label")
+
+    def test_store_surfaces_corruption_as_snapshot_error(self, tmp_path):
+        db = triangle_database(nodes=15, edges=60, seed=3)
+        rep = CompressedRepresentation(triangle_view("bbf"), db, tau=8.0)
+        store = SnapshotStore(tmp_path)
+        store.save("x", rep)
+        path = store.path_for("x")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(SnapshotError):
+            store.load("x")
