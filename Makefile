@@ -4,7 +4,7 @@
 PYTHON ?= python
 SMOKE_REPORT ?= .bench/smoke.json
 
-.PHONY: test collect lint format bench-smoke bench-warm bench
+.PHONY: test collect lint format bench-smoke bench-warm bench-stream bench
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -35,6 +35,13 @@ bench-smoke:
 bench-warm:
 	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_snapshot_warmstart.py -q
+
+# Streaming gate: fails unless top-k cursor serving beats full
+# materialization >= 5x on a skewed view (and sharded limit=k cursors
+# pull at most k tuples per shard, pagination oracle-identical).
+bench-stream:
+	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_streaming_topk.py -q
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q

@@ -58,6 +58,8 @@ from repro.core import (
     save_snapshot,
 )
 from repro.engine import (
+    AccessRequest,
+    AnswerCursor,
     AsyncServingReport,
     AsyncViewServer,
     BatchResult,
@@ -106,6 +108,8 @@ __all__ = [
     "DecomposedRepresentation",
     "FullyBoundStructure",
     "ConnexConstantDelayStructure",
+    "AccessRequest",
+    "AnswerCursor",
     "ViewServer",
     "ShardedViewServer",
     "AsyncViewServer",

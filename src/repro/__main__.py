@@ -35,6 +35,17 @@ front (thread-pool execution, ``--workers``, backpressure via
         --view "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)" \\
         --data ./relations --requests ./requests.txt
 
+Streaming cursors: ``--limit K`` serves each request top-k through the
+cursor API (only ~K tuples are enumerated, however large the answer),
+``--page-size P`` drains requests in resume-token pages of P tuples, and
+``--resume V1,V2,...`` re-enters a prior enumeration strictly after that
+tuple — all three compose and work over every back end (plain, sharded,
+async)::
+
+    python -m repro serve --limit 10 --page-size 5 \\
+        --view "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)" \\
+        --data ./relations --requests ./requests.txt
+
 The requests file holds one access tuple per line (comma-separated bound
 values; blank lines and ``#`` comments are skipped). Instead of a fixed
 ``--tau``, the engine can pick it: ``--space-budget CELLS`` minimizes
@@ -72,6 +83,7 @@ from typing import Dict, List, Tuple
 from pathlib import Path
 
 from repro import (
+    AccessRequest,
     AsyncViewServer,
     CompressedRepresentation,
     ShardedViewServer,
@@ -212,6 +224,15 @@ def _serve(args) -> int:
         args.workers is not None or args.max_pending is not None
     ):
         raise ReproError("--workers/--max-pending are async knobs; add --async")
+    cursor_mode = (
+        args.limit is not None
+        or args.page_size is not None
+        or args.resume is not None
+    )
+    if args.limit is not None and args.limit < 0:
+        raise ReproError(f"--limit must be >= 0, got {args.limit}")
+    if args.page_size is not None and args.page_size < 1:
+        raise ReproError(f"--page-size must be >= 1, got {args.page_size}")
     if args.build_workers is not None and args.build_workers < 1:
         raise ReproError(
             f"--build-workers must be >= 1, got {args.build_workers}"
@@ -262,6 +283,8 @@ def _serve(args) -> int:
             f"{sorted(backend.shard_key)} ({mode}{detail})"
         )
     try:
+        if cursor_mode:
+            return _serve_cursors(backend, name, accesses, args)
         if args.use_async:
             workers = args.workers if args.workers is not None else 4
             max_pending = (
@@ -300,6 +323,115 @@ def _serve(args) -> int:
     finally:
         backend.close()
     return 0
+
+
+def _serve_cursors(backend, name: str, accesses: List[Tuple], args) -> int:
+    """Cursor-plane serving: per-request limits, pages and resume tokens.
+
+    Each access in the requests file becomes one cursor (or a chain of
+    resume-token pages with ``--page-size``); ``--limit`` caps the
+    tuples delivered per request, and ``--resume`` starts every request
+    strictly after the given tuple. Works identically over the plain,
+    sharded and async back ends.
+    """
+    token = _parse_access(args.resume) if args.resume is not None else None
+    if args.use_async:
+        workers = args.workers if args.workers is not None else 4
+        max_pending = args.max_pending if args.max_pending is not None else 32
+        server = AsyncViewServer(
+            backend, max_workers=workers, max_pending=max_pending
+        )
+        try:
+            return asyncio.run(
+                _stream_cursors_async(server, name, accesses, args, token)
+            )
+        finally:
+            server.close()
+    total = pages = 0
+    for access in accesses:
+        delivered, used, last, exhausted = _drain_paged(
+            backend, name, access, args, token
+        )
+        total += delivered
+        pages += used
+        _print_cursor_line(access, delivered, used, last, exhausted)
+    print(
+        f"cursor mode: {len(accesses)} requests, "
+        f"{total} tuples in {pages} page(s)"
+    )
+    return 0
+
+
+def _drain_paged(backend, name: str, access: Tuple, args, token):
+    """Serve one access through (possibly paged) cursors; returns totals."""
+    remaining = args.limit
+    pages = delivered = 0
+    exhausted = False
+    while True:
+        if args.page_size is None:
+            page_limit = remaining
+        elif remaining is None:
+            page_limit = args.page_size
+        else:
+            page_limit = min(args.page_size, remaining)
+        cursor = backend.open(
+            AccessRequest(
+                view=name,
+                access=access,
+                limit=page_limit,
+                start_after=token,
+            )
+        )
+        rows = cursor.fetchall()
+        pages += 1
+        delivered += len(rows)
+        token = cursor.resume_token()
+        exhausted = cursor.exhausted
+        cursor.close()
+        if remaining is not None:
+            remaining -= len(rows)
+            if remaining <= 0:
+                break
+        if exhausted or not rows or args.page_size is None:
+            break
+    return delivered, pages, token, exhausted
+
+
+async def _stream_cursors_async(server, name, accesses, args, token) -> int:
+    """Drain every request through the async cursor face, in chunks."""
+    chunk_size = (
+        args.page_size if args.page_size is not None else args.batch_size
+    )
+    total = chunks = 0
+    for access in accesses:
+        request = AccessRequest(
+            view=name, access=access, limit=args.limit, start_after=token
+        )
+        delivered = 0
+        last = token
+        async for page in server.stream(request, chunk_size=chunk_size):
+            delivered += len(page)
+            chunks += 1
+            last = page[-1]
+        _print_cursor_line(access, delivered, None, last, None)
+        total += delivered
+    print(
+        f"cursor mode (async): {len(accesses)} requests, "
+        f"{total} tuples in {chunks} chunk(s)"
+    )
+    return 0
+
+
+def _print_cursor_line(access, delivered, pages, token, exhausted) -> None:
+    token_text = ",".join(str(v) for v in token) if token else "-"
+    detail = f" in {pages} page(s)" if pages is not None else ""
+    if exhausted is None:
+        state = f", last {token_text}"
+    elif exhausted:
+        state = ", exhausted"
+    else:
+        state = f", resume {token_text}"
+    print(f"cursor{access}: {delivered} tuples{detail}{state}")
 
 
 def _print_stream_report(report) -> None:
@@ -447,6 +579,25 @@ def main(argv=None) -> int:
         help="pick tau minimizing space under this delay bound",
     )
     serve.add_argument("--batch-size", type=int, default=32)
+    serve.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="cursor mode: cap each request at N tuples (top-k serving)",
+    )
+    serve.add_argument(
+        "--page-size",
+        type=int,
+        default=None,
+        help="cursor mode: drain each request in resume-token pages of "
+        "this size",
+    )
+    serve.add_argument(
+        "--resume",
+        default=None,
+        help="cursor mode: comma-separated resume token; every request "
+        "starts strictly after this tuple",
+    )
     serve.add_argument(
         "--cache-entries", type=int, default=8, help="LRU entry bound"
     )

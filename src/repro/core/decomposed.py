@@ -27,7 +27,10 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.structure import CompressedRepresentation
+from repro.core.structure import (
+    CompressedRepresentation,
+    resume_strictly_after,
+)
 from repro.database.catalog import Database
 from repro.exceptions import (
     DecompositionError,
@@ -78,6 +81,10 @@ class DecomposedRepresentation:
         all-zero assignment, i.e. the constant-delay point of Proposition 4
         realized through the Theorem 1 machinery.
     """
+
+    #: Mid-traversal re-entry is supported (``enumerate_from`` /
+    #: ``enumerate_after``), in the decomposition's own enumeration order.
+    supports_resume = True
 
     def __init__(
         self,
@@ -378,6 +385,92 @@ class DecomposedRepresentation:
                 yield from recurse(position + 1)
 
         yield from recurse(0)
+
+    def enumerate_from(
+        self,
+        access: Sequence,
+        start_values: Sequence,
+        counter: Optional[JoinCounter] = None,
+    ) -> Iterator[Tuple]:
+        """Enumerate answers from ``start_values`` onward, enumeration order.
+
+        ``start_values`` is a full free-variable value tuple in *head*
+        order. The decomposition's global order is the pre-order bag
+        nesting (not head-lexicographic), so "onward" means: every tuple
+        whose bag-nesting key — the concatenation of its per-bag value
+        tuples in pre-order — is >= the start tuple's key. This is
+        exactly the order :meth:`enumerate` yields, so resumption after
+        the n-th tuple returns precisely the remaining tuples.
+
+        The seek is hierarchical: while a prefix of bags sits exactly on
+        the start point, each bag resumes via its own Theorem 1
+        ``enumerate_from``; the first bag to move strictly past its
+        start value releases all deeper bags to enumerate in full.
+        """
+        access = tuple(access)
+        bound_order = self.view.bound_variables
+        if len(access) != len(bound_order):
+            raise QueryError(
+                f"access tuple has {len(access)} values, expected "
+                f"{len(bound_order)}"
+            )
+        free_order = self.view.free_variables
+        start_values = tuple(start_values)
+        if len(start_values) != len(free_order):
+            raise QueryError(
+                f"start tuple has {len(start_values)} values, expected "
+                f"{len(free_order)}"
+            )
+        for relation, positions in self._root_checks:
+            if counter is not None:
+                counter.steps += 1
+            if tuple(access[p] for p in positions) not in relation:
+                return
+        position_of = {v: i for i, v in enumerate(free_order)}
+        assignment: Dict[Variable, object] = dict(zip(bound_order, access))
+        bags = self._preorder
+        starts = {
+            node: tuple(
+                start_values[position_of[v]]
+                for v in self._bags[node].free_vars
+            )
+            for node in bags
+        }
+
+        def recurse(position: int, tight: bool) -> Iterator[Tuple]:
+            if position == len(bags):
+                yield tuple(assignment[v] for v in free_order)
+                return
+            bag = self._bags[bags[position]]
+            bag_access = tuple(assignment[v] for v in bag.bound_vars)
+            bag_start = starts[bags[position]]
+            if tight:
+                iterator = bag.representation.enumerate_from(
+                    bag_access, bag_start, counter=counter
+                )
+            else:
+                iterator = bag.representation.enumerate(
+                    bag_access, counter=counter
+                )
+            for values in iterator:
+                for var, value in zip(bag.free_vars, values):
+                    assignment[var] = value
+                yield from recurse(
+                    position + 1, tight and values == bag_start
+                )
+
+        yield from recurse(0, True)
+
+    def enumerate_after(
+        self,
+        access: Sequence,
+        last: Sequence,
+        counter: Optional[JoinCounter] = None,
+    ) -> Iterator[Tuple]:
+        """Enumerate strictly after ``last`` (resume token re-entry)."""
+        return resume_strictly_after(
+            self.enumerate_from(access, last, counter=counter), tuple(last)
+        )
 
     def answer(self, access: Sequence) -> List[Tuple]:
         return list(self.enumerate(access))

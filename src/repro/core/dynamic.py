@@ -24,7 +24,10 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.baselines.lazy import LazyView
-from repro.core.structure import CompressedRepresentation
+from repro.core.structure import (
+    CompressedRepresentation,
+    resume_strictly_after,
+)
 from repro.database.catalog import Database
 from repro.database.relation import Relation
 from repro.exceptions import SchemaError, SnapshotError
@@ -45,6 +48,10 @@ class DynamicRepresentation:
         Rebuild once buffered updates exceed this fraction of |D|
         (default 0.1). ``float('inf')`` disables automatic rebuilds.
     """
+
+    #: Mid-traversal re-entry is supported (``enumerate_from`` /
+    #: ``enumerate_after``); dirty buffers degrade to a skip-scan.
+    supports_resume = True
 
     def __init__(
         self,
@@ -234,6 +241,44 @@ class DynamicRepresentation:
             return self._structure.enumerate(access, counter=counter)
         lazy = LazyView(self.view, self.current_database())
         return lazy.enumerate(access, counter=counter)
+
+    def enumerate_from(
+        self,
+        access: Sequence,
+        start_values: Sequence,
+        counter: Optional[JoinCounter] = None,
+    ) -> Iterator[Tuple]:
+        """Enumerate answers with free tuple lexicographically >= start.
+
+        Clean buffer: the compressed structure's one-delay-unit seek.
+        Dirty buffer: the lazy evaluator has no seek, so the prefix is
+        skip-scanned — correct (both orders are lexicographic in the
+        free values) but the skipped prefix is still enumerated, i.e.
+        resumption is only O(1) between update bursts. Tokens are value
+        tuples, so they stay valid across a :meth:`rebuild` boundary.
+        """
+        if not self._pending:
+            return self._structure.enumerate_from(
+                access, start_values, counter=counter
+            )
+        start = tuple(start_values)
+        lazy = LazyView(self.view, self.current_database())
+        return (
+            row
+            for row in lazy.enumerate(access, counter=counter)
+            if not row < start
+        )
+
+    def enumerate_after(
+        self,
+        access: Sequence,
+        last: Sequence,
+        counter: Optional[JoinCounter] = None,
+    ) -> Iterator[Tuple]:
+        """Enumerate strictly after ``last`` (resume token re-entry)."""
+        return resume_strictly_after(
+            self.enumerate_from(access, last, counter=counter), tuple(last)
+        )
 
     def answer(self, access: Sequence) -> List[Tuple]:
         return list(self.enumerate(access))

@@ -57,6 +57,21 @@ class BuildStats:
     build_seconds: float
 
 
+def resume_strictly_after(iterator, last: Tuple) -> Iterator[Tuple]:
+    """Turn an ``enumerate_from`` (``>= start``) stream into ``> last``.
+
+    Enumerations never repeat a tuple, so only the leading one can equal
+    the resume point; everything after it passes through untouched. All
+    three representation classes build their ``enumerate_after`` on this.
+    """
+    iterator = iter(iterator)
+    for first in iterator:
+        if first != last:
+            yield first
+        break
+    yield from iterator
+
+
 class CompressedRepresentation:
     """Space/delay-tunable compressed representation of a full adorned view.
 
@@ -78,6 +93,11 @@ class CompressedRepresentation:
         Optional slack override; defaults to the slack of ``weights`` on
         the free variables.
     """
+
+    #: The class supports mid-traversal re-entry: ``enumerate_from`` /
+    #: ``enumerate_after`` seek to a start point instead of rescanning.
+    #: The cursor layer (:mod:`repro.engine.api`) keys off this flag.
+    supports_resume = True
 
     def __init__(
         self,
@@ -434,6 +454,24 @@ class CompressedRepresentation:
         )
         for box in clipped.box_decomposition(self.ctx.space):
             yield from self._join_box(access, subtries, box, counter)
+
+    def enumerate_after(
+        self,
+        access: Sequence,
+        last: Sequence,
+        counter: Optional[JoinCounter] = None,
+    ) -> Iterator[Tuple]:
+        """Enumerate answers strictly after ``last`` — the resume entry.
+
+        ``last`` is a resume token: a free-variable tuple previously
+        delivered (or any value tuple — a point past the end of the
+        answer yields nothing). Pagination is
+        ``enumerate(a) == page_k ++ enumerate_after(a, last_of(page_k))``
+        for every prefix length.
+        """
+        return resume_strictly_after(
+            self.enumerate_from(access, last, counter=counter), tuple(last)
+        )
 
     def enumerate_interval(
         self,

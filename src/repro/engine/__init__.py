@@ -6,14 +6,25 @@ into a serving layer: :class:`ViewServer` keeps built
 bounded LRU :class:`RepresentationCache` (internally thread-safe, with a
 single-build :meth:`~RepresentationCache.get_or_build` guarantee),
 auto-selects τ from space or delay budgets via the Section 6 optimizers,
-and serves deduplicated sorted batches. :class:`ShardedViewServer`
-hash-partitions the bound-value space across per-shard servers (routing
-bound requests, scatter-gathering free ones), and
+and serves deduplicated sorted batches. Serving is cursor-first: a typed
+:class:`AccessRequest` opened via ``server.open`` yields a lazy
+:class:`AnswerCursor` (limits, resume tokens, delay stats — see
+:mod:`repro.engine.api`), and the materializing ``answer*`` calls are
+wrappers over it. :class:`ShardedViewServer` hash-partitions the
+bound-value space across per-shard servers (routing bound requests,
+lazily heap-merging per-shard cursors for free ones), and
 :class:`AsyncViewServer` multiplexes request streams over either back
-end from an event loop, with thread-pool execution, backpressure, and
-per-batch delay accounting.
+end from an event loop, with thread-pool execution, backpressure,
+per-batch delay accounting, and an async ``stream`` face for the
+cursor API.
 """
 
+from repro.engine.api import (
+    AccessRequest,
+    AnswerCursor,
+    ResumeToken,
+    open_cursor,
+)
 from repro.engine.async_server import (
     AsyncBatchResult,
     AsyncServingReport,
@@ -42,6 +53,10 @@ from repro.engine.sharding import (
 )
 
 __all__ = [
+    "AccessRequest",
+    "AnswerCursor",
+    "ResumeToken",
+    "open_cursor",
     "CacheStats",
     "RepresentationCache",
     "ParallelBuilder",

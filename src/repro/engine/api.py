@@ -1,0 +1,355 @@
+"""The typed request/cursor protocol: streaming access to served views.
+
+The paper's central contract is *enumeration* — answers stream one tuple
+at a time with delay ``delay(Q, τ)`` — and the core layer honors it
+(:meth:`~repro.core.structure.CompressedRepresentation.enumerate` is a
+lazy generator). This module carries that contract up through the
+serving stack instead of collapsing answers into lists:
+
+* :class:`AccessRequest` names a registered view, fixes the bound
+  tuple, and optionally caps the answer (``limit``), resumes a prior
+  enumeration (``start_after``), or asks for delay measurement
+  (``measure``).
+* :class:`AnswerCursor` is the lazy iterator a server's ``open`` returns:
+  tuples arrive in the representation's enumeration order (lexicographic
+  head order for :class:`~repro.core.structure.CompressedRepresentation`
+  and the sharded merge over it), and nothing beyond what the caller
+  pulls is ever enumerated — ``limit=k`` touches O(k) tuples, which is
+  the compressed representation's headline advantage for top-k and
+  paginated workloads.
+
+Resume tokens
+-------------
+A resume token is simply the last *delivered* free-variable value tuple
+(:meth:`AnswerCursor.resume_token`). Feeding it back as ``start_after``
+re-enters the enumeration strictly after that tuple without rescanning
+the prefix: representations exposing ``enumerate_from`` (all three —
+``supports_resume`` marks them) seek in one delay unit; anything else
+degrades to a skip-scan that drops the prefix up to and including the
+token (and yields nothing if the token never appears — a past-end or
+foreign token is an empty page, never an error).
+
+Delay statistics under ``limit``
+--------------------------------
+:meth:`AnswerCursor.stats` mirrors
+:func:`~repro.measure.delay.measure_enumeration`: per-output wall/step
+gaps, plus the closing gap *only when the underlying enumeration was
+actually exhausted*. A cursor stopped by its ``limit`` never observes
+exhaustion, so its stats cover exactly the tuples delivered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from itertools import islice
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ParameterError
+from repro.joins.generic_join import JoinCounter
+from repro.measure.delay import DelayStats
+
+#: A resume token: the last delivered free-variable value tuple.
+ResumeToken = Tuple
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """One typed access request against a registered view.
+
+    Parameters
+    ----------
+    view:
+        The registered serving name.
+    access:
+        The bound-variable value tuple (empty for fully-free views).
+    limit:
+        Maximum tuples the cursor delivers; ``None`` means all.
+        ``limit=0`` is a legal empty page (useful to probe a token).
+    start_after:
+        Resume token — deliver only tuples strictly after this one in
+        enumeration order. ``None`` starts from the beginning.
+    tau:
+        Optional τ override, as for ``answer_batch``.
+    measure:
+        Thread a :class:`~repro.joins.generic_join.JoinCounter` through
+        the enumeration and record per-output delay statistics.
+    """
+
+    view: str
+    access: Tuple = ()
+    limit: Optional[int] = None
+    start_after: Optional[Tuple] = None
+    tau: Optional[float] = None
+    measure: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "access", tuple(self.access))
+        if self.start_after is not None:
+            object.__setattr__(self, "start_after", tuple(self.start_after))
+        if self.limit is not None and self.limit < 0:
+            raise ParameterError(f"limit must be >= 0, got {self.limit}")
+
+    def page_after(
+        self, token: Optional[Sequence], limit: Optional[int] = None
+    ) -> "AccessRequest":
+        """The next-page request: same view/access, resumed after ``token``.
+
+        ``limit=None`` keeps this request's limit (the page size).
+        """
+        return replace(
+            self,
+            start_after=tuple(token) if token is not None else None,
+            limit=self.limit if limit is None else limit,
+        )
+
+
+def as_request(
+    request: Union[AccessRequest, str],
+    access: Optional[Sequence] = None,
+    limit: Optional[int] = None,
+    start_after: Optional[Sequence] = None,
+    tau: Optional[float] = None,
+    measure: bool = False,
+) -> AccessRequest:
+    """Normalize ``open``'s two calling conventions into one request.
+
+    Servers accept either a ready-made :class:`AccessRequest` or the
+    positional ``open(name, access, ...)`` shorthand.
+    """
+    if isinstance(request, AccessRequest):
+        return request
+    return AccessRequest(
+        view=request,
+        access=access if access is not None else (),
+        limit=limit,
+        start_after=start_after,
+        tau=tau,
+        measure=measure,
+    )
+
+
+class AnswerCursor:
+    """Lazy iterator over one access request's answer stream.
+
+    Produced by a server's ``open``; also usable directly over any
+    representation via :func:`open_cursor`. Iteration is pull-driven:
+    tuples are enumerated only as the caller consumes them, the
+    ``limit`` stops pulling once reached, and :meth:`close` releases
+    the underlying generators early. Sharded cursors expose their
+    per-shard sub-cursors as :attr:`parts` (shard order), whose
+    individual :meth:`stats` bound the per-shard enumeration work.
+    """
+
+    def __init__(
+        self,
+        request: AccessRequest,
+        source: Iterator[Tuple],
+        counter: Optional[JoinCounter] = None,
+        parts: Sequence["AnswerCursor"] = (),
+    ):
+        self.request = request
+        self.parts: Tuple["AnswerCursor", ...] = tuple(parts)
+        self._source = iter(source)
+        self._counter = counter
+        self._stats = DelayStats()
+        self._last: Optional[Tuple] = None
+        self._finished = False
+        self._exhausted = False
+        self._closed = False
+        now = time.perf_counter()
+        self._started = now
+        self._last_time = now
+        self._last_steps = counter.steps if counter is not None else 0
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def __iter__(self) -> "AnswerCursor":
+        return self
+
+    def __next__(self) -> Tuple:
+        if self._closed or self._finished:
+            raise StopIteration
+        limit = self.request.limit
+        if limit is not None and self._stats.outputs >= limit:
+            self._finished = True
+            raise StopIteration
+        try:
+            row = next(self._source)
+        except StopIteration:
+            self._observe_exhaustion()
+            raise
+        self._observe_output()
+        self._last = row
+        return row
+
+    def _observe_output(self) -> None:
+        self._stats.outputs += 1
+        if not self.request.measure:
+            return
+        now = time.perf_counter()
+        gap = now - self._last_time
+        if self._stats.outputs == 1:
+            self._stats.wall_first = gap
+        self._stats.wall_max_gap = max(self._stats.wall_max_gap, gap)
+        self._last_time = now
+        if self._counter is not None:
+            step_gap = self._counter.steps - self._last_steps
+            self._stats.step_max_gap = max(
+                self._stats.step_max_gap, step_gap
+            )
+            self._last_steps = self._counter.steps
+
+    def _observe_exhaustion(self) -> None:
+        self._finished = True
+        self._exhausted = True
+        if not self.request.measure:
+            return
+        # Mirror measure_enumeration's closing gap: the time from the
+        # last output until exhaustion is part of the paper's delay.
+        now = time.perf_counter()
+        gap = now - self._last_time
+        self._stats.wall_max_gap = max(self._stats.wall_max_gap, gap)
+        if self._stats.outputs == 0:
+            self._stats.wall_first = gap
+        self._last_time = now
+        if self._counter is not None:
+            step_gap = self._counter.steps - self._last_steps
+            self._stats.step_max_gap = max(
+                self._stats.step_max_gap, step_gap
+            )
+            self._last_steps = self._counter.steps
+
+    # ------------------------------------------------------------------
+    # batched pulls
+    # ------------------------------------------------------------------
+    def fetchmany(self, size: int) -> List[Tuple]:
+        """Up to ``size`` further tuples (empty list at the end)."""
+        if size < 0:
+            raise ParameterError(f"fetchmany size must be >= 0, got {size}")
+        return list(islice(self, size))
+
+    def fetchall(self) -> List[Tuple]:
+        """Every remaining tuple (materializing — the wrapper path)."""
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # cursor state
+    # ------------------------------------------------------------------
+    @property
+    def delivered(self) -> int:
+        """Tuples this cursor has yielded so far."""
+        return self._stats.outputs
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the underlying enumeration ran dry (not limit-stop)."""
+        return self._exhausted
+
+    def resume_token(self) -> Optional[ResumeToken]:
+        """Token resuming strictly after the last delivered tuple.
+
+        Before the first delivery this is the request's own
+        ``start_after`` (so an empty page round-trips its token);
+        ``None`` means "from the start".
+        """
+        if self._last is not None:
+            return self._last
+        return self.request.start_after
+
+    def stats(self) -> DelayStats:
+        """Delay statistics over the tuples delivered so far.
+
+        With ``measure=True`` the shape matches
+        :func:`~repro.measure.delay.measure_enumeration`; the closing
+        gap is included only if the enumeration was exhausted. A merged
+        (sharded) cursor reports its own wall/output figures and folds
+        the per-shard step counters together.
+        """
+        stats = replace(self._stats, step_gaps=list(self._stats.step_gaps))
+        if self._counter is not None:
+            stats.step_total = self._counter.steps
+        elif self.parts:
+            part_stats = [part.stats() for part in self.parts]
+            stats.step_total = sum(p.step_total for p in part_stats)
+            stats.step_max_gap = max(
+                [stats.step_max_gap] + [p.step_max_gap for p in part_stats]
+            )
+        if self.request.measure:
+            stats.wall_total = self._last_time - self._started
+        return stats
+
+    # ------------------------------------------------------------------
+    # life cycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the underlying enumeration(s); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finished = True
+        closer = getattr(self._source, "close", None)
+        if closer is not None:
+            closer()
+        for part in self.parts:
+            part.close()
+
+    def __enter__(self) -> "AnswerCursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# building cursors over representations
+# ----------------------------------------------------------------------
+def open_cursor(representation, request: AccessRequest) -> AnswerCursor:
+    """A cursor over one representation, honoring the whole request.
+
+    Works for any object with ``enumerate(access, counter=)`` —
+    resumption uses ``enumerate_from`` when the class advertises
+    ``supports_resume``, and degrades to a skip-scan otherwise.
+    """
+    counter = JoinCounter() if request.measure else None
+    source = resume_enumeration(
+        representation, request.access, request.start_after, counter
+    )
+    return AnswerCursor(request, source, counter=counter)
+
+
+def resume_enumeration(
+    representation,
+    access: Sequence,
+    start_after: Optional[Sequence],
+    counter: Optional[JoinCounter] = None,
+) -> Iterator[Tuple]:
+    """The (possibly resumed) enumeration behind one cursor.
+
+    ``start_after=None`` is a plain ``enumerate``. With a token, a
+    resume-capable representation seeks via ``enumerate_after``
+    (strictly after the token, one-delay-unit re-entry); others are
+    skip-scanned past the token.
+    """
+    if start_after is None:
+        return representation.enumerate(access, counter=counter)
+    token = tuple(start_after)
+    if getattr(representation, "supports_resume", False):
+        return representation.enumerate_after(access, token, counter=counter)
+    return _skip_scan(
+        representation.enumerate(access, counter=counter), token
+    )
+
+
+def _skip_scan(iterator: Iterator[Tuple], token: Tuple):
+    """Degraded resumption: drop everything up to and including the token.
+
+    If the token never appears (past-end, or forged), nothing is
+    yielded — a documented empty page, not an error.
+    """
+    iterator = iter(iterator)
+    for row in iterator:
+        if row == token:
+            break
+    yield from iterator

@@ -34,6 +34,7 @@ from typing import (
 )
 
 from repro.database.catalog import Database
+from repro.engine.api import AccessRequest, as_request
 from repro.engine.cache import CacheStats
 from repro.engine.server import BatchResult, Registration, ViewServer
 from repro.engine.sharding import ShardedViewServer
@@ -289,6 +290,57 @@ class AsyncViewServer:
                 shard_index, name, accesses, tau=tau, measure=measure
             )
         return result, started, time.perf_counter()
+
+    async def stream(
+        self,
+        request: Union[AccessRequest, str],
+        access: Optional[Sequence] = None,
+        chunk_size: int = 32,
+        limit: Optional[int] = None,
+        start_after: Optional[Sequence] = None,
+        tau: Optional[float] = None,
+        measure: bool = False,
+    ) -> AsyncIterator[List[Tuple]]:
+        """Stream one access request as bounded chunks off the worker pool.
+
+        The async face of the cursor API: the back end's ``open`` runs
+        on the thread pool, then each ``chunk_size`` page is pulled with
+        :meth:`~repro.engine.api.AnswerCursor.fetchmany` — also on the
+        pool, so the event loop never blocks on enumeration. Every pull
+        holds one unit of the server's semaphore, which is the same
+        backpressure bound batches obey: a slow consumer parks the
+        cursor between chunks (nothing is enumerated ahead of demand)
+        rather than buffering the answer. The underlying cursor is
+        closed when the generator finishes or is closed early.
+        """
+        if chunk_size < 1:
+            raise ParameterError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        request = as_request(
+            request,
+            access,
+            limit=limit,
+            start_after=start_after,
+            tau=tau,
+            measure=measure,
+        )
+        loop = asyncio.get_running_loop()
+        async with self._semaphore:
+            cursor = await loop.run_in_executor(
+                self._executor, self.backend.open, request
+            )
+        try:
+            while True:
+                async with self._semaphore:
+                    chunk = await loop.run_in_executor(
+                        self._executor, cursor.fetchmany, chunk_size
+                    )
+                if not chunk:
+                    break
+                yield chunk
+        finally:
+            cursor.close()
 
     async def serve_stream(
         self,

@@ -453,6 +453,33 @@ class RepresentationCache:
             self.snapshot_store.remove(entry.snapshot_label)
         return True
 
+    def invalidate_matching(
+        self,
+        predicate: Callable[[Hashable], bool],
+        drop_snapshot: bool = True,
+    ) -> int:
+        """Atomically drop every entry whose key satisfies ``predicate``.
+
+        The match and removal happen under one lock acquisition, so a
+        concurrent build or eviction can neither slip a matching key in
+        behind the sweep nor have the sweep iterate a stale key list —
+        the race a snapshot-then-invalidate loop over :meth:`keys` is
+        open to. Snapshot removal (like all snapshot I/O) runs outside
+        the lock. Returns the number of entries dropped.
+        """
+        with self._lock:
+            victims = [key for key in self._entries if predicate(key)]
+            removed: List[_Entry] = []
+            for key in victims:
+                entry = self._entries.pop(key)
+                self._total_cells -= entry.cells
+                removed.append(entry)
+        if drop_snapshot and self.snapshot_store is not None:
+            for entry in removed:
+                if entry.snapshot_label is not None:
+                    self.snapshot_store.remove(entry.snapshot_label)
+        return len(removed)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -19,10 +19,15 @@ Responsibilities
 * **Caching**: structures are built lazily on first request and kept in a
   :class:`~repro.engine.cache.RepresentationCache` keyed by
   ``(view name, τ)`` with LRU eviction under entry/cell bounds.
+* **Streaming**: :meth:`ViewServer.open` is the serving primitive — it
+  returns a lazy :class:`~repro.engine.api.AnswerCursor` honoring the
+  request's ``limit``/``start_after``/``measure`` knobs, so top-k and
+  paginated workloads enumerate only what they consume. ``answer``,
+  ``answer_batch`` and ``serve_stream`` are materializing wrappers.
 * **Batched serving**: a batch is deduplicated and sorted, one tree
   traversal per *distinct* access request; duplicates share the answer,
-  and per-request delay statistics come from
-  :func:`~repro.measure.delay.measure_enumeration`.
+  and per-request delay statistics follow
+  :func:`~repro.measure.delay.measure_enumeration` semantics.
 * **Concurrency**: the cache is internally synchronized and provides
   the single-build guarantee through
   :meth:`~repro.engine.cache.RepresentationCache.get_or_build` (at most
@@ -57,11 +62,16 @@ from repro.core.snapshot import (
 )
 from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database
+from repro.engine.api import (
+    AccessRequest,
+    AnswerCursor,
+    as_request,
+    open_cursor,
+)
 from repro.engine.cache import CacheStats, RepresentationCache
 from repro.engine.parallel import ParallelBuilder
 from repro.exceptions import ParameterError, SchemaError
-from repro.joins.generic_join import JoinCounter
-from repro.measure.delay import DelayStats, measure_enumeration
+from repro.measure.delay import DelayStats
 from repro.optimizer.min_delay import min_delay_cover
 from repro.optimizer.min_space import min_space_cover
 from repro.query.adorned import AdornedView
@@ -349,10 +359,14 @@ class ViewServer:
             return False
         # Scope the sweep to the popped generation: a concurrent
         # re-registration under the same name owns fresh keys that this
-        # unregister must not evict.
-        for key in self._cache.keys():
-            if key[0] == name and key[2] == registration.generation:
-                self._cache.invalidate(key)
+        # unregister must not evict. The sweep is atomic in the cache —
+        # a racing build of this generation either publishes before it
+        # (and is dropped here) or after (and is dropped by the orphan
+        # check in :meth:`representation`).
+        generation = registration.generation
+        self._cache.invalidate_matching(
+            lambda key: key[0] == name and key[2] == generation
+        )
         with self._lock:
             # Dead generations can never be queried again; drop their
             # build counters so a churning server does not leak them.
@@ -479,23 +493,58 @@ class ViewServer:
             return self._total_builds
 
     def invalidate(self, name: str) -> int:
-        """Drop all cached structures of one view; returns entries dropped."""
-        victims = [key for key in self._cache.keys() if key[0] == name]
-        dropped = 0
-        for key in victims:
-            if self._cache.invalidate(key):
-                dropped += 1
-        return dropped
+        """Drop all cached structures of one view; returns entries dropped.
+
+        The key match and removal are one atomic cache operation
+        (:meth:`~repro.engine.cache.RepresentationCache.invalidate_matching`),
+        so builds or evictions racing this call cannot make the sweep
+        iterate a stale key snapshot.
+        """
+        return self._cache.invalidate_matching(lambda key: key[0] == name)
 
     # ------------------------------------------------------------------
-    # serving
+    # serving (the cursor primitive and its materializing wrappers)
     # ------------------------------------------------------------------
-    def answer(self, name: str, access: Sequence) -> List[Tuple]:
-        """Answer one access request (convenience wrapper over the cache)."""
-        rows = self.representation(name).answer(access)
+    def open(
+        self,
+        request: Union[AccessRequest, str],
+        access: Optional[Sequence] = None,
+        limit: Optional[int] = None,
+        start_after: Optional[Sequence] = None,
+        tau: Optional[float] = None,
+        measure: bool = False,
+    ) -> AnswerCursor:
+        """Open a streaming cursor over one access request — the primitive.
+
+        Accepts a ready :class:`~repro.engine.api.AccessRequest` or the
+        ``open(name, access, ...)`` shorthand. Tuples stream lazily in
+        lexicographic head order; ``limit=k`` enumerates O(k) tuples,
+        ``start_after=token`` re-enters mid-traversal via the
+        structure's one-delay-unit seek (see
+        :meth:`~repro.core.structure.CompressedRepresentation.enumerate_from`),
+        and ``measure=True`` threads a
+        :class:`~repro.joins.generic_join.JoinCounter` so
+        :meth:`~repro.engine.api.AnswerCursor.stats` reports logical
+        delay. ``answer``/``answer_batch``/``serve_stream`` are thin
+        materializing wrappers over this.
+        """
+        request = as_request(
+            request,
+            access,
+            limit=limit,
+            start_after=start_after,
+            tau=tau,
+            measure=measure,
+        )
+        representation = self.representation(request.view, request.tau)
         with self._lock:
             self._requests_served += 1
-        return rows
+        return open_cursor(representation, request)
+
+    def answer(self, name: str, access: Sequence) -> List[Tuple]:
+        """Answer one access request fully (materializing wrapper)."""
+        with self.open(name, access) as cursor:
+            return cursor.fetchall()
 
     def answer_batch(
         self,
@@ -509,8 +558,10 @@ class ViewServer:
         The batch is deduplicated and traversed in sorted order (the tree
         is laid out lexicographically, so nearby bound values touch nearby
         dictionary entries); every duplicate request shares the answer
-        list computed by its representative. With ``measure=True`` each
-        traversal is timed through :func:`measure_enumeration`.
+        list computed by its representative. Each distinct access drains
+        one unbounded cursor; with ``measure=True`` the cursor's delay
+        accounting matches :func:`measure_enumeration` (the structure is
+        resolved once per batch, so cache accounting is unchanged).
         """
         batch = tuple(tuple(access) for access in accesses)
         representation = self.representation(name, tau)
@@ -518,22 +569,15 @@ class ViewServer:
         answers_by_access: Dict[Tuple, List[Tuple]] = {}
         stats: Dict[Tuple, DelayStats] = {}
         for access in unique:
+            cursor = open_cursor(
+                representation,
+                AccessRequest(
+                    view=name, access=access, tau=tau, measure=measure
+                ),
+            )
+            answers_by_access[access] = cursor.fetchall()
             if measure:
-                rows: List[Tuple] = []
-                counter = JoinCounter()
-
-                def collect(iterator):
-                    for row in iterator:
-                        rows.append(row)
-                        yield row
-
-                stats[access] = measure_enumeration(
-                    collect(representation.enumerate(access, counter=counter)),
-                    counter=counter,
-                )
-            else:
-                rows = representation.answer(access)
-            answers_by_access[access] = rows
+                stats[access] = cursor.stats()
         with self._lock:
             self._requests_served += len(batch)
         return BatchResult(

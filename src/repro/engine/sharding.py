@@ -55,6 +55,7 @@ from typing import (
 from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database
 from repro.database.relation import Relation
+from repro.engine.api import AccessRequest, AnswerCursor, as_request
 from repro.engine.cache import CacheStats
 from repro.engine.parallel import ParallelBuilder
 from repro.engine.server import (
@@ -218,7 +219,7 @@ def merge_delay_stats(parts: Sequence[DelayStats]) -> DelayStats:
 class ShardedViewServer:
     """N hash-partitioned :class:`ViewServer` back ends behind one facade.
 
-    Mirrors the ``ViewServer`` serving surface (``register`` /
+    Mirrors the ``ViewServer`` serving surface (``register`` / ``open`` /
     ``answer`` / ``answer_batch`` / ``serve_stream`` / ``total_builds`` /
     ``cache_stats``) so callers — including
     :class:`~repro.engine.async_server.AsyncViewServer`, which fans the
@@ -602,10 +603,72 @@ class ShardedViewServer:
     # ------------------------------------------------------------------
     # serving (sequential executor; the async front end parallelizes)
     # ------------------------------------------------------------------
+    def open(
+        self,
+        request: Union[AccessRequest, str],
+        access: Optional[Sequence] = None,
+        limit: Optional[int] = None,
+        start_after: Optional[Sequence] = None,
+        tau: Optional[float] = None,
+        measure: bool = False,
+    ) -> AnswerCursor:
+        """Open a streaming cursor through the routing layer.
+
+        Routed and pinned views return the owning shard's cursor
+        directly. Scatter views open one cursor per shard and merge them
+        lazily with a k-way heap (per-shard answers are disjoint and
+        sorted, so the merged stream is the full answer in lexicographic
+        head order) — the materialize-then-merge path is gone from the
+        cursor plane: with ``limit=k`` each shard enumerates at most k
+        tuples (the shared limit caps every sub-cursor, and the heap
+        pulls lazily), instead of its full per-shard answer. Resume
+        tokens distribute as-is: every shard seeks past the token within
+        its own slice. The per-shard sub-cursors are exposed as the
+        merged cursor's ``parts`` (shard order), whose ``stats()``
+        bound the per-shard enumeration work.
+        """
+        request = as_request(
+            request,
+            access,
+            limit=limit,
+            start_after=start_after,
+            tau=tau,
+            measure=measure,
+        )
+        mode, position = self.route(request.view)
+        if mode != SCATTER:
+            shard = 0
+            if mode == ROUTED:
+                if position >= len(request.access):
+                    raise SchemaError(
+                        f"view {request.view!r}: access tuple "
+                        f"{request.access!r} too short for bound position "
+                        f"{position}"
+                    )
+                shard = (
+                    self._hash_fn(request.access[position]) % self.n_shards
+                )
+            cursor = self.shards[shard].open(request)
+        else:
+            parts: List[AnswerCursor] = []
+            try:
+                for server in self.shards:
+                    parts.append(server.open(request))
+            except BaseException:
+                for part in parts:
+                    part.close()
+                raise
+            cursor = AnswerCursor(request, heapq.merge(*parts), parts=parts)
+        with self._served_lock:
+            # Facade-level count: one request, however many shards the
+            # scatter fan-out touched.
+            self._requests_served += 1
+        return cursor
+
     def answer(self, name: str, access: Sequence) -> List[Tuple]:
         """Answer one access request through the routing layer."""
-        result = self.answer_batch(name, [access], measure=False)
-        return list(result.answers[0])
+        with self.open(name, access) as cursor:
+            return cursor.fetchall()
 
     def answer_batch(
         self,

@@ -104,6 +104,50 @@ def request_stream(
     return stream
 
 
+def topk_requests(
+    view: AdornedView,
+    db: Database,
+    n_requests: int,
+    seed: int = 0,
+    skew: float = 1.0,
+    limits: Sequence[Optional[int]] = (1, 5, 25),
+    miss_rate: float = 0.0,
+    name: Optional[str] = None,
+    measure: bool = False,
+) -> List:
+    """A seeded top-k request mix: Zipf-skewed accesses with cursor limits.
+
+    The cursor-plane counterpart of :func:`request_stream`: each access
+    tuple is wrapped in an :class:`~repro.engine.api.AccessRequest`
+    whose ``limit`` is drawn uniformly from ``limits`` (``None`` entries
+    mean "the full answer", letting one mix interleave top-k and
+    unbounded requests). ``name`` overrides the serving name the
+    requests refer to (default: the view's own name, which matches a
+    ``register(view)`` without an explicit name).
+    """
+    from repro.engine.api import AccessRequest
+
+    if not limits:
+        raise ParameterError("limits must name at least one page size")
+    for limit in limits:
+        if limit is not None and limit < 0:
+            raise ParameterError(f"limits must be >= 0, got {limit}")
+    accesses = request_stream(
+        view, db, n_requests, seed=seed, skew=skew, miss_rate=miss_rate
+    )
+    rng = random.Random(seed + 0x7BC)
+    view_name = name if name is not None else view.name
+    return [
+        AccessRequest(
+            view=view_name,
+            access=access,
+            limit=rng.choice(list(limits)),
+            measure=measure,
+        )
+        for access in accesses
+    ]
+
+
 def batched(
     stream: Iterable[Sequence], batch_size: int
 ) -> Iterator[List[Tuple]]:

@@ -109,6 +109,15 @@ class TestWorkflowSchema:
         ]
         assert any("make bench-warm" in line for line in run_lines)
 
+    def test_bench_smoke_job_runs_the_streaming_gate(self, workflow):
+        # Top-k cursor serving is a hard gate too: if limit=k cursors
+        # stop beating full materialization >= 5x, CI fails.
+        run_lines = [
+            step.get("run", "")
+            for step in workflow["jobs"]["bench-smoke"]["steps"]
+        ]
+        assert any("make bench-stream" in line for line in run_lines)
+
     def test_every_setup_python_step_caches_pip(self, workflow):
         for name, job in workflow["jobs"].items():
             setups = [
@@ -135,6 +144,7 @@ class TestMakefileContract:
             "test",
             "bench-smoke",
             "bench-warm",
+            "bench-stream",
         } <= make_targets
 
     def test_bench_smoke_writes_and_checks_the_report(self):
@@ -149,6 +159,15 @@ class TestMakefileContract:
         target = text[text.index("bench-warm:"):]
         target = target[: target.index("\n\n")]
         assert "bench_snapshot_warmstart.py" in target
+        assert "REPRO_BENCH_SMOKE=1" in target
+
+    def test_bench_stream_runs_the_streaming_benchmark(self):
+        # `make bench-stream` and the CI step must keep pointing at the
+        # benchmark whose assertions gate top-k cursor serving.
+        text = MAKEFILE.read_text()
+        target = text[text.index("bench-stream:"):]
+        target = target[: target.index("\n\n")]
+        assert "bench_streaming_topk.py" in target
         assert "REPRO_BENCH_SMOKE=1" in target
 
     def test_ruff_is_configured(self):

@@ -1,0 +1,208 @@
+"""Resume-token semantics across every representation class and the shards.
+
+The cross-class contract: for any access, ``enumerate()`` equals any
+prefix concatenated with ``enumerate_after(access, last-of-prefix)`` —
+at *every* split point — and paginating through resume tokens
+reconstructs the independent hash-join oracle's answer exactly. Empty
+pages and past-end tokens are legal (they yield nothing, never raise).
+"""
+
+import pytest
+
+from oracle import oracle_accesses, oracle_answer
+from repro.core.decomposed import DecomposedRepresentation
+from repro.core.dynamic import DynamicRepresentation
+from repro.core.structure import CompressedRepresentation
+from repro.engine.api import AccessRequest, open_cursor
+from repro.engine.sharding import ShardedViewServer
+from repro.workloads.generators import path_database, triangle_database
+from repro.workloads.queries import path_view, triangle_view
+
+PAST_END = (10**9, 10**9, 10**9, 10**9)
+
+
+def compressed_case():
+    view = triangle_view("bff")
+    db = triangle_database(16, 70, seed=21)
+    return view, db, CompressedRepresentation(view, db, tau=6.0)
+
+
+def decomposed_case():
+    view = path_view(4)
+    db = path_database(4, 40, 9, seed=22)
+    return view, db, DecomposedRepresentation(view, db)
+
+
+def dynamic_clean_case():
+    view = triangle_view("bbf")
+    db = triangle_database(14, 55, seed=23)
+    return view, db, DynamicRepresentation(
+        view, db, tau=4.0, rebuild_fraction=float("inf")
+    )
+
+
+def dynamic_dirty_case():
+    view, db, dynamic = dynamic_clean_case()
+    dynamic.insert("R", (0, 1))
+    dynamic.insert("S", (1, 2))
+    dynamic.insert("T", (2, 0))
+    assert dynamic.is_dirty
+    return view, db, dynamic
+
+
+CASES = {
+    "compressed": compressed_case,
+    "decomposed": decomposed_case,
+    "dynamic-clean": dynamic_clean_case,
+    "dynamic-dirty": dynamic_dirty_case,
+}
+
+
+def productive(representation, view, db, limit=4):
+    accesses = []
+    for access in oracle_accesses(view, db, limit=limit + 4):
+        if len(list(representation.enumerate(access))) > 1:
+            accesses.append(access)
+        if len(accesses) >= limit:
+            break
+    return accesses
+
+
+@pytest.fixture(params=sorted(CASES), name="case")
+def case_fixture(request):
+    view, db, representation = CASES[request.param]()
+    return request.param, view, db, representation
+
+
+class TestCrossClassParity:
+    def test_supports_resume_is_uniform(self, case):
+        _, _, _, representation = case
+        assert representation.supports_resume is True
+        assert hasattr(representation, "enumerate_from")
+        assert hasattr(representation, "enumerate_after")
+
+    def test_enumerate_after_resumes_at_every_split(self, case):
+        name, view, db, representation = case
+        for access in productive(representation, view, db):
+            full = list(representation.enumerate(access))
+            for split in range(len(full)):
+                resumed = list(
+                    representation.enumerate_after(access, full[split])
+                )
+                assert resumed == full[split + 1:], (name, access, split)
+
+    def test_enumerate_from_is_inclusive(self, case):
+        name, view, db, representation = case
+        for access in productive(representation, view, db):
+            full = list(representation.enumerate(access))
+            for split in range(len(full)):
+                resumed = list(
+                    representation.enumerate_from(access, full[split])
+                )
+                assert resumed == full[split:], (name, access, split)
+
+    def test_pagination_reconstructs_the_oracle(self, case):
+        name, view, db, representation = case
+        if name == "dynamic-dirty":
+            oracle_db = representation.current_database()
+        else:
+            oracle_db = db
+        for access in productive(representation, view, db):
+            pages, token = [], None
+            for _ in range(1000):
+                cursor = open_cursor(
+                    representation,
+                    AccessRequest(
+                        view=view.name,
+                        access=access,
+                        limit=2,
+                        start_after=token,
+                    ),
+                )
+                rows = cursor.fetchall()
+                token = cursor.resume_token()
+                pages.extend(rows)
+                if cursor.exhausted or not rows:
+                    break
+            # Decomposed enumeration order is the bag nesting, not head
+            # order; concatenated pages equal the enumeration, and
+            # sorted they equal the oracle for every class.
+            assert pages == list(representation.enumerate(access))
+            assert sorted(pages) == oracle_answer(view, oracle_db, access)
+
+    def test_past_end_token_yields_an_empty_page(self, case):
+        name, view, db, representation = case
+        for access in productive(representation, view, db, limit=2):
+            width = len(next(iter(representation.enumerate(access))))
+            token = PAST_END[:width]
+            assert list(representation.enumerate_after(access, token)) == []
+            assert list(representation.enumerate_from(access, token)) == []
+
+    def test_final_token_yields_an_empty_page(self, case):
+        name, view, db, representation = case
+        for access in productive(representation, view, db, limit=2):
+            full = list(representation.enumerate(access))
+            cursor = open_cursor(
+                representation,
+                AccessRequest(
+                    view=view.name, access=access, start_after=full[-1]
+                ),
+            )
+            assert cursor.fetchall() == []
+            assert cursor.exhausted
+            # An empty page round-trips its token unchanged.
+            assert cursor.resume_token() == full[-1]
+
+    def test_miss_access_resumes_empty(self, case):
+        name, view, db, representation = case
+        n_bound = sum(1 for ch in view.pattern if ch == "b")
+        miss = tuple(-7 for _ in range(n_bound))
+        assert list(representation.enumerate(miss)) == []
+        width = len(view.pattern) - n_bound
+        token = tuple(0 for _ in range(width))
+        assert list(representation.enumerate_after(miss, token)) == []
+
+
+class TestShardedResume:
+    @pytest.fixture(scope="class")
+    def sharded(self):
+        view = triangle_view("bff")
+        db = triangle_database(18, 90, seed=24)
+        server = ShardedViewServer(db, 4, {"R": 0, "T": 1})
+        scatter = ShardedViewServer(db, 4, {"S": 0})
+        name = server.register(view, tau=6.0)
+        scatter_name = scatter.register(view, tau=6.0)
+        assert server.route(name)[0] == "routed"
+        assert scatter.route(scatter_name)[0] == "scatter"
+        return view, db, (server, name), (scatter, scatter_name)
+
+    @pytest.mark.parametrize("which", ["routed", "scatter"])
+    def test_paginated_merge_equals_oracle(self, sharded, which):
+        view, db, routed, scatter = sharded
+        server, name = routed if which == "routed" else scatter
+        for access in oracle_accesses(view, db, limit=5):
+            expected = oracle_answer(view, db, access)
+            pages, token = [], None
+            for _ in range(1000):
+                with server.open(
+                    name, access, limit=3, start_after=token
+                ) as cursor:
+                    rows = cursor.fetchall()
+                    token = cursor.resume_token()
+                    exhausted = cursor.exhausted
+                pages.extend(rows)
+                if exhausted or not rows:
+                    break
+            assert pages == expected, (which, access)
+
+    def test_scatter_resume_skips_every_shards_prefix(self, sharded):
+        view, db, _, (server, name) = sharded
+        access = max(
+            oracle_accesses(view, db, limit=5),
+            key=lambda a: len(oracle_answer(view, db, a)),
+        )
+        full = oracle_answer(view, db, access)
+        assert len(full) >= 3
+        middle = full[len(full) // 2]
+        with server.open(name, access, start_after=middle) as cursor:
+            assert cursor.fetchall() == full[full.index(middle) + 1:]
