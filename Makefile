@@ -3,8 +3,14 @@
 
 PYTHON ?= python
 SMOKE_REPORT ?= .bench/smoke.json
+BENCH_DIR ?= .bench
+TRAJECTORY ?= .bench/trajectory.json
+# One record per bench gate: engine-cache, async-sharded, warm-start,
+# streaming-topk, shared-scan-batch. bench-trend fails if fewer report.
+GATE_COUNT ?= 5
 
-.PHONY: test collect lint format bench-smoke bench-warm bench-stream bench
+.PHONY: test collect lint format bench-smoke bench-warm bench-stream \
+	bench-batch bench-trend bench
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -42,6 +48,20 @@ bench-warm:
 bench-stream:
 	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_streaming_topk.py -q
+
+# Shared-scan gate: fails unless a skewed prefix-sharing batch serves
+# >= 3x faster through open_batch than request-at-a-time cursors (and
+# batch answers stay oracle-identical on every backend).
+bench-batch:
+	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_shared_scan.py -q
+
+# Perf-trajectory gate: folds every gate's recorded speedup into one
+# $(TRAJECTORY) artifact and fails if any gate fell below its pinned
+# floor or fewer than $(GATE_COUNT) gates reported. Run after the other
+# bench targets (they write the per-gate records).
+bench-trend:
+	$(PYTHON) benchmarks/check_trend.py $(BENCH_DIR) $(TRAJECTORY) $(GATE_COUNT)
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q

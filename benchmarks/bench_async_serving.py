@@ -35,7 +35,7 @@ import time
 
 import pytest
 
-from bench_reporting import bench_emit, bench_emit_table
+from bench_reporting import bench_emit, bench_emit_table, bench_record_gate
 from repro.engine import AsyncViewServer, ShardedViewServer, ViewServer
 from repro.joins.hash_join import evaluate_by_hash_join
 from repro.query.parser import parse_view
@@ -202,6 +202,17 @@ def test_async_sharded_throughput(benchmark, workload):
         f"exactly {len(views) * N_SHARDS} resident builds and zero "
         "evictions (async-1-shard merely coalesces concurrent rebuilds); "
         f"speedup must be >= {MIN_SPEEDUP}x outside smoke mode."
+    )
+    # Smoke mode keeps only the structural assertions, so the recorded
+    # floor is 0.0 there: the trajectory gate is exactly as strict as
+    # this gate itself.
+    bench_record_gate(
+        "async-sharded",
+        speedup,
+        MIN_SPEEDUP if not SMOKE else 0.0,
+        requests=requests,
+        shards=N_SHARDS,
+        smoke=SMOKE,
     )
     if not SMOKE:
         assert speedup >= MIN_SPEEDUP, f"sharded speedup only {speedup:.1f}x"

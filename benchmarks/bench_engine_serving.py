@@ -22,7 +22,7 @@ import time
 
 import pytest
 
-from bench_reporting import bench_emit, bench_emit_table
+from bench_reporting import bench_emit, bench_emit_table, bench_record_gate
 from oracle import oracle_answer
 from repro.core.structure import CompressedRepresentation
 from repro.engine import ViewServer
@@ -82,6 +82,13 @@ def test_cached_vs_rebuild_speedup(benchmark, workload):
         f"shape check: one build amortized over {report.requests} requests "
         f"({report.shared_requests} answered by batch sharing); "
         "speedup must be >= 5x."
+    )
+    bench_record_gate(
+        "engine-cache",
+        speedup,
+        5.0,
+        requests=len(stream),
+        builds=report.builds,
     )
     assert report.outputs == rebuild_outputs
     assert report.builds == 1

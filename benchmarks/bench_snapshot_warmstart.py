@@ -34,7 +34,7 @@ import time
 
 import pytest
 
-from bench_reporting import bench_emit, bench_emit_table
+from bench_reporting import bench_emit, bench_emit_table, bench_record_gate
 from oracle import oracle_answer
 from repro import ShardedViewServer, ViewServer, parse_view
 from repro.workloads import request_stream, triangle_database, triangle_view
@@ -118,6 +118,9 @@ def test_warm_start_vs_cold_build(benchmark, workload, tmp_path_factory):
         f"shape check: restart decoded {len(views)} snapshots, rebuilt "
         f"nothing, then served {outputs} tuples identically; "
         "warm start must be >= 5x faster than the cold build."
+    )
+    bench_record_gate(
+        "warm-start", speedup, 5.0, views=len(views), outputs=outputs
     )
     assert speedup >= 5.0, f"warm start speedup only {speedup:.1f}x"
 

@@ -28,7 +28,7 @@ import time
 
 import pytest
 
-from bench_reporting import bench_emit, bench_emit_table
+from bench_reporting import bench_emit, bench_emit_table, bench_record_gate
 from oracle import oracle_answer
 from repro import ShardedViewServer, ViewServer
 from repro.workloads.scenarios import coauthor_database, coauthor_view
@@ -125,6 +125,13 @@ def test_topk_cursor_vs_full_materialization(benchmark, workload):
         f"{full_outputs} tuples and spent {topk_steps}/{full_steps} "
         f"logical steps; the cursor path must be >= {MIN_SPEEDUP:.0f}x "
         "faster than full materialization."
+    )
+    bench_record_gate(
+        "streaming-topk",
+        speedup,
+        MIN_SPEEDUP,
+        requests=len(heavy),
+        k=K,
     )
     assert topk_outputs == K * len(heavy)
     assert topk_steps * 5 <= full_steps

@@ -1,0 +1,126 @@
+"""Fold the per-gate speedup records into one perf-trajectory artifact.
+
+Every bench gate (``make bench-smoke`` / ``bench-warm`` / ``bench-stream``
+/ ``bench-batch``) records its measured speedup and the floor it enforced
+as a ``gate-<name>.json`` under ``.bench/`` (see
+``bench_reporting.bench_record_gate``). This checker collects them into
+``.bench/trajectory.json`` — a stable, diffable artifact CI uploads next
+to the smoke report — and fails the ``make bench-trend`` target when:
+
+* fewer gates reported than expected (a silently skipped gate is a
+  regression in the harness, not a pass),
+* a record is missing its ``gate``/``speedup``/``threshold`` fields,
+* any gate's measured speedup fell below the floor it pinned.
+
+The artifact schema (pinned by ``tests/test_ci_pipeline.py``)::
+
+    {
+      "schema": 1,
+      "commit": "<GITHUB_SHA / git HEAD / unknown>",
+      "gates": [
+        {"gate": "...", "speedup": 12.3, "threshold": 5.0, ...},
+        ...
+      ]
+    }
+
+Usage: ``python benchmarks/check_trend.py BENCH_DIR OUT_JSON [MIN_GATES]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+REQUIRED_FIELDS = ("gate", "speedup", "threshold")
+
+
+def resolve_commit() -> str:
+    """The commit the trajectory belongs to (CI env, then git, then unknown)."""
+    commit = os.environ.get("GITHUB_SHA")
+    if commit:
+        return commit
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        # SubprocessError covers TimeoutExpired: a hung git must degrade
+        # to "unknown", not crash the gate before the artifact is written.
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def collect_gates(bench_dir: str):
+    """Parse every ``gate-*.json`` record; returns (gates, problems)."""
+    gates, problems = [], []
+    for path in sorted(Path(bench_dir).glob("gate-*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            problems.append(f"{path.name}: unreadable ({error})")
+            continue
+        missing = [
+            field
+            for field in REQUIRED_FIELDS
+            if not isinstance(record, dict) or field not in record
+        ]
+        if missing:
+            problems.append(f"{path.name}: missing fields {missing}")
+            continue
+        gates.append(record)
+    return gates, problems
+
+
+def check(bench_dir: str, out_path: str, min_gates: int = 1) -> int:
+    gates, problems = collect_gates(bench_dir)
+    trajectory = {
+        "schema": SCHEMA_VERSION,
+        "commit": resolve_commit(),
+        "gates": sorted(gates, key=lambda g: str(g["gate"])),
+    }
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(trajectory, indent=2, sort_keys=True))
+    for problem in problems:
+        print(f"bench-trend: {problem}")
+    if len(gates) < min_gates:
+        print(
+            f"bench-trend: only {len(gates)} gate records in {bench_dir!r}, "
+            f"expected >= {min_gates} — did a bench gate silently not run?"
+        )
+        return 1
+    failures = [
+        gate
+        for gate in gates
+        if float(gate["speedup"]) < float(gate["threshold"])
+    ]
+    for gate in gates:
+        verdict = "FAIL" if gate in failures else "ok"
+        print(
+            f"bench-trend: {gate['gate']}: {float(gate['speedup']):.1f}x "
+            f"(floor {float(gate['threshold']):.1f}x) {verdict}"
+        )
+    if problems or failures:
+        return 1
+    print(
+        f"bench-trend: {len(gates)} gates above their floors; "
+        f"trajectory written to {out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 3:
+        print("usage: check_trend.py BENCH_DIR OUT_JSON [MIN_GATES]")
+        sys.exit(2)
+    minimum = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    sys.exit(check(sys.argv[1], sys.argv[2], minimum))

@@ -78,6 +78,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
+import time
 from typing import Dict, List, Tuple
 
 from pathlib import Path
@@ -224,6 +225,17 @@ def _serve(args) -> int:
         args.workers is not None or args.max_pending is not None
     ):
         raise ReproError("--workers/--max-pending are async knobs; add --async")
+    if args.per_request and args.use_async:
+        raise ReproError("--per-request is a synchronous baseline; drop --async")
+    if args.per_request and (
+        args.limit is not None
+        or args.page_size is not None
+        or args.resume is not None
+    ):
+        raise ReproError(
+            "--per-request replays the stream unbatched; it does not "
+            "compose with --limit/--page-size/--resume"
+        )
     cursor_mode = (
         args.limit is not None
         or args.page_size is not None
@@ -283,6 +295,8 @@ def _serve(args) -> int:
             f"{sorted(backend.shard_key)} ({mode}{detail})"
         )
     try:
+        if args.per_request:
+            return _serve_per_request(backend, name, accesses)
         if cursor_mode:
             return _serve_cursors(backend, name, accesses, args)
         if args.use_async:
@@ -322,6 +336,27 @@ def _serve(args) -> int:
             )
     finally:
         backend.close()
+    return 0
+
+
+def _serve_per_request(backend, name: str, accesses: List[Tuple]) -> int:
+    """The unbatched baseline: one cursor per request, no shared scans.
+
+    Exists to make the batched default's advantage observable from the
+    command line — replay the same requests file with and without
+    ``--per-request`` and compare the wall clocks.
+    """
+    started = time.perf_counter()
+    total = 0
+    for access in accesses:
+        with backend.open(name, access) as cursor:
+            total += len(cursor.fetchall())
+    wall = time.perf_counter() - started
+    print(
+        f"per-request baseline: {len(accesses)} cursors "
+        f"({len(set(accesses))} distinct, nothing shared), "
+        f"{total} tuples in {wall * 1000:.1f} ms"
+    )
     return 0
 
 
@@ -606,6 +641,12 @@ def main(argv=None) -> int:
         type=int,
         default=None,
         help="LRU cell budget (per shard when sharded)",
+    )
+    serve.add_argument(
+        "--per-request",
+        action="store_true",
+        help="baseline mode: one cursor per request, no batching or "
+        "shared scans (compare wall clock against the default)",
     )
     serve.add_argument(
         "--async",

@@ -86,6 +86,11 @@ class DecomposedRepresentation:
     #: ``enumerate_after``), in the decomposition's own enumeration order.
     supports_resume = True
 
+    #: Grouped enumeration is supported (:meth:`shared_enumerate`): a
+    #: batch of access requests shares per-bag sub-enumerations through
+    #: one scan-scoped memo instead of repeating them per request.
+    supports_shared_scan = True
+
     def __init__(
         self,
         view: AdornedView,
@@ -471,6 +476,99 @@ class DecomposedRepresentation:
         return resume_strictly_after(
             self.enumerate_from(access, last, counter=counter), tuple(last)
         )
+
+    # ------------------------------------------------------------------
+    # shared-scan batch execution (grouped Algorithm 5)
+    # ------------------------------------------------------------------
+    def shared_enumerate(
+        self,
+        accesses: Sequence[Sequence],
+        starts: Optional[Sequence[Optional[Sequence]]] = None,
+        counters: Optional[Sequence[Optional[JoinCounter]]] = None,
+        cache=None,
+        alive: Optional[List[bool]] = None,
+    ) -> Iterator[Tuple[int, Tuple]]:
+        """Answer a group of access requests sharing per-bag enumerations.
+
+        The decomposition's analogue of the Theorem 1 merged descent:
+        Algorithm 5 nests per-bag enumerations, and a bag's access tuple
+        is determined by the ancestor valuation — so access tuples that
+        agree on a bound prefix keep asking the bags the same
+        sub-requests. One scan-scoped memo of per-``(bag, bag access)``
+        answer lists is shared across the whole group (and across the
+        recursion's own re-entries, which already re-enumerate bags once
+        per outer valuation): each distinct bag access is enumerated
+        once per scan. Yields ``(slot, values)`` events; each slot's own
+        event subsequence equals its :meth:`enumerate` stream
+        (:meth:`enumerate_from` when ``starts`` names a seek point —
+        seeked slots bypass the memo, keeping their tight-prefix seek).
+        Counters observe a memoized bag access only on its first
+        enumeration. ``cache`` is accepted for signature compatibility
+        with the Theorem 1 scan (trie descents are per bag here);
+        ``alive`` flags prune a slot's remaining events mid-scan.
+        """
+        if alive is None:
+            alive = [True] * len(accesses)
+        memo: Dict[Tuple, List[Tuple]] = {}
+        for index, access in enumerate(accesses):
+            if not alive[index]:
+                continue
+            start = starts[index] if starts is not None else None
+            counter = counters[index] if counters is not None else None
+            if start is not None:
+                iterator = self.enumerate_from(access, start, counter=counter)
+            else:
+                iterator = self._memo_enumerate(access, memo, counter)
+            for row in iterator:
+                yield (index, row)
+                if not alive[index]:
+                    break
+
+    def _memo_enumerate(
+        self,
+        access: Sequence,
+        memo: Dict[Tuple, List[Tuple]],
+        counter: Optional[JoinCounter],
+    ) -> Iterator[Tuple]:
+        """:meth:`enumerate` with bag answers memoized across a scan."""
+        access = tuple(access)
+        bound_order = self.view.bound_variables
+        if len(access) != len(bound_order):
+            raise QueryError(
+                f"access tuple has {len(access)} values, expected "
+                f"{len(bound_order)}"
+            )
+        for relation, positions in self._root_checks:
+            if counter is not None:
+                counter.steps += 1
+            if tuple(access[p] for p in positions) not in relation:
+                return
+        assignment: Dict[Variable, object] = dict(zip(bound_order, access))
+        free_order = self.view.free_variables
+        bags = self._preorder
+
+        def bag_rows(bag: _BagStructure, bag_access: Tuple) -> List[Tuple]:
+            key = (bag.node, bag_access)
+            rows = memo.get(key)
+            if rows is None:
+                rows = list(
+                    bag.representation.enumerate(bag_access, counter=counter)
+                )
+                memo[key] = rows
+            return rows
+
+        def recurse(position: int) -> Iterator[Tuple]:
+            if position == len(bags):
+                yield tuple(assignment[v] for v in free_order)
+                return
+            bag = self._bags[bags[position]]
+            bag_access = tuple(assignment[v] for v in bag.bound_vars)
+            for values in bag_rows(bag, bag_access):
+                for var, value in zip(bag.free_vars, values):
+                    assignment[var] = value
+                yield from recurse(position + 1)
+
+        yield from recurse(0)
 
     def answer(self, access: Sequence) -> List[Tuple]:
         return list(self.enumerate(access))

@@ -29,10 +29,10 @@ from repro.core.balanced_tree import (
     TreeNode,
     build_delay_balanced_tree,
 )
-from repro.core.context import ViewContext
+from repro.core.context import SubtrieCache, ViewContext
 from repro.core.cost import CostModel
 from repro.core.dictionary import HeavyDictionary, build_dictionary
-from repro.core.intervals import FBox
+from repro.core.intervals import FBox, FInterval
 from repro.database.catalog import Database
 from repro.exceptions import ParameterError, QueryError, SnapshotError
 from repro.hypergraph.covers import max_slack_cover, slack
@@ -72,6 +72,24 @@ def resume_strictly_after(iterator, last: Tuple) -> Iterator[Tuple]:
     yield from iterator
 
 
+class ScanSlot:
+    """One access request's lane through a shared descent.
+
+    ``slot`` is the caller's index into the ``accesses`` it passed to
+    ``shared_enumerate`` — emitted events carry it back. ``start`` is the
+    ceiled index-space seek point (``None`` for a from-the-start lane).
+    """
+
+    __slots__ = ("slot", "access", "subtries", "start", "counter")
+
+    def __init__(self, slot, access, subtries, start, counter):
+        self.slot = slot
+        self.access = access
+        self.subtries = subtries
+        self.start = start
+        self.counter = counter
+
+
 class CompressedRepresentation:
     """Space/delay-tunable compressed representation of a full adorned view.
 
@@ -98,6 +116,12 @@ class CompressedRepresentation:
     #: ``enumerate_after`` seek to a start point instead of rescanning.
     #: The cursor layer (:mod:`repro.engine.api`) keys off this flag.
     supports_resume = True
+
+    #: The class supports grouped enumeration (:meth:`shared_enumerate`):
+    #: one merged descent answers a whole batch of access requests. The
+    #: shared-scan layer (:mod:`repro.engine.shared_scan`) keys off this
+    #: flag and falls back to sequential per-request streams without it.
+    supports_shared_scan = True
 
     def __init__(
         self,
@@ -472,6 +496,134 @@ class CompressedRepresentation:
         return resume_strictly_after(
             self.enumerate_from(access, last, counter=counter), tuple(last)
         )
+
+    # ------------------------------------------------------------------
+    # shared-scan batch execution (one descent, many access requests)
+    # ------------------------------------------------------------------
+    def shared_enumerate(
+        self,
+        accesses: Sequence[Sequence],
+        starts: Optional[Sequence[Optional[Sequence]]] = None,
+        counters: Optional[Sequence[Optional[JoinCounter]]] = None,
+        cache: Optional[SubtrieCache] = None,
+        alive: Optional[List[bool]] = None,
+    ) -> Iterator[Tuple[int, Tuple]]:
+        """Answer a group of access requests in ONE merged tree descent.
+
+        Yields ``(slot, values)`` events, where ``slot`` indexes
+        ``accesses``. Each slot's own event subsequence is exactly its
+        :meth:`enumerate` stream (or :meth:`enumerate_from` under a
+        ``starts`` entry), including per-slot counter steps — only the
+        interleaving between slots is scan-order. The point is sharing:
+        the tree is walked once for the whole group (a node is visited
+        iff *some* slot still descends through it), the β valuation of a
+        heavy node is decoded once for every slot probing it, light-node
+        box decompositions are resolved once per node, and per-atom trie
+        descents are deduplicated across prefix-sharing accesses through
+        ``cache`` (one :class:`~repro.core.context.SubtrieCache` per
+        scan). Dictionary probes stay per ``(node, access)`` — they are
+        what distinguishes the slots' answers.
+
+        ``alive`` is an optional mutable flag list (aligned with
+        ``accesses``) the caller may flip to ``False`` mid-scan to prune
+        a slot — a slot's events stop at the next node boundary, and a
+        subtree no live slot descends into is never visited. Duplicate
+        accesses are NOT deduplicated here (each slot gets its own
+        events); group them before calling, as the engine layer does.
+        """
+        if cache is None:
+            cache = SubtrieCache()
+        if alive is None:
+            alive = [True] * len(accesses)
+        slots: List[ScanSlot] = []
+        for index, access in enumerate(accesses):
+            access = tuple(access)
+            if len(access) != len(self.ctx.bound_order):
+                raise QueryError(
+                    f"access tuple has {len(access)} values, expected "
+                    f"{len(self.ctx.bound_order)}"
+                )
+            start = None
+            start_values = starts[index] if starts is not None else None
+            if start_values is not None:
+                start = self._ceil_point(start_values)
+                if start is None:
+                    continue  # seek past the top of the tuple space
+            subtries = self.ctx.subtries_shared(access, cache)
+            if any(node is None for node in subtries):
+                continue  # some relation has no tuple matching the access
+            counter = counters[index] if counters is not None else None
+            slots.append(ScanSlot(index, access, subtries, start, counter))
+        if not slots or self.tree.root is None:
+            return
+        yield from self._shared_eval(self.tree.root, slots, alive)
+
+    def _shared_eval(
+        self,
+        node: TreeNode,
+        slots: List[ScanSlot],
+        alive: List[bool],
+    ) -> Iterator[Tuple[int, Tuple]]:
+        heavy: List[ScanSlot] = []
+        light_full: List[ScanSlot] = []
+        light_clipped: List[ScanSlot] = []
+        for s in slots:
+            if not alive[s.slot]:
+                continue
+            if s.start is not None and node.interval.high < s.start:
+                continue  # this slot's seek point is past the subtree
+            if s.counter is not None:
+                s.counter.steps += 1  # dictionary probe (per slot)
+            bit = self.dictionary.get(node.id, s.access)
+            if bit == 0:
+                continue
+            if bit == 1 and not node.is_leaf:
+                heavy.append(s)
+            elif s.start is not None and node.interval.low < s.start:
+                light_clipped.append(s)
+            else:
+                light_full.append(s)
+        if light_full:
+            # ⊥ slots evaluate the whole interval here; its (cached) box
+            # decomposition is resolved once for all of them.
+            for box in self.cost_model.boxes_of(node.interval):
+                for s in light_full:
+                    if not alive[s.slot]:
+                        continue
+                    for row in self._join_box(
+                        s.access, s.subtries, box, s.counter
+                    ):
+                        yield (s.slot, row)
+        for s in light_clipped:
+            # Seek-straddling ⊥ slots clip to their own start point,
+            # exactly as the single-access resume path does.
+            clipped = FInterval(
+                max(node.interval.low, s.start), node.interval.high
+            )
+            for box in clipped.box_decomposition(self.ctx.space):
+                if not alive[s.slot]:
+                    break
+                for row in self._join_box(s.access, s.subtries, box, s.counter):
+                    yield (s.slot, row)
+        if not heavy:
+            return
+        if node.left is not None:
+            yield from self._shared_eval(node.left, heavy, alive)
+        beta_values = None
+        for s in heavy:
+            if not alive[s.slot]:
+                continue
+            if s.start is not None and node.beta < s.start:
+                continue
+            if beta_values is None:
+                # Decoded once per node, shared by every probing slot.
+                beta_values = self.ctx.space.values(node.beta)
+            if s.counter is not None:
+                s.counter.steps += len(self.ctx.atoms)
+            if self.ctx.beta_matches(s.access, beta_values):
+                yield (s.slot, beta_values)
+        if node.right is not None:
+            yield from self._shared_eval(node.right, heavy, alive)
 
     def enumerate_interval(
         self,

@@ -44,6 +44,11 @@ from repro.engine.server import (
     ServingReport,
     ViewServer,
 )
+from repro.engine.shared_scan import (
+    SharedScan,
+    SharedScanStats,
+    open_group,
+)
 from repro.engine.sharding import (
     ShardedViewServer,
     infer_shard_key,
@@ -67,6 +72,9 @@ __all__ = [
     "Registration",
     "ServingReport",
     "ViewServer",
+    "SharedScan",
+    "SharedScanStats",
+    "open_group",
     "ShardedViewServer",
     "infer_shard_key",
     "merge_delay_stats",

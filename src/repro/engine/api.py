@@ -147,11 +147,17 @@ class AnswerCursor:
         source: Iterator[Tuple],
         counter: Optional[JoinCounter] = None,
         parts: Sequence["AnswerCursor"] = (),
+        gap_tracker=None,
     ):
         self.request = request
         self.parts: Tuple["AnswerCursor", ...] = tuple(parts)
         self._source = iter(source)
         self._counter = counter
+        # A shared scan buffers rows ahead of delivery, so this cursor's
+        # own delivery-relative step deltas would misattribute the gap;
+        # the scan tracks per-state gaps at emission time instead and
+        # hands them over through this object (``step_max_gap`` attr).
+        self._gap_tracker = gap_tracker
         self._stats = DelayStats()
         self._last: Optional[Tuple] = None
         self._finished = False
@@ -268,6 +274,10 @@ class AnswerCursor:
         the per-shard step counters together.
         """
         stats = replace(self._stats, step_gaps=list(self._stats.step_gaps))
+        if self._gap_tracker is not None:
+            # Emission-time gaps from the shared scan: identical to what
+            # a solo traversal of this state would have observed.
+            stats.step_max_gap = self._gap_tracker.step_max_gap
         if self._counter is not None:
             stats.step_total = self._counter.steps
         elif self.parts:

@@ -20,9 +20,11 @@ every shard, routed requests touch exactly one.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from itertools import islice
 from typing import (
     AsyncIterator,
     Iterable,
@@ -290,6 +292,84 @@ class AsyncViewServer:
                 shard_index, name, accesses, tau=tau, measure=measure
             )
         return result, started, time.perf_counter()
+
+    async def answer_requests(
+        self, requests: Iterable[Union[AccessRequest, str]]
+    ) -> List[List[Tuple]]:
+        """Serve a typed request batch as whole shared-scan groups.
+
+        The async face of ``open_batch``: the batch is NOT split into
+        per-request jobs — each back-end group (the whole batch for a
+        plain server; one group per shard for a sharded one, scatter
+        requests fanning to every shard) is submitted to the worker pool
+        as a unit, so one thread pays one shared traversal for many
+        requests and drains it there. Returns the materialized answers
+        aligned with the submitted requests, each honoring its own
+        ``limit``/``start_after`` knobs; per-shard scatter answers are
+        heap-merged (disjoint sorted streams) and re-capped at the
+        request's limit. Holds one unit of the server's semaphore, like
+        :meth:`serve`.
+        """
+        batch = [as_request(request) for request in requests]
+        loop = asyncio.get_running_loop()
+        async with self._semaphore:
+            if not isinstance(self.backend, ShardedViewServer):
+                return await loop.run_in_executor(
+                    self._executor, self._drain_open_batch, self.backend, batch
+                )
+            backend: ShardedViewServer = self.backend
+            jobs: dict = {}
+            fanouts: List[int] = []
+            for index, request in enumerate(batch):
+                shard = backend.shard_of(request.view, request.access)
+                targets = (
+                    range(backend.n_shards) if shard is None else (shard,)
+                )
+                fanouts.append(len(targets))
+                for target in targets:
+                    jobs.setdefault(target, []).append((index, request))
+            job_items = list(jobs.items())
+            drained = await asyncio.gather(
+                *(
+                    loop.run_in_executor(
+                        self._executor,
+                        self._drain_open_batch,
+                        backend.shards[shard],
+                        [request for _, request in items],
+                    )
+                    for shard, items in job_items
+                )
+            )
+            parts: List[List[List[Tuple]]] = [[] for _ in batch]
+            for (_, items), rows_per_request in zip(job_items, drained):
+                for (index, _), rows in zip(items, rows_per_request):
+                    parts[index].append(rows)
+            answers: List[List[Tuple]] = []
+            for request, pieces, fanout in zip(batch, parts, fanouts):
+                if fanout == 1:
+                    answers.append(pieces[0])
+                    continue
+                # Scatter: per-shard streams are disjoint and sorted;
+                # each shard already honored the limit, so the merged
+                # stream only needs re-capping.
+                merged = heapq.merge(*pieces)
+                if request.limit is not None:
+                    answers.append(list(islice(merged, request.limit)))
+                else:
+                    answers.append(list(merged))
+            return answers
+
+    @staticmethod
+    def _drain_open_batch(server, requests: List[AccessRequest]):
+        """One worker's unit: a whole shared-scan group, opened and drained."""
+        cursors = server.open_batch(requests)
+        answers = []
+        for cursor in cursors:
+            try:
+                answers.append(cursor.fetchall())
+            finally:
+                cursor.close()
+        return answers
 
     async def stream(
         self,

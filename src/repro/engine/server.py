@@ -24,9 +24,12 @@ Responsibilities
   request's ``limit``/``start_after``/``measure`` knobs, so top-k and
   paginated workloads enumerate only what they consume. ``answer``,
   ``answer_batch`` and ``serve_stream`` are materializing wrappers.
-* **Batched serving**: a batch is deduplicated and sorted, one tree
-  traversal per *distinct* access request; duplicates share the answer,
-  and per-request delay statistics follow
+* **Batched serving**: :meth:`ViewServer.open_batch` is the batch
+  primitive — a request group over one view rides ONE shared tree
+  traversal (:mod:`repro.engine.shared_scan`), with duplicates sharing
+  a lane and prefix-sharing accesses sharing subtrie descents;
+  ``answer_batch``/``serve_stream`` are materializing wrappers over it,
+  and per-request delay statistics still follow
   :func:`~repro.measure.delay.measure_enumeration` semantics.
 * **Concurrency**: the cache is internally synchronized and provides
   the single-build guarantee through
@@ -70,6 +73,7 @@ from repro.engine.api import (
 )
 from repro.engine.cache import CacheStats, RepresentationCache
 from repro.engine.parallel import ParallelBuilder
+from repro.engine.shared_scan import SharedScan
 from repro.exceptions import ParameterError, SchemaError
 from repro.measure.delay import DelayStats
 from repro.optimizer.min_delay import min_delay_cover
@@ -541,6 +545,40 @@ class ViewServer:
             self._requests_served += 1
         return open_cursor(representation, request)
 
+    def open_batch(
+        self, requests: Iterable[Union[AccessRequest, str]]
+    ) -> List[AnswerCursor]:
+        """Open cursors for a whole request batch — the batch primitive.
+
+        Requests are grouped by ``(view, τ)`` and each group rides ONE
+        shared scan (:class:`~repro.engine.shared_scan.SharedScan`): the
+        group's distinct ``(access, resume point)`` pairs descend the
+        tree together in a single merged traversal, per-atom trie
+        descents are shared across prefix-sharing accesses, and
+        duplicate requests share a traversal lane outright. The returned
+        cursors align with the submitted requests and behave exactly
+        like :meth:`open`'s — lazy, limit/resume/measure-aware — except
+        that pulling one may buffer tuples for its group peers (and a
+        group shares fate: an error raised mid-scan surfaces on
+        whichever cursor is being pulled). Consume a batch's cursors
+        from a single thread, as with any generator.
+        """
+        batch = [as_request(request) for request in requests]
+        cursors: List[Optional[AnswerCursor]] = [None] * len(batch)
+        groups: Dict[Tuple[str, Optional[float]], List[int]] = {}
+        for index, request in enumerate(batch):
+            groups.setdefault((request.view, request.tau), []).append(index)
+        for (view, tau), indexes in groups.items():
+            representation = self.representation(view, tau)
+            scan = SharedScan(
+                representation, [batch[index] for index in indexes]
+            )
+            for index, cursor in zip(indexes, scan.cursors()):
+                cursors[index] = cursor
+        with self._lock:
+            self._requests_served += len(batch)
+        return cursors
+
     def answer(self, name: str, access: Sequence) -> List[Tuple]:
         """Answer one access request fully (materializing wrapper)."""
         with self.open(name, access) as cursor:
@@ -553,33 +591,33 @@ class ViewServer:
         tau: Optional[float] = None,
         measure: bool = True,
     ) -> BatchResult:
-        """Serve a batch of access requests with one traversal per distinct one.
+        """Serve a batch of access requests with one shared traversal.
 
-        The batch is deduplicated and traversed in sorted order (the tree
-        is laid out lexicographically, so nearby bound values touch nearby
-        dictionary entries); every duplicate request shares the answer
-        list computed by its representative. Each distinct access drains
-        one unbounded cursor; with ``measure=True`` the cursor's delay
-        accounting matches :func:`measure_enumeration` (the structure is
-        resolved once per batch, so cache accounting is unchanged).
+        A thin materializing wrapper over :meth:`open_batch`: the batch
+        is deduplicated and its distinct accesses (sorted — the tree is
+        laid out lexicographically, so nearby bound values touch nearby
+        dictionary entries) ride one shared scan; every duplicate
+        request shares the answer list computed by its representative.
+        With ``measure=True`` per-access delay accounting follows
+        :func:`measure_enumeration` semantics, as before (the structure
+        is resolved once per batch, so cache accounting is unchanged).
         """
         batch = tuple(tuple(access) for access in accesses)
-        representation = self.representation(name, tau)
         unique = sorted(set(batch))
+        cursors = self.open_batch(
+            AccessRequest(view=name, access=access, tau=tau, measure=measure)
+            for access in unique
+        )
         answers_by_access: Dict[Tuple, List[Tuple]] = {}
         stats: Dict[Tuple, DelayStats] = {}
-        for access in unique:
-            cursor = open_cursor(
-                representation,
-                AccessRequest(
-                    view=name, access=access, tau=tau, measure=measure
-                ),
-            )
+        for access, cursor in zip(unique, cursors):
             answers_by_access[access] = cursor.fetchall()
             if measure:
                 stats[access] = cursor.stats()
         with self._lock:
-            self._requests_served += len(batch)
+            # open_batch counted the distinct requests; the duplicates
+            # it deduplicated away were still served.
+            self._requests_served += len(batch) - len(unique)
         return BatchResult(
             accesses=batch,
             answers=tuple(answers_by_access[access] for access in batch),

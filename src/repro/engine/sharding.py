@@ -220,8 +220,8 @@ class ShardedViewServer:
     """N hash-partitioned :class:`ViewServer` back ends behind one facade.
 
     Mirrors the ``ViewServer`` serving surface (``register`` / ``open`` /
-    ``answer`` / ``answer_batch`` / ``serve_stream`` / ``total_builds`` /
-    ``cache_stats``) so callers — including
+    ``open_batch`` / ``answer`` / ``answer_batch`` / ``serve_stream`` /
+    ``total_builds`` / ``cache_stats``) so callers — including
     :class:`~repro.engine.async_server.AsyncViewServer`, which fans the
     per-shard sub-batches out to its thread pool — can treat both
     interchangeably.
@@ -664,6 +664,58 @@ class ShardedViewServer:
             # scatter fan-out touched.
             self._requests_served += 1
         return cursor
+
+    def open_batch(
+        self, requests: Iterable[Union[AccessRequest, str]]
+    ) -> List[AnswerCursor]:
+        """Open cursors for a whole request batch through the routing layer.
+
+        Routed and pinned requests are grouped per owning shard and each
+        shard serves its sub-batch as ONE shared scan
+        (:meth:`ViewServer.open_batch <repro.engine.server.ViewServer.open_batch>`);
+        scatter requests ride one shared scan *per shard* over the whole
+        scatter sub-batch, and each request gets a lazy k-way heap merge
+        of its per-shard cursors (disjoint sorted streams, exactly as
+        :meth:`open` builds them, ``parts`` exposed in shard order). The
+        returned cursors align with the submitted requests; the usual
+        shared-scan caveats apply per shard group (single-threaded
+        consumption, group fate sharing).
+        """
+        batch = [as_request(request) for request in requests]
+        cursors: List[Optional[AnswerCursor]] = [None] * len(batch)
+        by_shard: Dict[int, List[int]] = {}
+        scatter: List[int] = []
+        for index, request in enumerate(batch):
+            shard = self.shard_of(request.view, request.access)
+            if shard is None:
+                scatter.append(index)
+            else:
+                by_shard.setdefault(shard, []).append(index)
+        for shard, indexes in by_shard.items():
+            shard_cursors = self.shards[shard].open_batch(
+                [batch[index] for index in indexes]
+            )
+            for index, cursor in zip(indexes, shard_cursors):
+                cursors[index] = cursor
+        if scatter:
+            scatter_requests = [batch[index] for index in scatter]
+            per_shard: List[List[AnswerCursor]] = []
+            try:
+                for server in self.shards:
+                    per_shard.append(server.open_batch(scatter_requests))
+            except BaseException:
+                for opened in per_shard:
+                    for cursor in opened:
+                        cursor.close()
+                raise
+            for position, index in enumerate(scatter):
+                parts = [opened[position] for opened in per_shard]
+                cursors[index] = AnswerCursor(
+                    batch[index], heapq.merge(*parts), parts=parts
+                )
+        with self._served_lock:
+            self._requests_served += len(batch)
+        return cursors
 
     def answer(self, name: str, access: Sequence) -> List[Tuple]:
         """Answer one access request through the routing layer."""

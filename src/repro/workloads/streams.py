@@ -148,6 +148,75 @@ def topk_requests(
     ]
 
 
+def prefix_batch_requests(
+    view: AdornedView,
+    db: Database,
+    n_requests: int,
+    seed: int = 0,
+    skew: float = 1.0,
+    prefix_len: int = 1,
+    limits: Sequence[Optional[int]] = (None,),
+    name: Optional[str] = None,
+    measure: bool = False,
+) -> List:
+    """A seeded request batch whose access tuples share bound prefixes.
+
+    The shared-scan workload shape: the productive access tuples are
+    grouped by their first ``prefix_len`` bound values, groups are drawn
+    with Zipf-``skew`` popularity (largest groups first, so skew
+    concentrates traffic on prefix-heavy neighborhoods — exactly where a
+    merged descent shares the most work), and members are drawn
+    uniformly within the chosen group. ``prefix_len=0`` degenerates to
+    one all-encompassing empty-prefix group (a uniform draw over every
+    productive access — the no-sharing-beyond-duplicates baseline).
+    Each access is wrapped in an :class:`~repro.engine.api.AccessRequest`
+    with a ``limit`` drawn uniformly from ``limits`` (``None`` = full
+    answer), so one batch mixes top-k and unbounded requests; ``name``
+    overrides the serving name as in :func:`topk_requests`.
+    """
+    from repro.engine.api import AccessRequest
+
+    if n_requests < 0:
+        raise ParameterError(f"n_requests must be >= 0, got {n_requests}")
+    if skew < 0:
+        raise ParameterError(f"skew must be >= 0, got {skew}")
+    if not limits:
+        raise ParameterError("limits must name at least one page size")
+    for limit in limits:
+        if limit is not None and limit < 0:
+            raise ParameterError(f"limits must be >= 0, got {limit}")
+    n_bound = sum(1 for ch in view.pattern if ch == "b")
+    if not 0 <= prefix_len <= n_bound:
+        raise ParameterError(
+            f"prefix_len must be in [0, {n_bound}], got {prefix_len}"
+        )
+    keys = productive_accesses(view, db)
+    if not keys:
+        raise ParameterError(
+            f"view {view.name!r} has no productive access tuples to batch"
+        )
+    groups: dict = {}
+    for key in keys:
+        groups.setdefault(key[:prefix_len], []).append(key)
+    # Largest group first: Zipf rank 1 lands on the heaviest prefix.
+    ordered = sorted(groups.values(), key=lambda g: (-len(g), g[0]))
+    cum_weights = zipf_cumulative_weights(len(ordered), skew)
+    rng = random.Random(seed)
+    view_name = name if name is not None else view.name
+    page_sizes = list(limits)
+    return [
+        AccessRequest(
+            view=view_name,
+            access=rng.choice(
+                rng.choices(ordered, cum_weights=cum_weights)[0]
+            ),
+            limit=rng.choice(page_sizes),
+            measure=measure,
+        )
+        for _ in range(n_requests)
+    ]
+
+
 def batched(
     stream: Iterable[Sequence], batch_size: int
 ) -> Iterator[List[Tuple]]:

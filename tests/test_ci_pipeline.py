@@ -17,6 +17,7 @@ import pytest
 import yaml
 
 from check_smoke_report import check as check_smoke_report
+from check_trend import check as check_trend
 
 REPO = Path(__file__).resolve().parent.parent
 WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
@@ -87,7 +88,7 @@ class TestWorkflowSchema:
         assert any("make lint" in line for line in run_lines)
         assert any("ruff" in line for line in run_lines)
 
-    def test_bench_smoke_uploads_report_artifact(self, workflow):
+    def test_bench_smoke_uploads_report_artifacts(self, workflow):
         steps = workflow["jobs"]["bench-smoke"]["steps"]
         assert any(
             "make bench-smoke" in step.get("run", "") for step in steps
@@ -97,8 +98,12 @@ class TestWorkflowSchema:
             for step in steps
             if "upload-artifact" in step.get("uses", "")
         ]
-        assert len(uploads) == 1
-        assert uploads[0]["with"]["path"] == ".bench/smoke.json"
+        # Two artifacts: the smoke report and the perf trajectory.
+        assert len(uploads) == 2
+        paths = {step["with"]["path"] for step in uploads}
+        assert paths == {".bench/smoke.json", ".bench/trajectory.json"}
+        names = {step["with"]["name"] for step in uploads}
+        assert names == {"bench-smoke-report", "bench-trajectory"}
 
     def test_bench_smoke_job_runs_the_warm_start_gate(self, workflow):
         # The warm-start benchmark is a hard gate: a restarted server
@@ -117,6 +122,58 @@ class TestWorkflowSchema:
             for step in workflow["jobs"]["bench-smoke"]["steps"]
         ]
         assert any("make bench-stream" in line for line in run_lines)
+
+    def test_bench_smoke_job_runs_the_shared_scan_gate(self, workflow):
+        # Shared-scan batching is a hard gate: if open_batch stops
+        # beating request-at-a-time cursors >= 3x on the prefix-sharing
+        # workload, CI fails.
+        run_lines = [
+            step.get("run", "")
+            for step in workflow["jobs"]["bench-smoke"]["steps"]
+        ]
+        assert any("make bench-batch" in line for line in run_lines)
+
+    def test_bench_smoke_job_runs_the_trajectory_gate(self, workflow):
+        # The trajectory gate runs after every speedup gate recorded its
+        # measurement, folding them into the uploaded artifact.
+        run_lines = [
+            step.get("run", "")
+            for step in workflow["jobs"]["bench-smoke"]["steps"]
+        ]
+        trend = [
+            i for i, line in enumerate(run_lines) if "make bench-trend" in line
+        ]
+        assert trend, "bench-smoke job never runs make bench-trend"
+        gates = [
+            i
+            for i, line in enumerate(run_lines)
+            if re.search(r"make bench-(smoke|warm|stream|batch)\b", line)
+        ]
+        assert gates and max(gates) < trend[0], (
+            "bench-trend must run after every recording gate"
+        )
+
+    def test_workflow_cancels_superseded_runs(self, workflow):
+        # A push to the same ref must cancel the stale run instead of
+        # queueing behind it.
+        concurrency = workflow.get("concurrency")
+        assert isinstance(concurrency, dict), "no top-level concurrency block"
+        group = str(concurrency.get("group", ""))
+        assert "github.ref" in group
+        # Main pushes group by run id so every main commit keeps its
+        # verdict (and its trajectory artifact) instead of being
+        # cancelled by the next merge.
+        assert "github.run_id" in group
+        assert concurrency.get("cancel-in-progress") is True
+
+    def test_every_job_has_a_timeout(self, workflow):
+        # A hung benchmark or a wedged pip must not hold a runner for the
+        # default six hours.
+        for name, job in workflow["jobs"].items():
+            minutes = job.get("timeout-minutes")
+            assert isinstance(minutes, int) and 0 < minutes <= 60, (
+                f"job {name} has no sane timeout-minutes"
+            )
 
     def test_every_setup_python_step_caches_pip(self, workflow):
         for name, job in workflow["jobs"].items():
@@ -170,6 +227,25 @@ class TestMakefileContract:
         assert "bench_streaming_topk.py" in target
         assert "REPRO_BENCH_SMOKE=1" in target
 
+    def test_targets_the_new_gates_rely_on_exist(self, make_targets):
+        assert {"bench-batch", "bench-trend"} <= make_targets
+
+    def test_bench_batch_runs_the_shared_scan_benchmark(self):
+        text = MAKEFILE.read_text()
+        target = text[text.index("bench-batch:"):]
+        target = target[: target.index("\n\n")]
+        assert "bench_shared_scan.py" in target
+        assert "REPRO_BENCH_SMOKE=1" in target
+
+    def test_bench_trend_runs_the_trajectory_checker(self):
+        # The trend target must keep pointing at the checker and demand
+        # all five gates' records, or a silently skipped gate passes CI.
+        text = MAKEFILE.read_text()
+        target = text[text.index("bench-trend:"):]
+        target = target[: target.index("\n\n")]
+        assert "check_trend.py" in target
+        assert re.search(r"GATE_COUNT\s*\?=\s*5\b", text)
+
     def test_ruff_is_configured(self):
         pyproject = (REPO / "pyproject.toml").read_text()
         assert "[tool.ruff]" in pyproject
@@ -217,3 +293,105 @@ class TestSmokeReportGate:
             text=True,
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def _write_gate(bench_dir, gate, speedup, threshold, **extra):
+    bench_dir.mkdir(parents=True, exist_ok=True)
+    payload = {"gate": gate, "speedup": speedup, "threshold": threshold}
+    payload.update(extra)
+    (bench_dir / f"gate-{gate}.json").write_text(json.dumps(payload))
+
+
+class TestTrajectoryGate:
+    """The perf-trajectory artifact: schema pinned, floors enforced."""
+
+    GATES = (
+        ("engine-cache", 12.0, 5.0),
+        ("async-sharded", 3.1, 0.0),
+        ("warm-start", 18.0, 5.0),
+        ("streaming-topk", 40.0, 5.0),
+        ("shared-scan-batch", 4.0, 3.0),
+    )
+
+    def _write_all(self, bench_dir):
+        for gate, speedup, threshold in self.GATES:
+            _write_gate(bench_dir, gate, speedup, threshold, requests=7)
+
+    def test_accepts_gates_above_their_floors_and_pins_the_schema(
+        self, tmp_path
+    ):
+        bench = tmp_path / "bench"
+        out = tmp_path / "trajectory.json"
+        self._write_all(bench)
+        assert check_trend(str(bench), str(out), 5) == 0
+        trajectory = json.loads(out.read_text())
+        # The schema CI consumers (and future PRs' diffs) rely on.
+        assert set(trajectory) == {"schema", "commit", "gates"}
+        assert trajectory["schema"] == 1
+        assert isinstance(trajectory["commit"], str) and trajectory["commit"]
+        gates = trajectory["gates"]
+        assert [g["gate"] for g in gates] == sorted(
+            name for name, _, _ in self.GATES
+        )
+        for record in gates:
+            assert {"gate", "speedup", "threshold"} <= set(record)
+            assert isinstance(record["speedup"], (int, float))
+            assert isinstance(record["threshold"], (int, float))
+        # Extra per-gate facts ride along untouched.
+        assert all(record.get("requests") == 7 for record in gates)
+
+    def test_fails_when_a_gate_drops_below_its_floor(self, tmp_path):
+        bench = tmp_path / "bench"
+        out = tmp_path / "trajectory.json"
+        self._write_all(bench)
+        _write_gate(bench, "shared-scan-batch", 2.4, 3.0)
+        assert check_trend(str(bench), str(out), 5) == 1
+        # The artifact is still written — it IS the diagnosis.
+        assert json.loads(out.read_text())["gates"]
+
+    def test_fails_when_a_gate_is_missing_or_malformed(self, tmp_path):
+        bench = tmp_path / "bench"
+        out = tmp_path / "trajectory.json"
+        self._write_all(bench)
+        (bench / "gate-warm-start.json").unlink()
+        assert check_trend(str(bench), str(out), 5) == 1
+        self._write_all(bench)
+        (bench / "gate-warm-start.json").write_text('{"speedup": 1.0}')
+        assert check_trend(str(bench), str(out), 5) == 1
+        (bench / "gate-warm-start.json").write_text("not json")
+        assert check_trend(str(bench), str(out), 5) == 1
+
+    def test_gate_records_are_written_by_the_bench_helper(
+        self, tmp_path, monkeypatch
+    ):
+        import bench_reporting
+
+        monkeypatch.setattr(bench_reporting, "BENCH_DIR", tmp_path / "b")
+        path = bench_reporting.bench_record_gate(
+            "engine-cache", 11.5, 5.0, requests=30
+        )
+        record = json.loads(path.read_text())
+        assert record == {
+            "gate": "engine-cache",
+            "speedup": 11.5,
+            "threshold": 5.0,
+            "requests": 30,
+        }
+
+    def test_trend_checker_runs_as_a_script(self, tmp_path):
+        bench = tmp_path / "bench"
+        out = tmp_path / "trajectory.json"
+        self._write_all(bench)
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "benchmarks" / "check_trend.py"),
+                str(bench),
+                str(out),
+                "5",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert out.exists()

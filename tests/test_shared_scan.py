@@ -1,0 +1,486 @@
+"""Shared-scan batch execution: one traversal, many cursors.
+
+Covers the batch/cursor interaction across every backend: shared-scan
+answers must equal per-request cursor answers on the plain, sharded
+(routed and scatter) and async servers — with limit and resume-token
+requests mixed into a shared group, duplicate requests sharing a lane,
+and empty-prefix groups — plus the core merged descent's parity with
+solo enumeration, its demand-driven pruning, and the prefix-sharing
+workload generator.
+"""
+
+import asyncio
+
+import pytest
+
+from oracle import oracle_answer
+from repro.core.context import SubtrieCache
+from repro.core.decomposed import DecomposedRepresentation
+from repro.core.dynamic import DynamicRepresentation
+from repro.core.structure import CompressedRepresentation
+from repro.engine import (
+    AccessRequest,
+    AsyncViewServer,
+    ShardedViewServer,
+    SharedScan,
+    ViewServer,
+    open_group,
+)
+from repro.exceptions import ParameterError, QueryError
+from repro.joins.generic_join import JoinCounter
+from repro.query.parser import parse_view
+from repro.workloads.generators import triangle_database
+from repro.workloads.queries import triangle_view
+from repro.workloads.streams import prefix_batch_requests, productive_accesses
+
+VIEW = triangle_view("bbf")
+SCATTER_VIEW = parse_view("Rev^bbf(y, z, x) = R(x, y), S(y, z), T(z, x)")
+SHARD_KEY = {"R": 0, "T": 1}
+TAU = 6.0
+
+
+@pytest.fixture(scope="module")
+def db():
+    return triangle_database(nodes=24, edges=140, seed=17)
+
+
+@pytest.fixture(scope="module")
+def server(db):
+    server = ViewServer(db)
+    server.register(VIEW, tau=TAU, name="V")
+    return server
+
+
+@pytest.fixture(scope="module")
+def accesses(db):
+    return productive_accesses(VIEW, db)
+
+
+@pytest.fixture(scope="module")
+def mixed_batch(db, accesses):
+    """Duplicates, misses, limits and resume tokens in one shared group."""
+    heavy = sorted(
+        accesses, key=lambda a: len(oracle_answer(VIEW, db, a)), reverse=True
+    )[:4]
+    full = oracle_answer(VIEW, db, heavy[0])
+    return [
+        AccessRequest(view="V", access=heavy[0]),
+        AccessRequest(view="V", access=heavy[1], limit=2),
+        AccessRequest(view="V", access=heavy[0]),  # duplicate
+        AccessRequest(view="V", access=heavy[0], start_after=full[0]),
+        AccessRequest(view="V", access=(-1, -2)),  # guaranteed miss
+        AccessRequest(view="V", access=heavy[2], limit=0),
+        AccessRequest(view="V", access=heavy[3], start_after=full[-1]),
+        AccessRequest(view="V", access=heavy[1], limit=2),  # duplicate w/ limit
+    ]
+
+
+def expected_answer(db, request):
+    rows = oracle_answer(VIEW, db, request.access)
+    if request.start_after is not None:
+        token = tuple(request.start_after)
+        rows = rows[rows.index(token) + 1:] if token in rows else [
+            row for row in rows if row > token
+        ]
+    if request.limit is not None:
+        rows = rows[: request.limit]
+    return rows
+
+
+class TestPlainBackendParity:
+    def test_mixed_group_equals_per_request_cursors(
+        self, db, server, mixed_batch
+    ):
+        shared = [c.fetchall() for c in server.open_batch(mixed_batch)]
+        solo = [server.open(r).fetchall() for r in mixed_batch]
+        assert shared == solo
+        assert shared == [expected_answer(db, r) for r in mixed_batch]
+
+    def test_full_productive_batch_matches_oracle(self, db, server, accesses):
+        requests = [AccessRequest(view="V", access=a) for a in accesses]
+        for request, cursor in zip(requests, server.open_batch(requests)):
+            assert cursor.fetchall() == oracle_answer(VIEW, db, request.access)
+
+    def test_duplicates_share_one_traversal_lane(self, server, accesses):
+        batch = [AccessRequest(view="V", access=accesses[0])] * 5
+        scan = SharedScan(server.representation("V"), batch)
+        cursors = scan.cursors()
+        answers = [c.fetchall() for c in cursors]
+        assert all(rows == answers[0] for rows in answers)
+        assert scan.stats().states == 1
+        assert scan.stats().shared_requests == 4
+
+    def test_empty_prefix_group_all_accesses_distinct(self, db, server, accesses):
+        # No shared prefixes at all: the scan still answers correctly,
+        # one state per distinct access.
+        batch = [AccessRequest(view="V", access=a) for a in accesses[:6]]
+        scan = SharedScan(server.representation("V"), batch)
+        for request, cursor in zip(batch, scan.cursors()):
+            assert cursor.fetchall() == oracle_answer(VIEW, db, request.access)
+        assert scan.stats().states == len(batch)
+
+    def test_group_of_empty_access_tuples(self, db):
+        # A fully-free view's only access is (): the whole group is one
+        # state however many requests ride it.
+        free_view = triangle_view("fff")
+        server = ViewServer(db)
+        server.register(free_view, tau=TAU, name="F")
+        batch = [
+            AccessRequest(view="F", access=()),
+            AccessRequest(view="F", access=(), limit=3),
+            AccessRequest(view="F", access=()),
+        ]
+        cursors = server.open_batch(batch)
+        full = oracle_answer(free_view, db, ())
+        assert cursors[0].fetchall() == full
+        assert cursors[1].fetchall() == full[:3]
+        assert cursors[2].fetchall() == full
+        scan = SharedScan(server.representation("F"), batch)
+        [c.fetchall() for c in scan.cursors()]
+        assert scan.stats().states == 1
+
+    def test_mixed_views_group_by_view_and_tau(self, db, server, accesses):
+        server2 = ViewServer(db)
+        server2.register(VIEW, tau=TAU, name="V")
+        batch = [
+            AccessRequest(view="V", access=accesses[0]),
+            AccessRequest(view="V", access=accesses[0], tau=12.0),
+            AccessRequest(view="V", access=accesses[1]),
+        ]
+        cursors = server2.open_batch(batch)
+        for request, cursor in zip(batch, cursors):
+            assert cursor.fetchall() == oracle_answer(VIEW, db, request.access)
+        # One build per distinct tau actually requested.
+        assert server2.build_count("V") == 1
+        assert server2.build_count("V", 12.0) == 1
+
+    def test_answer_batch_rides_the_shared_scan(self, db, server, accesses):
+        batch = [accesses[0], accesses[1], accesses[0], (-5, -6)]
+        result = server.answer_batch("V", batch)
+        assert result.unique_count == 3
+        assert result.shared_count == 1
+        assert result.answers[0] is result.answers[2]
+        for access, rows in zip(result.accesses, result.answers):
+            assert list(rows) == oracle_answer(VIEW, db, access)
+
+    def test_measured_group_stats_match_solo_semantics(
+        self, db, server, accesses
+    ):
+        heavy = max(accesses, key=lambda a: len(oracle_answer(VIEW, db, a)))
+        with server.open("V", heavy, measure=True) as cursor:
+            cursor.fetchall()
+            solo = cursor.stats()
+        batch = server.answer_batch("V", [heavy, accesses[0]], measure=True)
+        stats = batch.request_stats[heavy]
+        assert stats.outputs == solo.outputs
+        assert stats.step_total == solo.step_total
+        assert stats.step_max_gap == solo.step_max_gap
+
+    def test_wrong_arity_access_raises_on_drain(self, server):
+        cursors = server.open_batch(
+            [AccessRequest(view="V", access=(1, 2, 3))]
+        )
+        with pytest.raises(QueryError):
+            cursors[0].fetchall()
+
+
+class TestShardedBackendParity:
+    @pytest.fixture(scope="class")
+    def routed(self, db):
+        sharded = ShardedViewServer(db, 3, SHARD_KEY)
+        sharded.register(VIEW, tau=TAU, name="V")
+        assert sharded.route("V")[0] == "routed"
+        return sharded
+
+    @pytest.fixture(scope="class")
+    def scatter(self, db):
+        sharded = ShardedViewServer(db, 3, SHARD_KEY)
+        sharded.register(SCATTER_VIEW, tau=TAU, name="V")
+        assert sharded.route("V")[0] == "scatter"
+        return sharded
+
+    def test_routed_mixed_group_equals_per_request(
+        self, db, routed, mixed_batch
+    ):
+        shared = [c.fetchall() for c in routed.open_batch(mixed_batch)]
+        solo = [routed.open(r).fetchall() for r in mixed_batch]
+        assert shared == solo
+        assert shared == [expected_answer(db, r) for r in mixed_batch]
+
+    def test_scatter_mixed_group_equals_per_request(self, db, scatter):
+        accesses = productive_accesses(SCATTER_VIEW, db)
+        heavy = sorted(
+            accesses,
+            key=lambda a: len(oracle_answer(SCATTER_VIEW, db, a)),
+            reverse=True,
+        )[:3]
+        full = oracle_answer(SCATTER_VIEW, db, heavy[0])
+        batch = [
+            AccessRequest(view="V", access=heavy[0]),
+            AccessRequest(view="V", access=heavy[0], limit=2),
+            AccessRequest(view="V", access=heavy[1]),
+            AccessRequest(view="V", access=heavy[0], start_after=full[0]),
+            AccessRequest(view="V", access=heavy[2]),
+            AccessRequest(view="V", access=heavy[1]),  # duplicate
+        ]
+        shared = [c.fetchall() for c in scatter.open_batch(batch)]
+        solo = [scatter.open(r).fetchall() for r in batch]
+        assert shared == solo
+        for request, rows in zip(batch, shared):
+            expected = oracle_answer(SCATTER_VIEW, db, request.access)
+            if request.start_after is not None:
+                token = tuple(request.start_after)
+                expected = [row for row in expected if row > token]
+            if request.limit is not None:
+                expected = expected[: request.limit]
+            assert rows == expected
+
+    def test_scatter_cursors_expose_per_shard_parts(self, scatter, db):
+        access = productive_accesses(SCATTER_VIEW, db)[0]
+        (cursor,) = scatter.open_batch(
+            [AccessRequest(view="V", access=access)]
+        )
+        assert len(cursor.parts) == scatter.n_shards
+        cursor.close()
+
+    def test_sharded_answer_batch_unchanged_by_the_rewire(
+        self, db, routed, accesses
+    ):
+        batch = [accesses[0], accesses[1], accesses[0]]
+        result = routed.answer_batch("V", batch)
+        assert result.unique_count == 2
+        for access, rows in zip(result.accesses, result.answers):
+            assert list(rows) == oracle_answer(VIEW, db, access)
+
+
+class TestAsyncBackendParity:
+    def test_async_answer_requests_plain_backend(
+        self, db, server, mixed_batch
+    ):
+        async def go():
+            front = AsyncViewServer(server, max_workers=2)
+            try:
+                return await front.answer_requests(mixed_batch)
+            finally:
+                front._executor.shutdown(wait=True)
+
+        answers = asyncio.run(go())
+        assert answers == [expected_answer(db, r) for r in mixed_batch]
+
+    def test_async_answer_requests_routed_backend(self, db, mixed_batch):
+        routed = ShardedViewServer(db, 3, SHARD_KEY)
+        routed.register(VIEW, tau=TAU, name="V")
+
+        async def go():
+            front = AsyncViewServer(routed, max_workers=3)
+            try:
+                return await front.answer_requests(mixed_batch)
+            finally:
+                front._executor.shutdown(wait=True)
+
+        answers = asyncio.run(go())
+        assert answers == [expected_answer(db, r) for r in mixed_batch]
+
+    def test_async_answer_requests_scatter_backend(self, db):
+        scatter = ShardedViewServer(db, 3, SHARD_KEY)
+        scatter.register(SCATTER_VIEW, tau=TAU, name="V")
+        accesses = productive_accesses(SCATTER_VIEW, db)[:3]
+        batch = [AccessRequest(view="V", access=a) for a in accesses] + [
+            AccessRequest(view="V", access=accesses[0], limit=1)
+        ]
+
+        async def go():
+            front = AsyncViewServer(scatter, max_workers=3)
+            try:
+                return await front.answer_requests(batch)
+            finally:
+                front._executor.shutdown(wait=True)
+
+        got = asyncio.run(go())
+        for request, rows in zip(batch, got):
+            expected = oracle_answer(SCATTER_VIEW, db, request.access)
+            if request.limit is not None:
+                expected = expected[: request.limit]
+            assert rows == expected
+
+
+class TestCoreSharedEnumerate:
+    @pytest.fixture(scope="class")
+    def representation(self, db):
+        return CompressedRepresentation(VIEW, db, tau=TAU)
+
+    def test_events_partition_into_solo_streams(
+        self, db, representation, accesses
+    ):
+        group = accesses[:8] + [accesses[0]]
+        streams = {slot: [] for slot in range(len(group))}
+        for slot, row in representation.shared_enumerate(group):
+            streams[slot].append(row)
+        for slot, access in enumerate(group):
+            assert streams[slot] == list(representation.enumerate(access))
+
+    def test_starts_match_enumerate_from(self, db, representation, accesses):
+        heavy = max(accesses, key=lambda a: len(oracle_answer(VIEW, db, a)))
+        full = list(representation.enumerate(heavy))
+        for split in range(len(full)):
+            starts = [full[split], None]
+            got = [[], []]
+            for slot, row in representation.shared_enumerate(
+                [heavy, heavy], starts=starts
+            ):
+                got[slot].append(row)
+            assert got[0] == full[split:]
+            assert got[1] == full
+
+    def test_counters_match_solo_counters(self, db, representation, accesses):
+        group = accesses[:5]
+        counters = [JoinCounter() for _ in group]
+        for _ in representation.shared_enumerate(group, counters=counters):
+            pass
+        for access, counter in zip(group, counters):
+            solo = JoinCounter()
+            for _ in representation.enumerate(access, counter=solo):
+                pass
+            assert counter.steps == solo.steps
+
+    def test_alive_flags_prune_a_slot_mid_scan(
+        self, db, representation, accesses
+    ):
+        heavy = max(accesses, key=lambda a: len(oracle_answer(VIEW, db, a)))
+        full = len(oracle_answer(VIEW, db, heavy))
+        assert full >= 3
+        other = next(a for a in accesses if a != heavy)
+        alive = [True, True]
+        counts = [0, 0]
+        for slot, _ in representation.shared_enumerate(
+            [heavy, other], alive=alive
+        ):
+            counts[slot] += 1
+            if counts[0] == 1:
+                alive[0] = False  # cancel the heavy slot after one row
+        # The cancelled slot stops at the next node boundary (a few rows
+        # of the current node may still flush) while the peer completes.
+        assert counts[0] < full
+        assert counts[1] == len(oracle_answer(VIEW, db, other))
+
+    def test_subtrie_cache_shares_prefix_descents(self, representation, accesses):
+        prefix = accesses[0][0]
+        group = [a for a in accesses if a[0] == prefix]
+        if len(group) < 2:
+            pytest.skip("workload has no shared prefix group")
+        cache = SubtrieCache()
+        for _ in representation.shared_enumerate(group, cache=cache):
+            pass
+        assert cache.hits > 0
+
+    def test_decomposed_shared_enumerate_matches_solo(self, db, accesses):
+        decomposed = DecomposedRepresentation(VIEW, db)
+        group = accesses[:6] + [accesses[0]]  # duplicate included
+        streams = {slot: [] for slot in range(len(group))}
+        for slot, row in decomposed.shared_enumerate(group):
+            streams[slot].append(row)
+        for slot, access in enumerate(group):
+            assert streams[slot] == list(decomposed.enumerate(access))
+
+    def test_dynamic_representation_falls_back_to_direct_pump(
+        self, db, accesses
+    ):
+        dynamic = DynamicRepresentation(VIEW, db, tau=TAU)
+        assert not getattr(dynamic, "supports_shared_scan", False)
+        requests = [
+            AccessRequest(view="V", access=accesses[0]),
+            AccessRequest(view="V", access=accesses[0], limit=1),
+            AccessRequest(view="V", access=accesses[1]),
+        ]
+        cursors = open_group(dynamic, requests)
+        assert cursors[0].fetchall() == list(dynamic.enumerate(accesses[0]))
+        assert cursors[1].fetchall() == list(dynamic.enumerate(accesses[0]))[:1]
+        assert cursors[2].fetchall() == list(dynamic.enumerate(accesses[1]))
+
+
+class TestLimitPruning:
+    def test_all_limited_cursors_stop_the_scan_early(self, db, server, accesses):
+        heavy = max(accesses, key=lambda a: len(oracle_answer(VIEW, db, a)))
+        full = len(oracle_answer(VIEW, db, heavy))
+        assert full >= 3
+        batch = [
+            AccessRequest(view="V", access=heavy, limit=1, measure=True),
+            AccessRequest(view="V", access=heavy, limit=1, measure=True),
+        ]
+        scan = SharedScan(server.representation("V"), batch)
+        cursors = scan.cursors()
+        # No explicit close(): reaching the limit alone must release the
+        # lane (a limit-stopped cursor never pulls its source again, so
+        # close() is the only other chance to free it).
+        for cursor in cursors:
+            assert cursor.fetchall() == oracle_answer(VIEW, db, heavy)[:1]
+        assert not scan._alive[0]
+        assert all(not lane.buffer for _, lane in scan._lanes)
+        # Both lanes done after one row: the state died and the scan
+        # stopped enumerating — far fewer steps than the full answer.
+        unlimited = SharedScan(
+            server.representation("V"),
+            [AccessRequest(view="V", access=heavy, measure=True)],
+        )
+        (u,) = unlimited.cursors()
+        u.fetchall()
+        assert cursors[0].stats().step_total < u.stats().step_total
+
+    def test_closing_one_duplicate_keeps_the_peer_streaming(
+        self, db, server, accesses
+    ):
+        heavy = max(accesses, key=lambda a: len(oracle_answer(VIEW, db, a)))
+        batch = [
+            AccessRequest(view="V", access=heavy),
+            AccessRequest(view="V", access=heavy),
+        ]
+        first, second = server.open_batch(batch)
+        assert next(first) == oracle_answer(VIEW, db, heavy)[0]
+        first.close()
+        assert second.fetchall() == oracle_answer(VIEW, db, heavy)
+
+
+class TestPrefixBatchRequests:
+    def test_deterministic_and_prefix_grouped(self, db):
+        one = prefix_batch_requests(VIEW, db, 50, seed=9, skew=1.5)
+        two = prefix_batch_requests(VIEW, db, 50, seed=9, skew=1.5)
+        assert one == two
+        assert all(isinstance(r, AccessRequest) for r in one)
+        productive = set(productive_accesses(VIEW, db))
+        assert all(r.access in productive for r in one)
+
+    def test_skew_concentrates_on_heavy_prefixes(self, db):
+        flat = prefix_batch_requests(VIEW, db, 200, seed=9, skew=0.0)
+        skewed = prefix_batch_requests(VIEW, db, 200, seed=9, skew=2.5)
+
+        def top_share(requests):
+            counts = {}
+            for request in requests:
+                key = request.access[:1]
+                counts[key] = counts.get(key, 0) + 1
+            return max(counts.values()) / len(requests)
+
+        assert top_share(skewed) > top_share(flat)
+
+    def test_limits_mix_and_name_override(self, db):
+        requests = prefix_batch_requests(
+            VIEW, db, 40, seed=2, limits=(1, None), name="X"
+        )
+        assert {r.view for r in requests} == {"X"}
+        assert {r.limit for r in requests} == {1, None}
+
+    def test_empty_prefix_len_is_one_group(self, db):
+        requests = prefix_batch_requests(VIEW, db, 30, seed=4, prefix_len=0)
+        assert len(requests) == 30
+
+    def test_parameter_validation(self, db):
+        with pytest.raises(ParameterError):
+            prefix_batch_requests(VIEW, db, -1)
+        with pytest.raises(ParameterError):
+            prefix_batch_requests(VIEW, db, 5, skew=-0.1)
+        with pytest.raises(ParameterError):
+            prefix_batch_requests(VIEW, db, 5, prefix_len=9)
+        with pytest.raises(ParameterError):
+            prefix_batch_requests(VIEW, db, 5, limits=())
+        with pytest.raises(ParameterError):
+            prefix_batch_requests(VIEW, db, 5, limits=(-2,))
