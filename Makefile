@@ -6,11 +6,12 @@ SMOKE_REPORT ?= .bench/smoke.json
 BENCH_DIR ?= .bench
 TRAJECTORY ?= .bench/trajectory.json
 # One record per bench gate: engine-cache, async-sharded, warm-start,
-# streaming-topk, shared-scan-batch. bench-trend fails if fewer report.
-GATE_COUNT ?= 5
+# streaming-topk, shared-scan-batch, resharding. bench-trend fails if
+# fewer report.
+GATE_COUNT ?= 6
 
 .PHONY: test collect lint format bench-smoke bench-warm bench-stream \
-	bench-batch bench-trend bench
+	bench-batch bench-reshard bench-trend bench
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -55,6 +56,13 @@ bench-stream:
 bench-batch:
 	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_shared_scan.py -q
+
+# Resharding gate: fails unless splitting one hot shard live beats a
+# full (n+1)-shard reshard >= 1.3x (and cursors opened before the split
+# drain oracle-identical, with only the hot shard's keys moving).
+bench-reshard:
+	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_resharding.py -q
 
 # Perf-trajectory gate: folds every gate's recorded speedup into one
 # $(TRAJECTORY) artifact and fails if any gate fell below its pinned

@@ -1,0 +1,216 @@
+"""EXP-RESHARD — elastic hot-shard split vs tearing down and resharding.
+
+A hot-key stream concentrates traffic on one shard. The elastic answer
+(:meth:`~repro.engine.sharding.ShardedViewServer.split_shard`) splits
+only that shard: hierarchical rendezvous re-places just its slice
+between two children, every other shard keeps its exact key set and its
+built structures, and in-flight cursors drain under the routing-table
+version they opened with. The blunt alternative is a full reshard —
+tear the deployment down and rebuild a fresh (n+1)-shard server, paying
+partitioning plus a structure build on *every* shard. This bench gates
+the elastic path's advantage:
+
+* **resharding gate (acceptance)** — splitting the hot shard of a warm
+  3-shard server must be >= 1.3x faster wall-clock than standing up a
+  warm 4-shard server from scratch (register + prebuild on all shards).
+* **cutover parity** — cursors opened *before* the split drain to
+  answers bit-identical to the independent hash-join oracle, answers
+  *after* the cutover stay oracle-identical, and only the split shard's
+  keys move (every sibling's key set is unchanged).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the stream for CI; the
+1.3x acceptance threshold is identical in both modes.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import statistics
+import time
+
+import pytest
+
+from bench_reporting import bench_emit, bench_emit_table, bench_record_gate
+from oracle import oracle_answer
+from repro.engine import ShardedViewServer
+from repro.engine.topology import assignment_of
+from repro.workloads import (
+    hotkey_stream,
+    productive_accesses,
+    triangle_database,
+    triangle_view,
+)
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+TAU = 8.0
+NODES, EDGES = (40, 260)
+N_REQUESTS = 160 if SMOKE else 480
+SHARDS = 3
+SHARD_KEY = {"R": 0, "T": 1}
+REPEATS = 3
+MIN_SPEEDUP = 1.3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    view = triangle_view("bbf")
+    db = triangle_database(nodes=NODES, edges=EDGES, seed=13)
+    keys = productive_accesses(view, db)
+    return view, db, keys
+
+
+def _warm_server(db) -> ShardedViewServer:
+    server = ShardedViewServer(db, SHARDS, SHARD_KEY)
+    name = server.register(triangle_view("bbf"), tau=TAU)
+    server.prebuild(name)
+    return server
+
+
+def _hot_shard(server: ShardedViewServer, stream) -> str:
+    """The shard id soaking up the most stream traffic."""
+    table = server.topology
+    traffic = {shard: 0 for shard in table.shard_ids}
+    for access in stream:
+        traffic[table.shard_for(access[0])] += 1
+    return max(traffic, key=lambda shard: (traffic[shard], shard))
+
+
+def test_resharding_gate(workload):
+    view, db, keys = workload
+    probe = _warm_server(db)
+    try:
+        stream = hotkey_stream(
+            view, db, N_REQUESTS, seed=7, hot_share=0.7, n_hot=3
+        )
+        hot = _hot_shard(probe, stream)
+    finally:
+        probe.close()
+
+    # Interleaved rounds + medians, like the other gates: a CI stall
+    # landing on one path's rounds must not swing the ratio.
+    gc.collect()
+    split_times = []
+    full_times = []
+    for _ in range(REPEATS):
+        elastic = _warm_server(db)
+        try:
+            started = time.perf_counter()
+            report = elastic.split_shard(hot)
+            split_times.append(time.perf_counter() - started)
+        finally:
+            elastic.close()
+        started = time.perf_counter()
+        fresh = ShardedViewServer(db, SHARDS + 1, SHARD_KEY)
+        fresh_name = fresh.register(triangle_view("bbf"), tau=TAU)
+        fresh.prebuild(fresh_name)
+        full_times.append(time.perf_counter() - started)
+        fresh.close()
+    split_seconds = statistics.median(split_times)
+    full_seconds = statistics.median(full_times)
+    speedup = full_seconds / max(split_seconds, 1e-9)
+
+    bench_emit_table(
+        [
+            (
+                "elastic split",
+                f"{split_seconds * 1000:.1f}",
+                f"{SHARDS} -> {SHARDS + 1}",
+                report.moved_rows,
+            ),
+            (
+                "full reshard",
+                f"{full_seconds * 1000:.1f}",
+                f"0 -> {SHARDS + 1}",
+                db.total_tuples(),
+            ),
+        ],
+        headers=("mode", "ms", "shards", "rows placed"),
+        title=(
+            f"EXP-RESHARD: hot shard {hot!r} of {SHARDS}, triangle bbf "
+            f"(|D|={db.total_tuples()}, tau={TAU}); speedup {speedup:.1f}x"
+        ),
+    )
+    bench_emit(
+        f"shape check: the split re-placed {report.moved_rows} key-relation "
+        f"rows and warmed {len(report.warmed_views)} child view(s) "
+        f"(children {list(report.children)}); a full reshard re-places "
+        f"every row and rebuilds every shard. The elastic path must be "
+        f">= {MIN_SPEEDUP:.1f}x faster."
+    )
+    bench_record_gate(
+        "resharding",
+        speedup,
+        MIN_SPEEDUP,
+        hot_shard=hot,
+        moved_rows=report.moved_rows,
+        requests=len(stream),
+    )
+    assert report.version_after == report.version_before + 1
+    assert speedup >= MIN_SPEEDUP, f"resharding speedup only {speedup:.1f}x"
+
+
+def test_split_cutover_is_oracle_identical(workload):
+    view, db, keys = workload
+    server = ShardedViewServer(db, SHARDS, SHARD_KEY)
+    name = server.register(view, tau=TAU)
+    server.prebuild(name)
+    try:
+        stream = hotkey_stream(
+            view, db, N_REQUESTS, seed=7, hot_share=0.7, n_hot=3
+        )
+        hot = _hot_shard(server, stream)
+        values = sorted({key[0] for key in keys} | {key[0] for key in stream})
+        before = assignment_of(server.topology, values)
+
+        # In-flight requests opened under the pre-split table...
+        inflight = [
+            server.open(name, access) for access in sorted(set(stream))[:8]
+        ]
+        report = server.split_shard(hot)
+        after = assignment_of(server.topology, values)
+
+        # ...drain to oracle-identical answers after the cutover.
+        drained = mismatches = 0
+        for cursor, access in zip(inflight, sorted(set(stream))[:8]):
+            with cursor:
+                drained += 1
+                if cursor.fetchall() != oracle_answer(view, db, access):
+                    mismatches += 1
+
+        # Only the hot shard's keys moved; every sibling is untouched.
+        stray = [
+            value
+            for shard in before
+            if shard != hot
+            for value in before[shard]
+            if value not in after[shard]
+        ]
+        rehomed = set(before[hot])
+        child_keys = set(after[report.children[0]]) | set(
+            after[report.children[1]]
+        )
+
+        # Post-split serving stays oracle-identical on the whole stream.
+        result = server.answer_batch(name, stream)
+        post_mismatches = sum(
+            1
+            for access, rows in zip(stream, result.answers)
+            if rows != oracle_answer(view, db, access)
+        )
+        bench_emit(
+            f"EXP-RESHARD parity: {drained} pre-split cursors and "
+            f"{len(stream)} post-split answers checked, "
+            f"{mismatches + post_mismatches} oracle mismatches; "
+            f"{len(rehomed)} of {len(values)} key values re-rendezvoused, "
+            f"{len(stray)} strayed off sibling shards (guarantee: 0); "
+            f"live versions {server.live_versions()}."
+        )
+        assert mismatches == 0
+        assert post_mismatches == 0
+        assert stray == []
+        assert child_keys == rehomed
+        # Every pre-split cursor closed, so the old table retired.
+        assert server.live_versions() == (report.version_after,)
+    finally:
+        server.close()

@@ -10,7 +10,16 @@ to the smoke report — and fails the ``make bench-trend`` target when:
 * fewer gates reported than expected (a silently skipped gate is a
   regression in the harness, not a pass),
 * a record is missing its ``gate``/``speedup``/``threshold`` fields,
-* any gate's measured speedup fell below the floor it pinned.
+* any gate's measured speedup fell below its enforced floor.
+
+Floors ratchet across runs: the prior ``trajectory.json`` (if one exists
+at ``OUT_JSON``) carries each gate's established floor, and this run
+enforces ``max(record threshold, prior floor)`` — a gate that once
+cleared a higher bar cannot quietly regress to its static threshold. On
+a **fresh checkout** there is no prior trajectory (or an empty/malformed
+one): the first run *seeds* each gate's floor from the current gate set
+and still enforces the static thresholds — never a vacuous pass, never a
+failure on the missing baseline.
 
 The artifact schema (pinned by ``tests/test_ci_pipeline.py``)::
 
@@ -18,7 +27,8 @@ The artifact schema (pinned by ``tests/test_ci_pipeline.py``)::
       "schema": 1,
       "commit": "<GITHUB_SHA / git HEAD / unknown>",
       "gates": [
-        {"gate": "...", "speedup": 12.3, "threshold": 5.0, ...},
+        {"gate": "...", "speedup": 12.3, "threshold": 5.0,
+         "floor": 5.0, ...},
         ...
       ]
     }
@@ -80,8 +90,42 @@ def collect_gates(bench_dir: str):
     return gates, problems
 
 
+def load_baseline(out_path: str) -> dict:
+    """Per-gate floors established by the prior trajectory, if any.
+
+    A fresh checkout has no baseline — a missing file, an empty or
+    top-level-``[]`` artifact, and any malformed JSON all mean "seed
+    from the current gate set" (``{}``), never a crash and never a
+    reason to skip enforcement.
+    """
+    try:
+        prior = json.loads(Path(out_path).read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(prior, dict):
+        return {}
+    floors = {}
+    for record in prior.get("gates", []):
+        if not isinstance(record, dict) or "gate" not in record:
+            continue
+        basis = record.get("floor", record.get("threshold"))
+        try:
+            floors[str(record["gate"])] = float(basis)
+        except (TypeError, ValueError):
+            continue
+    return floors
+
+
 def check(bench_dir: str, out_path: str, min_gates: int = 1) -> int:
     gates, problems = collect_gates(bench_dir)
+    baseline = load_baseline(out_path)
+    for gate in gates:
+        prior = baseline.get(str(gate["gate"]))
+        gate["floor"] = (
+            float(gate["threshold"])
+            if prior is None
+            else max(float(gate["threshold"]), prior)
+        )
     trajectory = {
         "schema": SCHEMA_VERSION,
         "commit": resolve_commit(),
@@ -98,16 +142,19 @@ def check(bench_dir: str, out_path: str, min_gates: int = 1) -> int:
             f"expected >= {min_gates} — did a bench gate silently not run?"
         )
         return 1
+    if not baseline:
+        print(
+            "bench-trend: no prior trajectory — seeding floors from the "
+            f"current {len(gates)} gate(s); static thresholds still apply"
+        )
     failures = [
-        gate
-        for gate in gates
-        if float(gate["speedup"]) < float(gate["threshold"])
+        gate for gate in gates if float(gate["speedup"]) < gate["floor"]
     ]
     for gate in gates:
         verdict = "FAIL" if gate in failures else "ok"
         print(
             f"bench-trend: {gate['gate']}: {float(gate['speedup']):.1f}x "
-            f"(floor {float(gate['threshold']):.1f}x) {verdict}"
+            f"(floor {gate['floor']:.1f}x) {verdict}"
         )
     if problems or failures:
         return 1

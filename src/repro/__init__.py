@@ -65,7 +65,9 @@ from repro.engine import (
     BatchResult,
     CacheStats,
     ParallelBuilder,
+    ReplicaServer,
     RepresentationCache,
+    RoutingTable,
     ServingReport,
     ShardedViewServer,
     ViewServer,
@@ -112,6 +114,8 @@ __all__ = [
     "AnswerCursor",
     "ViewServer",
     "ShardedViewServer",
+    "ReplicaServer",
+    "RoutingTable",
     "AsyncViewServer",
     "AsyncServingReport",
     "infer_shard_key",

@@ -71,6 +71,19 @@ without decoding::
     python -m repro snapshot load --file view.snap --data ./relations \\
         --access 1,2
     python -m repro snapshot inspect --file view.snap
+
+Elastic topology: ``serve --async --replicas N`` puts N read replicas —
+hydrated purely from shipped snapshots, never building — behind the
+async balancer (``--balancer round-robin|least-pending``), and the
+``topology`` subcommand inspects/evolves rendezvous routing tables
+offline (splitting a shard re-rendezvouses only that shard's keys)::
+
+    python -m repro serve --async --replicas 2 --snapshot-dir ./snapshots \\
+        --view "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)" \\
+        --data ./relations --requests ./requests.txt
+    python -m repro topology show --shards 4 --data ./relations \\
+        --shard-key R:0,T:1
+    python -m repro topology split --shards 4 --shard 2 --out topo.json
 """
 
 from __future__ import annotations
@@ -87,6 +100,8 @@ from repro import (
     AccessRequest,
     AsyncViewServer,
     CompressedRepresentation,
+    ReplicaServer,
+    RoutingTable,
     ShardedViewServer,
     ViewServer,
     connex_fhw,
@@ -95,6 +110,7 @@ from repro import (
     infer_shard_key,
     parse_view,
 )
+from repro.engine.topology import assignment_of
 from repro.core.snapshot import (
     database_fingerprint,
     inspect_snapshot_file,
@@ -249,6 +265,23 @@ def _serve(args) -> int:
         raise ReproError(
             f"--build-workers must be >= 1, got {args.build_workers}"
         )
+    if args.replicas < 0:
+        raise ReproError(f"--replicas must be >= 0, got {args.replicas}")
+    if args.replicas:
+        if not args.use_async:
+            raise ReproError(
+                "--replicas are balanced by the async front end; add --async"
+            )
+        if args.shards > 1:
+            raise ReproError(
+                "--replicas balance a plain backend; a sharded backend "
+                "already fans out per shard (drop --shards or --replicas)"
+            )
+        if args.snapshot_dir is None:
+            raise ReproError(
+                "--replicas hydrate from shipped snapshots; give "
+                "--snapshot-dir so the primary has somewhere to ship them"
+            )
     if args.shards > 1:
         shard_key = (
             _parse_shard_key(args.shard_key)
@@ -294,11 +327,14 @@ def _serve(args) -> int:
             f"sharding: {args.shards} shards over "
             f"{sorted(backend.shard_key)} ({mode}{detail})"
         )
+    replicas: List[ViewServer] = []
     try:
+        if args.replicas:
+            replicas = _hydrate_replicas(backend, view, name, db, args)
         if args.per_request:
             return _serve_per_request(backend, name, accesses)
         if cursor_mode:
-            return _serve_cursors(backend, name, accesses, args)
+            return _serve_cursors(backend, name, accesses, args, replicas)
         if args.use_async:
             workers = args.workers if args.workers is not None else 4
             max_pending = (
@@ -308,6 +344,8 @@ def _serve(args) -> int:
                 backend,
                 max_workers=workers,
                 max_pending=max_pending,
+                replicas=replicas,
+                balancer=args.balancer,
             )
             try:
                 report = asyncio.run(
@@ -335,8 +373,52 @@ def _serve(args) -> int:
                 f"{report.cache.disk_writes} writes in {args.snapshot_dir}"
             )
     finally:
+        for replica in replicas:
+            replica.close()
         backend.close()
     return 0
+
+
+def _hydrate_replicas(backend, view, name: str, db, args) -> List[ViewServer]:
+    """Ship the primary's snapshots and stand up N hydrated read replicas.
+
+    The primary builds the registered view once and demotes it to the
+    snapshot directory; every replica then registers the *same* spec
+    (identical snapshot label) and hydrates purely from disk — zero
+    builder invocations, by :class:`~repro.engine.replica.ReplicaServer`
+    contract.
+    """
+    backend.representation(name)
+    shipped = backend.cache.demote_all()
+    replicas: List[ViewServer] = []
+    try:
+        for _ in range(args.replicas):
+            replica = ReplicaServer(
+                db,
+                snapshot_dir=args.snapshot_dir,
+                max_entries=args.cache_entries,
+                max_cells=args.cache_cells,
+                cache_policy=args.cache_policy,
+            )
+            replica.register(
+                view,
+                name=name,
+                tau=args.tau,
+                space_budget=args.space_budget,
+                delay_budget=args.delay_budget,
+            )
+            replica.hydrate()
+            replicas.append(replica)
+    except ReproError:
+        for replica in replicas:
+            replica.close()
+        raise
+    print(
+        f"replicas: {len(replicas)} hydrated from snapshots in "
+        f"{args.snapshot_dir} ({shipped} freshly shipped, "
+        f"balancer {args.balancer})"
+    )
+    return replicas
 
 
 def _serve_per_request(backend, name: str, accesses: List[Tuple]) -> int:
@@ -360,7 +442,9 @@ def _serve_per_request(backend, name: str, accesses: List[Tuple]) -> int:
     return 0
 
 
-def _serve_cursors(backend, name: str, accesses: List[Tuple], args) -> int:
+def _serve_cursors(
+    backend, name: str, accesses: List[Tuple], args, replicas=()
+) -> int:
     """Cursor-plane serving: per-request limits, pages and resume tokens.
 
     Each access in the requests file becomes one cursor (or a chain of
@@ -374,7 +458,11 @@ def _serve_cursors(backend, name: str, accesses: List[Tuple], args) -> int:
         workers = args.workers if args.workers is not None else 4
         max_pending = args.max_pending if args.max_pending is not None else 32
         server = AsyncViewServer(
-            backend, max_workers=workers, max_pending=max_pending
+            backend,
+            max_workers=workers,
+            max_pending=max_pending,
+            replicas=list(replicas),
+            balancer=args.balancer,
         )
         try:
             return asyncio.run(
@@ -547,6 +635,103 @@ def _snapshot_inspect(args) -> int:
     return 0
 
 
+def _topology_table(args) -> RoutingTable:
+    """The routing table the topology subcommand operates on."""
+    if args.table is not None:
+        return RoutingTable.from_json(Path(args.table).read_text())
+    if args.shards is None:
+        raise ReproError("give --table FILE or --shards N")
+    if args.shards < 1:
+        raise ReproError(f"--shards must be >= 1, got {args.shards}")
+    return RoutingTable.fresh(args.shards)
+
+
+def _topology_key_values(args) -> List:
+    """Distinct shard-key values from ``--data``, or [] when not given."""
+    if args.data is None:
+        return []
+    db = load_database(args.data)
+    if args.shard_key is not None:
+        shard_key = _parse_shard_key(args.shard_key)
+    elif args.view is not None:
+        shard_key = infer_shard_key(parse_view(args.view))
+    else:
+        raise ReproError(
+            "--data needs --shard-key or --view to know which columns "
+            "route"
+        )
+    values = set()
+    for relation, column in shard_key.items():
+        if relation not in db:
+            raise ReproError(f"--data has no relation {relation!r}")
+        for row in db[relation].rows:
+            values.add(row[column])
+    return sorted(values, key=repr)
+
+
+def _print_assignment(table: RoutingTable, values: List) -> None:
+    owners = assignment_of(table, values)
+    for shard in table.shard_ids:
+        print(f"  shard {shard!r}: {len(owners[shard])} key value(s)")
+
+
+def _topology_show(args) -> int:
+    try:
+        table = _topology_table(args)
+        values = _topology_key_values(args)
+    except (ReproError, OSError, ValueError) as error:
+        print(f"topology show: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"routing table version {table.version}: "
+        f"{table.n_shards} shard(s)"
+    )
+    print(f"  roots:  {list(table.roots)}")
+    for parent in sorted(table.splits):
+        print(f"  split:  {parent!r} -> {list(table.children(parent))}")
+    print(f"  leaves: {list(table.shard_ids)}")
+    if values:
+        print(f"placement of {len(values)} distinct key value(s):")
+        _print_assignment(table, values)
+    return 0
+
+
+def _topology_split(args) -> int:
+    try:
+        table = _topology_table(args)
+        values = _topology_key_values(args)
+        new_table = table.split(args.shard)
+    except (ReproError, OSError, ValueError) as error:
+        print(f"topology split: {error}", file=sys.stderr)
+        return 2
+    out = args.out if args.out is not None else args.table
+    print(
+        f"split shard {args.shard!r}: version {table.version} -> "
+        f"{new_table.version}, children {list(new_table.children(args.shard))}"
+    )
+    if values:
+        before = assignment_of(table, values)
+        after = assignment_of(new_table, values)
+        moved = sum(
+            1
+            for shard in table.shard_ids
+            for value in before[shard]
+            if shard != args.shard and value not in after.get(shard, ())
+        )
+        print(
+            f"  {len(before[args.shard])} of {len(values)} key value(s) "
+            f"re-rendezvous between the children; {moved} moved elsewhere "
+            f"(rendezvous guarantee: 0)"
+        )
+        _print_assignment(new_table, values)
+    if out is not None:
+        Path(out).write_text(new_table.to_json() + "\n")
+        print(f"  wrote version {new_table.version} to {out}")
+    else:
+        print(new_table.to_json())
+    return 0
+
+
 def _run_widths(args) -> int:
     view = parse_view(args.view)
     db = load_database(args.data)
@@ -667,6 +852,19 @@ def main(argv=None) -> int:
         "when omitted",
     )
     serve.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="stand up N read replicas hydrated from shipped snapshots "
+        "(needs --async and --snapshot-dir; plain backend only)",
+    )
+    serve.add_argument(
+        "--balancer",
+        choices=["round-robin", "least-pending"],
+        default="round-robin",
+        help="replica load-balancing policy (needs --replicas)",
+    )
+    serve.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -743,6 +941,67 @@ def main(argv=None) -> int:
         "--file", required=True, help="snapshot file to inspect"
     )
     snap_inspect.set_defaults(handler=_snapshot_inspect)
+
+    topology = commands.add_parser(
+        "topology",
+        help="inspect or evolve a rendezvous routing table offline",
+    )
+    topology_commands = topology.add_subparsers(
+        dest="topology_command", required=True
+    )
+
+    def _topology_common(sub: argparse.ArgumentParser) -> None:
+        source = sub.add_mutually_exclusive_group()
+        source.add_argument(
+            "--table",
+            default=None,
+            help="routing-table JSON file (as written by 'topology split')",
+        )
+        source.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            help="start from a fresh N-shard table instead of --table",
+        )
+        sub.add_argument(
+            "--data",
+            default=None,
+            help="directory of <relation>.csv files; adds key placement "
+            "counts (needs --shard-key or --view)",
+        )
+        sub.add_argument(
+            "--shard-key",
+            default=None,
+            help="RELATION:COLUMN[,...] routing columns for --data",
+        )
+        sub.add_argument(
+            "--view",
+            default=None,
+            help="adorned view to infer the shard key from (for --data)",
+        )
+
+    topo_show = topology_commands.add_parser(
+        "show", help="print a routing table's shards, splits and placement"
+    )
+    _topology_common(topo_show)
+    topo_show.set_defaults(handler=_topology_show)
+
+    topo_split = topology_commands.add_parser(
+        "split",
+        help="split one shard (only its keys re-rendezvous) and write the "
+        "bumped table",
+    )
+    _topology_common(topo_split)
+    topo_split.add_argument(
+        "--shard", required=True, help="live shard id to split, e.g. 2 or 2.0"
+    )
+    topo_split.add_argument(
+        "--out",
+        default=None,
+        help="file for the new table JSON (default: rewrite --table, or "
+        "print to stdout)",
+    )
+    topo_split.set_defaults(handler=_topology_split)
 
     args = parser.parse_args(argv)
     return args.handler(args)

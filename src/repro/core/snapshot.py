@@ -57,6 +57,22 @@ _HEADER_PREFIX = struct.Struct(">4sH")
 _U16 = struct.Struct(">H")
 _TRAILER = struct.Struct(">IQ")
 
+#: What unpickling a malformed-but-CRC-valid payload can actually raise.
+#: Deliberately NOT a bare ``Exception``: a ``MemoryError`` during a large
+#: decode (or a ``KeyboardInterrupt``-adjacent failure) is not a corrupt
+#: snapshot and must propagate as itself, not masquerade as one.
+_DECODE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    TypeError,
+    ValueError,  # includes UnicodeDecodeError
+    struct.error,
+)
+
 
 # ----------------------------------------------------------------------
 # view and database state (shared by every representation kind)
@@ -298,7 +314,7 @@ def decode_snapshot(
         raise SnapshotError("corrupted snapshot: payload CRC mismatch")
     try:
         state = pickle.loads(payload)
-    except Exception as error:  # unpickling raises arbitrary types
+    except _DECODE_ERRORS as error:
         raise SnapshotError(
             f"corrupted snapshot payload: {error}"
         ) from error

@@ -37,6 +37,7 @@ from repro.engine.cache import (
     representation_cells,
 )
 from repro.engine.parallel import ParallelBuilder
+from repro.engine.replica import ReplicaServer
 from repro.engine.server import (
     DEFAULT_TAU,
     BatchResult,
@@ -51,11 +52,14 @@ from repro.engine.shared_scan import (
 )
 from repro.engine.sharding import (
     ShardedViewServer,
+    SplitReport,
     infer_shard_key,
     merge_delay_stats,
     partition_database,
+    semijoin_reduce_database,
     stable_hash,
 )
+from repro.engine.topology import RoutingTable, rendezvous_choice
 
 __all__ = [
     "AccessRequest",
@@ -75,10 +79,15 @@ __all__ = [
     "SharedScan",
     "SharedScanStats",
     "open_group",
+    "ReplicaServer",
+    "RoutingTable",
     "ShardedViewServer",
+    "SplitReport",
     "infer_shard_key",
     "merge_delay_stats",
     "partition_database",
+    "rendezvous_choice",
+    "semijoin_reduce_database",
     "stable_hash",
     "AsyncBatchResult",
     "AsyncServingReport",

@@ -163,6 +163,8 @@ class AnswerCursor:
         self._finished = False
         self._exhausted = False
         self._closed = False
+        self._close_hooks: List = []
+        self._hooks_fired = False
         now = time.perf_counter()
         self._started = now
         self._last_time = now
@@ -180,6 +182,10 @@ class AnswerCursor:
         limit = self.request.limit
         if limit is not None and self._stats.outputs >= limit:
             self._finished = True
+            # A limit-stop ends this cursor's serving life as surely as
+            # exhaustion does; holders of resources (topology pins) must
+            # hear about it even if the caller never calls close().
+            self._fire_close_hooks()
             raise StopIteration
         try:
             row = next(self._source)
@@ -210,6 +216,7 @@ class AnswerCursor:
     def _observe_exhaustion(self) -> None:
         self._finished = True
         self._exhausted = True
+        self._fire_close_hooks()
         if not self.request.measure:
             return
         # Mirror measure_enumeration's closing gap: the time from the
@@ -293,6 +300,28 @@ class AnswerCursor:
     # ------------------------------------------------------------------
     # life cycle
     # ------------------------------------------------------------------
+    def add_close_hook(self, hook) -> None:
+        """Run ``hook()`` once when this cursor's serving life ends.
+
+        The end of life is whichever comes first of :meth:`close`,
+        exhaustion, or a limit-stop — exactly when the serving layer can
+        release per-cursor resources (the sharded facade hangs its
+        routing-table version pin here). A hook added after that point
+        runs immediately; each hook runs at most once.
+        """
+        if self._hooks_fired:
+            hook()
+            return
+        self._close_hooks.append(hook)
+
+    def _fire_close_hooks(self) -> None:
+        if self._hooks_fired:
+            return
+        self._hooks_fired = True
+        hooks, self._close_hooks = self._close_hooks, []
+        for hook in hooks:
+            hook()
+
     def close(self) -> None:
         """Release the underlying enumeration(s); idempotent."""
         if self._closed:
@@ -304,6 +333,7 @@ class AnswerCursor:
             closer()
         for part in self.parts:
             part.close()
+        self._fire_close_hooks()
 
     def __enter__(self) -> "AnswerCursor":
         return self

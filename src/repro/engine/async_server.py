@@ -14,7 +14,22 @@ The back end is duck-typed: a plain ``ViewServer`` or a
 :class:`~repro.engine.sharding.ShardedViewServer`. For a sharded back
 end the front end splits each batch along the shard plan and awaits the
 per-shard sub-batches concurrently — scatter-gather requests fan out to
-every shard, routed requests touch exactly one.
+every shard, routed requests touch exactly one — and every fan-out pins
+the backend's routing-table version for its whole plan→answer→merge
+span, so a live :meth:`~repro.engine.sharding.ShardedViewServer.split_shard`
+cuts over *between* batches, never under one.
+
+Read replicas and admission control
+-----------------------------------
+A plain back end can be fronted by
+:class:`~repro.engine.replica.ReplicaServer` instances (``replicas=``):
+read batches are balanced across them — ``balancer="round-robin"`` or
+``"least-pending"`` (pick the replica with the fewest batches in
+flight) — while registration still goes everywhere, so every replica
+serves the same views from its shipped snapshots. Per-tenant admission
+control (``max_pending_per_tenant=``) bounds how many in-flight batches
+any single tenant may hold *before* it competes for the global
+``max_pending`` — one hot tenant cannot starve the rest.
 """
 
 from __future__ import annotations
@@ -61,6 +76,7 @@ class AsyncBatchResult:
     queue_seconds: float
     service_seconds: float
     shards: Tuple[int, ...] = ()
+    replica: Optional[int] = None  # which read replica served it, if any
 
     @property
     def turnaround_seconds(self) -> float:
@@ -117,8 +133,26 @@ class AsyncViewServer:
         only when ``backend`` is a database; see :class:`ViewServer`.
         A backend built here is owned here: :meth:`close` releases its
         build pool along with the serving threads.
+    replicas:
+        Read replicas (typically
+        :class:`~repro.engine.replica.ReplicaServer` instances) to
+        balance read batches across. Only valid with a *plain* back end
+        — a sharded back end already is its own fan-out layer. Replicas
+        are caller-owned (``close()`` leaves them alone); registration
+        through this facade reaches every replica, so they stay in sync.
+    balancer:
+        ``"round-robin"`` (rotate) or ``"least-pending"`` (the replica
+        with the fewest batches currently in flight, rotation as the
+        tie-break).
+    max_pending_per_tenant:
+        Per-tenant admission bound: a tenant (the ``tenant=`` argument
+        of :meth:`serve` / :meth:`answer_requests`) may hold at most
+        this many in-flight batches before its next one waits — acquired
+        *before* the global ``max_pending`` slot, so a saturated tenant
+        queues outside the shared pool instead of monopolizing it.
+        ``None`` disables per-tenant gating.
 
-    One event loop at a time: the internal semaphore binds to the loop
+    One event loop at a time: the internal semaphores bind to the loop
     of the first ``await``, so drive a given instance from a single
     ``asyncio.run`` (or call :meth:`reset` between loops).
     """
@@ -133,11 +167,27 @@ class AsyncViewServer:
         snapshot_dir=None,
         cache_policy: str = "lru",
         build_workers: Optional[int] = None,
+        replicas: Sequence[ViewServer] = (),
+        balancer: str = "round-robin",
+        max_pending_per_tenant: Optional[int] = None,
     ):
         if max_workers < 1:
             raise ParameterError(f"max_workers must be >= 1, got {max_workers}")
         if max_pending < 1:
             raise ParameterError(f"max_pending must be >= 1, got {max_pending}")
+        if balancer not in ("round-robin", "least-pending"):
+            raise ParameterError(
+                f"unknown balancer {balancer!r}; expected 'round-robin' "
+                "or 'least-pending'"
+            )
+        if (
+            max_pending_per_tenant is not None
+            and max_pending_per_tenant < 1
+        ):
+            raise ParameterError(
+                "max_pending_per_tenant must be >= 1, got "
+                f"{max_pending_per_tenant}"
+            )
         self._owns_backend = isinstance(backend, Database)
         if isinstance(backend, Database):
             backend = ViewServer(
@@ -148,8 +198,22 @@ class AsyncViewServer:
                 cache_policy=cache_policy,
                 build_workers=build_workers,
             )
+        if replicas and isinstance(backend, ShardedViewServer):
+            raise ParameterError(
+                "replicas balance a plain backend; a sharded backend "
+                "already fans out per shard (replicate the shards "
+                "themselves instead)"
+            )
         self.backend: Backend = backend
         self.max_pending = max_pending
+        self.max_pending_per_tenant = max_pending_per_tenant
+        self._replicas: Tuple[ViewServer, ...] = tuple(replicas)
+        self._balancer = balancer
+        # Loop-confined balancer state: mutated only on the event-loop
+        # thread (executor work happens after the pick), so no lock.
+        self._rr = 0
+        self._replica_pending = [0] * len(self._replicas)
+        self._tenant_gates: dict = {}
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
@@ -166,13 +230,27 @@ class AsyncViewServer:
         delay_budget: Optional[float] = None,
         name: Optional[str] = None,
     ) -> str:
-        return self.backend.register(
+        resolved = self.backend.register(
             view,
             tau=tau,
             space_budget=space_budget,
             delay_budget=delay_budget,
             name=name,
         )
+        # Replicas serve the same views under the same knobs (identical
+        # knobs -> identical snapshot labels -> hydration finds the
+        # primary's shipped structures). Pre-registered replicas keep
+        # their registration.
+        for replica in self._replicas:
+            if resolved not in replica.views():
+                replica.register(
+                    view,
+                    tau=tau,
+                    space_budget=space_budget,
+                    delay_budget=delay_budget,
+                    name=resolved,
+                )
+        return resolved
 
     def registration(self, name: str) -> Registration:
         return self.backend.registration(name)
@@ -184,6 +262,44 @@ class AsyncViewServer:
     def is_sharded(self) -> bool:
         return isinstance(self.backend, ShardedViewServer)
 
+    @property
+    def replicas(self) -> Tuple[ViewServer, ...]:
+        return self._replicas
+
+    @property
+    def replica_loads(self) -> Tuple[int, ...]:
+        """In-flight batch counts per replica (the balancer's view)."""
+        return tuple(self._replica_pending)
+
+    # ------------------------------------------------------------------
+    # balancing and admission
+    # ------------------------------------------------------------------
+    def _pick_replica(self) -> Optional[int]:
+        """The replica index the next read batch goes to (None: backend)."""
+        n = len(self._replicas)
+        if n == 0:
+            return None
+        start = self._rr % n
+        self._rr += 1
+        if self._balancer == "least-pending":
+            # Fewest in-flight batches wins; rotation breaks ties so
+            # equal loads still spread.
+            offset = min(
+                range(n),
+                key=lambda k: (self._replica_pending[(start + k) % n], k),
+            )
+            return (start + offset) % n
+        return start
+
+    def _tenant_gate(self, tenant: Optional[str]):
+        if tenant is None or self.max_pending_per_tenant is None:
+            return None
+        gate = self._tenant_gates.get(tenant)
+        if gate is None:
+            gate = asyncio.Semaphore(self.max_pending_per_tenant)
+            self._tenant_gates[tenant] = gate
+        return gate
+
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
@@ -193,35 +309,70 @@ class AsyncViewServer:
         accesses: Iterable[Sequence],
         tau: Optional[float] = None,
         measure: bool = True,
+        tenant: Optional[str] = None,
     ) -> AsyncBatchResult:
         """Serve one batch on the thread pool; await the merged result.
 
         With a sharded back end the batch is split along its shard plan
-        and the non-empty sub-batches run concurrently; the returned
-        timing spans the whole fan-out.
+        and the non-empty sub-batches run concurrently (under one pinned
+        routing-table version); with read replicas the whole batch goes
+        to the balancer's pick. ``tenant`` engages per-tenant admission
+        control when the server was built with
+        ``max_pending_per_tenant`` — the tenant's slot is acquired
+        before the global one, and both waits count as queue time.
         """
         batch = [tuple(access) for access in accesses]
         loop = asyncio.get_running_loop()
         submitted = time.perf_counter()
+        gate = self._tenant_gate(tenant)
+        if gate is not None:
+            async with gate:
+                return await self._serve_admitted(
+                    loop, name, batch, tau, measure, submitted
+                )
+        return await self._serve_admitted(
+            loop, name, batch, tau, measure, submitted
+        )
+
+    async def _serve_admitted(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        name: str,
+        batch: List[Tuple],
+        tau: Optional[float],
+        measure: bool,
+        submitted: float,
+    ) -> AsyncBatchResult:
         async with self._semaphore:
             if isinstance(self.backend, ShardedViewServer):
                 return await self._serve_sharded(
                     loop, name, batch, tau, measure, submitted
                 )
-            (result, started, finished) = await loop.run_in_executor(
-                self._executor,
-                self._timed_batch,
-                self.backend,
-                None,
-                name,
-                batch,
-                tau,
-                measure,
+            replica = self._pick_replica()
+            server = (
+                self.backend if replica is None else self._replicas[replica]
             )
+            if replica is not None:
+                self._replica_pending[replica] += 1
+            try:
+                (result, started, finished) = await loop.run_in_executor(
+                    self._executor,
+                    self._timed_batch,
+                    server,
+                    None,
+                    name,
+                    batch,
+                    tau,
+                    measure,
+                )
+            finally:
+                if replica is not None:
+                    self._replica_pending[replica] -= 1
             return AsyncBatchResult(
                 result=result,
                 queue_seconds=started - submitted,
                 service_seconds=finished - started,
+                replica=replica,
             )
 
     async def _serve_sharded(
@@ -235,45 +386,52 @@ class AsyncViewServer:
     ) -> AsyncBatchResult:
         backend: ShardedViewServer = self.backend
         # One route resolution serves plan and merge (a concurrent
-        # re-registration must not flip the mode mid-batch), and the
+        # re-registration must not flip the mode mid-batch), one pinned
+        # topology version spans plan → answer → merge (a concurrent
+        # split_shard must not shift shard indexes mid-fan-out), and the
         # per-access hash planning runs off the loop thread.
         route = backend.route(name)
-        plan = await loop.run_in_executor(
-            self._executor, backend.plan_batch, name, batch, route
-        )
-        work = [
-            (index, sub_batch)
-            for index, sub_batch in enumerate(plan)
-            if sub_batch
-        ]
-        timed = await asyncio.gather(
-            *(
-                loop.run_in_executor(
-                    self._executor,
-                    self._timed_batch,
-                    backend,
-                    index,
-                    name,
-                    sub_batch,
-                    tau,
-                    measure,
-                )
-                for index, sub_batch in work
+        version = backend.pin_version()
+        try:
+            plan = await loop.run_in_executor(
+                self._executor, backend.plan_batch, name, batch, route, version
             )
-        )
-        shard_results: List[Optional[BatchResult]] = [None] * len(plan)
-        started = time.perf_counter()  # >= every sub_started; min() folds down
-        finished = 0.0
-        for (index, _), (result, sub_started, sub_finished) in zip(work, timed):
-            shard_results[index] = result
-            started = min(started, sub_started)
-            finished = max(finished, sub_finished)
-        # The gather merge is O(total outputs); keep it off the loop
-        # thread so other batches keep flowing while it runs — but its
-        # duration is real service time, so it extends the span.
-        merged = await loop.run_in_executor(
-            self._executor, backend.merge_batch, name, batch, shard_results, route
-        )
+            work = [
+                (index, sub_batch)
+                for index, sub_batch in enumerate(plan)
+                if sub_batch
+            ]
+            timed = await asyncio.gather(
+                *(
+                    loop.run_in_executor(
+                        self._executor,
+                        self._timed_batch,
+                        backend,
+                        index,
+                        name,
+                        sub_batch,
+                        tau,
+                        measure,
+                        version,
+                    )
+                    for index, sub_batch in work
+                )
+            )
+            shard_results: List[Optional[BatchResult]] = [None] * len(plan)
+            started = time.perf_counter()  # >= every sub_started; min() folds down
+            finished = 0.0
+            for (index, _), (result, sub_started, sub_finished) in zip(work, timed):
+                shard_results[index] = result
+                started = min(started, sub_started)
+                finished = max(finished, sub_finished)
+            # The gather merge is O(total outputs); keep it off the loop
+            # thread so other batches keep flowing while it runs — but its
+            # duration is real service time, so it extends the span.
+            merged = await loop.run_in_executor(
+                self._executor, backend.merge_batch, name, batch, shard_results, route
+            )
+        finally:
+            backend.release_version(version)
         finished = max(finished, time.perf_counter())
         return AsyncBatchResult(
             result=merged,
@@ -283,18 +441,23 @@ class AsyncViewServer:
         )
 
     @staticmethod
-    def _timed_batch(backend, shard_index, name, accesses, tau, measure):
+    def _timed_batch(
+        backend, shard_index, name, accesses, tau, measure, version=None
+    ):
         started = time.perf_counter()
         if shard_index is None:
             result = backend.answer_batch(name, accesses, tau=tau, measure=measure)
         else:
             result = backend.answer_shard(
-                shard_index, name, accesses, tau=tau, measure=measure
+                shard_index, name, accesses, tau=tau, measure=measure,
+                version=version,
             )
         return result, started, time.perf_counter()
 
     async def answer_requests(
-        self, requests: Iterable[Union[AccessRequest, str]]
+        self,
+        requests: Iterable[Union[AccessRequest, str]],
+        tenant: Optional[str] = None,
     ) -> List[List[Tuple]]:
         """Serve a typed request batch as whole shared-scan groups.
 
@@ -307,39 +470,70 @@ class AsyncViewServer:
         aligned with the submitted requests, each honoring its own
         ``limit``/``start_after`` knobs; per-shard scatter answers are
         heap-merged (disjoint sorted streams) and re-capped at the
-        request's limit. Holds one unit of the server's semaphore, like
-        :meth:`serve`.
+        request's limit. Holds one unit of the server's semaphore (and
+        the tenant's admission slot, when gated), like :meth:`serve`;
+        with read replicas the whole batch drains on the balancer's
+        pick. Sharded batches pin one routing-table version for the
+        whole fan-out.
         """
         batch = [as_request(request) for request in requests]
         loop = asyncio.get_running_loop()
+        gate = self._tenant_gate(tenant)
+        if gate is not None:
+            async with gate:
+                return await self._answer_admitted(loop, batch)
+        return await self._answer_admitted(loop, batch)
+
+    async def _answer_admitted(
+        self, loop: asyncio.AbstractEventLoop, batch: List[AccessRequest]
+    ) -> List[List[Tuple]]:
         async with self._semaphore:
             if not isinstance(self.backend, ShardedViewServer):
-                return await loop.run_in_executor(
-                    self._executor, self._drain_open_batch, self.backend, batch
+                replica = self._pick_replica()
+                server = (
+                    self.backend
+                    if replica is None
+                    else self._replicas[replica]
                 )
-            backend: ShardedViewServer = self.backend
-            jobs: dict = {}
-            fanouts: List[int] = []
-            for index, request in enumerate(batch):
-                shard = backend.shard_of(request.view, request.access)
-                targets = (
-                    range(backend.n_shards) if shard is None else (shard,)
-                )
-                fanouts.append(len(targets))
-                for target in targets:
-                    jobs.setdefault(target, []).append((index, request))
-            job_items = list(jobs.items())
-            drained = await asyncio.gather(
-                *(
-                    loop.run_in_executor(
-                        self._executor,
-                        self._drain_open_batch,
-                        backend.shards[shard],
-                        [request for _, request in items],
+                if replica is not None:
+                    self._replica_pending[replica] += 1
+                try:
+                    return await loop.run_in_executor(
+                        self._executor, self._drain_open_batch, server, batch
                     )
-                    for shard, items in job_items
+                finally:
+                    if replica is not None:
+                        self._replica_pending[replica] -= 1
+            backend: ShardedViewServer = self.backend
+            version = backend.pin_version()
+            try:
+                jobs: dict = {}
+                fanouts: List[int] = []
+                shard_count = backend.shard_count(version)
+                for index, request in enumerate(batch):
+                    shard = backend.shard_of(
+                        request.view, request.access, version=version
+                    )
+                    targets = (
+                        range(shard_count) if shard is None else (shard,)
+                    )
+                    fanouts.append(len(targets))
+                    for target in targets:
+                        jobs.setdefault(target, []).append((index, request))
+                job_items = list(jobs.items())
+                drained = await asyncio.gather(
+                    *(
+                        loop.run_in_executor(
+                            self._executor,
+                            self._drain_open_batch,
+                            backend.shard_server(shard, version),
+                            [request for _, request in items],
+                        )
+                        for shard, items in job_items
+                    )
                 )
-            )
+            finally:
+                backend.release_version(version)
             parts: List[List[List[Tuple]]] = [[] for _ in batch]
             for (_, items), rows_per_request in zip(job_items, drained):
                 for (index, _), rows in zip(items, rows_per_request):
@@ -406,21 +600,36 @@ class AsyncViewServer:
             measure=measure,
         )
         loop = asyncio.get_running_loop()
-        async with self._semaphore:
-            cursor = await loop.run_in_executor(
-                self._executor, self.backend.open, request
-            )
+        replica = (
+            self._pick_replica()
+            if not isinstance(self.backend, ShardedViewServer)
+            else None
+        )
+        server = self.backend if replica is None else self._replicas[replica]
+        if replica is not None:
+            # The cursor occupies its replica for its whole life: the
+            # least-pending balancer steers new work elsewhere until the
+            # stream finishes.
+            self._replica_pending[replica] += 1
         try:
-            while True:
-                async with self._semaphore:
-                    chunk = await loop.run_in_executor(
-                        self._executor, cursor.fetchmany, chunk_size
-                    )
-                if not chunk:
-                    break
-                yield chunk
+            async with self._semaphore:
+                cursor = await loop.run_in_executor(
+                    self._executor, server.open, request
+                )
+            try:
+                while True:
+                    async with self._semaphore:
+                        chunk = await loop.run_in_executor(
+                            self._executor, cursor.fetchmany, chunk_size
+                        )
+                    if not chunk:
+                        break
+                    yield chunk
+            finally:
+                cursor.close()
         finally:
-            cursor.close()
+            if replica is not None:
+                self._replica_pending[replica] -= 1
 
     async def serve_stream(
         self,
@@ -524,8 +733,10 @@ class AsyncViewServer:
     # life cycle
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Re-arm the semaphore for a fresh event loop (idle servers only)."""
+        """Re-arm the semaphores for a fresh event loop (idle servers only)."""
         self._semaphore = asyncio.Semaphore(self.max_pending)
+        # Tenant gates bind to the old loop too; they re-create lazily.
+        self._tenant_gates.clear()
 
     def close(self) -> None:
         """Shut the thread pool down (idempotent).

@@ -383,6 +383,39 @@ class RepresentationCache:
             return None, False
         return restored, True
 
+    def demote_all(self) -> int:
+        """Flush every resident, not-yet-on-disk entry to the disk tier.
+
+        The elastic-topology hook: a shard about to retire (or ship its
+        structures to a replica) demotes its residents so the snapshots
+        on disk are complete — warm loads and replica hydration then
+        cover everything the cache held. Entries stay resident and are
+        marked ``on_disk`` (a later eviction will not write them again).
+        Snapshot I/O runs outside the lock; returns snapshots written.
+        Without a disk tier this is a no-op.
+        """
+        if self.snapshot_store is None:
+            return 0
+        with self._lock:
+            pending = [
+                (key, entry)
+                for key, entry in self._entries.items()
+                if not entry.on_disk and entry.snapshot_label is not None
+            ]
+        written = 0
+        for key, entry in pending:
+            if self.snapshot_store.save(
+                entry.snapshot_label, entry.representation
+            ):
+                written += 1
+                with self._lock:
+                    # Only mark the entry if it is still the resident one
+                    # (a concurrent rebuild replaces the _Entry object).
+                    if self._entries.get(key) is entry:
+                        entry.on_disk = True
+                    self.stats.disk_writes += 1
+        return written
+
     def _demote(self, evicted: List[Tuple[Hashable, _Entry]]) -> None:
         """Write evicted entries to the disk tier (outside the lock)."""
         if self.snapshot_store is None:

@@ -294,6 +294,7 @@ class ViewServer:
         space_budget: Optional[float] = None,
         delay_budget: Optional[float] = None,
         name: Optional[str] = None,
+        database: Optional[Database] = None,
     ) -> str:
         """Register an adorned view; returns the name requests refer to.
 
@@ -301,9 +302,17 @@ class ViewServer:
         be given; with none, ``DEFAULT_TAU`` is used. Budgets are in the
         optimizer's units: space in cells (relative to the relation
         sizes), delay as the τ bound of Theorem 1.
+
+        ``database`` overrides the server's database for this
+        registration only — the sharded facade registers each view
+        against a per-shard semijoin-reduced copy this way. The override
+        must answer the view identically to the server's own database
+        (the caller's contract); everything else on the server keeps
+        using ``self.db``.
         """
         if isinstance(view, str):
             view = parse_view(view)
+        base_db = database if database is not None else self.db
         knobs = [
             knob
             for knob in (tau, space_budget, delay_budget)
@@ -315,12 +324,12 @@ class ViewServer:
             )
         name = name or view.name
         if view.is_natural_join():
-            natural_view, database = view, self.db
+            natural_view, eval_db = view, base_db
         else:
-            normalized = normalize_view(view, self.db)
-            natural_view, database = normalized.view, normalized.database
+            normalized = normalize_view(view, base_db)
+            natural_view, eval_db = normalized.view, normalized.database
         sizes = {
-            label: len(database[atom.relation])
+            label: len(eval_db[atom.relation])
             for label, atom in enumerate(natural_view.atoms)
         }
         weights: Optional[Mapping[int, float]] = None
@@ -345,7 +354,7 @@ class ViewServer:
                 name=name,
                 view=view,
                 natural_view=natural_view,
-                database=database,
+                database=eval_db,
                 tau=tau,
                 policy=policy,
                 budget=budget,

@@ -11,13 +11,17 @@ batches out to.
 Partitioning
 ------------
 A *shard key* maps relation names to column positions that all hold the
-same query variable. Every listed relation is split by
-``stable_hash(value) % n_shards`` on its key column; unlisted relations
-are shared (the same immutable :class:`~repro.database.relation.Relation`
-object in every shard, no copies). Because a result tuple binding the
-shard variable to ``v`` can only draw key-relation tuples carrying ``v``,
-each result lives in exactly one shard: per-shard answers are disjoint
-and their union is the full answer.
+same query variable. Every listed relation is split along a
+:class:`~repro.engine.topology.RoutingTable` — versioned rendezvous
+placement over :func:`~repro.engine.topology.stable_hash` — on its key
+column; unlisted relations are **copied** into every shard (each shard's
+``Database`` owns its relations — no aliasing, so a delta applied through
+one shard can never bleed into a sibling or a replica), and optionally
+*semijoin-reduced* per registered view against the shard's slice so
+per-shard structures shrink. Because a result tuple binding the shard
+variable to ``v`` can only draw key-relation tuples carrying ``v``, each
+result lives in exactly one shard: per-shard answers are disjoint and
+their union is the full answer.
 
 Routing
 -------
@@ -32,14 +36,27 @@ different variables on a key column are rejected):
   (disjointness makes the merge a plain ordered union);
 * view touches **no sharded relation** → its relations are replicated in
   every shard, so requests are pinned to shard 0.
+
+Elastic topology
+----------------
+:meth:`ShardedViewServer.split_shard` grows the topology live: the hot
+shard's slice — and only that slice — is re-partitioned between two
+child shards by the next routing-table version, the children register
+every current view and warm their structures through the shared
+:class:`~repro.engine.parallel.ParallelBuilder` while the old topology
+keeps serving, and then the new table is cut over atomically. In-flight
+cursors and shared scans *pin* the routing-table version they opened
+under (released by a cursor close hook); new requests take the new
+table; the old shard retires — its resident structures demoted to its
+snapshot tier — once its version's pin count drains to zero.
 """
 
 from __future__ import annotations
 
 import heapq
 import threading
-import zlib
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     Dict,
@@ -65,11 +82,23 @@ from repro.engine.server import (
     ViewServer,
     drain_stream,
 )
+from repro.engine.topology import RoutingTable, stable_hash
 from repro.exceptions import ParameterError, SchemaError
+from repro.joins.semijoin import semijoin
 from repro.measure.delay import DelayStats
 from repro.query.adorned import AdornedView
 from repro.query.atoms import Variable
 from repro.query.parser import parse_view
+
+__all__ = [
+    "ShardedViewServer",
+    "SplitReport",
+    "infer_shard_key",
+    "merge_delay_stats",
+    "partition_database",
+    "semijoin_reduce_database",
+    "stable_hash",
+]
 
 ShardKey = Mapping[str, int]
 
@@ -77,37 +106,6 @@ ShardKey = Mapping[str, int]
 ROUTED = "routed"
 SCATTER = "scatter"
 PINNED = "pinned"
-
-
-def stable_hash(value: object) -> int:
-    """An equality-consistent, restart-stable hash of one bound value.
-
-    Routing must agree with ``==`` (equal values answer identically on an
-    unsharded server, so they must pin the same shard) and ideally not
-    move across process restarts. Python's builtin ``hash`` is
-    equality-consistent by contract but salted per process for strings,
-    while textual hashing is restart-stable but blind to equality
-    (``1`` vs ``1.0``, or ``(1,)`` vs ``(1.0,)``). So: strings and bytes
-    hash via CRC32 of their contents, tuples via a CRC fold of their
-    elements' ``stable_hash`` (restart-stable all the way down), and
-    everything else — numbers, user types, exotic containers — via the
-    builtin ``hash``. The fallback keeps equality-consistency always;
-    restart stability there is only as strong as the value's own
-    ``__hash__`` (exact for numbers, salted for e.g. frozensets of
-    strings).
-    """
-    if isinstance(value, str):
-        return zlib.crc32(value.encode("utf-8"))
-    if isinstance(value, (bytes, bytearray)):
-        return zlib.crc32(bytes(value))
-    if isinstance(value, tuple):
-        # Fold element hashes so equal tuples of equal (possibly
-        # mixed-type) elements agree, e.g. (1,) and (1.0,).
-        acc = len(value)
-        for element in value:
-            acc = zlib.crc32(stable_hash(element).to_bytes(4, "big"), acc)
-        return acc
-    return hash(value) & 0xFFFFFFFF
 
 
 def infer_shard_key(view: AdornedView) -> Dict[str, int]:
@@ -149,20 +147,7 @@ def infer_shard_key(view: AdornedView) -> Dict[str, int]:
     )
 
 
-def partition_database(
-    db: Database,
-    shard_key: ShardKey,
-    n_shards: int,
-    hash_fn=stable_hash,
-) -> List[Database]:
-    """Split ``db`` into ``n_shards`` databases along the shard key.
-
-    Listed relations are partitioned by ``hash_fn(row[column]) % n_shards``;
-    all other relations are shared by reference. Empty slices are kept
-    (a shard may legitimately own no tuples of some relation).
-    """
-    if n_shards < 1:
-        raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
+def _validate_shard_key(db: Database, shard_key: ShardKey) -> None:
     if not shard_key:
         raise ParameterError("shard_key must list at least one relation")
     for name, column in shard_key.items():
@@ -172,29 +157,112 @@ def partition_database(
                 f"shard key column {column} out of range for relation "
                 f"{name!r} of arity {relation.arity}"
             )
-    buckets: Dict[str, List[List[Tuple]]] = {
-        name: [[] for _ in range(n_shards)] for name in shard_key
+
+
+def partition_database(
+    db: Database,
+    shard_key: ShardKey,
+    topology: Union[int, RoutingTable],
+    hash_fn=stable_hash,
+) -> List[Database]:
+    """Split ``db`` into per-shard databases along the routing table.
+
+    ``topology`` is either a shard count (a fresh version-1
+    :class:`~repro.engine.topology.RoutingTable` is built over
+    ``hash_fn``) or an existing table (its own hash function governs;
+    ``hash_fn`` is ignored). Listed relations are partitioned by
+    rendezvous placement of ``row[column]``; all other relations are
+    **copied** per shard — never shared by reference, so one shard's
+    database can be mutated, swapped, or shipped without aliasing its
+    siblings. Empty slices are kept (a shard may legitimately own no
+    tuples of some relation). Returns one database per
+    ``topology.shard_ids`` entry, in that order.
+    """
+    if not isinstance(topology, RoutingTable):
+        topology = RoutingTable.fresh(int(topology), hash_fn=hash_fn)
+    _validate_shard_key(db, shard_key)
+    buckets: Dict[str, Dict[str, List[Tuple]]] = {
+        name: {shard: [] for shard in topology.shard_ids}
+        for name in shard_key
     }
     for name, column in shard_key.items():
         rows_by_shard = buckets[name]
         for row in db[name]:
-            rows_by_shard[hash_fn(row[column]) % n_shards].append(row)
+            rows_by_shard[topology.shard_for(row[column])].append(row)
     shards: List[Database] = []
-    for index in range(n_shards):
+    for shard in topology.shard_ids:
         relations = []
         for relation in db:
-            if relation.name in shard_key:
-                relations.append(
-                    Relation(
-                        relation.name,
-                        relation.arity,
-                        buckets[relation.name][index],
-                    )
-                )
-            else:
-                relations.append(relation)
+            rows = (
+                buckets[relation.name][shard]
+                if relation.name in shard_key
+                else relation.rows
+            )
+            relations.append(Relation(relation.name, relation.arity, rows))
         shards.append(Database(relations))
     return shards
+
+
+def semijoin_reduce_database(
+    db: Database, view: AdornedView, shard_key: ShardKey
+) -> Database:
+    """Shrink one shard's replicated relations to rows that can join its slice.
+
+    Unpartitioned (replicated) relations carry every tuple into every
+    shard, but a shard can only produce answers joining its *own* slice
+    of the sharded relations — so for one view, a replicated row that
+    agrees with no slice row on the variables they share is dangling and
+    can be dropped. Per atom over a replicated relation, survivors are
+    semijoined against every sharded atom sharing at least one variable
+    (self-join occurrences union their survivor sets); the filter only
+    ever keeps a superset of the rows any per-shard answer can use, so
+    per-shard answers are unchanged while per-shard structures shrink.
+    Relations the view never mentions are left untouched (the reduction
+    is applied per *registration*, never to the shard's shared database).
+    """
+    sharded_atoms = [
+        atom for atom in view.atoms if atom.relation in shard_key
+    ]
+    replicated = {
+        atom.relation
+        for atom in view.atoms
+        if atom.relation not in shard_key
+    }
+    if not sharded_atoms or not replicated:
+        return db
+    reduced = db
+    for name in sorted(replicated):
+        relation = db[name]
+        kept: set = set()
+        filtered = False
+        for atom in view.atoms:
+            if atom.relation != name:
+                continue
+            survivors = {tuple(row) for row in relation}
+            atom_vars = {
+                term for term in atom.terms if isinstance(term, Variable)
+            }
+            for partner in sharded_atoms:
+                partner_vars = {
+                    term
+                    for term in partner.terms
+                    if isinstance(term, Variable)
+                }
+                if not (atom_vars & partner_vars):
+                    continue
+                filtered = True
+                survivors = semijoin(
+                    survivors,
+                    atom.terms,
+                    db[partner.relation],
+                    partner.terms,
+                )
+            kept |= survivors
+        if filtered and len(kept) < len(relation):
+            reduced = reduced.replace(
+                Relation(name, relation.arity, kept)
+            )
+    return reduced
 
 
 def merge_delay_stats(parts: Sequence[DelayStats]) -> DelayStats:
@@ -216,6 +284,36 @@ def merge_delay_stats(parts: Sequence[DelayStats]) -> DelayStats:
     return merged
 
 
+@dataclass(frozen=True)
+class SplitReport:
+    """What one :meth:`ShardedViewServer.split_shard` actually did."""
+
+    shard_id: str
+    children: Tuple[str, ...]
+    version_before: int
+    version_after: int
+    moved_rows: int  # key-relation rows re-placed (all from the split shard)
+    demoted_snapshots: int  # parent structures demoted to its disk tier
+    warmed_views: Tuple[str, ...]
+    retired_immediately: bool  # no pins held: the parent retired at cutover
+
+
+class _Topology:
+    """One live routing-table version: its table, shard servers, and pins."""
+
+    __slots__ = ("table", "shard_ids", "servers", "pins")
+
+    def __init__(self, table: RoutingTable, servers: Sequence[ViewServer]):
+        self.table = table
+        self.shard_ids = table.shard_ids
+        self.servers: Tuple[ViewServer, ...] = tuple(servers)
+        self.pins = 0
+
+    @property
+    def version(self) -> int:
+        return self.table.version
+
+
 class ShardedViewServer:
     """N hash-partitioned :class:`ViewServer` back ends behind one facade.
 
@@ -231,18 +329,20 @@ class ShardedViewServer:
     db:
         The full database; it is partitioned once at construction.
     n_shards:
-        Number of shards (>= 1).
+        Number of shards (>= 1), or a ready
+        :class:`~repro.engine.topology.RoutingTable` (e.g. one
+        deserialized from a previous run — placement is restart-stable).
     shard_key:
         Mapping of relation names to key column positions (required and
         non-empty). Every listed relation is partitioned; the rest are
-        shared. :func:`infer_shard_key` derives one from a
+        copied per shard. :func:`infer_shard_key` derives one from a
         representative view.
     max_entries / max_cells:
         Representation-cache bounds **per shard** — sharding multiplies
         the aggregate budget, which is exactly its point.
     snapshot_dir:
         Optional warm-start directory; each shard persists under its own
-        ``shard-N`` subdirectory, fingerprinted with its own database
+        ``shard-<id>`` subdirectory, fingerprinted with its own database
         slice (so a resharded or re-keyed partition refuses stale
         snapshots shard by shard).
     cache_policy:
@@ -252,12 +352,17 @@ class ShardedViewServer:
         process pool shared by every shard, so per-shard structure
         construction uses real cores while total build parallelism stays
         bounded. ``None`` keeps builds in-process.
+    semijoin_reduce:
+        Reduce each registration's replicated relations against the
+        shard's slice (:func:`semijoin_reduce_database`) so per-shard
+        structures shrink. On by default; answers are unchanged either
+        way.
     """
 
     def __init__(
         self,
         db: Database,
-        n_shards: int,
+        n_shards: Union[int, RoutingTable],
         shard_key: ShardKey,
         max_entries: Optional[int] = 8,
         max_cells: Optional[int] = None,
@@ -265,42 +370,190 @@ class ShardedViewServer:
         snapshot_dir: Optional[Union[str, Path]] = None,
         cache_policy: str = "lru",
         build_workers: Optional[int] = None,
+        semijoin_reduce: bool = True,
     ):
         self.shard_key: Dict[str, int] = dict(shard_key or {})
-        self.databases = partition_database(
-            db, self.shard_key, n_shards, hash_fn=hash_fn
+        self._hash_fn = hash_fn
+        self._max_entries = max_entries
+        self._max_cells = max_cells
+        self._snapshot_dir = (
+            Path(snapshot_dir) if snapshot_dir is not None else None
         )
+        self._cache_policy = cache_policy
+        self._semijoin_reduce = semijoin_reduce
+        if isinstance(n_shards, RoutingTable):
+            table = n_shards
+        else:
+            table = RoutingTable.fresh(n_shards, hash_fn=hash_fn)
+        slices = partition_database(db, self.shard_key, table)
         self._builder: Optional[ParallelBuilder] = (
             ParallelBuilder(build_workers)
             if build_workers is not None
             else None
         )
-        self.shards: List[ViewServer] = [
-            ViewServer(
-                shard_db,
-                max_entries=max_entries,
-                max_cells=max_cells,
-                snapshot_dir=(
-                    Path(snapshot_dir) / f"shard-{index}"
-                    if snapshot_dir is not None
-                    else None
-                ),
-                cache_policy=cache_policy,
-                builder=self._builder,
-            )
-            for index, shard_db in enumerate(self.databases)
-        ]
-        self._hash_fn = hash_fn
+        # Every live shard server/database, across all live versions
+        # (retiring shards stay here until their version's pins drain).
+        self._databases: Dict[str, Database] = dict(
+            zip(table.shard_ids, slices)
+        )
+        self._servers: Dict[str, ViewServer] = {
+            shard_id: self._make_shard_server(shard_id, shard_db)
+            for shard_id, shard_db in self._databases.items()
+        }
+        self._current = _Topology(
+            table, [self._servers[sid] for sid in table.shard_ids]
+        )
+        self._topologies: Dict[int, _Topology] = {
+            table.version: self._current
+        }
+        self._topology_lock = threading.RLock()
+        # Serializes registration changes against splits, so a split
+        # replays a consistent registration set onto its children.
+        self._admin_lock = threading.Lock()
+        # Registration knobs by name, replayed onto split children.
+        self._registrations: Dict[str, Dict] = {}
         # Maps name -> (mode, bound position); None marks a registration
         # in flight (the name is claimed but not yet routable).
         self._routes: Dict[str, Optional[Tuple[str, Optional[int]]]] = {}
         self._routes_lock = threading.Lock()
         self._served_lock = threading.Lock()
         self._requests_served = 0
+        # Counters of retired shards fold in here so the facade's totals
+        # stay monotonic across splits.
+        self._retired_builds = 0
+        self._retired_cache = CacheStats()
+
+    def _make_shard_server(
+        self, shard_id: str, shard_db: Database
+    ) -> ViewServer:
+        return ViewServer(
+            shard_db,
+            max_entries=self._max_entries,
+            max_cells=self._max_cells,
+            snapshot_dir=(
+                self._snapshot_dir / f"shard-{shard_id}"
+                if self._snapshot_dir is not None
+                else None
+            ),
+            cache_policy=self._cache_policy,
+            builder=self._builder,
+        )
+
+    # ------------------------------------------------------------------
+    # topology: versions, pins, and the current view of the world
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> RoutingTable:
+        """The current routing table (new requests route through it)."""
+        with self._topology_lock:
+            return self._current.table
+
+    @property
+    def shards(self) -> List[ViewServer]:
+        """The current topology's shard servers, in shard-id order."""
+        with self._topology_lock:
+            return list(self._current.servers)
+
+    @property
+    def databases(self) -> List[Database]:
+        """The current topology's shard databases, in shard-id order."""
+        with self._topology_lock:
+            return [
+                self._databases[sid] for sid in self._current.shard_ids
+            ]
 
     @property
     def n_shards(self) -> int:
-        return len(self.shards)
+        with self._topology_lock:
+            return len(self._current.shard_ids)
+
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        with self._topology_lock:
+            return self._current.shard_ids
+
+    def _topology_for(self, version: Optional[int]) -> _Topology:
+        with self._topology_lock:
+            if version is None:
+                return self._current
+            top = self._topologies.get(version)
+            if top is None:
+                raise ParameterError(
+                    f"routing-table version {version} is not live"
+                )
+            return top
+
+    def shard_server(
+        self, shard_index: int, version: Optional[int] = None
+    ) -> ViewServer:
+        """The shard server at one index of a (pinned or current) version."""
+        return self._topology_for(version).servers[shard_index]
+
+    def shard_count(self, version: Optional[int] = None) -> int:
+        """Shards in a (pinned or current) routing-table version."""
+        return len(self._topology_for(version).shard_ids)
+
+    def pin_version(self) -> int:
+        """Pin the current routing-table version; returns its number.
+
+        A pinned version's shards cannot retire — in-flight cursors and
+        shared scans keep serving the topology they opened under while
+        a split cuts new requests over. Balance every pin with one
+        :meth:`release_version` (cursor close hooks do this for the
+        serving paths).
+        """
+        with self._topology_lock:
+            self._current.pins += 1
+            return self._current.version
+
+    def release_version(self, version: int) -> None:
+        """Drop one pin; a drained non-current version retires its shards."""
+        retired: List[ViewServer] = []
+        with self._topology_lock:
+            top = self._topologies.get(version)
+            if top is None:
+                return
+            top.pins = max(0, top.pins - 1)
+            if top.pins == 0 and top is not self._current:
+                retired = self._retire_version_locked(top)
+        for server in retired:
+            self._finalize_retired(server)
+
+    def version_pins(self, version: Optional[int] = None) -> int:
+        with self._topology_lock:
+            return self._topology_for(version).pins
+
+    def live_versions(self) -> Tuple[int, ...]:
+        with self._topology_lock:
+            return tuple(sorted(self._topologies))
+
+    def _retire_version_locked(self, top: _Topology) -> List[ViewServer]:
+        # Caller holds the topology lock. Shards still referenced by any
+        # other live version (i.e. everything but the split parent) stay.
+        del self._topologies[top.version]
+        live = set()
+        for other in self._topologies.values():
+            live.update(other.shard_ids)
+        retired: List[ViewServer] = []
+        for shard_id in top.shard_ids:
+            if shard_id in live:
+                continue
+            server = self._servers.pop(shard_id, None)
+            if server is None:
+                continue
+            self._databases.pop(shard_id, None)
+            self._retired_builds += server.total_builds()
+            self._retired_cache.add(server.cache_stats)
+            retired.append(server)
+        return retired
+
+    def _finalize_retired(self, server: ViewServer) -> None:
+        # Demotion and teardown do I/O; they run outside the topology
+        # lock. Demoting first keeps the retiring shard's structures
+        # shippable (replicas hydrate from exactly these snapshots).
+        server.cache.demote_all()
+        server.cache.clear()
+        server.close()
 
     # ------------------------------------------------------------------
     # registration and routing
@@ -345,6 +598,15 @@ class ShardedViewServer:
             "variable as the shard key)"
         )
 
+    def _shard_view_database(
+        self, view: AdornedView, shard_db: Database
+    ) -> Optional[Database]:
+        """The per-registration database override for one shard (or None)."""
+        if not self._semijoin_reduce:
+            return None
+        reduced = semijoin_reduce_database(shard_db, view, self.shard_key)
+        return None if reduced is shard_db else reduced
+
     def register(
         self,
         view: Union[AdornedView, str],
@@ -358,7 +620,11 @@ class ShardedViewServer:
         Budget-driven τ selection runs per shard against the shard's own
         relation sizes — shards sit at their own points of the
         space/delay tradeoff, which is what a per-shard cache budget
-        means.
+        means. With ``semijoin_reduce`` on, each shard's registration
+        evaluates against a slice-reduced copy of the replicated
+        relations (answers are identical; structures are smaller). The
+        registration is recorded so a later :meth:`split_shard` replays
+        it onto the child shards.
         """
         if isinstance(view, str):
             view = parse_view(view)
@@ -372,16 +638,30 @@ class ShardedViewServer:
             self._routes[intended] = None
         registered: List[ViewServer] = []
         try:
-            for server in self.shards:
-                resolved = server.register(
-                    view,
-                    tau=tau,
-                    space_budget=space_budget,
-                    delay_budget=delay_budget,
-                    name=name,
-                )
-                assert resolved == intended
-                registered.append(server)
+            with self._admin_lock:
+                with self._topology_lock:
+                    targets = [
+                        (self._servers[sid], self._databases[sid])
+                        for sid in self._current.shard_ids
+                    ]
+                for server, shard_db in targets:
+                    resolved = server.register(
+                        view,
+                        tau=tau,
+                        space_budget=space_budget,
+                        delay_budget=delay_budget,
+                        name=name,
+                        database=self._shard_view_database(view, shard_db),
+                    )
+                    assert resolved == intended
+                    registered.append(server)
+                self._registrations[intended] = {
+                    "view": view,
+                    "tau": tau,
+                    "space_budget": space_budget,
+                    "delay_budget": delay_budget,
+                    "name": name,
+                }
         except BaseException:
             # All shards or none: a half-registered view would wedge the
             # name (unroutable here, 'already registered' on retry).
@@ -403,8 +683,15 @@ class ShardedViewServer:
             if self._routes.get(name) is None:
                 return False
             del self._routes[name]
-        for server in self.shards:
-            server.unregister(name)
+        with self._admin_lock:
+            self._registrations.pop(name, None)
+            with self._topology_lock:
+                # Retiring shards lose the view too: a pinned cursor
+                # already holds its structure, and a retired cache must
+                # not resurrect an unregistered view.
+                servers = list(self._servers.values())
+            for server in servers:
+                server.unregister(name)
         return True
 
     def route(self, name: str) -> Tuple[str, Optional[int]]:
@@ -433,8 +720,16 @@ class ShardedViewServer:
                 if route is not None
             )
 
-    def shard_of(self, name: str, access: Sequence) -> Optional[int]:
-        """The shard one access pins, or ``None`` for scatter views."""
+    def shard_of(
+        self, name: str, access: Sequence, version: Optional[int] = None
+    ) -> Optional[int]:
+        """The shard index one access pins, or ``None`` for scatter views.
+
+        Indexes are positions within the (pinned or current) topology's
+        :attr:`shard_ids`; callers fanning a batch out across awaits
+        should pin a version first so a concurrent split cannot shift
+        the indexes under them.
+        """
         mode, position = self.route(name)
         if mode == SCATTER:
             return None
@@ -446,7 +741,7 @@ class ShardedViewServer:
                 f"view {name!r}: access tuple {access!r} too short for "
                 f"bound position {position}"
             )
-        return self._hash_fn(access[position]) % self.n_shards
+        return self._topology_for(version).table.index_for(access[position])
 
     # ------------------------------------------------------------------
     # builds
@@ -465,20 +760,23 @@ class ShardedViewServer:
         per-shard structures, shard order.
         """
         self.route(name)  # unknown views fail before any build starts
-        if self.n_shards == 1:
-            return [self.shards[0].representation(name, tau)]
+        servers = self.shards
+        if len(servers) == 1:
+            return [servers[0].representation(name, tau)]
         with ThreadPoolExecutor(
-            max_workers=self.n_shards, thread_name_prefix="repro-prebuild"
+            max_workers=len(servers), thread_name_prefix="repro-prebuild"
         ) as pool:
             futures = [
                 pool.submit(server.representation, name, tau)
-                for server in self.shards
+                for server in servers
             ]
             return [future.result() for future in futures]
 
     def close(self) -> None:
         """Release the shared build worker pool (serving keeps working)."""
-        for server in self.shards:
+        with self._topology_lock:
+            servers = list(self._servers.values())
+        for server in servers:
             server.close()
         if self._builder is not None:
             self._builder.close()
@@ -488,6 +786,141 @@ class ShardedViewServer:
         return self._builder
 
     # ------------------------------------------------------------------
+    # elastic topology: live shard splits
+    # ------------------------------------------------------------------
+    def split_shard(self, shard_id: Union[str, int]) -> SplitReport:
+        """Split one hot shard live; cut new traffic over when warm.
+
+        Only the named shard's slice is re-partitioned: the next routing
+        table (version + 1) replaces its leaf with two children and
+        hierarchical rendezvous sends each of its keys to one of them —
+        every other shard's key set is untouched, so at most ``1/n`` of
+        all keys move. The children register every currently registered
+        view (semijoin-reduced against their halves) and warm their
+        structures through the shared
+        :class:`~repro.engine.parallel.ParallelBuilder` **before** the
+        cutover, so the old topology serves until the new one is ready.
+        At cutover, new requests take the new table; cursors and shared
+        scans opened earlier keep their pinned version and drain against
+        the old shard, which retires — resident structures demoted to
+        its snapshot tier — when its pin count reaches zero.
+        """
+        shard_id = str(shard_id)
+        with self._admin_lock:
+            with self._topology_lock:
+                old = self._current
+                if shard_id not in old.shard_ids:
+                    raise ParameterError(
+                        f"shard {shard_id!r} is not a live shard of "
+                        f"routing-table version {old.version} "
+                        f"(live: {list(old.shard_ids)!r})"
+                    )
+                parent_server = self._servers[shard_id]
+                parent_db = self._databases[shard_id]
+                specs = {
+                    view_name: dict(spec)
+                    for view_name, spec in self._registrations.items()
+                }
+            new_table = old.table.split(shard_id)
+            children = new_table.children(shard_id)
+            # Re-place only the parent's slice. Hierarchical rendezvous
+            # guarantees each key lands on one of the two children.
+            buckets: Dict[str, Dict[str, List[Tuple]]] = {
+                child: {key_name: [] for key_name in self.shard_key}
+                for child in children
+            }
+            moved = 0
+            for key_name, column in self.shard_key.items():
+                for row in parent_db[key_name]:
+                    owner = new_table.shard_for(row[column])
+                    if owner not in buckets:
+                        raise SchemaError(
+                            f"split of {shard_id!r}: key {row[column]!r} "
+                            f"re-placed outside the split ({owner!r}) — "
+                            "the routing table is not hierarchical"
+                        )
+                    buckets[owner][key_name].append(row)
+                    moved += 1
+            child_dbs: Dict[str, Database] = {}
+            for child in children:
+                relations = []
+                for relation in parent_db:
+                    rows = (
+                        buckets[child][relation.name]
+                        if relation.name in self.shard_key
+                        else relation.rows
+                    )
+                    relations.append(
+                        Relation(relation.name, relation.arity, rows)
+                    )
+                child_dbs[child] = Database(relations)
+            child_servers = {
+                child: self._make_shard_server(child, child_dbs[child])
+                for child in children
+            }
+            for view_name, spec in specs.items():
+                for child in children:
+                    resolved = child_servers[child].register(
+                        spec["view"],
+                        tau=spec["tau"],
+                        space_budget=spec["space_budget"],
+                        delay_budget=spec["delay_budget"],
+                        name=spec["name"],
+                        database=self._shard_view_database(
+                            spec["view"], child_dbs[child]
+                        ),
+                    )
+                    assert resolved == view_name
+            # Demote the hot shard's resident structures to its snapshot
+            # tier now: pinned stragglers warm-load instead of rebuilding,
+            # and the retiring shard's memory can be reclaimed at drain.
+            demoted = parent_server.cache.demote_all()
+            # Warm the children while the old topology keeps serving;
+            # with a shared ParallelBuilder the builds land on worker
+            # processes. Warm failures abort the split before cutover.
+            warmed = tuple(specs)
+            if warmed:
+                workers = max(1, 2 * len(warmed))
+                with ThreadPoolExecutor(
+                    max_workers=min(workers, 8),
+                    thread_name_prefix="repro-split-warm",
+                ) as pool:
+                    futures = [
+                        pool.submit(server.representation, view_name)
+                        for view_name in warmed
+                        for server in child_servers.values()
+                    ]
+                    for future in futures:
+                        future.result()
+            # Cutover: atomically install the new version. New requests
+            # route through it; pinned versions keep the old servers.
+            retired: List[ViewServer] = []
+            with self._topology_lock:
+                self._servers.update(child_servers)
+                self._databases.update(child_dbs)
+                new_top = _Topology(
+                    new_table,
+                    [self._servers[sid] for sid in new_table.shard_ids],
+                )
+                self._topologies[new_top.version] = new_top
+                self._current = new_top
+                retired_immediately = old.pins == 0
+                if retired_immediately:
+                    retired = self._retire_version_locked(old)
+        for server in retired:
+            self._finalize_retired(server)
+        return SplitReport(
+            shard_id=shard_id,
+            children=children,
+            version_before=old.version,
+            version_after=new_table.version,
+            moved_rows=moved,
+            demoted_snapshots=demoted,
+            warmed_views=warmed,
+            retired_immediately=retired_immediately,
+        )
+
+    # ------------------------------------------------------------------
     # batch planning, execution, merging
     # ------------------------------------------------------------------
     def plan_batch(
@@ -495,6 +928,7 @@ class ShardedViewServer:
         name: str,
         accesses: Iterable[Sequence],
         route: Optional[Tuple[str, Optional[int]]] = None,
+        version: Optional[int] = None,
     ) -> List[List[Tuple]]:
         """Per-shard sub-batches for one batch (index-aligned to shards).
 
@@ -502,24 +936,26 @@ class ShardedViewServer:
         split it; shards with no work get an empty list, which execution
         skips. Callers serving a whole batch resolve the route once and
         pass it to both this and :meth:`merge_batch`, so a concurrent
-        re-registration cannot flip the mode between plan and merge.
+        re-registration cannot flip the mode between plan and merge —
+        and pin a topology ``version`` across plan/answer/merge so a
+        concurrent split cannot shift the shard indexes either.
         """
         batch = [tuple(access) for access in accesses]
+        top = self._topology_for(version)
+        n_shards = len(top.shard_ids)
         mode, position = route or self.route(name)
         if mode == SCATTER:
-            return [list(batch) for _ in range(self.n_shards)]
+            return [list(batch) for _ in range(n_shards)]
         if mode == PINNED:
-            return [batch] + [[] for _ in range(self.n_shards - 1)]
-        sub_batches: List[List[Tuple]] = [[] for _ in range(self.n_shards)]
+            return [batch] + [[] for _ in range(n_shards - 1)]
+        sub_batches: List[List[Tuple]] = [[] for _ in range(n_shards)]
         for access in batch:
             if position >= len(access):
                 raise SchemaError(
                     f"view {name!r}: access tuple {access!r} too short for "
                     f"bound position {position}"
                 )
-            sub_batches[
-                self._hash_fn(access[position]) % self.n_shards
-            ].append(access)
+            sub_batches[top.table.index_for(access[position])].append(access)
         return sub_batches
 
     def answer_shard(
@@ -529,9 +965,11 @@ class ShardedViewServer:
         accesses: Sequence[Sequence],
         tau: Optional[float] = None,
         measure: bool = True,
+        version: Optional[int] = None,
     ) -> BatchResult:
         """One shard's answer to its sub-batch (the fan-out work unit)."""
-        return self.shards[shard_index].answer_batch(
+        top = self._topology_for(version)
+        return top.servers[shard_index].answer_batch(
             name, accesses, tau=tau, measure=measure
         )
 
@@ -618,14 +1056,15 @@ class ShardedViewServer:
         directly. Scatter views open one cursor per shard and merge them
         lazily with a k-way heap (per-shard answers are disjoint and
         sorted, so the merged stream is the full answer in lexicographic
-        head order) — the materialize-then-merge path is gone from the
-        cursor plane: with ``limit=k`` each shard enumerates at most k
-        tuples (the shared limit caps every sub-cursor, and the heap
-        pulls lazily), instead of its full per-shard answer. Resume
-        tokens distribute as-is: every shard seeks past the token within
-        its own slice. The per-shard sub-cursors are exposed as the
-        merged cursor's ``parts`` (shard order), whose ``stats()``
-        bound the per-shard enumeration work.
+        head order): with ``limit=k`` each shard enumerates at most k
+        tuples. Resume tokens distribute as-is: every shard seeks past
+        the token within its own slice. The per-shard sub-cursors are
+        exposed as the merged cursor's ``parts`` (shard order).
+
+        The cursor *pins the routing-table version it opened under*: a
+        concurrent :meth:`split_shard` cuts new requests over but this
+        cursor drains against the topology it started on, and its close
+        hook (fired on close or exhaustion) releases the pin.
         """
         request = as_request(
             request,
@@ -636,29 +1075,36 @@ class ShardedViewServer:
             measure=measure,
         )
         mode, position = self.route(request.view)
-        if mode != SCATTER:
-            shard = 0
-            if mode == ROUTED:
-                if position >= len(request.access):
-                    raise SchemaError(
-                        f"view {request.view!r}: access tuple "
-                        f"{request.access!r} too short for bound position "
-                        f"{position}"
-                    )
-                shard = (
-                    self._hash_fn(request.access[position]) % self.n_shards
+        version = self.pin_version()
+        try:
+            top = self._topology_for(version)
+            if mode != SCATTER:
+                index = 0
+                if mode == ROUTED:
+                    if position >= len(request.access):
+                        raise SchemaError(
+                            f"view {request.view!r}: access tuple "
+                            f"{request.access!r} too short for bound position "
+                            f"{position}"
+                        )
+                    index = top.table.index_for(request.access[position])
+                cursor = top.servers[index].open(request)
+            else:
+                parts: List[AnswerCursor] = []
+                try:
+                    for server in top.servers:
+                        parts.append(server.open(request))
+                except BaseException:
+                    for part in parts:
+                        part.close()
+                    raise
+                cursor = AnswerCursor(
+                    request, heapq.merge(*parts), parts=parts
                 )
-            cursor = self.shards[shard].open(request)
-        else:
-            parts: List[AnswerCursor] = []
-            try:
-                for server in self.shards:
-                    parts.append(server.open(request))
-            except BaseException:
-                for part in parts:
-                    part.close()
-                raise
-            cursor = AnswerCursor(request, heapq.merge(*parts), parts=parts)
+        except BaseException:
+            self.release_version(version)
+            raise
+        cursor.add_close_hook(lambda: self.release_version(version))
         with self._served_lock:
             # Facade-level count: one request, however many shards the
             # scatter fan-out touched.
@@ -679,40 +1125,59 @@ class ShardedViewServer:
         :meth:`open` builds them, ``parts`` exposed in shard order). The
         returned cursors align with the submitted requests; the usual
         shared-scan caveats apply per shard group (single-threaded
-        consumption, group fate sharing).
+        consumption, group fate sharing). Every cursor pins the
+        routing-table version the batch opened under, released by its
+        close hook — the whole shared scan drains against one topology.
         """
         batch = [as_request(request) for request in requests]
-        cursors: List[Optional[AnswerCursor]] = [None] * len(batch)
-        by_shard: Dict[int, List[int]] = {}
-        scatter: List[int] = []
-        for index, request in enumerate(batch):
-            shard = self.shard_of(request.view, request.access)
-            if shard is None:
-                scatter.append(index)
-            else:
-                by_shard.setdefault(shard, []).append(index)
-        for shard, indexes in by_shard.items():
-            shard_cursors = self.shards[shard].open_batch(
-                [batch[index] for index in indexes]
-            )
-            for index, cursor in zip(indexes, shard_cursors):
-                cursors[index] = cursor
-        if scatter:
-            scatter_requests = [batch[index] for index in scatter]
-            per_shard: List[List[AnswerCursor]] = []
-            try:
-                for server in self.shards:
-                    per_shard.append(server.open_batch(scatter_requests))
-            except BaseException:
-                for opened in per_shard:
-                    for cursor in opened:
-                        cursor.close()
-                raise
-            for position, index in enumerate(scatter):
-                parts = [opened[position] for opened in per_shard]
-                cursors[index] = AnswerCursor(
-                    batch[index], heapq.merge(*parts), parts=parts
+        if not batch:
+            return []
+        version = self.pin_version()
+        try:
+            top = self._topology_for(version)
+            cursors: List[Optional[AnswerCursor]] = [None] * len(batch)
+            by_shard: Dict[int, List[int]] = {}
+            scatter: List[int] = []
+            for index, request in enumerate(batch):
+                shard = self.shard_of(
+                    request.view, request.access, version=version
                 )
+                if shard is None:
+                    scatter.append(index)
+                else:
+                    by_shard.setdefault(shard, []).append(index)
+            for shard, indexes in by_shard.items():
+                shard_cursors = top.servers[shard].open_batch(
+                    [batch[index] for index in indexes]
+                )
+                for index, cursor in zip(indexes, shard_cursors):
+                    cursors[index] = cursor
+            if scatter:
+                scatter_requests = [batch[index] for index in scatter]
+                per_shard: List[List[AnswerCursor]] = []
+                try:
+                    for server in top.servers:
+                        per_shard.append(server.open_batch(scatter_requests))
+                except BaseException:
+                    for opened in per_shard:
+                        for cursor in opened:
+                            cursor.close()
+                    raise
+                for position, index in enumerate(scatter):
+                    parts = [opened[position] for opened in per_shard]
+                    cursors[index] = AnswerCursor(
+                        batch[index], heapq.merge(*parts), parts=parts
+                    )
+        except BaseException:
+            self.release_version(version)
+            raise
+        # One pin per cursor (the first is already held): each close
+        # hook releases exactly one, so the version drains when the last
+        # cursor of the batch finishes.
+        with self._topology_lock:
+            self._topologies[version].pins += len(batch) - 1
+        for cursor in cursors:
+            cursor.add_close_hook(lambda: self.release_version(version))
         with self._served_lock:
             self._requests_served += len(batch)
         return cursors
@@ -731,14 +1196,27 @@ class ShardedViewServer:
     ) -> BatchResult:
         batch = [tuple(access) for access in accesses]
         route = self.route(name)
-        plan = self.plan_batch(name, batch, route=route)
-        shard_results: List[Optional[BatchResult]] = [
-            self.answer_shard(index, name, sub_batch, tau=tau, measure=measure)
-            if sub_batch
-            else None
-            for index, sub_batch in enumerate(plan)
-        ]
-        return self.merge_batch(name, batch, shard_results, route=route)
+        version = self.pin_version()
+        try:
+            plan = self.plan_batch(
+                name, batch, route=route, version=version
+            )
+            shard_results: List[Optional[BatchResult]] = [
+                self.answer_shard(
+                    index,
+                    name,
+                    sub_batch,
+                    tau=tau,
+                    measure=measure,
+                    version=version,
+                )
+                if sub_batch
+                else None
+                for index, sub_batch in enumerate(plan)
+            ]
+            return self.merge_batch(name, batch, shard_results, route=route)
+        finally:
+            self.release_version(version)
 
     def serve_stream(
         self,
@@ -757,19 +1235,26 @@ class ShardedViewServer:
     # aggregation and introspection
     # ------------------------------------------------------------------
     def total_builds(self) -> int:
-        return sum(server.total_builds() for server in self.shards)
+        with self._topology_lock:
+            return self._retired_builds + sum(
+                server.total_builds() for server in self._servers.values()
+            )
 
     @property
     def cache_stats(self) -> CacheStats:
-        merged = CacheStats()
-        for server in self.shards:
+        with self._topology_lock:
+            merged = CacheStats().add(self._retired_cache)
+            servers = list(self._servers.values())
+        for server in servers:
             merged.add(server.cache_stats)
         return merged
 
     @property
     def total_cache_cells(self) -> int:
-        """Cells resident across every shard's cache (aggregate budget)."""
-        return sum(server.cache.total_cells for server in self.shards)
+        """Cells resident across every live shard's cache (aggregate budget)."""
+        with self._topology_lock:
+            servers = list(self._servers.values())
+        return sum(server.cache.total_cells for server in servers)
 
     @property
     def requests_served(self) -> int:
@@ -778,4 +1263,6 @@ class ShardedViewServer:
 
     def invalidate(self, name: str) -> int:
         self.route(name)
-        return sum(server.invalidate(name) for server in self.shards)
+        with self._topology_lock:
+            servers = list(self._servers.values())
+        return sum(server.invalidate(name) for server in servers)

@@ -133,6 +133,15 @@ class TestWorkflowSchema:
         ]
         assert any("make bench-batch" in line for line in run_lines)
 
+    def test_bench_smoke_job_runs_the_resharding_gate(self, workflow):
+        # The elastic-split benchmark is a hard gate: if splitting one
+        # hot shard stops beating a full reshard, CI fails.
+        run_lines = [
+            step.get("run", "")
+            for step in workflow["jobs"]["bench-smoke"]["steps"]
+        ]
+        assert any("make bench-reshard" in line for line in run_lines)
+
     def test_bench_smoke_job_runs_the_trajectory_gate(self, workflow):
         # The trajectory gate runs after every speedup gate recorded its
         # measurement, folding them into the uploaded artifact.
@@ -147,7 +156,7 @@ class TestWorkflowSchema:
         gates = [
             i
             for i, line in enumerate(run_lines)
-            if re.search(r"make bench-(smoke|warm|stream|batch)\b", line)
+            if re.search(r"make bench-(smoke|warm|stream|batch|reshard)\b", line)
         ]
         assert gates and max(gates) < trend[0], (
             "bench-trend must run after every recording gate"
@@ -228,7 +237,7 @@ class TestMakefileContract:
         assert "REPRO_BENCH_SMOKE=1" in target
 
     def test_targets_the_new_gates_rely_on_exist(self, make_targets):
-        assert {"bench-batch", "bench-trend"} <= make_targets
+        assert {"bench-batch", "bench-reshard", "bench-trend"} <= make_targets
 
     def test_bench_batch_runs_the_shared_scan_benchmark(self):
         text = MAKEFILE.read_text()
@@ -237,14 +246,21 @@ class TestMakefileContract:
         assert "bench_shared_scan.py" in target
         assert "REPRO_BENCH_SMOKE=1" in target
 
+    def test_bench_reshard_runs_the_resharding_benchmark(self):
+        text = MAKEFILE.read_text()
+        target = text[text.index("bench-reshard:"):]
+        target = target[: target.index("\n\n")]
+        assert "bench_resharding.py" in target
+        assert "REPRO_BENCH_SMOKE=1" in target
+
     def test_bench_trend_runs_the_trajectory_checker(self):
         # The trend target must keep pointing at the checker and demand
-        # all five gates' records, or a silently skipped gate passes CI.
+        # all six gates' records, or a silently skipped gate passes CI.
         text = MAKEFILE.read_text()
         target = text[text.index("bench-trend:"):]
         target = target[: target.index("\n\n")]
         assert "check_trend.py" in target
-        assert re.search(r"GATE_COUNT\s*\?=\s*5\b", text)
+        assert re.search(r"GATE_COUNT\s*\?=\s*6\b", text)
 
     def test_ruff_is_configured(self):
         pyproject = (REPO / "pyproject.toml").read_text()
@@ -311,6 +327,7 @@ class TestTrajectoryGate:
         ("warm-start", 18.0, 5.0),
         ("streaming-topk", 40.0, 5.0),
         ("shared-scan-batch", 4.0, 3.0),
+        ("resharding", 1.9, 1.3),
     )
 
     def _write_all(self, bench_dir):
@@ -323,7 +340,7 @@ class TestTrajectoryGate:
         bench = tmp_path / "bench"
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
-        assert check_trend(str(bench), str(out), 5) == 0
+        assert check_trend(str(bench), str(out), 6) == 0
         trajectory = json.loads(out.read_text())
         # The schema CI consumers (and future PRs' diffs) rely on.
         assert set(trajectory) == {"schema", "commit", "gates"}
@@ -334,9 +351,10 @@ class TestTrajectoryGate:
             name for name, _, _ in self.GATES
         )
         for record in gates:
-            assert {"gate", "speedup", "threshold"} <= set(record)
+            assert {"gate", "speedup", "threshold", "floor"} <= set(record)
             assert isinstance(record["speedup"], (int, float))
             assert isinstance(record["threshold"], (int, float))
+            assert isinstance(record["floor"], (int, float))
         # Extra per-gate facts ride along untouched.
         assert all(record.get("requests") == 7 for record in gates)
 
@@ -345,7 +363,7 @@ class TestTrajectoryGate:
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
         _write_gate(bench, "shared-scan-batch", 2.4, 3.0)
-        assert check_trend(str(bench), str(out), 5) == 1
+        assert check_trend(str(bench), str(out), 6) == 1
         # The artifact is still written — it IS the diagnosis.
         assert json.loads(out.read_text())["gates"]
 
@@ -354,12 +372,66 @@ class TestTrajectoryGate:
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
         (bench / "gate-warm-start.json").unlink()
-        assert check_trend(str(bench), str(out), 5) == 1
+        assert check_trend(str(bench), str(out), 6) == 1
         self._write_all(bench)
         (bench / "gate-warm-start.json").write_text('{"speedup": 1.0}')
-        assert check_trend(str(bench), str(out), 5) == 1
+        assert check_trend(str(bench), str(out), 6) == 1
         (bench / "gate-warm-start.json").write_text("not json")
-        assert check_trend(str(bench), str(out), 5) == 1
+        assert check_trend(str(bench), str(out), 6) == 1
+
+    def test_fresh_checkout_seeds_floors_then_enforces_them(self, tmp_path):
+        # First run, no prior trajectory: floors seed from the current
+        # gate set (floor == static threshold) and the run still passes —
+        # never a vacuous pass, never a missing-baseline failure.
+        bench = tmp_path / "bench"
+        out = tmp_path / "trajectory.json"
+        self._write_all(bench)
+        assert not out.exists()
+        assert check_trend(str(bench), str(out), 6) == 0
+        seeded = json.loads(out.read_text())["gates"]
+        assert all(g["floor"] == g["threshold"] for g in seeded)
+        # Second run against the seeded baseline: the same records still
+        # pass, and the floors persist unchanged.
+        assert check_trend(str(bench), str(out), 6) == 0
+        again = json.loads(out.read_text())["gates"]
+        assert [g["floor"] for g in again] == [g["floor"] for g in seeded]
+
+    def test_floors_ratchet_and_catch_a_quiet_regression(self, tmp_path):
+        # A prior trajectory that established a higher floor wins over
+        # the record's static threshold: a gate that once cleared 3.5x
+        # cannot quietly regress to its 3.0x threshold.
+        bench = tmp_path / "bench"
+        out = tmp_path / "trajectory.json"
+        self._write_all(bench)
+        prior = {
+            "schema": 1,
+            "commit": "deadbeef",
+            "gates": [
+                {"gate": "shared-scan-batch", "speedup": 3.6,
+                 "threshold": 3.0, "floor": 3.5},
+            ],
+        }
+        out.write_text(json.dumps(prior))
+        _write_gate(bench, "shared-scan-batch", 3.2, 3.0)
+        assert check_trend(str(bench), str(out), 6) == 1
+        record = next(
+            g
+            for g in json.loads(out.read_text())["gates"]
+            if g["gate"] == "shared-scan-batch"
+        )
+        assert record["floor"] == 3.5
+        # Clearing the ratcheted floor passes again.
+        _write_gate(bench, "shared-scan-batch", 3.7, 3.0)
+        assert check_trend(str(bench), str(out), 6) == 0
+
+    def test_malformed_baseline_reseeds_instead_of_crashing(self, tmp_path):
+        bench = tmp_path / "bench"
+        out = tmp_path / "trajectory.json"
+        self._write_all(bench)
+        for garbage in ("not json", "[]", '{"gates": [{"floor": "x"}]}'):
+            out.write_text(garbage)
+            assert check_trend(str(bench), str(out), 6) == 0
+            assert json.loads(out.read_text())["gates"]
 
     def test_gate_records_are_written_by_the_bench_helper(
         self, tmp_path, monkeypatch
@@ -388,7 +460,7 @@ class TestTrajectoryGate:
                 str(REPO / "benchmarks" / "check_trend.py"),
                 str(bench),
                 str(out),
-                "5",
+                "6",
             ],
             capture_output=True,
             text=True,

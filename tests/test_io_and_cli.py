@@ -440,3 +440,166 @@ class TestSnapshotCLI:
         junk.write_bytes(b"definitely not a snapshot")
         assert main(["snapshot", "inspect", "--file", str(junk)]) == 2
         assert "magic" in capsys.readouterr().err
+
+
+class TestTopologyCLI:
+    VIEW = "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)"
+
+    def test_show_fresh_table(self, capsys):
+        assert main(["topology", "show", "--shards", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "routing table version 1: 4 shard(s)" in output
+        assert "['0', '1', '2', '3']" in output
+
+    def test_show_with_data_reports_placement(self, triangle_dir, capsys):
+        code = main(
+            [
+                "topology",
+                "show",
+                "--shards",
+                "3",
+                "--data",
+                str(triangle_dir),
+                "--shard-key",
+                "R:0,T:1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        # R column 0 holds {1, 2} and T column 1 holds {1, 2}: 2 values.
+        assert "placement of 2 distinct key value(s):" in output
+
+    def test_split_round_trips_through_a_table_file(
+        self, triangle_dir, tmp_path, capsys
+    ):
+        table_file = tmp_path / "topo.json"
+        code = main(
+            [
+                "topology",
+                "split",
+                "--shards",
+                "4",
+                "--shard",
+                "2",
+                "--out",
+                str(table_file),
+                "--data",
+                str(triangle_dir),
+                "--view",
+                self.VIEW,
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "split shard '2': version 1 -> 2" in output
+        assert "children ['2.0', '2.1']" in output
+        assert "0 moved elsewhere" in output
+        # The written table reloads with the split applied...
+        assert main(["topology", "show", "--table", str(table_file)]) == 0
+        output = capsys.readouterr().out
+        assert "routing table version 2: 5 shard(s)" in output
+        assert "'2' -> ['2.0', '2.1']" in output
+        # ...and a second split (no --out) rewrites --table in place.
+        code = main(
+            [
+                "topology",
+                "split",
+                "--table",
+                str(table_file),
+                "--shard",
+                "2.0",
+            ]
+        )
+        assert code == 0
+        assert "version 2 -> 3" in capsys.readouterr().out
+        assert '"version": 3' in table_file.read_text()
+
+    def test_split_of_unknown_shard_fails(self, capsys):
+        code = main(["topology", "split", "--shards", "2", "--shard", "7"])
+        assert code == 2
+        assert "not a live shard" in capsys.readouterr().err
+
+    def test_topology_needs_a_source(self, capsys):
+        assert main(["topology", "show"]) == 2
+        assert "--table FILE or --shards N" in capsys.readouterr().err
+
+
+class TestReplicaCLI:
+    VIEW = "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)"
+
+    def _serve(self, triangle_dir, tmp_path, *extra):
+        requests = tmp_path / "requests.txt"
+        requests.write_text("1,2\n3,1\n1,2\n")
+        return main(
+            [
+                "serve",
+                "--view",
+                self.VIEW,
+                "--data",
+                str(triangle_dir),
+                "--requests",
+                str(requests),
+                "--tau",
+                "4",
+                *extra,
+            ]
+        )
+
+    def test_serve_with_replicas(self, triangle_dir, tmp_path, capsys):
+        snapdir = tmp_path / "snaps"
+        code = self._serve(
+            triangle_dir,
+            tmp_path,
+            "--async",
+            "--replicas",
+            "2",
+            "--balancer",
+            "least-pending",
+            "--snapshot-dir",
+            str(snapdir),
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "replicas: 2 hydrated from snapshots" in output
+        assert "balancer least-pending" in output
+        assert "served 3 requests" in output
+
+    def test_replicas_require_async(self, triangle_dir, tmp_path, capsys):
+        snapdir = tmp_path / "snaps"
+        code = self._serve(
+            triangle_dir,
+            tmp_path,
+            "--replicas",
+            "2",
+            "--snapshot-dir",
+            str(snapdir),
+        )
+        assert code == 2
+        assert "add --async" in capsys.readouterr().err
+
+    def test_replicas_require_a_snapshot_dir(
+        self, triangle_dir, tmp_path, capsys
+    ):
+        code = self._serve(
+            triangle_dir, tmp_path, "--async", "--replicas", "2"
+        )
+        assert code == 2
+        assert "--snapshot-dir" in capsys.readouterr().err
+
+    def test_replicas_reject_a_sharded_backend(
+        self, triangle_dir, tmp_path, capsys
+    ):
+        snapdir = tmp_path / "snaps"
+        code = self._serve(
+            triangle_dir,
+            tmp_path,
+            "--async",
+            "--replicas",
+            "2",
+            "--shards",
+            "2",
+            "--snapshot-dir",
+            str(snapdir),
+        )
+        assert code == 2
+        assert "sharded backend already fans out" in capsys.readouterr().err

@@ -6,9 +6,11 @@ import zlib
 import pytest
 
 from oracle import oracle_accesses, oracle_answer
+from repro.core.snapshot import database_state
 from repro.database.catalog import Database
 from repro.database.relation import Relation
 from repro.engine import (
+    RoutingTable,
     ShardedViewServer,
     infer_shard_key,
     merge_delay_stats,
@@ -81,20 +83,44 @@ class TestStableHash:
 class TestPartitionDatabase:
     def test_slices_partition_the_key_relations(self, triangle_setup):
         _, db = triangle_setup
-        shards = partition_database(db, SHARD_KEY, 4)
+        table = RoutingTable.fresh(4)
+        shards = partition_database(db, SHARD_KEY, table)
         assert len(shards) == 4
         for name, column in SHARD_KEY.items():
             rows = [row for shard in shards for row in shard[name]]
             assert sorted(rows) == sorted(db[name])
             for index, shard in enumerate(shards):
                 for row in shard[name]:
-                    assert stable_hash(row[column]) % 4 == index
+                    assert table.index_for(row[column]) == index
 
-    def test_unlisted_relations_are_shared_by_reference(self, triangle_setup):
+    def test_unlisted_relations_are_copied_per_shard(self, triangle_setup):
+        # Sharing by reference would alias every shard (and any replica)
+        # to the same Relation object: a delta applied through one
+        # shard's database would silently bleed into its siblings.
         _, db = triangle_setup
         shards = partition_database(db, SHARD_KEY, 3)
         for shard in shards:
-            assert shard["S"] is db["S"]
+            assert shard["S"] is not db["S"]
+            assert shard["S"].rows == db["S"].rows
+        seen = {id(shard["S"]) for shard in shards}
+        assert len(seen) == len(shards)
+
+    def test_mutating_one_shard_leaves_siblings_byte_identical(
+        self, triangle_setup
+    ):
+        _, db = triangle_setup
+        shards = partition_database(db, SHARD_KEY, 3)
+        before = [database_state(shard) for shard in shards]
+        # Simulate a delta applied through shard 0's database: swap its
+        # replicated relation for a mutated copy via the sanctioned
+        # Database.replace path AND mutate the relation object in place
+        # (the hazard the reference-sharing bug exposed).
+        victim = shards[0]["S"]
+        object.__setattr__(
+            victim, "_rows", frozenset(list(victim.rows)[:1])
+        )
+        after = [database_state(shard) for shard in shards[1:]]
+        assert after == before[1:]
 
     def test_empty_slices_are_kept(self):
         db = Database([Relation("R", 2, [(1, 2)]), Relation("S", 2, [(2, 3)])])
@@ -151,7 +177,7 @@ class TestRoutingModes:
         assert server.route(name) == ("routed", 0)
         for access in oracle_accesses(view, db, limit=6):
             shard = server.shard_of(name, access)
-            assert shard == stable_hash(access[0]) % 4
+            assert shard == server.topology.index_for(access[0])
 
     def test_free_key_variable_scatters(self, triangle_setup):
         _, db = triangle_setup

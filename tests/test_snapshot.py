@@ -272,6 +272,52 @@ class TestFormatSafety:
         with pytest.raises(SnapshotError, match="CRC"):
             decode_snapshot(bytes(corrupted))
 
+    def test_unpickling_failures_become_snapshot_errors(
+        self, sample_blob, monkeypatch
+    ):
+        import pickle
+
+        blob, _ = sample_blob
+
+        def exploding_loads(payload):
+            raise pickle.UnpicklingError("bad opcode")
+
+        monkeypatch.setattr(
+            "repro.core.snapshot.pickle.loads", exploding_loads
+        )
+        with pytest.raises(SnapshotError, match="corrupted snapshot payload"):
+            decode_snapshot(blob)
+
+    def test_memory_error_propagates_instead_of_masquerading(
+        self, sample_blob, monkeypatch
+    ):
+        # The decode catch is a *narrow* allowlist of unpickling
+        # failures: an out-of-memory while decoding a huge payload is an
+        # operational emergency, not a "corrupted snapshot" to be
+        # swallowed (and possibly retried with a fresh build).
+        blob, _ = sample_blob
+
+        def oom_loads(payload):
+            raise MemoryError("payload too large")
+
+        monkeypatch.setattr("repro.core.snapshot.pickle.loads", oom_loads)
+        with pytest.raises(MemoryError):
+            decode_snapshot(blob)
+
+    def test_keyboard_interrupt_propagates_from_decode(
+        self, sample_blob, monkeypatch
+    ):
+        blob, _ = sample_blob
+
+        def interrupted_loads(payload):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            "repro.core.snapshot.pickle.loads", interrupted_loads
+        )
+        with pytest.raises(KeyboardInterrupt):
+            decode_snapshot(blob)
+
     def test_rejects_wrong_database_fingerprint(self, sample_blob):
         blob, db = sample_blob
         other = triangle_database(nodes=15, edges=60, seed=4)

@@ -1,0 +1,214 @@
+"""Rendezvous routing tables: placement stability is the whole contract.
+
+Three properties carry the elastic topology:
+
+* **restart stability** — ``stable_hash`` (and therefore every routing
+  decision) must not depend on ``PYTHONHASHSEED``, or a restarted
+  server would route the same keys to different shards than the one
+  that built the snapshots. Verified in real subprocesses.
+* **equality consistency** — values that compare equal (``1``, ``1.0``,
+  ``True``) must hash alike, since relations dedupe rows by equality.
+* **minimal movement** — splitting one leaf of ``n`` re-rendezvouses
+  only that leaf's keys between its two children; every other shard's
+  key set is bit-identical before and after. Hierarchical rendezvous
+  gives this by construction; the tests pin it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.engine.topology import (
+    RoutingTable,
+    assignment_of,
+    rendezvous_choice,
+    stable_hash,
+)
+from repro.exceptions import ParameterError
+
+KEYS = [
+    *range(200),
+    *(f"user-{i}" for i in range(50)),
+    *((i, f"k{i}") for i in range(50)),
+]
+
+
+def _run_seeded(script: str, hash_seed: str) -> str:
+    """Run ``script`` in a fresh interpreter under one PYTHONHASHSEED."""
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src, env.get("PYTHONPATH", "")) if part
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestStableHash:
+    def test_equal_values_hash_alike(self):
+        assert stable_hash(1) == stable_hash(1.0) == stable_hash(True)
+        assert stable_hash((1,)) == stable_hash((1.0,))
+        assert stable_hash((1, "a")) == stable_hash((1.0, "a"))
+
+    def test_distinct_values_spread(self):
+        hashes = {stable_hash(key) for key in KEYS}
+        assert len(hashes) > len(KEYS) * 0.95
+
+    def test_restart_stable_across_hash_seeds(self):
+        """The satellite contract, verified in real interpreters.
+
+        ``PYTHONHASHSEED`` randomizes ``hash(str)`` per process; a
+        placement function built on it would scatter a restarted
+        server's keys. Two subprocesses with different seeds must agree
+        on every hash — including the equality-consistency edge cases
+        ``1`` vs ``1.0`` and ``(1,)`` vs ``(1.0,)``.
+        """
+        script = (
+            "import json, sys\n"
+            "from repro.engine.topology import stable_hash\n"
+            "probes = [\n"
+            "    'a', 'user-17', b'bytes', 0, 1, -1, 2**40,\n"
+            "    (1, 'a'), ('x', ('y', 3)), (), None,\n"
+            "    1.0, (1.0,), (1,), True,\n"
+            "]\n"
+            "print(json.dumps([stable_hash(p) for p in probes]))\n"
+            "assert stable_hash(1) == stable_hash(1.0)\n"
+            "assert stable_hash((1,)) == stable_hash((1.0,))\n"
+        )
+        outputs = [
+            json.loads(_run_seeded(script, seed)) for seed in ("0", "42")
+        ]
+        assert outputs[0] == outputs[1]
+
+    def test_routing_table_placement_is_restart_stable(self):
+        """Whole-table placement agrees across differently-seeded runs."""
+        script = (
+            "import json\n"
+            "from repro.engine.topology import RoutingTable\n"
+            "table = RoutingTable.fresh(5).split('2').split('2.1')\n"
+            "keys = [*range(100), *(f'user-{i}' for i in range(25))]\n"
+            "print(json.dumps({str(k): table.shard_for(k) for k in keys}))\n"
+        )
+        outputs = [
+            json.loads(_run_seeded(script, seed)) for seed in ("1", "7777")
+        ]
+        assert outputs[0] == outputs[1]
+
+
+class TestRendezvousChoice:
+    def test_deterministic_and_total(self):
+        candidates = ("0", "1", "2", "3")
+        for key in KEYS:
+            first = rendezvous_choice(candidates, stable_hash(key))
+            assert first in candidates
+            assert first == rendezvous_choice(candidates, stable_hash(key))
+
+    def test_reasonably_balanced(self):
+        candidates = ("0", "1", "2", "3")
+        counts = {c: 0 for c in candidates}
+        for key in KEYS:
+            counts[rendezvous_choice(candidates, stable_hash(key))] += 1
+        assert min(counts.values()) > 0
+        assert max(counts.values()) < len(KEYS) * 0.6
+
+
+class TestRoutingTable:
+    def test_fresh_table_shape(self):
+        table = RoutingTable.fresh(4)
+        assert table.version == 1
+        assert table.n_shards == 4
+        assert table.shard_ids == ("0", "1", "2", "3")
+        assert all(table.is_leaf(s) for s in table.shard_ids)
+
+    def test_validation_errors(self):
+        with pytest.raises(ParameterError):
+            RoutingTable.fresh(0)
+        with pytest.raises(ParameterError):
+            RoutingTable([], {})
+        with pytest.raises(ParameterError):
+            RoutingTable(["0", "0"], {})
+        with pytest.raises(ParameterError):
+            RoutingTable(["0"], {}, version=0)
+        with pytest.raises(ParameterError):
+            RoutingTable(["0"], {"0": ["0.0"]})  # one child
+        with pytest.raises(ParameterError):
+            RoutingTable(["0"], {"9": ["9.0", "9.1"]})  # unknown parent
+        with pytest.raises(ParameterError):
+            RoutingTable.fresh(2).split("7")  # not a live shard
+
+    def test_split_bumps_version_and_replaces_the_leaf(self):
+        table = RoutingTable.fresh(3)
+        split = table.split("1")
+        assert split.version == table.version + 1
+        assert table.shard_ids == ("0", "1", "2")  # original untouched
+        assert split.shard_ids == ("0", "1.0", "1.1", "2")
+        assert not split.is_leaf("1")
+        assert split.children("1") == ("1.0", "1.1")
+
+    def test_split_moves_only_the_split_shards_keys(self):
+        table = RoutingTable.fresh(4)
+        before = assignment_of(table, KEYS)
+        split = table.split("2")
+        after = assignment_of(split, KEYS)
+        for shard in ("0", "1", "3"):
+            assert after[shard] == before[shard]
+        rehomed = set(after["2.0"]) | set(after["2.1"])
+        assert rehomed == set(before["2"])
+        # At most 1/n of all keys move (exactly the split shard's keys).
+        moved = sum(
+            1 for key in KEYS if table.shard_for(key) != split.shard_for(key)
+        )
+        assert moved == len(before["2"])
+        assert moved <= len(KEYS)  # sanity: and typically ~ len/4
+
+    def test_recursive_splits_stay_minimal(self):
+        table = RoutingTable.fresh(3).split("0")
+        before = assignment_of(table, KEYS)
+        deeper = table.split("0.1")
+        after = assignment_of(deeper, KEYS)
+        for shard in ("0.0", "1", "2"):
+            assert after[shard] == before[shard]
+        assert set(after["0.1.0"]) | set(after["0.1.1"]) == set(before["0.1"])
+
+    def test_serialization_round_trip(self):
+        table = RoutingTable.fresh(5).split("3").split("3.0")
+        clone = RoutingTable.from_json(table.to_json())
+        assert clone == table
+        assert clone.version == table.version
+        assert clone.shard_ids == table.shard_ids
+        assert [clone.shard_for(k) for k in KEYS] == [
+            table.shard_for(k) for k in KEYS
+        ]
+        state = table.to_state()
+        assert json.loads(table.to_json()) == json.loads(
+            json.dumps(state, sort_keys=True)
+        )
+        assert RoutingTable.from_state(state) == table
+
+    def test_index_for_matches_shard_for(self):
+        table = RoutingTable.fresh(4).split("1")
+        for key in KEYS[:50]:
+            assert (
+                table.shard_ids[table.index_for(key)] == table.shard_for(key)
+            )
+
+    def test_equality_and_hash(self):
+        a = RoutingTable.fresh(3)
+        b = RoutingTable.fresh(3)
+        assert a == b and hash(a) == hash(b)
+        assert a != a.split("0")
+        assert a != "not a table"
