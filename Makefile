@@ -6,12 +6,12 @@ SMOKE_REPORT ?= .bench/smoke.json
 BENCH_DIR ?= .bench
 TRAJECTORY ?= .bench/trajectory.json
 # One record per bench gate: engine-cache, async-sharded, warm-start,
-# streaming-topk, shared-scan-batch, resharding. bench-trend fails if
-# fewer report.
-GATE_COUNT ?= 6
+# streaming-topk, shared-scan-batch, resharding, adaptive-tuning.
+# bench-trend fails if fewer report.
+GATE_COUNT ?= 7
 
-.PHONY: test collect lint format bench-smoke bench-warm bench-stream \
-	bench-batch bench-reshard bench-trend bench
+.PHONY: test collect lint format docs-check bench-smoke bench-warm \
+	bench-stream bench-batch bench-reshard bench-adapt bench-trend bench
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -26,6 +26,12 @@ lint:
 format:
 	ruff format src
 	ruff check --fix src tests benchmarks
+
+# Docs gate: every relative markdown link in the README, docs/, and the
+# top-level project files must resolve to a real file (anchors and
+# external URLs are out of scope — no network in CI).
+docs-check:
+	$(PYTHON) benchmarks/check_docs_links.py
 
 # The smoke run writes a JSON report and fails if any benchmark errored
 # or the run silently collected nothing — CI gates on it.
@@ -63,6 +69,13 @@ bench-batch:
 bench-reshard:
 	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_resharding.py -q
+
+# Adaptive-tuning gate: fails unless closed-loop τ re-tuning serves a
+# skew-shifting stream >= 1.2x faster than the static τ it started
+# from (answers bit-identical, decisions actually made).
+bench-adapt:
+	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_adaptive_tuning.py -q
 
 # Perf-trajectory gate: folds every gate's recorded speedup into one
 # $(TRAJECTORY) artifact and fails if any gate fell below its pinned

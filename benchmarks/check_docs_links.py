@@ -1,0 +1,102 @@
+"""Docs gate: relative markdown links must point at files that exist.
+
+Documentation rots fastest at its seams — a renamed module, a moved
+guide, a deleted bench leaves a ``[text](path)`` link pointing at
+nothing, and nobody notices until a reader does. ``make docs-check``
+walks the project's markdown (the top-level ``*.md`` files plus
+everything under ``docs/``), extracts every inline link and resolves
+the *relative* ones against the linking file's directory, and fails
+listing each target that does not exist.
+
+Out of scope, deliberately:
+
+* external URLs (``http(s)://``, ``mailto:``) — CI has no network, and
+  a flaky remote must not fail the build;
+* in-page anchors (``#section``) and the anchor half of
+  ``path.md#section`` — only the file half is checked;
+* autolinks and reference-style definitions — this codebase's docs use
+  inline links throughout;
+* links that climb *out* of the repository (``../../actions/...``) —
+  those address the hosting site (badge/workflow routes), not files in
+  this tree, so there is nothing local to verify.
+
+Usage: ``python benchmarks/check_docs_links.py [ROOT]`` (default: the
+repository root, taken as this file's grandparent). Exit status 0 when
+every link resolves, 1 otherwise — pinned into CI's lint job by
+``tests/test_ci_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: ``[text](target)``, skipping images' extra
+#: ``!`` is harmless (the target must exist either way). Targets with
+#: spaces are legal when <angle-bracketed>; these docs use plain paths.
+LINK_PATTERN = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+#: Schemes that mark a link external — resolved by a browser, not us.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path):
+    """The docs surface: top-level ``*.md`` plus everything in docs/."""
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def broken_links(markdown: Path, root: Path):
+    """(target, reason) for every non-resolving relative link."""
+    problems = []
+    text = markdown.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (markdown.parent / path_part).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            # Climbs out of the tree: GitHub-side routing (badges,
+            # workflow links) — nothing local to verify.
+            continue
+        if not resolved.exists():
+            problems.append((target, "does not exist"))
+    return problems
+
+
+def check(root: Path) -> int:
+    files = markdown_files(root)
+    if not files:
+        print(f"docs-check: no markdown files under {root} — wrong root?")
+        return 1
+    failures = 0
+    for markdown in files:
+        for target, reason in broken_links(markdown, root):
+            print(
+                f"docs-check: {markdown.relative_to(root)}: "
+                f"link {target!r} {reason}"
+            )
+            failures += 1
+    if failures:
+        print(f"docs-check: {failures} broken link(s)")
+        return 1
+    print(f"docs-check: {len(files)} markdown files, all relative links ok")
+    return 0
+
+
+if __name__ == "__main__":
+    base = (
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(__file__).resolve().parent.parent
+    )
+    sys.exit(check(base))

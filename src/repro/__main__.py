@@ -84,12 +84,27 @@ offline (splitting a shard re-rendezvouses only that shard's keys)::
     python -m repro topology show --shards 4 --data ./relations \\
         --shard-key R:0,T:1
     python -m repro topology split --shards 4 --shard 2 --out topo.json
+
+Observability: ``serve --telemetry-dir DIR`` records counters, delay-gap
+histograms and traced spans, persisting them as versioned JSONL that
+merges across restarts; ``--adapt`` closes the loop, re-deriving the
+serving τ from the observed delay-gap percentiles every ``--batch-size``
+requests (``--gap-budget`` overrides the registration's target). The
+``metrics`` subcommand replays what any number of past sessions
+recorded (see ``docs/OPERATIONS.md``)::
+
+    python -m repro serve --telemetry-dir ./telemetry --adapt \\
+        --view "Delta^bbf(x, y, z) = R(x, y), S(y, z), T(z, x)" \\
+        --data ./relations --requests ./requests.txt
+    python -m repro metrics show --telemetry-dir ./telemetry
+    python -m repro metrics export --telemetry-dir ./telemetry --out m.json
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import sys
 import time
 from typing import Dict, List, Tuple
@@ -110,7 +125,9 @@ from repro import (
     infer_shard_key,
     parse_view,
 )
+from repro.engine.telemetry import AdaptiveTuner, Telemetry, TelemetryStore
 from repro.engine.topology import assignment_of
+from repro.workloads.streams import batched
 from repro.core.snapshot import (
     database_fingerprint,
     inspect_snapshot_file,
@@ -267,6 +284,13 @@ def _serve(args) -> int:
         )
     if args.replicas < 0:
         raise ReproError(f"--replicas must be >= 0, got {args.replicas}")
+    if args.gap_budget is not None and not args.adapt:
+        raise ReproError("--gap-budget tunes the adaptive loop; add --adapt")
+    if args.adapt and (args.use_async or args.per_request or cursor_mode):
+        raise ReproError(
+            "--adapt drives the sequential batched path; it does not "
+            "compose with --async/--per-request/cursor knobs"
+        )
     if args.replicas:
         if not args.use_async:
             raise ReproError(
@@ -282,6 +306,11 @@ def _serve(args) -> int:
                 "--replicas hydrate from shipped snapshots; give "
                 "--snapshot-dir so the primary has somewhere to ship them"
             )
+    telemetry = None
+    if args.telemetry_dir is not None:
+        telemetry = Telemetry(Path(args.telemetry_dir))
+    elif args.adapt:
+        telemetry = Telemetry()  # the tuner needs gap histograms
     if args.shards > 1:
         shard_key = (
             _parse_shard_key(args.shard_key)
@@ -297,6 +326,7 @@ def _serve(args) -> int:
             snapshot_dir=args.snapshot_dir,
             cache_policy=args.cache_policy,
             build_workers=args.build_workers,
+            telemetry=telemetry,
         )
     else:
         backend = ViewServer(
@@ -306,6 +336,7 @@ def _serve(args) -> int:
             snapshot_dir=args.snapshot_dir,
             cache_policy=args.cache_policy,
             build_workers=args.build_workers,
+            telemetry=telemetry,
         )
     name = backend.register(
         view,
@@ -330,7 +361,11 @@ def _serve(args) -> int:
     replicas: List[ViewServer] = []
     try:
         if args.replicas:
-            replicas = _hydrate_replicas(backend, view, name, db, args)
+            replicas = _hydrate_replicas(
+                backend, view, name, db, args, telemetry=telemetry
+            )
+        if args.adapt:
+            return _serve_adaptive(backend, name, accesses, telemetry, args)
         if args.per_request:
             return _serve_per_request(backend, name, accesses)
         if cursor_mode:
@@ -376,10 +411,58 @@ def _serve(args) -> int:
         for replica in replicas:
             replica.close()
         backend.close()
+        if telemetry is not None:
+            telemetry.close()  # final durable flush (the CLI owns the sink)
     return 0
 
 
-def _hydrate_replicas(backend, view, name: str, db, args) -> List[ViewServer]:
+def _serve_adaptive(backend, name: str, accesses, telemetry, args) -> int:
+    """The closed loop: serve batches, re-deriving τ between them.
+
+    Every ``--batch-size`` requests the :class:`AdaptiveTuner` compares
+    the observed delay-gap percentile against the budget (the
+    registration's, or ``--gap-budget``) and retunes the serving τ,
+    promotes hot views ahead of demand, and demotes cold ones — each
+    decision a traced, durable event.
+    """
+    tuner = AdaptiveTuner(
+        backend,
+        telemetry,
+        gap_budget=args.gap_budget,
+        interval_requests=args.batch_size,
+    )
+    started = time.perf_counter()
+    outputs = requests = batches = 0
+    decisions = []
+    for chunk in batched(accesses, args.batch_size):
+        result = backend.answer_batch(name, chunk)
+        outputs += result.outputs
+        requests += len(chunk)
+        batches += 1
+        decisions.extend(tuner.maybe_tune())
+    wall = time.perf_counter() - started
+    print(
+        f"adaptive: {requests} requests in {batches} batches, "
+        f"{outputs} tuples in {wall * 1000:.1f} ms"
+    )
+    print(
+        f"tuning: {len(decisions)} decision(s); serving tau now "
+        f"{backend.serving_tau(name):g}"
+    )
+    for decision in decisions[-5:]:
+        print(
+            f"  {decision.kind} {decision.view!r}: tau "
+            f"{decision.tau_before:g} -> {decision.tau_after:g} "
+            f"({decision.reason})"
+        )
+    if args.telemetry_dir is not None:
+        print(f"telemetry: persisted under {args.telemetry_dir}")
+    return 0
+
+
+def _hydrate_replicas(
+    backend, view, name: str, db, args, telemetry=None
+) -> List[ViewServer]:
     """Ship the primary's snapshots and stand up N hydrated read replicas.
 
     The primary builds the registered view once and demotes it to the
@@ -399,6 +482,7 @@ def _hydrate_replicas(backend, view, name: str, db, args) -> List[ViewServer]:
                 max_entries=args.cache_entries,
                 max_cells=args.cache_cells,
                 cache_policy=args.cache_policy,
+                telemetry=telemetry,
             )
             replica.register(
                 view,
@@ -632,6 +716,94 @@ def _snapshot_inspect(args) -> int:
         f"bytes ({'complete' if info['complete'] else 'TRUNCATED'})"
     )
     print(f"  file size:      {info['file_bytes']} bytes")
+    return 0
+
+
+def _metric_name(entry: Dict) -> str:
+    """``name{k=v,...}`` — the display form of one labeled metric."""
+    labels = entry.get("labels") or {}
+    if not labels:
+        return entry["name"]
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{entry['name']}{{{inner}}}"
+
+
+def _merged_telemetry(args):
+    directory = Path(args.telemetry_dir)
+    if not directory.is_dir():
+        raise ReproError(f"{directory}: no telemetry directory")
+    return TelemetryStore.merged_registry(directory)
+
+
+def _metrics_show(args) -> int:
+    """Replay every persisted session's metrics and events, merged."""
+    try:
+        registry, events = _merged_telemetry(args)
+    except (ReproError, OSError) as error:
+        print(f"metrics show: {error}", file=sys.stderr)
+        return 2
+    snapshot = registry.snapshot()
+    print(f"telemetry from {args.telemetry_dir}:")
+    if snapshot["counters"]:
+        print("counters:")
+        for entry in sorted(
+            snapshot["counters"], key=lambda e: (e["name"], repr(e["labels"]))
+        ):
+            print(f"  {_metric_name(entry)} = {entry['value']}")
+    if snapshot["gauges"]:
+        print("gauges:")
+        for entry in sorted(
+            snapshot["gauges"], key=lambda e: (e["name"], repr(e["labels"]))
+        ):
+            print(f"  {_metric_name(entry)} = {entry['value']}")
+    if snapshot["histograms"]:
+        print("histograms:")
+        for entry in sorted(
+            snapshot["histograms"],
+            key=lambda e: (e["name"], repr(e["labels"])),
+        ):
+            histogram = registry.histogram(
+                entry["name"], buckets=entry["buckets"], **entry["labels"]
+            )
+            print(
+                f"  {_metric_name(entry)}: count={entry['count']} "
+                f"sum={entry['sum']:g} p50={histogram.percentile(0.5):g} "
+                f"p95={histogram.percentile(0.95):g}"
+            )
+    shown = events[-args.events :] if args.events else []
+    if shown:
+        print(f"events (last {len(shown)} of {len(events)}):")
+        for record in shown:
+            payload = dict(record["event"])
+            op = payload.pop("op", "?")
+            detail = " ".join(f"{k}={v}" for k, v in sorted(payload.items()))
+            print(f"  [{record['session']}#{record['seq']}] {op}: {detail}")
+    if not (
+        snapshot["counters"] or snapshot["gauges"] or snapshot["histograms"]
+    ):
+        print("  (no metrics recorded)")
+    return 0
+
+
+def _metrics_export(args) -> int:
+    """Write the merged snapshot (and events) as one JSON document."""
+    try:
+        registry, events = _merged_telemetry(args)
+    except (ReproError, OSError) as error:
+        print(f"metrics export: {error}", file=sys.stderr)
+        return 2
+    document = {
+        "schema": 1,
+        "source": str(args.telemetry_dir),
+        "metrics": registry.snapshot(),
+        "events": [record["event"] for record in events],
+    }
+    text = json.dumps(document, indent=2, sort_keys=True, default=str)
+    if args.out is not None:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -897,6 +1069,25 @@ def main(argv=None) -> int:
         help="build structures on N worker processes (real cores; "
         "falls back in-process if unavailable)",
     )
+    serve.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="record counters/histograms/spans and persist them here as "
+        "restart-mergeable JSONL (replay with 'metrics show')",
+    )
+    serve.add_argument(
+        "--adapt",
+        action="store_true",
+        help="closed-loop tuning: re-derive the serving tau from observed "
+        "delay-gap percentiles every --batch-size requests",
+    )
+    serve.add_argument(
+        "--gap-budget",
+        type=float,
+        default=None,
+        help="target max step gap for --adapt (default: the "
+        "registration's own budget or tau)",
+    )
     serve.set_defaults(handler=_run_serve)
 
     snapshot = commands.add_parser(
@@ -941,6 +1132,40 @@ def main(argv=None) -> int:
         "--file", required=True, help="snapshot file to inspect"
     )
     snap_inspect.set_defaults(handler=_snapshot_inspect)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="replay or export telemetry persisted by 'serve "
+        "--telemetry-dir'",
+    )
+    metrics_commands = metrics.add_subparsers(
+        dest="metrics_command", required=True
+    )
+
+    metrics_show = metrics_commands.add_parser(
+        "show", help="print merged counters, histograms and recent events"
+    )
+    metrics_show.add_argument(
+        "--telemetry-dir", required=True, help="telemetry JSONL directory"
+    )
+    metrics_show.add_argument(
+        "--events",
+        type=int,
+        default=10,
+        help="how many trailing events to print (0 disables)",
+    )
+    metrics_show.set_defaults(handler=_metrics_show)
+
+    metrics_export = metrics_commands.add_parser(
+        "export", help="write the merged snapshot as one JSON document"
+    )
+    metrics_export.add_argument(
+        "--telemetry-dir", required=True, help="telemetry JSONL directory"
+    )
+    metrics_export.add_argument(
+        "--out", default=None, help="output file (default: stdout)"
+    )
+    metrics_export.set_defaults(handler=_metrics_export)
 
     topology = commands.add_parser(
         "topology",

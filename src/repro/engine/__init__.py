@@ -17,6 +17,12 @@ lazily heap-merging per-shard cursors for free ones), and
 end from an event loop, with thread-pool execution, backpressure,
 per-batch delay accounting, and an async ``stream`` face for the
 cursor API.
+
+Every layer reports into one optional :class:`Telemetry` sink
+(:mod:`repro.engine.telemetry`): counters, fixed-bucket histograms, and
+traced spans that persist as versioned JSONL and merge across restarts.
+:class:`AdaptiveTuner` closes the loop, re-deriving each view's serving
+τ from the observed delay-gap percentiles against its budget.
 """
 
 from repro.engine.api import (
@@ -59,6 +65,15 @@ from repro.engine.sharding import (
     semijoin_reduce_database,
     stable_hash,
 )
+from repro.engine.telemetry import (
+    GAP_BUCKETS,
+    LATENCY_BUCKETS,
+    AdaptiveTuner,
+    MetricsRegistry,
+    Telemetry,
+    TelemetryStore,
+    TuningDecision,
+)
 from repro.engine.topology import RoutingTable, rendezvous_choice
 
 __all__ = [
@@ -92,4 +107,11 @@ __all__ = [
     "AsyncBatchResult",
     "AsyncServingReport",
     "AsyncViewServer",
+    "AdaptiveTuner",
+    "GAP_BUCKETS",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "Telemetry",
+    "TelemetryStore",
+    "TuningDecision",
 ]

@@ -216,23 +216,24 @@ class AnswerCursor:
     def _observe_exhaustion(self) -> None:
         self._finished = True
         self._exhausted = True
+        if self.request.measure:
+            # Mirror measure_enumeration's closing gap: the time from the
+            # last output until exhaustion is part of the paper's delay.
+            now = time.perf_counter()
+            gap = now - self._last_time
+            self._stats.wall_max_gap = max(self._stats.wall_max_gap, gap)
+            if self._stats.outputs == 0:
+                self._stats.wall_first = gap
+            self._last_time = now
+            if self._counter is not None:
+                step_gap = self._counter.steps - self._last_steps
+                self._stats.step_max_gap = max(
+                    self._stats.step_max_gap, step_gap
+                )
+                self._last_steps = self._counter.steps
+        # Hooks fire after the closing gap folds in, so a hook reading
+        # stats() — the telemetry layer does — sees the final figures.
         self._fire_close_hooks()
-        if not self.request.measure:
-            return
-        # Mirror measure_enumeration's closing gap: the time from the
-        # last output until exhaustion is part of the paper's delay.
-        now = time.perf_counter()
-        gap = now - self._last_time
-        self._stats.wall_max_gap = max(self._stats.wall_max_gap, gap)
-        if self._stats.outputs == 0:
-            self._stats.wall_first = gap
-        self._last_time = now
-        if self._counter is not None:
-            step_gap = self._counter.steps - self._last_steps
-            self._stats.step_max_gap = max(
-                self._stats.step_max_gap, step_gap
-            )
-            self._last_steps = self._counter.steps
 
     # ------------------------------------------------------------------
     # batched pulls

@@ -40,6 +40,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from itertools import islice
+from pathlib import Path
 from typing import (
     AsyncIterator,
     Iterable,
@@ -55,6 +56,7 @@ from repro.engine.api import AccessRequest, as_request
 from repro.engine.cache import CacheStats
 from repro.engine.server import BatchResult, Registration, ViewServer
 from repro.engine.sharding import ShardedViewServer
+from repro.engine.telemetry import LATENCY_BUCKETS, Telemetry
 from repro.exceptions import ParameterError
 from repro.query.adorned import AdornedView
 from repro.workloads.streams import batched
@@ -80,6 +82,7 @@ class AsyncBatchResult:
 
     @property
     def turnaround_seconds(self) -> float:
+        """Submission-to-done wall time (queue plus service)."""
         return self.queue_seconds + self.service_seconds
 
 
@@ -107,6 +110,7 @@ class AsyncServingReport:
 
     @property
     def requests_per_second(self) -> float:
+        """Stream throughput over the whole drain (inf for a zero wall)."""
         if self.wall_seconds <= 0:
             return float("inf")
         return self.requests / self.wall_seconds
@@ -151,6 +155,15 @@ class AsyncViewServer:
         *before* the global ``max_pending`` slot, so a saturated tenant
         queues outside the shared pool instead of monopolizing it.
         ``None`` disables per-tenant gating.
+    telemetry:
+        ``True`` creates an owned :class:`~repro.engine.telemetry.Telemetry`
+        (persisted under ``snapshot_dir/telemetry`` when this facade also
+        builds the backend); an instance is shared; ``None`` adopts the
+        backend's own sink when it has one. The front end records
+        ``async_queue_depth``, ``async_queue_seconds`` /
+        ``async_service_seconds``, ``admission_waits_total{gate}``, and
+        ``balancer_picks_total{replica}`` on top of whatever the backend
+        records.
 
     One event loop at a time: the internal semaphores bind to the loop
     of the first ``await``, so drive a given instance from a single
@@ -170,6 +183,7 @@ class AsyncViewServer:
         replicas: Sequence[ViewServer] = (),
         balancer: str = "round-robin",
         max_pending_per_tenant: Optional[int] = None,
+        telemetry: Union[Telemetry, bool, None] = None,
     ):
         if max_workers < 1:
             raise ParameterError(f"max_workers must be >= 1, got {max_workers}")
@@ -189,6 +203,18 @@ class AsyncViewServer:
                 f"{max_pending_per_tenant}"
             )
         self._owns_backend = isinstance(backend, Database)
+        self._owns_telemetry = telemetry is True
+        if telemetry is True:
+            telemetry = Telemetry(
+                Path(snapshot_dir) / "telemetry"
+                if self._owns_backend and snapshot_dir is not None
+                else None
+            )
+        elif telemetry is None and not self._owns_backend:
+            # Wrapping an instrumented backend: record into its sink so
+            # front-end and engine metrics land in one registry.
+            telemetry = getattr(backend, "telemetry", None)
+        self._telemetry: Optional[Telemetry] = telemetry or None
         if isinstance(backend, Database):
             backend = ViewServer(
                 backend,
@@ -197,6 +223,7 @@ class AsyncViewServer:
                 snapshot_dir=snapshot_dir,
                 cache_policy=cache_policy,
                 build_workers=build_workers,
+                telemetry=self._telemetry,
             )
         if replicas and isinstance(backend, ShardedViewServer):
             raise ParameterError(
@@ -230,6 +257,7 @@ class AsyncViewServer:
         delay_budget: Optional[float] = None,
         name: Optional[str] = None,
     ) -> str:
+        """Register a view on the backend and every replica; serving name."""
         resolved = self.backend.register(
             view,
             tau=tau,
@@ -253,18 +281,27 @@ class AsyncViewServer:
         return resolved
 
     def registration(self, name: str) -> Registration:
+        """The backend's registration record for one view."""
         return self.backend.registration(name)
 
     def views(self) -> Tuple[str, ...]:
+        """Names of every registered view, from the backend."""
         return self.backend.views()
 
     @property
     def is_sharded(self) -> bool:
+        """True when the wrapped backend is a :class:`ShardedViewServer`."""
         return isinstance(self.backend, ShardedViewServer)
 
     @property
     def replicas(self) -> Tuple[ViewServer, ...]:
+        """The read replicas this facade balances read batches across."""
         return self._replicas
+
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The telemetry sink (owned, shared, or adopted), or ``None``."""
+        return self._telemetry
 
     @property
     def replica_loads(self) -> Tuple[int, ...]:
@@ -288,8 +325,23 @@ class AsyncViewServer:
                 range(n),
                 key=lambda k: (self._replica_pending[(start + k) % n], k),
             )
-            return (start + offset) % n
+            start = (start + offset) % n
+        if self._telemetry is not None:
+            self._telemetry.counter(
+                "balancer_picks_total", replica=str(start)
+            ).inc()
         return start
+
+    def _count_wait(self, gate_name: str) -> None:
+        """Record one admission stall (a slot was full when asked for)."""
+        if self._telemetry is not None:
+            self._telemetry.counter(
+                "admission_waits_total", gate=gate_name
+            ).inc()
+
+    def _queue_depth(self, delta: int) -> None:
+        if self._telemetry is not None:
+            self._telemetry.gauge("async_queue_depth").add(delta)
 
     def _tenant_gate(self, tenant: Optional[str]):
         if tenant is None or self.max_pending_per_tenant is None:
@@ -325,14 +377,29 @@ class AsyncViewServer:
         loop = asyncio.get_running_loop()
         submitted = time.perf_counter()
         gate = self._tenant_gate(tenant)
-        if gate is not None:
-            async with gate:
-                return await self._serve_admitted(
+        self._queue_depth(+1)
+        try:
+            if gate is not None:
+                if gate.locked():
+                    self._count_wait("tenant")
+                async with gate:
+                    served = await self._serve_admitted(
+                        loop, name, batch, tau, measure, submitted
+                    )
+            else:
+                served = await self._serve_admitted(
                     loop, name, batch, tau, measure, submitted
                 )
-        return await self._serve_admitted(
-            loop, name, batch, tau, measure, submitted
-        )
+        finally:
+            self._queue_depth(-1)
+        if self._telemetry is not None:
+            self._telemetry.histogram(
+                "async_queue_seconds", buckets=LATENCY_BUCKETS
+            ).observe(served.queue_seconds)
+            self._telemetry.histogram(
+                "async_service_seconds", buckets=LATENCY_BUCKETS
+            ).observe(served.service_seconds)
+        return served
 
     async def _serve_admitted(
         self,
@@ -343,6 +410,8 @@ class AsyncViewServer:
         measure: bool,
         submitted: float,
     ) -> AsyncBatchResult:
+        if self._semaphore.locked():
+            self._count_wait("global")
         async with self._semaphore:
             if isinstance(self.backend, ShardedViewServer):
                 return await self._serve_sharded(
@@ -479,14 +548,22 @@ class AsyncViewServer:
         batch = [as_request(request) for request in requests]
         loop = asyncio.get_running_loop()
         gate = self._tenant_gate(tenant)
-        if gate is not None:
-            async with gate:
-                return await self._answer_admitted(loop, batch)
-        return await self._answer_admitted(loop, batch)
+        self._queue_depth(+1)
+        try:
+            if gate is not None:
+                if gate.locked():
+                    self._count_wait("tenant")
+                async with gate:
+                    return await self._answer_admitted(loop, batch)
+            return await self._answer_admitted(loop, batch)
+        finally:
+            self._queue_depth(-1)
 
     async def _answer_admitted(
         self, loop: asyncio.AbstractEventLoop, batch: List[AccessRequest]
     ) -> List[List[Tuple]]:
+        if self._semaphore.locked():
+            self._count_wait("global")
         async with self._semaphore:
             if not isinstance(self.backend, ShardedViewServer):
                 replica = self._pick_replica()
@@ -747,6 +824,8 @@ class AsyncViewServer:
         self._executor.shutdown(wait=True)
         if self._owns_backend:
             self.backend.close()
+        if self._owns_telemetry and self._telemetry is not None:
+            self._telemetry.close()
 
     async def __aenter__(self) -> "AsyncViewServer":
         return self

@@ -55,6 +55,7 @@ from typing import Callable, Hashable, List, Optional, Tuple
 
 from repro.core.snapshot import SnapshotStore
 from repro.core.structure import CompressedRepresentation
+from repro.engine.telemetry import MetricsRegistry
 from repro.exceptions import ParameterError, SnapshotError
 
 EVICTION_POLICIES = ("lru", "cost")
@@ -73,10 +74,12 @@ class CacheStats:
 
     @property
     def requests(self) -> int:
+        """Total lookups: hits plus misses."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from memory (0.0 when unused)."""
         return self.hits / self.requests if self.requests else 0.0
 
     def delta(self, before: "CacheStats") -> "CacheStats":
@@ -142,6 +145,13 @@ class RepresentationCache:
         Optional :class:`~repro.core.snapshot.SnapshotStore` enabling the
         disk tier: warm loads on miss, snapshot writes on build, and
         demotion (rather than discard) on eviction.
+    metrics:
+        Optional :class:`~repro.engine.telemetry.MetricsRegistry`; every
+        :class:`CacheStats` mutation is mirrored into
+        ``cache_<counter>_total{policy=...}`` counters there (hits,
+        misses, evictions, insertions, disk hits, disk writes), so one
+        registry can watch many caches by policy. ``None`` costs
+        nothing.
     """
 
     def __init__(
@@ -150,6 +160,7 @@ class RepresentationCache:
         max_cells: Optional[int] = None,
         policy: str = "lru",
         snapshot_store: Optional[SnapshotStore] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ParameterError(
@@ -167,6 +178,25 @@ class RepresentationCache:
         self.policy = policy
         self.snapshot_store = snapshot_store
         self.stats = CacheStats()
+        # Pre-resolved telemetry counters: the hot path pays one guarded
+        # dict lookup plus an atomic increment, nothing more.
+        self._metric_counters = (
+            {
+                counted: metrics.counter(
+                    f"cache_{counted}_total", policy=policy
+                )
+                for counted in (
+                    "hits",
+                    "misses",
+                    "evictions",
+                    "insertions",
+                    "disk_hits",
+                    "disk_writes",
+                )
+            }
+            if metrics is not None
+            else None
+        )
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self._total_cells = 0
         self._lock = threading.RLock()
@@ -197,6 +227,7 @@ class RepresentationCache:
             return self._total_cells
 
     def cells_of(self, key: Hashable) -> Optional[int]:
+        """The resident entry's cell count, or None when not resident."""
         with self._lock:
             entry = self._entries.get(key)
             return entry.cells if entry is not None else None
@@ -205,6 +236,11 @@ class RepresentationCache:
         """A consistent point-in-time copy of the lifetime counters."""
         with self._lock:
             return replace(self.stats)
+
+    def _bump(self, counted: str, amount: int = 1) -> None:
+        """Mirror one :class:`CacheStats` mutation into the registry."""
+        if self._metric_counters is not None:
+            self._metric_counters[counted].inc(amount)
 
     # ------------------------------------------------------------------
     # cache operations
@@ -215,9 +251,11 @@ class RepresentationCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                self._bump("misses")
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self._bump("hits")
             return entry.representation
 
     def peek(self, key: Hashable) -> Optional[CompressedRepresentation]:
@@ -286,6 +324,7 @@ class RepresentationCache:
         )
         self._total_cells += cells
         self.stats.insertions += 1
+        self._bump("insertions")
         return self._evict()
 
     def get_or_build(
@@ -319,11 +358,13 @@ class RepresentationCache:
                         # A wait-then-hit call already recorded its miss;
                         # one call is one request, not two.
                         self.stats.hits += 1
+                        self._bump("hits")
                     return entry.representation
                 if not missed:
                     # One logical miss per call, however many retries the
                     # build race takes.
                     self.stats.misses += 1
+                    self._bump("misses")
                     missed = True
                 event = self._building.get(key)
                 if event is None:
@@ -350,8 +391,10 @@ class RepresentationCache:
                 with self._lock:
                     if from_disk:
                         self.stats.disk_hits += 1
+                        self._bump("disk_hits")
                     elif on_disk:
                         self.stats.disk_writes += 1
+                        self._bump("disk_writes")
                     evicted = self._publish(
                         key,
                         built,
@@ -414,6 +457,7 @@ class RepresentationCache:
                     if self._entries.get(key) is entry:
                         entry.on_disk = True
                     self.stats.disk_writes += 1
+                    self._bump("disk_writes")
         return written
 
     def _demote(self, evicted: List[Tuple[Hashable, _Entry]]) -> None:
@@ -431,6 +475,7 @@ class RepresentationCache:
         if written:
             with self._lock:
                 self.stats.disk_writes += written
+                self._bump("disk_writes", written)
 
     def _evict(self) -> List[Tuple[Hashable, _Entry]]:
         evicted: List[Tuple[Hashable, _Entry]] = []
@@ -439,6 +484,7 @@ class RepresentationCache:
             entry = self._entries.pop(victim)
             self._total_cells -= entry.cells
             self.stats.evictions += 1
+            self._bump("evictions")
             evicted.append((victim, entry))
         return evicted
 
@@ -514,6 +560,7 @@ class RepresentationCache:
         return len(removed)
 
     def clear(self) -> None:
+        """Drop every resident entry (the disk tier is untouched)."""
         with self._lock:
             self._entries.clear()
             self._total_cells = 0

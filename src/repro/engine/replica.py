@@ -40,6 +40,7 @@ from typing import Iterable, Optional, Union
 from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database
 from repro.engine.server import Registration, ViewServer
+from repro.engine.telemetry import Telemetry
 from repro.exceptions import ParameterError, SnapshotError
 
 __all__ = ["ReplicaServer"]
@@ -62,6 +63,11 @@ class ReplicaServer(ViewServer):
         Cache bounds as for :class:`ViewServer`; evictions simply drop
         entries (they are already on disk), and a later request
         re-hydrates.
+    telemetry:
+        As for :class:`ViewServer`; replicas additionally record
+        ``replica_hydrations_total`` (eager warm-ups) and
+        ``replica_refusals_total`` (requests that found no usable
+        snapshot and failed loudly).
 
     Example
     -------
@@ -85,6 +91,7 @@ class ReplicaServer(ViewServer):
         max_entries: Optional[int] = 8,
         max_cells: Optional[int] = None,
         cache_policy: str = "lru",
+        telemetry: Union[Telemetry, bool, None] = None,
     ):
         if snapshot_dir is None:
             raise ParameterError(
@@ -97,6 +104,7 @@ class ReplicaServer(ViewServer):
             max_cells=max_cells,
             snapshot_dir=snapshot_dir,
             cache_policy=cache_policy,
+            telemetry=telemetry,
         )
 
     def _build(
@@ -107,6 +115,10 @@ class ReplicaServer(ViewServer):
         # reason to burn CPU rebuilding from a database this process may
         # not even hold in full.
         label = self._snapshot_label(registration, tau)
+        if self.telemetry is not None:
+            self.telemetry.counter(
+                "replica_refusals_total", view=registration.name
+            ).inc()
         raise SnapshotError(
             f"replica refuses to build {registration.name!r} (tau={tau!r}): "
             f"no usable snapshot under label {label!r} in "
@@ -124,6 +136,15 @@ class ReplicaServer(ViewServer):
         of structures hydrated.
         """
         targets = tuple(names) if names is not None else self.views()
-        for name in targets:
-            self.representation(name)
+        if self.telemetry is None:
+            for name in targets:
+                self.representation(name)
+            return len(targets)
+        with self.telemetry.trace("hydrate") as span:
+            for name in targets:
+                self.representation(name)
+                self.telemetry.counter(
+                    "replica_hydrations_total", view=name
+                ).inc()
+            span.annotate(views=list(targets))
         return len(targets)

@@ -28,9 +28,22 @@ Responsibilities
   primitive — a request group over one view rides ONE shared tree
   traversal (:mod:`repro.engine.shared_scan`), with duplicates sharing
   a lane and prefix-sharing accesses sharing subtrie descents;
-  ``answer_batch``/``serve_stream`` are materializing wrappers over it,
-  and per-request delay statistics still follow
-  :func:`~repro.measure.delay.measure_enumeration` semantics.
+  ``answer_batch``/``serve_stream`` are materializing wrappers over it.
+  Per-request delay statistics follow
+  :meth:`AnswerCursor.stats <repro.engine.api.AnswerCursor.stats>`
+  semantics: the closing gap (trailing steps after the last output) is
+  included **only when the cursor observed exhaustion**. ``answer_batch``
+  drains every cursor fully, so its stats always include it — matching
+  :func:`~repro.measure.delay.measure_enumeration` — while a
+  limit-stopped cursor opened directly never does.
+* **Telemetry**: pass ``telemetry=`` (a
+  :class:`~repro.engine.telemetry.Telemetry`, or ``True`` to persist
+  under ``snapshot_dir/telemetry/``) and the server instruments itself:
+  request counters, serve-latency and delay-gap histograms, cache and
+  shared-scan counters. ``None`` (the default) costs nothing. The
+  :class:`~repro.engine.telemetry.AdaptiveTuner` closes the loop through
+  :meth:`ViewServer.retune` / :meth:`ViewServer.serving_tau` /
+  :meth:`ViewServer.prefetch` / :meth:`ViewServer.demote`.
 * **Concurrency**: the cache is internally synchronized and provides
   the single-build guarantee through
   :meth:`~repro.engine.cache.RepresentationCache.get_or_build` (at most
@@ -74,6 +87,7 @@ from repro.engine.api import (
 from repro.engine.cache import CacheStats, RepresentationCache
 from repro.engine.parallel import ParallelBuilder
 from repro.engine.shared_scan import SharedScan
+from repro.engine.telemetry import GAP_BUCKETS, LATENCY_BUCKETS, Telemetry
 from repro.exceptions import ParameterError, SchemaError
 from repro.measure.delay import DelayStats
 from repro.optimizer.min_delay import min_delay_cover
@@ -116,6 +130,13 @@ class BatchResult:
     ``answers`` aligns with the submitted batch; duplicate requests share
     one answer list (the whole point of batching). ``request_stats`` holds
     one :class:`~repro.measure.delay.DelayStats` per *distinct* access.
+    Batch cursors are drained to exhaustion, so each entry **includes the
+    closing gap** (the trailing steps after its last output) — identical
+    to :func:`~repro.measure.delay.measure_enumeration` on the same
+    access. This is the exhaustion case of the cursor rule
+    (:meth:`AnswerCursor.stats <repro.engine.api.AnswerCursor.stats>`):
+    only a limit-stopped cursor, which never observes exhaustion, omits
+    the closing gap.
     """
 
     accesses: Tuple[Tuple, ...]
@@ -161,6 +182,7 @@ class ServingReport:
 
     @property
     def requests_per_second(self) -> float:
+        """Serving throughput over the report's wall-clock window."""
         if self.wall_seconds <= 0:
             return float("inf")
         return self.requests / self.wall_seconds
@@ -233,6 +255,14 @@ class ViewServer:
         shares an existing pool (the sharded facade does this so total
         build parallelism stays bounded). Builds fall back in-process
         whenever the pool is unavailable.
+    telemetry:
+        ``None`` (default) disables instrumentation entirely. A
+        :class:`~repro.engine.telemetry.Telemetry` instance instruments
+        this server (and its cache) into that instance's registry —
+        share one across servers to see the whole stack. ``True``
+        creates a server-owned instance, persisting under
+        ``snapshot_dir/telemetry/`` when a snapshot directory is set
+        (in-memory otherwise); :meth:`close` flushes it.
 
     Example
     -------
@@ -256,6 +286,7 @@ class ViewServer:
         cache_policy: str = "lru",
         build_workers: Optional[int] = None,
         builder: Optional[ParallelBuilder] = None,
+        telemetry: Union[Telemetry, bool, None] = None,
     ):
         self.db = db
         store = None
@@ -263,6 +294,14 @@ class ViewServer:
             store = SnapshotStore(
                 snapshot_dir, fingerprint=database_fingerprint(db)
             )
+        self._owns_telemetry = telemetry is True
+        if telemetry is True:
+            telemetry = Telemetry(
+                Path(snapshot_dir) / "telemetry"
+                if snapshot_dir is not None
+                else None
+            )
+        self._telemetry: Optional[Telemetry] = telemetry or None
         self._owns_builder = False
         if builder is None and build_workers is not None:
             builder = ParallelBuilder(build_workers)
@@ -273,9 +312,20 @@ class ViewServer:
             max_cells=max_cells,
             policy=cache_policy,
             snapshot_store=store,
+            metrics=(
+                self._telemetry.registry
+                if self._telemetry is not None
+                else None
+            ),
         )
         self._views: Dict[str, Registration] = {}
         self._lock = threading.Lock()
+        self._tau_overrides: Dict[str, float] = {}
+        # Resolved metric handles per (view, mode): registry lookups
+        # sort labels and verify buckets under a lock, which is too
+        # much work to repeat on every cursor close in the hot path.
+        # Races are benign — both writers cache identical handles.
+        self._metric_handles: Dict[Tuple[str, str], Tuple] = {}
         self._build_counts: Dict[CacheKey, int] = {}
         # Monotonic lifetime total: per-key counters are pruned when their
         # generation dies, but stream build-deltas need a counter that
@@ -386,9 +436,11 @@ class ViewServer:
             for key in list(self._build_counts):
                 if key[0] == name and key[2] == registration.generation:
                     del self._build_counts[key]
+            self._tau_overrides.pop(name, None)
         return True
 
     def registration(self, name: str) -> Registration:
+        """The :class:`Registration` behind ``name``; SchemaError if unknown."""
         with self._lock:
             try:
                 return self._views[name]
@@ -396,8 +448,61 @@ class ViewServer:
                 raise SchemaError(f"unknown view {name!r}") from None
 
     def views(self) -> Tuple[str, ...]:
+        """Names of every currently registered view."""
         with self._lock:
             return tuple(self._views.keys())
+
+    # ------------------------------------------------------------------
+    # the tuning surface (what AdaptiveTuner drives)
+    # ------------------------------------------------------------------
+    def serving_tau(self, name: str) -> float:
+        """The τ requests with ``tau=None`` are currently served at.
+
+        The registration's τ unless :meth:`retune` overrode it.
+        """
+        registration = self.registration(name)
+        with self._lock:
+            return self._tau_overrides.get(name, registration.tau)
+
+    def retune(self, name: str, tau: float) -> float:
+        """Override the serving τ of one view; returns the previous one.
+
+        Subsequent requests that do not pin their own τ resolve to the
+        override, lazily building the new structure on first use (or
+        eagerly via :meth:`prefetch`). Structures built at the old τ
+        stay cached — explicit ``tau=`` requests can still hit them —
+        until eviction or :meth:`demote` moves them out. Registration
+        is untouched: re-registering resets the override.
+        """
+        tau = float(tau)
+        if tau <= 0:
+            raise ParameterError(f"tau must be positive, got {tau}")
+        previous = self.serving_tau(name)
+        with self._lock:
+            if name not in self._views:
+                raise SchemaError(f"unknown view {name!r}")
+            self._tau_overrides[name] = tau
+        return previous
+
+    def prefetch(self, name: str, tau: Optional[float] = None) -> None:
+        """Build (or warm-load) the serving structure ahead of demand."""
+        self.representation(name, tau)
+
+    def resident(self, name: str, tau: Optional[float] = None) -> bool:
+        """Whether ``(name, serving τ)`` is in the memory cache right now."""
+        registration = self.registration(name)
+        return self._key(registration, tau) in self._cache
+
+    def demote(self, name: str) -> int:
+        """Drop one view's resident structures, keeping their snapshots.
+
+        The tuner's cold path: unlike :meth:`invalidate` the disk tier
+        is preserved, so a later request (or :meth:`prefetch`) warm-loads
+        instead of rebuilding. Returns the entries dropped.
+        """
+        return self._cache.invalidate_matching(
+            lambda key: key[0] == name, drop_snapshot=False
+        )
 
     # ------------------------------------------------------------------
     # cached build
@@ -406,7 +511,15 @@ class ViewServer:
         # The registration's exact τ must round-trip through the key: _build
         # reuses the optimizer's cover only when the key τ matches it. The
         # generation keeps re-registrations under a reused name apart.
-        resolved = registration.tau if tau is None else float(tau)
+        # A tau-less request resolves through the retune override, so the
+        # AdaptiveTuner's decisions take effect without re-registration.
+        if tau is None:
+            with self._lock:
+                resolved = self._tau_overrides.get(
+                    registration.name, registration.tau
+                )
+        else:
+            resolved = float(tau)
         return (registration.name, resolved, registration.generation)
 
     def _snapshot_label(
@@ -541,6 +654,7 @@ class ViewServer:
         delay. ``answer``/``answer_batch``/``serve_stream`` are thin
         materializing wrappers over this.
         """
+        started = time.perf_counter()
         request = as_request(
             request,
             access,
@@ -552,7 +666,94 @@ class ViewServer:
         representation = self.representation(request.view, request.tau)
         with self._lock:
             self._requests_served += 1
-        return open_cursor(representation, request)
+        cursor = open_cursor(representation, request)
+        if self._telemetry is not None:
+            self._instrument_cursor(cursor, request, started, mode="open")
+        return cursor
+
+    def _cursor_metrics(self, view: str, mode: str) -> Tuple:
+        """Resolved (requests, answers, latency, gap) metric handles."""
+        key = (view, mode)
+        handles = self._metric_handles.get(key)
+        if handles is None:
+            telemetry = self._telemetry
+            handles = self._metric_handles[key] = (
+                telemetry.counter("requests_total", view=view, mode=mode),
+                telemetry.counter("answers_total", view=view),
+                telemetry.histogram(
+                    "serve_seconds", buckets=LATENCY_BUCKETS, view=view
+                ),
+                telemetry.histogram(
+                    "delay_step_gap", buckets=GAP_BUCKETS, view=view
+                ),
+            )
+        return handles
+
+    def _instrument_cursor(
+        self,
+        cursor: AnswerCursor,
+        request: AccessRequest,
+        started: float,
+        mode: str,
+    ) -> None:
+        # Counts at open; latency/gap observations ride the close hook,
+        # which fires exactly once on close or exhaustion — after the
+        # cursor's stats are final.
+        requests, answers, latency, gap = self._cursor_metrics(
+            request.view, mode
+        )
+        requests.inc()
+
+        def finalize() -> None:
+            stats = cursor.stats()
+            answers.inc(stats.outputs)
+            latency.observe(time.perf_counter() - started)
+            if request.measure:
+                gap.observe(stats.step_max_gap)
+
+        cursor.add_close_hook(finalize)
+
+    def _instrument_scan(
+        self,
+        view: str,
+        scan: SharedScan,
+        scan_cursors: Sequence[AnswerCursor],
+        requests: Sequence[AccessRequest],
+        started: float,
+    ) -> None:
+        # Lane/state counts are known at construction; subtrie sharing
+        # and pruning accrue while the group drains, so they are read
+        # once, when the group's last cursor closes.
+        telemetry = self._telemetry
+        initial = scan.stats()
+        telemetry.counter("shared_scan_lanes_total", view=view).inc(
+            initial.requests
+        )
+        telemetry.counter("shared_scan_states_total", view=view).inc(
+            initial.states
+        )
+        remaining = [len(scan_cursors)]
+        scan_lock = threading.Lock()
+
+        def finalize_scan() -> None:
+            with scan_lock:
+                remaining[0] -= 1
+                if remaining[0]:
+                    return
+            final = scan.stats()
+            telemetry.counter(
+                "shared_scan_subtrie_hits_total", view=view
+            ).inc(final.subtrie_hits)
+            telemetry.counter(
+                "shared_scan_subtrie_misses_total", view=view
+            ).inc(final.subtrie_misses)
+            telemetry.counter(
+                "shared_scan_pruned_total", view=view
+            ).inc(final.pruned_states)
+
+        for request, cursor in zip(requests, scan_cursors):
+            self._instrument_cursor(cursor, request, started, mode="batch")
+            cursor.add_close_hook(finalize_scan)
 
     def open_batch(
         self, requests: Iterable[Union[AccessRequest, str]]
@@ -572,6 +773,7 @@ class ViewServer:
         whichever cursor is being pulled). Consume a batch's cursors
         from a single thread, as with any generator.
         """
+        started = time.perf_counter()
         batch = [as_request(request) for request in requests]
         cursors: List[Optional[AnswerCursor]] = [None] * len(batch)
         groups: Dict[Tuple[str, Optional[float]], List[int]] = {}
@@ -579,11 +781,15 @@ class ViewServer:
             groups.setdefault((request.view, request.tau), []).append(index)
         for (view, tau), indexes in groups.items():
             representation = self.representation(view, tau)
-            scan = SharedScan(
-                representation, [batch[index] for index in indexes]
-            )
-            for index, cursor in zip(indexes, scan.cursors()):
+            group = [batch[index] for index in indexes]
+            scan = SharedScan(representation, group)
+            scan_cursors = scan.cursors()
+            for index, cursor in zip(indexes, scan_cursors):
                 cursors[index] = cursor
+            if self._telemetry is not None:
+                self._instrument_scan(
+                    view, scan, scan_cursors, group, started
+                )
         with self._lock:
             self._requests_served += len(batch)
         return cursors
@@ -607,9 +813,11 @@ class ViewServer:
         laid out lexicographically, so nearby bound values touch nearby
         dictionary entries) ride one shared scan; every duplicate
         request shares the answer list computed by its representative.
-        With ``measure=True`` per-access delay accounting follows
-        :func:`measure_enumeration` semantics, as before (the structure
-        is resolved once per batch, so cache accounting is unchanged).
+        With ``measure=True`` per-access delay accounting matches
+        :func:`~repro.measure.delay.measure_enumeration` — closing gap
+        included, because the cursors are drained to exhaustion here
+        (see :class:`BatchResult`). The structure is resolved once per
+        batch, so cache accounting is unchanged.
         """
         batch = tuple(tuple(access) for access in accesses)
         unique = sorted(set(batch))
@@ -651,31 +859,45 @@ class ViewServer:
     # life cycle and introspection
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the build worker pool, if this server owns one.
+        """Release owned resources: the build pool and owned telemetry.
 
         Serving keeps working afterwards (builds fall back in-process);
-        shared builders are the owner's to close.
+        shared builders and shared telemetry are the owner's to close.
+        An owned telemetry instance (``telemetry=True``) gets its final
+        flush here, so its persisted history covers the whole session.
         """
         if self._owns_builder and self._builder is not None:
             self._builder.close()
+        if self._owns_telemetry and self._telemetry is not None:
+            self._telemetry.close()
 
     @property
     def builder(self) -> Optional[ParallelBuilder]:
+        """The process-parallel build pool, if any."""
         return self._builder
 
     @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The telemetry instance instrumenting this server, if any."""
+        return self._telemetry
+
+    @property
     def snapshot_store(self) -> Optional[SnapshotStore]:
+        """The warm-start snapshot tier, if a ``snapshot_dir`` was given."""
         return self._cache.snapshot_store
 
     @property
     def cache(self) -> RepresentationCache:
+        """The representation cache behind this server."""
         return self._cache
 
     @property
     def cache_stats(self) -> CacheStats:
+        """A point-in-time copy of the cache's lifetime counters."""
         return self._cache.stats_snapshot()
 
     @property
     def requests_served(self) -> int:
+        """Requests served over this server's lifetime (cursor opens)."""
         with self._lock:
             return self._requests_served

@@ -82,6 +82,7 @@ from repro.engine.server import (
     ViewServer,
     drain_stream,
 )
+from repro.engine.telemetry import Telemetry
 from repro.engine.topology import RoutingTable, stable_hash
 from repro.exceptions import ParameterError, SchemaError
 from repro.joins.semijoin import semijoin
@@ -357,6 +358,13 @@ class ShardedViewServer:
         shard's slice (:func:`semijoin_reduce_database`) so per-shard
         structures shrink. On by default; answers are unchanged either
         way.
+    telemetry:
+        ``True`` creates an owned :class:`~repro.engine.telemetry.Telemetry`
+        (persisted under ``snapshot_dir/telemetry`` when snapshotting); a
+        ready instance is shared. Every shard server records into the
+        SAME registry, so per-view counters aggregate across shards
+        while the facade adds routing-level metrics
+        (``shard_requests_total{shard,mode}``, ``shard_splits_total``).
     """
 
     def __init__(
@@ -371,6 +379,7 @@ class ShardedViewServer:
         cache_policy: str = "lru",
         build_workers: Optional[int] = None,
         semijoin_reduce: bool = True,
+        telemetry: Union[Telemetry, bool, None] = None,
     ):
         self.shard_key: Dict[str, int] = dict(shard_key or {})
         self._hash_fn = hash_fn
@@ -381,6 +390,14 @@ class ShardedViewServer:
         )
         self._cache_policy = cache_policy
         self._semijoin_reduce = semijoin_reduce
+        self._owns_telemetry = telemetry is True
+        if telemetry is True:
+            telemetry = Telemetry(
+                self._snapshot_dir / "telemetry"
+                if self._snapshot_dir is not None
+                else None
+            )
+        self._telemetry: Optional[Telemetry] = telemetry or None
         if isinstance(n_shards, RoutingTable):
             table = n_shards
         else:
@@ -426,6 +443,9 @@ class ShardedViewServer:
     def _make_shard_server(
         self, shard_id: str, shard_db: Database
     ) -> ViewServer:
+        # Shard servers share the facade's Telemetry instance (never
+        # construct their own): one registry aggregates per-view metrics
+        # across shards, and the facade owns the flush/close lifecycle.
         return ViewServer(
             shard_db,
             max_entries=self._max_entries,
@@ -437,6 +457,7 @@ class ShardedViewServer:
             ),
             cache_policy=self._cache_policy,
             builder=self._builder,
+            telemetry=self._telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -464,11 +485,13 @@ class ShardedViewServer:
 
     @property
     def n_shards(self) -> int:
+        """Shard count of the current topology (grows across splits)."""
         with self._topology_lock:
             return len(self._current.shard_ids)
 
     @property
     def shard_ids(self) -> Tuple[str, ...]:
+        """The current topology's shard identifiers, in routing order."""
         with self._topology_lock:
             return self._current.shard_ids
 
@@ -520,10 +543,12 @@ class ShardedViewServer:
             self._finalize_retired(server)
 
     def version_pins(self, version: Optional[int] = None) -> int:
+        """Open pins on a (pinned or current) routing-table version."""
         with self._topology_lock:
             return self._topology_for(version).pins
 
     def live_versions(self) -> Tuple[int, ...]:
+        """Routing-table versions still live (current plus draining)."""
         with self._topology_lock:
             return tuple(sorted(self._topologies))
 
@@ -713,12 +738,22 @@ class ShardedViewServer:
         return self.shards[0].registration(name)
 
     def views(self) -> Tuple[str, ...]:
+        """Names of every fully registered (routable) view."""
         with self._routes_lock:
             return tuple(
                 name
                 for name, route in self._routes.items()
                 if route is not None
             )
+
+    def _count_shard(
+        self, shard_id: str, mode: str, amount: int = 1
+    ) -> None:
+        """Bump the facade's routing counter (no-op without telemetry)."""
+        if self._telemetry is not None and amount:
+            self._telemetry.counter(
+                "shard_requests_total", shard=shard_id, mode=mode
+            ).inc(amount)
 
     def shard_of(
         self, name: str, access: Sequence, version: Optional[int] = None
@@ -780,10 +815,64 @@ class ShardedViewServer:
             server.close()
         if self._builder is not None:
             self._builder.close()
+        if self._owns_telemetry and self._telemetry is not None:
+            self._telemetry.close()
 
     @property
     def builder(self) -> Optional[ParallelBuilder]:
+        """The shared build worker pool, or ``None`` for in-process builds."""
         return self._builder
+
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The telemetry sink shared with every shard server (or None)."""
+        return self._telemetry
+
+    # ------------------------------------------------------------------
+    # tuning surface (the AdaptiveTuner drives these, fanned to shards)
+    # ------------------------------------------------------------------
+    def serving_tau(self, name: str) -> float:
+        """Shard 0's serving τ — representative under uniform retunes.
+
+        :meth:`retune` applies one τ to every shard, so after any
+        facade-level retune the shards agree; only budget-driven
+        registrations start shards at distinct τ.
+        """
+        self.route(name)
+        return self.shards[0].serving_tau(name)
+
+    def retune(self, name: str, tau: float) -> float:
+        """Set every shard's serving τ for one view; returns shard 0's old τ.
+
+        Fan-out of :meth:`ViewServer.retune
+        <repro.engine.server.ViewServer.retune>`: subsequent default-τ
+        requests on any shard build/load at the new τ.
+        """
+        self.route(name)
+        previous: Optional[float] = None
+        for server in self.shards:
+            before = server.retune(name, tau)
+            if previous is None:
+                previous = before
+        return previous if previous is not None else tau
+
+    def prefetch(
+        self, name: str, tau: Optional[float] = None
+    ) -> List[CompressedRepresentation]:
+        """Warm one view on every shard (alias of :meth:`prebuild`)."""
+        return self.prebuild(name, tau)
+
+    def resident(self, name: str, tau: Optional[float] = None) -> bool:
+        """True when the view's structure is cache-resident on EVERY shard."""
+        self.route(name)
+        return all(server.resident(name, tau) for server in self.shards)
+
+    def demote(self, name: str) -> int:
+        """Evict one view from every shard's memory tier; total entries."""
+        self.route(name)
+        with self._topology_lock:
+            servers = list(self._servers.values())
+        return sum(server.demote(name) for server in servers)
 
     # ------------------------------------------------------------------
     # elastic topology: live shard splits
@@ -804,7 +893,34 @@ class ShardedViewServer:
         scans opened earlier keep their pinned version and drain against
         the old shard, which retires — resident structures demoted to
         its snapshot tier — when its pin count reaches zero.
+
+        With telemetry on, the split is one traced span plus one durable
+        event (``shard_split``: children, rows moved, version cutover)
+        and bumps ``shard_splits_total``.
         """
+        if self._telemetry is None:
+            return self._split_shard(shard_id)
+        with self._telemetry.trace("split", shard=str(shard_id)) as span:
+            report = self._split_shard(shard_id)
+            span.annotate(
+                children=list(report.children),
+                moved_rows=report.moved_rows,
+                version=report.version_after,
+            )
+        self._telemetry.counter("shard_splits_total").inc()
+        self._telemetry.event(
+            "shard_split",
+            shard=report.shard_id,
+            children=list(report.children),
+            moved_rows=report.moved_rows,
+            version_before=report.version_before,
+            version_after=report.version_after,
+            warmed_views=list(report.warmed_views),
+        )
+        return report
+
+    def _split_shard(self, shard_id: Union[str, int]) -> SplitReport:
+        # split_shard minus telemetry — the traced wrapper above calls it.
         shard_id = str(shard_id)
         with self._admin_lock:
             with self._topology_lock:
@@ -945,17 +1061,26 @@ class ShardedViewServer:
         n_shards = len(top.shard_ids)
         mode, position = route or self.route(name)
         if mode == SCATTER:
-            return [list(batch) for _ in range(n_shards)]
-        if mode == PINNED:
-            return [batch] + [[] for _ in range(n_shards - 1)]
-        sub_batches: List[List[Tuple]] = [[] for _ in range(n_shards)]
-        for access in batch:
-            if position >= len(access):
-                raise SchemaError(
-                    f"view {name!r}: access tuple {access!r} too short for "
-                    f"bound position {position}"
+            sub_batches = [list(batch) for _ in range(n_shards)]
+        elif mode == PINNED:
+            sub_batches = [list(batch)] + [[] for _ in range(n_shards - 1)]
+        else:
+            sub_batches = [[] for _ in range(n_shards)]
+            for access in batch:
+                if position >= len(access):
+                    raise SchemaError(
+                        f"view {name!r}: access tuple {access!r} too short "
+                        f"for bound position {position}"
+                    )
+                sub_batches[top.table.index_for(access[position])].append(
+                    access
                 )
-            sub_batches[top.table.index_for(access[position])].append(access)
+        # Routing accounting lives with the routing decision, so both
+        # executors of this plan — the sequential answer_batch and the
+        # async fan-out — land in shard_requests_total{shard,mode}.
+        if self._telemetry is not None:
+            for index, sub_batch in enumerate(sub_batches):
+                self._count_shard(top.shard_ids[index], mode, len(sub_batch))
         return sub_batches
 
     def answer_shard(
@@ -1089,6 +1214,7 @@ class ShardedViewServer:
                         )
                     index = top.table.index_for(request.access[position])
                 cursor = top.servers[index].open(request)
+                self._count_shard(top.shard_ids[index], mode)
             else:
                 parts: List[AnswerCursor] = []
                 try:
@@ -1101,6 +1227,8 @@ class ShardedViewServer:
                 cursor = AnswerCursor(
                     request, heapq.merge(*parts), parts=parts
                 )
+                for shard_id in top.shard_ids:
+                    self._count_shard(shard_id, SCATTER)
         except BaseException:
             self.release_version(version)
             raise
@@ -1146,6 +1274,9 @@ class ShardedViewServer:
                     scatter.append(index)
                 else:
                     by_shard.setdefault(shard, []).append(index)
+                    self._count_shard(
+                        top.shard_ids[shard], self.route(request.view)[0]
+                    )
             for shard, indexes in by_shard.items():
                 shard_cursors = top.servers[shard].open_batch(
                     [batch[index] for index in indexes]
@@ -1168,6 +1299,8 @@ class ShardedViewServer:
                     cursors[index] = AnswerCursor(
                         batch[index], heapq.merge(*parts), parts=parts
                     )
+                for shard_id in top.shard_ids:
+                    self._count_shard(shard_id, SCATTER, len(scatter))
         except BaseException:
             self.release_version(version)
             raise
@@ -1194,6 +1327,12 @@ class ShardedViewServer:
         tau: Optional[float] = None,
         measure: bool = True,
     ) -> BatchResult:
+        """Answer a whole batch through plan → per-shard answer → merge.
+
+        The sequential executor: one :meth:`answer_shard` call per
+        non-empty sub-batch under one pinned topology version (the async
+        front end fans the same plan out to its thread pool instead).
+        """
         batch = [tuple(access) for access in accesses]
         route = self.route(name)
         version = self.pin_version()
@@ -1235,6 +1374,7 @@ class ShardedViewServer:
     # aggregation and introspection
     # ------------------------------------------------------------------
     def total_builds(self) -> int:
+        """Structure builds across all shards, retired shards included."""
         with self._topology_lock:
             return self._retired_builds + sum(
                 server.total_builds() for server in self._servers.values()
@@ -1242,6 +1382,7 @@ class ShardedViewServer:
 
     @property
     def cache_stats(self) -> CacheStats:
+        """Aggregated cache statistics across live and retired shards."""
         with self._topology_lock:
             merged = CacheStats().add(self._retired_cache)
             servers = list(self._servers.values())
@@ -1258,10 +1399,12 @@ class ShardedViewServer:
 
     @property
     def requests_served(self) -> int:
+        """Facade-level request count (a scattered request counts once)."""
         with self._served_lock:
             return self._requests_served
 
     def invalidate(self, name: str) -> int:
+        """Drop one view's cached structures on every shard; total dropped."""
         self.route(name)
         with self._topology_lock:
             servers = list(self._servers.values())

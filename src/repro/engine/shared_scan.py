@@ -55,18 +55,26 @@ class SharedScanStats:
     pure deduplication. ``subtrie_hits``/``subtrie_misses`` count
     per-atom trie-descent steps resolved from the scan's shared
     :class:`~repro.core.context.SubtrieCache` versus walked fresh:
-    prefix-sharing accesses raise the hit side.
+    prefix-sharing accesses raise the hit side. ``pruned_states`` counts
+    states deactivated *before* the scan exhausted (limit-stopped or
+    closed early) — subtrees only they wanted were never visited.
     """
 
     requests: int
     states: int
     subtrie_hits: int
     subtrie_misses: int
+    pruned_states: int = 0
 
     @property
     def shared_requests(self) -> int:
         """Requests served without a traversal lane of their own."""
         return self.requests - self.states
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Requests per traversal lane (1.0 means nothing was shared)."""
+        return self.requests / self.states if self.states else 1.0
 
 
 class _Lane:
@@ -130,6 +138,7 @@ class SharedScan:
         self.requests: Tuple[AccessRequest, ...] = tuple(requests)
         self._cache = SubtrieCache()
         self._finished = False
+        self._pruned_states = 0
         shared = getattr(representation, "supports_shared_scan", False)
         seeks = getattr(representation, "supports_resume", False)
         self._direct = not shared
@@ -224,6 +233,10 @@ class SharedScan:
         lane.alive = False
         lane.buffer.clear()
         if not any(peer.alive for peer in state.lanes):
+            if self._alive[state.index] and not self._finished:
+                # Deactivated while the scan still had work: the merged
+                # descent skips this state's remaining subtrees.
+                self._pruned_states += 1
             self._alive[state.index] = False
 
     # ------------------------------------------------------------------
@@ -296,11 +309,13 @@ class SharedScan:
         ]
 
     def stats(self) -> SharedScanStats:
+        """This scan's sharing so far (final once every cursor closed)."""
         return SharedScanStats(
             requests=len(self.requests),
             states=len(self._states),
             subtrie_hits=self._cache.hits,
             subtrie_misses=self._cache.misses,
+            pruned_states=self._pruned_states,
         )
 
 

@@ -1,0 +1,856 @@
+"""Telemetry that survives restarts: metrics, traces, and the τ tuner.
+
+Every layer of the engine computes rich signals — per-access delay gaps,
+cache hit/miss/disk-tier counters, shared-scan dedup ratios, per-shard
+routing counts, async queue depths — and, before this module, dropped
+them on the floor. The paper's whole contribution is a *tunable*
+space/delay tradeoff (τ), so the observed delay-gap distribution is
+exactly the signal needed to re-optimize τ per view instead of trusting
+the Section 6 estimate once at build time.
+
+Three pieces:
+
+* :class:`MetricsRegistry` — thread-safe counters, gauges, and
+  histograms with **fixed** bucket boundaries (:data:`GAP_BUCKETS` for
+  logical delay gaps, :data:`LATENCY_BUCKETS` for wall-clock seconds),
+  labeled by view/shard/policy/op. :class:`Telemetry` wraps a registry
+  with lightweight span tracing (``with telemetry.trace(op, view=...)``)
+  and an optional durable store. Servers take ``telemetry=`` and
+  instrument themselves; with ``telemetry=None`` (the default) every
+  hook short-circuits, so serving without telemetry pays nothing.
+* :class:`TelemetryStore` — versioned, schema-checked JSONL persistence
+  (one file per process session, conventionally under
+  ``snapshot_dir/telemetry/``). Restarts append new session files; the
+  reader **merges across sessions** — counters and histogram buckets
+  sum, gauges take the latest write — so per-view serving history is
+  durable. Malformed or version-mismatched lines raise
+  :class:`~repro.exceptions.TelemetryError` (stamped with file and line)
+  instead of silently skewing history.
+* :class:`AdaptiveTuner` — the closed loop. On a request-count cadence
+  it reads each view's observed delay-gap percentile since the last
+  pass, compares it against the gap budget, and re-derives the serving
+  τ (:meth:`ViewServer.retune <repro.engine.server.ViewServer.retune>`):
+  gaps over budget halve τ (buy delay with space), gaps comfortably
+  under budget double it (give space back). Retuned and recently-hot
+  views are **promoted** — built into the cache ahead of demand — and
+  views that served nothing since the last pass are **demoted** to the
+  disk tier. Every decision is emitted as a traced, explainable
+  :class:`TuningDecision` event (durable when the telemetry persists).
+
+The schema of every metric (names, labels, bucket bounds), the JSONL
+record format, and the tuning runbook are documented in
+``docs/OPERATIONS.md``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import ParameterError, TelemetryError
+
+TELEMETRY_SCHEMA = 1
+
+#: Fixed bucket upper bounds for logical delay gaps (join-counter steps
+#: between consecutive outputs). Powers of two: τ moves in doublings, so
+#: gap histograms resolve exactly the decisions the tuner makes.
+GAP_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+)
+
+#: Fixed bucket upper bounds for wall-clock latencies, in seconds
+#: (100µs .. 10s; an implicit +inf overflow bucket catches the rest).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelItems = Tuple[Tuple[str, Any], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (thread-safe)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ParameterError(
+                f"counters only go up; got inc({amount!r})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time level that can move both ways (thread-safe)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the level."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Move the level by ``delta`` (negative to decrease)."""
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        """The current level."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-boundary bucketed distribution (thread-safe).
+
+    ``bounds`` are ascending bucket *upper* bounds; one implicit +inf
+    overflow bucket is appended, so ``counts`` has ``len(bounds) + 1``
+    entries. Boundaries are fixed at creation — two sessions observing
+    the same metric always produce mergeable buckets.
+    """
+
+    __slots__ = ("bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ParameterError(
+                f"histogram bounds must be ascending and non-empty, "
+                f"got {bounds!r}"
+            )
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its bucket."""
+        # bisect_left finds the first bound >= value, which is exactly
+        # the "value <= upper bound" bucket; past the last bound it
+        # returns len(bounds) — the +inf overflow slot.
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    @property
+    def counts(self) -> Tuple[int, ...]:
+        """Per-bucket counts (last entry is the +inf overflow bucket)."""
+        with self._lock:
+            return tuple(self._counts)
+
+    def percentile(self, q: float) -> float:
+        """The bucket upper bound covering quantile ``q`` (0 < q <= 1).
+
+        Returns the smallest bound whose cumulative count reaches
+        ``q × count`` — a conservative (upper) estimate, deterministic
+        for integer-valued observations like step gaps. The overflow
+        bucket reports ``inf``; an empty histogram reports 0.0.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ParameterError(f"quantile must be in (0, 1], got {q!r}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        for bound, bucket in zip(self.bounds, counts):
+            cumulative += bucket
+            if cumulative >= target:
+                return bound
+        return float("inf")
+
+    def merge_counts(
+        self, counts: Sequence[int], total_sum: float, total_count: int
+    ) -> None:
+        """Fold another session's buckets in (bounds must already match)."""
+        if len(counts) != len(self._counts):
+            raise TelemetryError(
+                f"histogram bucket count mismatch: have "
+                f"{len(self._counts)}, merging {len(counts)}"
+            )
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += int(c)
+            self._sum += float(total_sum)
+            self._count += int(total_count)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labeled counters, gauges, histograms.
+
+    Metrics are keyed by ``(name, sorted label items)``; creation is
+    serialized, every metric instance synchronizes itself, so concurrent
+    serving threads hammer the same counters safely. :meth:`snapshot`
+    produces the JSON-ready structure :class:`TelemetryStore` persists;
+    :meth:`merge_snapshot` folds one back in (the restart-merge path).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter ``name{labels}``, created on first use."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+            return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge ``name{labels}``, created on first use."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
+            return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """The histogram ``name{labels}``, created with ``buckets``.
+
+        Later calls must agree on the boundaries — fixed buckets are
+        what keeps sessions mergeable — or raise
+        :class:`~repro.exceptions.TelemetryError`.
+        """
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(buckets)
+            elif metric.bounds != tuple(float(b) for b in buckets):
+                raise TelemetryError(
+                    f"histogram {name!r} re-declared with different "
+                    f"buckets: {metric.bounds!r} vs {tuple(buckets)!r}"
+                )
+            return metric
+
+    def counter_value(self, name: str, **labels: Any) -> int:
+        """The counter's current value, 0 if it was never created."""
+        with self._lock:
+            metric = self._counters.get((name, _label_key(labels)))
+        return metric.value if metric is not None else 0
+
+    def find_histogram(
+        self, name: str, **labels: Any
+    ) -> Optional[Histogram]:
+        """The histogram if it exists — a peek that never creates one."""
+        with self._lock:
+            return self._histograms.get((name, _label_key(labels)))
+
+    def snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
+        """A JSON-ready copy of every metric (see ``docs/OPERATIONS.md``)."""
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+        return {
+            "counters": [
+                {"name": name, "labels": dict(labels), "value": c.value}
+                for (name, labels), c in counters
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(labels), "value": g.value}
+                for (name, labels), g in gauges
+            ],
+            "histograms": [
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    "buckets": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for (name, labels), h in histograms
+            ],
+        }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a persisted snapshot in: counts sum, gauges overwrite."""
+        for entry in snapshot.get("counters", ()):
+            self.counter(entry["name"], **entry["labels"]).inc(
+                int(entry["value"])
+            )
+        for entry in snapshot.get("gauges", ()):
+            self.gauge(entry["name"], **entry["labels"]).set(
+                float(entry["value"])
+            )
+        for entry in snapshot.get("histograms", ()):
+            self.histogram(
+                entry["name"], buckets=entry["buckets"], **entry["labels"]
+            ).merge_counts(entry["counts"], entry["sum"], entry["count"])
+
+
+@dataclass
+class Span:
+    """One traced operation: what ran, with which labels, for how long."""
+
+    op: str
+    labels: Dict[str, Any]
+    started: float
+    seconds: float = 0.0
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    def annotate(self, **fields: Any) -> "Span":
+        """Attach explainability fields to the span (returns self)."""
+        self.annotations.update(fields)
+        return self
+
+
+_RECORD_KINDS = ("metrics", "event")
+
+
+def _validate_record(
+    record: Any, source: str, line_number: int
+) -> Dict[str, Any]:
+    """One schema-checked record, or :class:`TelemetryError` saying why."""
+
+    def bad(reason: str) -> TelemetryError:
+        return TelemetryError(
+            f"{source}:{line_number}: bad telemetry record: {reason}"
+        )
+
+    if not isinstance(record, dict):
+        raise bad(f"expected an object, got {type(record).__name__}")
+    if record.get("schema") != TELEMETRY_SCHEMA:
+        raise bad(
+            f"schema {record.get('schema')!r} != {TELEMETRY_SCHEMA}"
+        )
+    kind = record.get("kind")
+    if kind not in _RECORD_KINDS:
+        raise bad(f"unknown kind {kind!r} (expected one of {_RECORD_KINDS})")
+    if not isinstance(record.get("session"), str):
+        raise bad("missing session id")
+    if not isinstance(record.get("seq"), int):
+        raise bad("missing integer seq")
+    if not isinstance(record.get("ts"), (int, float)):
+        raise bad("missing numeric ts")
+    payload = record.get(kind)
+    if not isinstance(payload, dict):
+        raise bad(f"missing {kind!r} payload object")
+    return record
+
+
+class TelemetryStore:
+    """Versioned JSONL persistence for one process's telemetry session.
+
+    Each store instance appends to its own session file
+    (``<directory>/<session>.jsonl``); a restarted server starts a new
+    session file in the same directory, and :meth:`load` /
+    :meth:`merged_registry` read *all* session files, so history
+    accumulates across restarts instead of being overwritten. Every
+    record carries ``schema``/``session``/``seq``/``ts``; malformed or
+    version-mismatched lines raise
+    :class:`~repro.exceptions.TelemetryError`. The conventional location
+    is ``snapshot_dir/telemetry/`` (servers given ``telemetry=True``
+    put it there themselves).
+    """
+
+    def __init__(
+        self, directory: Union[str, Path], session: Optional[str] = None
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.session = session or uuid.uuid4().hex[:12]
+        self.path = self.directory / f"{self.session}.jsonl"
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def _append(self, kind: str, payload: Mapping[str, Any]) -> Dict:
+        with self._lock:
+            self._seq += 1
+            record = {
+                "schema": TELEMETRY_SCHEMA,
+                "kind": kind,
+                "session": self.session,
+                "seq": self._seq,
+                "ts": time.time(),
+                kind: dict(payload),
+            }
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+    def write_metrics(self, snapshot: Mapping[str, Any]) -> Dict:
+        """Persist one cumulative metrics snapshot (latest-per-session wins)."""
+        return self._append("metrics", snapshot)
+
+    def write_event(self, event: Mapping[str, Any]) -> Dict:
+        """Persist one point event (tuner decision, split, ...)."""
+        return self._append("event", event)
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> List[Dict[str, Any]]:
+        """Every schema-checked record across all session files.
+
+        Ordered by ``(ts, session, seq)`` so interleaved sessions replay
+        in wall-clock order. An absent directory is simply empty history.
+        """
+        root = Path(directory)
+        records: List[Dict[str, Any]] = []
+        if not root.is_dir():
+            return records
+        for path in sorted(root.glob("*.jsonl")):
+            with path.open("r", encoding="utf-8") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    if not line.strip():
+                        continue
+                    try:
+                        parsed = json.loads(line)
+                    except ValueError as error:
+                        raise TelemetryError(
+                            f"{path}:{line_number}: not JSON: {error}"
+                        ) from None
+                    records.append(
+                        _validate_record(parsed, str(path), line_number)
+                    )
+        records.sort(key=lambda r: (r["ts"], r["session"], r["seq"]))
+        return records
+
+    @classmethod
+    def merged_registry(
+        cls, directory: Union[str, Path]
+    ) -> Tuple[MetricsRegistry, List[Dict[str, Any]]]:
+        """(registry merged across sessions, events in replay order).
+
+        Metric snapshots are cumulative *within* a session, so only the
+        latest snapshot of each session is folded in — then counters and
+        histogram buckets sum across sessions and gauges take the last
+        session's level. This is what ``repro metrics show`` replays.
+        """
+        records = cls.load(directory)
+        latest: Dict[str, Dict[str, Any]] = {}
+        events: List[Dict[str, Any]] = []
+        for record in records:
+            if record["kind"] == "metrics":
+                session = record["session"]
+                held = latest.get(session)
+                if held is None or record["seq"] >= held["seq"]:
+                    latest[session] = record
+            else:
+                events.append(record)
+        registry = MetricsRegistry()
+        for record in sorted(
+            latest.values(), key=lambda r: (r["ts"], r["session"])
+        ):
+            registry.merge_snapshot(record["metrics"])
+        return registry, events
+
+
+class Telemetry:
+    """The engine's telemetry facade: registry + spans + durable store.
+
+    Hand one instance to any server (``ViewServer(db, telemetry=t)``,
+    sharded/async/replica alike — they share it, so one registry sees
+    the whole stack). With ``directory=None`` everything stays
+    in-memory; with a directory, events persist immediately and
+    :meth:`flush` writes cumulative metric snapshots a restart can
+    merge. Servers never flush behind your back except on
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        session: Optional[str] = None,
+        max_spans: int = 256,
+        max_events: int = 1024,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.store: Optional[TelemetryStore] = (
+            TelemetryStore(directory, session=session)
+            if directory is not None
+            else None
+        )
+        self.spans: Deque[Span] = deque(maxlen=max_spans)
+        self.events: Deque[Dict[str, Any]] = deque(maxlen=max_events)
+
+    # -- registry passthroughs ----------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """See :meth:`MetricsRegistry.counter`."""
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """See :meth:`MetricsRegistry.gauge`."""
+        return self.registry.gauge(name, **labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """See :meth:`MetricsRegistry.histogram`."""
+        return self.registry.histogram(name, buckets=buckets, **labels)
+
+    # -- tracing and events -------------------------------------------
+    @contextmanager
+    def trace(self, op: str, **labels: Any) -> Iterator[Span]:
+        """Span context manager: times ``op`` into ``span_seconds{op}``.
+
+        The yielded :class:`Span` lands in :attr:`spans` (a bounded
+        ring) on exit; annotate it for explainability
+        (``span.annotate(reason=...)``).
+        """
+        span = Span(op=op, labels=dict(labels), started=time.time())
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.seconds = time.perf_counter() - started
+            self.histogram(
+                "span_seconds", buckets=LATENCY_BUCKETS, op=op
+            ).observe(span.seconds)
+            self.spans.append(span)
+
+    def event(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Record one explainable point event, durably when persisted."""
+        payload = {"op": op, **fields}
+        self.counter("events_total", op=op).inc()
+        self.events.append(payload)
+        if self.store is not None:
+            self.store.write_event(payload)
+        return payload
+
+    # -- persistence ---------------------------------------------------
+    def flush(self) -> Optional[Dict[str, Any]]:
+        """Persist a cumulative metrics snapshot (None when in-memory)."""
+        if self.store is None:
+            return None
+        return self.store.write_metrics(self.registry.snapshot())
+
+    def close(self) -> None:
+        """Final flush — call when the owning server shuts down."""
+        self.flush()
+
+    @staticmethod
+    def replay(
+        directory: Union[str, Path],
+    ) -> Tuple[MetricsRegistry, List[Dict[str, Any]]]:
+        """Merged history of every session under ``directory``."""
+        return TelemetryStore.merged_registry(directory)
+
+
+# ----------------------------------------------------------------------
+# the closed loop: observed gaps -> serving τ
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TuningDecision:
+    """One explainable tuner action (also emitted as a telemetry event).
+
+    ``kind`` is ``"retune"`` (serving τ moved), ``"promote"`` (the
+    serving structure was built/warm-loaded ahead of demand) or
+    ``"demote"`` (an idle view's residents dropped to the disk tier);
+    ``observed_gap`` is the delay-gap percentile the decision was based
+    on, measured since the previous pass, against ``budget``.
+    """
+
+    kind: str
+    view: str
+    tau_before: float
+    tau_after: float
+    observed_gap: float
+    budget: float
+    reason: str
+
+
+class AdaptiveTuner:
+    """Re-derive each view's serving τ from its observed delay gaps.
+
+    Drive it by calling :meth:`maybe_tune` on your serving cadence
+    (e.g. once per batch): every ``interval_requests`` served requests
+    it runs one :meth:`tune` pass over the server's views. A pass reads
+    the ``delay_step_gap{view}`` histogram delta since the previous
+    pass and compares its ``percentile`` against the view's gap budget:
+
+    * observed > budget → **halve** τ (paper: smaller τ buys delay with
+      space) and promote the new structure ahead of demand;
+    * observed × ``relax_headroom`` ≤ budget → **double** τ (give space
+      back — the workload is not using the delay it paid for);
+    * hot views whose serving structure fell out of the cache are
+      promoted; views with zero requests since the last pass are
+      demoted to the disk tier.
+
+    τ stays within [``min_tau``, ``max_tau``]. The budget is
+    ``gap_budget`` when given, else per view: a delay-budget
+    registration's own budget, or the registration's τ (Theorem 1 ties
+    the delay bound to τ, so "meeting τ" is the natural default).
+    Decisions depend only on step-gap histograms and request counts —
+    both deterministic for a seeded stream — never on wall-clock
+    timings.
+
+    The server needs the tuning surface ``views`` / ``registration`` /
+    ``requests_served`` / ``serving_tau`` / ``retune`` / ``prefetch`` /
+    ``resident`` / ``demote``, which :class:`ViewServer
+    <repro.engine.server.ViewServer>` and :class:`ShardedViewServer
+    <repro.engine.sharding.ShardedViewServer>` both expose. Don't point
+    it at a :class:`ReplicaServer <repro.engine.replica.ReplicaServer>`:
+    promotion builds, and replicas refuse to.
+    """
+
+    def __init__(
+        self,
+        server,
+        telemetry: Telemetry,
+        gap_budget: Optional[float] = None,
+        percentile: float = 0.95,
+        interval_requests: int = 256,
+        min_tau: float = 1.0,
+        max_tau: float = 4096.0,
+        relax_headroom: float = 4.0,
+    ) -> None:
+        if gap_budget is not None and gap_budget <= 0:
+            raise ParameterError(
+                f"gap_budget must be positive, got {gap_budget}"
+            )
+        if interval_requests < 1:
+            raise ParameterError(
+                f"interval_requests must be >= 1, got {interval_requests}"
+            )
+        if not 0.0 < percentile <= 1.0:
+            raise ParameterError(
+                f"percentile must be in (0, 1], got {percentile}"
+            )
+        if min_tau <= 0 or max_tau < min_tau:
+            raise ParameterError(
+                f"need 0 < min_tau <= max_tau, got [{min_tau}, {max_tau}]"
+            )
+        self.server = server
+        self.telemetry = telemetry
+        self.gap_budget = gap_budget
+        self.percentile = percentile
+        self.interval_requests = interval_requests
+        self.min_tau = min_tau
+        self.max_tau = max_tau
+        self.relax_headroom = relax_headroom
+        self.decisions: List[TuningDecision] = []
+        self._lock = threading.Lock()
+        self._last_served = 0
+        # Per-view histogram/counter levels at the previous pass, so a
+        # pass judges only what happened since the last one.
+        self._seen_gaps: Dict[str, Tuple[Tuple[int, ...], float, int]] = {}
+        self._seen_requests: Dict[str, int] = {}
+
+    def maybe_tune(self) -> List[TuningDecision]:
+        """Run a pass if ``interval_requests`` were served since the last."""
+        with self._lock:
+            served = self.server.requests_served
+            if served - self._last_served < self.interval_requests:
+                return []
+            self._last_served = served
+        return self.tune()
+
+    def _budget_for(self, name: str) -> float:
+        if self.gap_budget is not None:
+            return self.gap_budget
+        registration = self.server.registration(name)
+        if registration.policy == "delay-budget":
+            return float(registration.budget)
+        return float(registration.tau)
+
+    def _gap_delta(self, name: str) -> Tuple[float, int]:
+        """(gap percentile, observations) since the previous pass."""
+        histogram = self.telemetry.registry.find_histogram(
+            "delay_step_gap", view=name
+        )
+        if histogram is None:
+            return 0.0, 0
+        counts = histogram.counts
+        total_sum, total = histogram.sum, histogram.count
+        seen_counts, _, seen_total = self._seen_gaps.get(
+            name, ((0,) * len(counts), 0.0, 0)
+        )
+        self._seen_gaps[name] = (counts, total_sum, total)
+        delta = [c - s for c, s in zip(counts, seen_counts)]
+        observed = total - seen_total
+        if observed <= 0:
+            return 0.0, 0
+        target = self.percentile * observed
+        cumulative = 0
+        for bound, bucket in zip(histogram.bounds, delta):
+            cumulative += bucket
+            if cumulative >= target:
+                return bound, observed
+        return float("inf"), observed
+
+    def _requests_delta(self, name: str) -> int:
+        served = self.telemetry.registry.counter_value(
+            "requests_total", view=name, mode="open"
+        ) + self.telemetry.registry.counter_value(
+            "requests_total", view=name, mode="batch"
+        )
+        delta = served - self._seen_requests.get(name, 0)
+        self._seen_requests[name] = served
+        return delta
+
+    def _emit(self, decision: TuningDecision) -> None:
+        self.decisions.append(decision)
+        self.telemetry.counter(
+            "tuning_decisions_total", kind=decision.kind
+        ).inc()
+        self.telemetry.event(
+            "tuning",
+            kind=decision.kind,
+            view=decision.view,
+            tau_before=decision.tau_before,
+            tau_after=decision.tau_after,
+            observed_gap=decision.observed_gap,
+            budget=decision.budget,
+            reason=decision.reason,
+        )
+
+    def tune(self) -> List[TuningDecision]:
+        """One full pass over the server's views; returns its decisions."""
+        decisions: List[TuningDecision] = []
+        with self._lock:
+            with self.telemetry.trace("tune") as span:
+                for name in self.server.views():
+                    decisions.extend(self._tune_view(name))
+                span.annotate(decisions=len(decisions))
+        return decisions
+
+    def _tune_view(self, name: str) -> List[TuningDecision]:
+        out: List[TuningDecision] = []
+        tau = self.server.serving_tau(name)
+        budget = self._budget_for(name)
+        observed, observations = self._gap_delta(name)
+        hot = self._requests_delta(name) > 0
+        if not hot:
+            dropped = self.server.demote(name)
+            if dropped:
+                decision = TuningDecision(
+                    kind="demote",
+                    view=name,
+                    tau_before=tau,
+                    tau_after=tau,
+                    observed_gap=observed,
+                    budget=budget,
+                    reason=(
+                        f"no requests since the last pass; dropped "
+                        f"{dropped} resident entr"
+                        f"{'y' if dropped == 1 else 'ies'} to the disk tier"
+                    ),
+                )
+                with self.telemetry.trace("tune.demote", view=name):
+                    self._emit(decision)
+                out.append(decision)
+            return out
+        new_tau = tau
+        reason = ""
+        if observations > 0 and observed > budget and tau > self.min_tau:
+            new_tau = max(self.min_tau, tau / 2.0)
+            reason = (
+                f"p{int(self.percentile * 100)} step gap {observed:g} "
+                f"exceeds budget {budget:g}: buying delay with space"
+            )
+        elif (
+            observations > 0
+            and observed * self.relax_headroom <= budget
+            and tau < self.max_tau
+        ):
+            new_tau = min(self.max_tau, tau * 2.0)
+            reason = (
+                f"p{int(self.percentile * 100)} step gap {observed:g} is "
+                f"under budget {budget:g} with {self.relax_headroom:g}x "
+                "headroom: giving space back"
+            )
+        if new_tau != tau:
+            with self.telemetry.trace("tune.retune", view=name) as span:
+                self.server.retune(name, new_tau)
+                decision = TuningDecision(
+                    kind="retune",
+                    view=name,
+                    tau_before=tau,
+                    tau_after=new_tau,
+                    observed_gap=observed,
+                    budget=budget,
+                    reason=reason,
+                )
+                span.annotate(tau=new_tau, reason=reason)
+                self._emit(decision)
+            out.append(decision)
+        if not self.server.resident(name):
+            with self.telemetry.trace("tune.promote", view=name):
+                self.server.prefetch(name)
+                decision = TuningDecision(
+                    kind="promote",
+                    view=name,
+                    tau_before=tau,
+                    tau_after=new_tau,
+                    observed_gap=observed,
+                    budget=budget,
+                    reason=(
+                        f"hot view not resident at serving tau "
+                        f"{new_tau:g}: built ahead of demand"
+                    ),
+                )
+                self._emit(decision)
+            out.append(decision)
+        return out

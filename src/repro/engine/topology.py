@@ -170,9 +170,11 @@ class RoutingTable:
 
     @property
     def n_shards(self) -> int:
+        """How many live shards the table currently routes to."""
         return len(self._leaves)
 
     def is_leaf(self, shard_id: str) -> bool:
+        """Whether ``shard_id`` is a live shard (not split away)."""
         return str(shard_id) in self._index
 
     def children(self, shard_id: str) -> Tuple[str, ...]:
@@ -235,6 +237,7 @@ class RoutingTable:
     # serialization (plain data; restart-stable placement by design)
     # ------------------------------------------------------------------
     def to_state(self) -> Dict:
+        """The table as plain data (version, roots, split tree)."""
         return {
             "version": self.version,
             "roots": list(self.roots),
@@ -246,6 +249,7 @@ class RoutingTable:
 
     @classmethod
     def from_state(cls, state: Mapping, hash_fn=stable_hash) -> "RoutingTable":
+        """Rebuild a table from :meth:`to_state` data (same placement)."""
         return cls(
             state["roots"],
             state.get("splits", {}),
@@ -254,10 +258,12 @@ class RoutingTable:
         )
 
     def to_json(self) -> str:
+        """Canonical JSON form of :meth:`to_state` (restart-stable)."""
         return json.dumps(self.to_state(), sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str, hash_fn=stable_hash) -> "RoutingTable":
+        """Rebuild a table serialized by :meth:`to_json`."""
         return cls.from_state(json.loads(text), hash_fn=hash_fn)
 
     # ------------------------------------------------------------------

@@ -39,6 +39,17 @@ class OptimizationError(ReproError):
     """An LP used for cover/parameter search is infeasible or failed."""
 
 
+class TelemetryError(ReproError):
+    """A persisted telemetry record cannot be used.
+
+    Raised by :mod:`repro.engine.telemetry` for malformed JSONL lines,
+    schema/version mismatches, and histogram merges whose bucket
+    boundaries disagree. Loading never surfaces raw ``json`` errors —
+    every failure mode maps here, stamped with the offending file and
+    line number.
+    """
+
+
 class SnapshotError(ReproError):
     """A serialized representation snapshot cannot be used.
 

@@ -142,6 +142,24 @@ class TestWorkflowSchema:
         ]
         assert any("make bench-reshard" in line for line in run_lines)
 
+    def test_bench_smoke_job_runs_the_adaptive_tuning_gate(self, workflow):
+        # The closed-loop gate: if the AdaptiveTuner stops beating the
+        # static τ it started from on the skew-shifting stream, CI fails.
+        run_lines = [
+            step.get("run", "")
+            for step in workflow["jobs"]["bench-smoke"]["steps"]
+        ]
+        assert any("make bench-adapt" in line for line in run_lines)
+
+    def test_lint_job_runs_the_docs_link_check(self, workflow):
+        # Broken relative links in README/docs fail the cheapest job,
+        # before any test matrix spins up.
+        run_lines = [
+            step.get("run", "")
+            for step in workflow["jobs"]["lint"]["steps"]
+        ]
+        assert any("make docs-check" in line for line in run_lines)
+
     def test_bench_smoke_job_runs_the_trajectory_gate(self, workflow):
         # The trajectory gate runs after every speedup gate recorded its
         # measurement, folding them into the uploaded artifact.
@@ -156,7 +174,9 @@ class TestWorkflowSchema:
         gates = [
             i
             for i, line in enumerate(run_lines)
-            if re.search(r"make bench-(smoke|warm|stream|batch|reshard)\b", line)
+            if re.search(
+                r"make bench-(smoke|warm|stream|batch|reshard|adapt)\b", line
+            )
         ]
         assert gates and max(gates) < trend[0], (
             "bench-trend must run after every recording gate"
@@ -237,7 +257,13 @@ class TestMakefileContract:
         assert "REPRO_BENCH_SMOKE=1" in target
 
     def test_targets_the_new_gates_rely_on_exist(self, make_targets):
-        assert {"bench-batch", "bench-reshard", "bench-trend"} <= make_targets
+        assert {
+            "bench-batch",
+            "bench-reshard",
+            "bench-trend",
+            "bench-adapt",
+            "docs-check",
+        } <= make_targets
 
     def test_bench_batch_runs_the_shared_scan_benchmark(self):
         text = MAKEFILE.read_text()
@@ -255,12 +281,25 @@ class TestMakefileContract:
 
     def test_bench_trend_runs_the_trajectory_checker(self):
         # The trend target must keep pointing at the checker and demand
-        # all six gates' records, or a silently skipped gate passes CI.
+        # all seven gates' records, or a silently skipped gate passes CI.
         text = MAKEFILE.read_text()
         target = text[text.index("bench-trend:"):]
         target = target[: target.index("\n\n")]
         assert "check_trend.py" in target
-        assert re.search(r"GATE_COUNT\s*\?=\s*6\b", text)
+        assert re.search(r"GATE_COUNT\s*\?=\s*7\b", text)
+
+    def test_bench_adapt_runs_the_adaptive_tuning_benchmark(self):
+        text = MAKEFILE.read_text()
+        target = text[text.index("bench-adapt:"):]
+        target = target[: target.index("\n\n")]
+        assert "bench_adaptive_tuning.py" in target
+        assert "REPRO_BENCH_SMOKE=1" in target
+
+    def test_docs_check_runs_the_link_checker(self):
+        text = MAKEFILE.read_text()
+        target = text[text.index("docs-check:"):]
+        target = target[: target.index("\n\n")]
+        assert "check_docs_links.py" in target
 
     def test_ruff_is_configured(self):
         pyproject = (REPO / "pyproject.toml").read_text()
@@ -328,6 +367,7 @@ class TestTrajectoryGate:
         ("streaming-topk", 40.0, 5.0),
         ("shared-scan-batch", 4.0, 3.0),
         ("resharding", 1.9, 1.3),
+        ("adaptive-tuning", 1.9, 1.2),
     )
 
     def _write_all(self, bench_dir):
@@ -340,7 +380,7 @@ class TestTrajectoryGate:
         bench = tmp_path / "bench"
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
-        assert check_trend(str(bench), str(out), 6) == 0
+        assert check_trend(str(bench), str(out), 7) == 0
         trajectory = json.loads(out.read_text())
         # The schema CI consumers (and future PRs' diffs) rely on.
         assert set(trajectory) == {"schema", "commit", "gates"}
@@ -363,7 +403,7 @@ class TestTrajectoryGate:
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
         _write_gate(bench, "shared-scan-batch", 2.4, 3.0)
-        assert check_trend(str(bench), str(out), 6) == 1
+        assert check_trend(str(bench), str(out), 7) == 1
         # The artifact is still written — it IS the diagnosis.
         assert json.loads(out.read_text())["gates"]
 
@@ -372,12 +412,12 @@ class TestTrajectoryGate:
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
         (bench / "gate-warm-start.json").unlink()
-        assert check_trend(str(bench), str(out), 6) == 1
+        assert check_trend(str(bench), str(out), 7) == 1
         self._write_all(bench)
         (bench / "gate-warm-start.json").write_text('{"speedup": 1.0}')
-        assert check_trend(str(bench), str(out), 6) == 1
+        assert check_trend(str(bench), str(out), 7) == 1
         (bench / "gate-warm-start.json").write_text("not json")
-        assert check_trend(str(bench), str(out), 6) == 1
+        assert check_trend(str(bench), str(out), 7) == 1
 
     def test_fresh_checkout_seeds_floors_then_enforces_them(self, tmp_path):
         # First run, no prior trajectory: floors seed from the current
@@ -387,12 +427,12 @@ class TestTrajectoryGate:
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
         assert not out.exists()
-        assert check_trend(str(bench), str(out), 6) == 0
+        assert check_trend(str(bench), str(out), 7) == 0
         seeded = json.loads(out.read_text())["gates"]
         assert all(g["floor"] == g["threshold"] for g in seeded)
         # Second run against the seeded baseline: the same records still
         # pass, and the floors persist unchanged.
-        assert check_trend(str(bench), str(out), 6) == 0
+        assert check_trend(str(bench), str(out), 7) == 0
         again = json.loads(out.read_text())["gates"]
         assert [g["floor"] for g in again] == [g["floor"] for g in seeded]
 
@@ -413,7 +453,7 @@ class TestTrajectoryGate:
         }
         out.write_text(json.dumps(prior))
         _write_gate(bench, "shared-scan-batch", 3.2, 3.0)
-        assert check_trend(str(bench), str(out), 6) == 1
+        assert check_trend(str(bench), str(out), 7) == 1
         record = next(
             g
             for g in json.loads(out.read_text())["gates"]
@@ -422,7 +462,7 @@ class TestTrajectoryGate:
         assert record["floor"] == 3.5
         # Clearing the ratcheted floor passes again.
         _write_gate(bench, "shared-scan-batch", 3.7, 3.0)
-        assert check_trend(str(bench), str(out), 6) == 0
+        assert check_trend(str(bench), str(out), 7) == 0
 
     def test_malformed_baseline_reseeds_instead_of_crashing(self, tmp_path):
         bench = tmp_path / "bench"
@@ -430,7 +470,7 @@ class TestTrajectoryGate:
         self._write_all(bench)
         for garbage in ("not json", "[]", '{"gates": [{"floor": "x"}]}'):
             out.write_text(garbage)
-            assert check_trend(str(bench), str(out), 6) == 0
+            assert check_trend(str(bench), str(out), 7) == 0
             assert json.loads(out.read_text())["gates"]
 
     def test_gate_records_are_written_by_the_bench_helper(
@@ -460,7 +500,7 @@ class TestTrajectoryGate:
                 str(REPO / "benchmarks" / "check_trend.py"),
                 str(bench),
                 str(out),
-                "6",
+                "7",
             ],
             capture_output=True,
             text=True,

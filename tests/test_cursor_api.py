@@ -144,6 +144,45 @@ class TestAnswerCursor:
         assert stats.step_max_gap == batch_stats.step_max_gap
         assert stats.wall_total > 0
 
+    def test_batch_stats_include_the_closing_gap_limit_stops_omit_it(
+        self, db, server
+    ):
+        # The BatchResult contract: batch cursors drain to exhaustion,
+        # so each entry's step_max_gap folds in the closing gap (the
+        # trailing steps after the last output) exactly like
+        # measure_enumeration — while a limit-stopped cursor, which
+        # never observes exhaustion, omits it.
+        from repro.joins.generic_join import JoinCounter
+        from repro.measure.delay import measure_enumeration
+
+        accesses = productive_accesses(VIEW, db)[:20]
+        batch = server.answer_batch("V", accesses, measure=True)
+        representation = server.representation("V")
+        strictly_larger = 0
+        for access in accesses:
+            counter = JoinCounter()
+            reference = measure_enumeration(
+                representation.enumerate(access, counter=counter),
+                counter=counter,
+            )
+            drained = batch.request_stats[tuple(access)]
+            assert drained.outputs == reference.outputs
+            assert drained.step_total == reference.step_total
+            assert drained.step_max_gap == reference.step_max_gap
+            # Stop exactly at the last output: same tuples delivered,
+            # but the cursor never sees exhaustion.
+            with server.open(
+                "V", access, limit=reference.outputs, measure=True
+            ) as cursor:
+                cursor.fetchall()
+                limited = cursor.stats()
+            assert limited.outputs == reference.outputs
+            assert limited.step_max_gap <= drained.step_max_gap
+            strictly_larger += limited.step_max_gap < drained.step_max_gap
+        # The distinction is real on this workload, not vacuous: for
+        # some access the trailing steps dominate every emission gap.
+        assert strictly_larger > 0
+
     def test_resume_token_round_trip(self, db, server, heavy_access):
         expected = oracle_answer(VIEW, db, heavy_access)
         first = server.open("V", heavy_access, limit=2)

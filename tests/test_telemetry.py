@@ -1,0 +1,573 @@
+"""Telemetry: metric primitives, durable JSONL history, the closed loop.
+
+Three contracts, in the order an operator hits them:
+
+* the registry's metrics are exact under concurrency (counters don't
+  drop increments, histograms bucket deterministically);
+* the JSONL store is versioned append-only history — schema-checked on
+  read, merged *across* server restarts rather than overwritten, and
+  malformed lines fail with their file and line number;
+* the :class:`~repro.engine.telemetry.AdaptiveTuner` closed loop is
+  deterministic — the same observed histograms always produce the same
+  explainable decisions.
+
+``docs/OPERATIONS.md`` documents every name asserted here; drift
+between that document and the code should fail in this file.
+"""
+
+import json
+import threading
+
+import pytest
+
+from oracle import oracle_answer
+from repro.engine import (
+    GAP_BUCKETS,
+    AdaptiveTuner,
+    AsyncViewServer,
+    MetricsRegistry,
+    ReplicaServer,
+    ShardedViewServer,
+    Telemetry,
+    TelemetryStore,
+    ViewServer,
+)
+from repro.engine.telemetry import TELEMETRY_SCHEMA, Histogram
+from repro.exceptions import ParameterError, SnapshotError, TelemetryError
+from repro.workloads import request_stream, triangle_database, triangle_view
+
+TAU = 4.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    view = triangle_view("bbf")
+    db = triangle_database(nodes=20, edges=90, seed=7)
+    return view, db
+
+
+# ----------------------------------------------------------------------
+# metric primitives
+# ----------------------------------------------------------------------
+class TestMetricPrimitives:
+    def test_counters_only_go_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", view="V")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ParameterError):
+            counter.inc(-1)
+
+    def test_labeled_metrics_are_distinct_and_label_order_free(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests_total", view="V", mode="open")
+        b = registry.counter("requests_total", mode="open", view="V")
+        other = registry.counter("requests_total", view="V", mode="batch")
+        assert a is b
+        assert a is not other
+
+    def test_histogram_buckets_values_at_their_upper_bounds(self):
+        histogram = Histogram(bounds=(1, 2, 4))
+        for value in (0, 1, 1.5, 2, 3, 4, 5, 100):
+            histogram.observe(value)
+        # counts has one +inf overflow slot past the declared bounds.
+        assert histogram.counts == (2, 2, 2, 2)
+        assert histogram.count == 8
+        assert histogram.sum == pytest.approx(116.5)
+
+    def test_histogram_percentile_is_a_bucket_upper_bound(self):
+        histogram = Histogram(bounds=GAP_BUCKETS)
+        assert histogram.percentile(0.95) == 0.0  # empty
+        for _ in range(95):
+            histogram.observe(3)
+        assert histogram.percentile(0.95) == 4.0
+        for _ in range(5):
+            histogram.observe(10_000)  # overflow bucket
+        assert histogram.percentile(0.5) == 4.0
+        assert histogram.percentile(1.0) == float("inf")
+        with pytest.raises(ParameterError):
+            histogram.percentile(0.0)
+
+    def test_histogram_bounds_must_be_ascending(self):
+        with pytest.raises(ParameterError):
+            Histogram(bounds=())
+        with pytest.raises(ParameterError):
+            Histogram(bounds=(2, 1))
+
+    def test_redeclaring_a_histogram_with_new_buckets_is_fatal(self):
+        # Silently changed boundaries would poison every future merge.
+        registry = MetricsRegistry()
+        registry.histogram("delay_step_gap", buckets=GAP_BUCKETS, view="V")
+        registry.histogram("delay_step_gap", buckets=GAP_BUCKETS, view="V")
+        with pytest.raises(TelemetryError, match="re-declared"):
+            registry.histogram("delay_step_gap", buckets=(1, 2), view="V")
+
+    def test_registry_is_exact_under_a_thread_hammer(self):
+        registry = MetricsRegistry()
+        threads, per_thread = 8, 2_000
+        start = threading.Barrier(threads)
+
+        def hammer(worker):
+            start.wait()
+            for i in range(per_thread):
+                # get-or-create on every iteration: creation races and
+                # increment races both have to lose.
+                registry.counter("requests_total", view="V").inc()
+                registry.histogram(
+                    "delay_step_gap", buckets=GAP_BUCKETS, view="V"
+                ).observe(1 + (worker + i) % 3)
+
+        pool = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        total = threads * per_thread
+        assert registry.counter_value("requests_total", view="V") == total
+        histogram = registry.find_histogram("delay_step_gap", view="V")
+        assert histogram.count == total
+        assert sum(histogram.counts) == total
+
+    def test_snapshot_merge_round_trips_exactly(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", view="V").inc(7)
+        registry.gauge("async_queue_depth").set(3.0)
+        histogram = registry.histogram(
+            "delay_step_gap", buckets=GAP_BUCKETS, view="V"
+        )
+        histogram.observe(2)
+        histogram.observe(900)
+        snapshot = registry.snapshot()
+        # JSON-ready: survives an actual encode/decode.
+        snapshot = json.loads(json.dumps(snapshot))
+        restored = MetricsRegistry()
+        restored.merge_snapshot(snapshot)
+        assert restored.snapshot() == snapshot
+
+
+# ----------------------------------------------------------------------
+# the durable store
+# ----------------------------------------------------------------------
+class TestTelemetryStore:
+    def test_record_schema_is_pinned(self, tmp_path):
+        # The on-disk contract docs/OPERATIONS.md documents: schema
+        # version 1, one JSON object per line, with exactly these
+        # envelope fields. Bump TELEMETRY_SCHEMA when changing any of it.
+        assert TELEMETRY_SCHEMA == 1
+        store = TelemetryStore(tmp_path, session="abc123")
+        store.write_metrics({"counters": [], "gauges": [], "histograms": []})
+        store.write_event({"op": "tuning", "view": "V"})
+        assert store.path == tmp_path / "abc123.jsonl"
+        lines = store.path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert set(first) == {"schema", "kind", "session", "seq", "ts",
+                              "metrics"}
+        assert first["schema"] == TELEMETRY_SCHEMA
+        assert first["kind"] == "metrics"
+        assert first["session"] == "abc123"
+        assert first["seq"] == 1
+        assert isinstance(first["ts"], float)
+        assert second["kind"] == "event"
+        assert second["seq"] == 2
+        assert second["event"] == {"op": "tuning", "view": "V"}
+
+    def test_load_reads_all_sessions_in_replay_order(self, tmp_path):
+        a = TelemetryStore(tmp_path, session="aaa")
+        b = TelemetryStore(tmp_path, session="bbb")
+        a.write_event({"op": "one"})
+        b.write_event({"op": "two"})
+        a.write_event({"op": "three"})
+        records = TelemetryStore.load(tmp_path)
+        assert [r["event"]["op"] for r in records] == ["one", "two", "three"]
+        keys = [(r["ts"], r["session"], r["seq"]) for r in records]
+        assert keys == sorted(keys)
+
+    def test_absent_directory_is_empty_history(self, tmp_path):
+        assert TelemetryStore.load(tmp_path / "never-created") == []
+
+    def test_malformed_lines_fail_with_file_and_line(self, tmp_path):
+        store = TelemetryStore(tmp_path, session="abc")
+        store.write_event({"op": "fine"})
+        with store.path.open("a") as handle:
+            handle.write("not json\n")
+        with pytest.raises(TelemetryError, match=r"abc\.jsonl:2"):
+            TelemetryStore.load(tmp_path)
+
+    def test_schema_version_mismatch_is_fatal(self, tmp_path):
+        store = TelemetryStore(tmp_path, session="abc")
+        record = store.write_event({"op": "fine"})
+        bumped = dict(record, schema=TELEMETRY_SCHEMA + 1)
+        with store.path.open("a") as handle:
+            handle.write(json.dumps(bumped) + "\n")
+        with pytest.raises(TelemetryError, match="schema"):
+            TelemetryStore.load(tmp_path)
+
+    def test_merge_sums_counters_and_buckets_across_sessions(self, tmp_path):
+        for session, count in (("aaa", 3), ("bbb", 4)):
+            telemetry = Telemetry(tmp_path, session=session)
+            telemetry.counter("requests_total", view="V").inc(count)
+            histogram = telemetry.histogram(
+                "delay_step_gap", buckets=GAP_BUCKETS, view="V"
+            )
+            for _ in range(count):
+                histogram.observe(2)
+            telemetry.gauge("async_queue_depth").set(float(count))
+            telemetry.close()
+        registry, events = TelemetryStore.merged_registry(tmp_path)
+        assert registry.counter_value("requests_total", view="V") == 7
+        merged = registry.find_histogram("delay_step_gap", view="V")
+        assert merged.count == 7
+        # Gauges are levels, not totals: the last session's value wins.
+        assert registry.gauge("async_queue_depth").value == 4.0
+        assert events == []
+
+    def test_within_a_session_only_the_latest_snapshot_counts(self, tmp_path):
+        # Snapshots are cumulative: replaying every flush of one session
+        # would double-count. Two flushes, the counter at 2 then 5 —
+        # the merge must see 5, not 7.
+        telemetry = Telemetry(tmp_path, session="aaa")
+        counter = telemetry.counter("requests_total", view="V")
+        counter.inc(2)
+        telemetry.flush()
+        counter.inc(3)
+        telemetry.flush()
+        registry, _ = Telemetry.replay(tmp_path)
+        assert registry.counter_value("requests_total", view="V") == 5
+
+    def test_events_persist_immediately_and_replay_in_order(self, tmp_path):
+        telemetry = Telemetry(tmp_path, session="aaa")
+        telemetry.event("tuning", view="V", kind="retune")
+        # No flush/close: events must already be durable.
+        _, events = Telemetry.replay(tmp_path)
+        assert [e["event"]["op"] for e in events] == ["tuning"]
+        assert telemetry.registry.counter_value("events_total", op="tuning") == 1
+
+
+# ----------------------------------------------------------------------
+# instrumented serving, and history that survives a restart
+# ----------------------------------------------------------------------
+class TestInstrumentedServing:
+    def test_every_layer_reports_into_one_shared_sink(self, setup, tmp_path):
+        view, db = setup
+        telemetry = Telemetry()
+        front = AsyncViewServer(
+            ShardedViewServer(
+                db, n_shards=2, shard_key={"R": 0, "T": 1},
+                telemetry=telemetry,
+            ),
+            max_workers=2,
+            telemetry=telemetry,
+        )
+        try:
+            name = front.backend.register(view, tau=TAU)
+            accesses = request_stream(view, db, 12, seed=1)
+            import asyncio
+
+            served = asyncio.run(front.serve(name, accesses))
+            assert served.result.outputs >= 0
+        finally:
+            front.close()
+        registry = telemetry.registry
+        routing = [
+            entry
+            for entry in registry.snapshot()["counters"]
+            if entry["name"] == "shard_requests_total"
+        ]
+        assert routing, "the sharded facade never counted its routing"
+        assert {e["labels"]["mode"] for e in routing} == {"routed"}
+        assert sum(e["value"] for e in routing) == 12
+        # The per-shard ViewServers underneath counted the distinct
+        # cursors they opened (duplicates share a lane — see
+        # answer_batch), in the same shared registry.
+        opened = registry.counter_value(
+            "requests_total", view=name, mode="open"
+        ) + registry.counter_value("requests_total", view=name, mode="batch")
+        assert opened == len(set(accesses))
+        assert registry.find_histogram("async_queue_seconds") is not None
+        assert registry.find_histogram("async_service_seconds") is not None
+        assert registry.gauge("async_queue_depth").value == 0.0
+
+    def test_replica_hydrations_and_refusals_are_counted(
+        self, setup, tmp_path
+    ):
+        view, db = setup
+        primary = ViewServer(db, snapshot_dir=tmp_path)
+        name = primary.register(view, tau=TAU)
+        primary.representation(name)
+        primary.cache.demote_all()
+        primary.close()
+
+        telemetry = Telemetry()
+        replica = ReplicaServer(db, snapshot_dir=tmp_path, telemetry=telemetry)
+        try:
+            replica.register(view, tau=TAU)
+            assert replica.hydrate() == 1
+            assert (
+                telemetry.registry.counter_value(
+                    "replica_hydrations_total", view=name
+                )
+                == 1
+            )
+            # An unshipped view refuses — and the refusal is counted.
+            replica.register(view, tau=2 * TAU, name="unshipped")
+            with pytest.raises(SnapshotError, match="refuses to build"):
+                replica.representation("unshipped")
+            assert (
+                telemetry.registry.counter_value(
+                    "replica_refusals_total", view="unshipped"
+                )
+                == 1
+            )
+        finally:
+            replica.close()
+
+    def test_history_survives_a_server_restart(self, setup, tmp_path):
+        # The acceptance scenario: serve, shut down, start a new server
+        # over the same directory, serve again — replay sees the union.
+        view, db = setup
+        accesses = request_stream(view, db, 5, seed=2)
+        for _ in range(2):
+            server = ViewServer(db, snapshot_dir=tmp_path, telemetry=True)
+            name = server.register(view, tau=TAU)
+            for access in accesses:
+                assert server.answer(name, access) == oracle_answer(
+                    view, db, access
+                )
+            server.close()  # final flush of this session's snapshot
+        telemetry_dir = tmp_path / "telemetry"
+        sessions = sorted(telemetry_dir.glob("*.jsonl"))
+        assert len(sessions) == 2, "each restart starts a new session file"
+        registry, _ = Telemetry.replay(telemetry_dir)
+        assert (
+            registry.counter_value("requests_total", view=name, mode="open")
+            == 10
+        )
+        assert registry.counter_value("answers_total", view=name) > 0
+        assert registry.find_histogram("serve_seconds", view=name).count == 10
+
+
+# ----------------------------------------------------------------------
+# the closed loop
+# ----------------------------------------------------------------------
+class FakeTunableServer:
+    """The tuning surface, scripted: gaps go in, decisions come out."""
+
+    def __init__(self, views=("V",), tau=8.0):
+        self._taus = {name: tau for name in views}
+        self._resident = {name: True for name in views}
+        self.requests_served = 0
+        self.prefetches = []
+        self.demotions = []
+
+    def views(self):
+        return tuple(self._taus)
+
+    def serving_tau(self, name):
+        return self._taus[name]
+
+    def retune(self, name, tau):
+        previous = self._taus[name]
+        self._taus[name] = tau
+        self._resident[name] = False
+        return previous
+
+    def prefetch(self, name, tau=None):
+        self.prefetches.append(name)
+        self._resident[name] = True
+
+    def resident(self, name, tau=None):
+        return self._resident[name]
+
+    def demote(self, name):
+        if not self._resident[name]:
+            return 0
+        self._resident[name] = False
+        self.demotions.append(name)
+        return 1
+
+
+def observe_traffic(telemetry, view, gaps):
+    """Feed one interval of requests + gap observations for ``view``."""
+    telemetry.counter("requests_total", view=view, mode="open").inc(len(gaps))
+    histogram = telemetry.histogram(
+        "delay_step_gap", buckets=GAP_BUCKETS, view=view
+    )
+    for gap in gaps:
+        histogram.observe(gap)
+
+
+class TestAdaptiveTuner:
+    def test_over_budget_gaps_halve_tau_and_promote(self):
+        server = FakeTunableServer(tau=8.0)
+        telemetry = Telemetry()
+        tuner = AdaptiveTuner(server, telemetry, gap_budget=16.0)
+        observe_traffic(telemetry, "V", [40] * 20)
+        decisions = tuner.tune()
+        assert [d.kind for d in decisions] == ["retune", "promote"]
+        retune = decisions[0]
+        assert (retune.tau_before, retune.tau_after) == (8.0, 4.0)
+        assert retune.observed_gap > retune.budget == 16.0
+        assert "buying delay with space" in retune.reason
+        assert server.serving_tau("V") == 4.0
+        assert server.prefetches == ["V"]
+
+    def test_gaps_far_under_budget_double_tau(self):
+        server = FakeTunableServer(tau=8.0)
+        telemetry = Telemetry()
+        tuner = AdaptiveTuner(
+            server, telemetry, gap_budget=64.0, relax_headroom=4.0
+        )
+        observe_traffic(telemetry, "V", [2] * 20)
+        decisions = tuner.tune()
+        assert decisions[0].kind == "retune"
+        assert decisions[0].tau_after == 16.0
+        assert "giving space back" in decisions[0].reason
+
+    def test_gaps_inside_the_headroom_band_hold_tau(self):
+        # Observed 16 on budget 64 with 8x headroom: neither over budget
+        # nor 8x under it — the loop must sit still, not oscillate.
+        server = FakeTunableServer(tau=8.0)
+        telemetry = Telemetry()
+        tuner = AdaptiveTuner(
+            server, telemetry, gap_budget=64.0, relax_headroom=8.0
+        )
+        observe_traffic(telemetry, "V", [12] * 20)
+        assert tuner.tune() == []
+        assert server.serving_tau("V") == 8.0
+
+    def test_tau_respects_the_rails(self):
+        server = FakeTunableServer(tau=2.0)
+        telemetry = Telemetry()
+        tuner = AdaptiveTuner(
+            server, telemetry, gap_budget=16.0, min_tau=2.0, max_tau=4.0
+        )
+        observe_traffic(telemetry, "V", [100] * 10)
+        assert not [
+            d for d in tuner.tune() if d.kind == "retune"
+        ], "tau already at min_tau must not tighten further"
+        observe_traffic(telemetry, "V", [1] * 50)
+        decisions = tuner.tune()
+        assert decisions[0].tau_after == 4.0
+        observe_traffic(telemetry, "V", [1] * 50)
+        assert not [
+            d for d in tuner.tune() if d.kind == "retune"
+        ], "tau at max_tau must not relax further"
+
+    def test_idle_views_demote_and_each_pass_judges_only_its_interval(self):
+        server = FakeTunableServer(tau=8.0)
+        telemetry = Telemetry()
+        tuner = AdaptiveTuner(server, telemetry, gap_budget=16.0)
+        observe_traffic(telemetry, "V", [40] * 20)
+        assert [d.kind for d in tuner.tune()] == ["retune", "promote"]
+        # No new traffic since that pass: the stale over-budget gaps
+        # must not re-trigger; the view is idle now, so it demotes.
+        decisions = tuner.tune()
+        assert [d.kind for d in decisions] == ["demote"]
+        assert "no requests" in decisions[0].reason
+        assert server.demotions == ["V"]
+        # Still idle, nothing resident: nothing left to decide.
+        assert tuner.tune() == []
+
+    def test_maybe_tune_runs_on_the_request_cadence(self):
+        server = FakeTunableServer(tau=8.0)
+        telemetry = Telemetry()
+        tuner = AdaptiveTuner(
+            server, telemetry, gap_budget=16.0, interval_requests=10
+        )
+        observe_traffic(telemetry, "V", [40] * 9)
+        server.requests_served = 9
+        assert tuner.maybe_tune() == []
+        observe_traffic(telemetry, "V", [40])
+        server.requests_served = 10
+        assert [d.kind for d in tuner.maybe_tune()] == ["retune", "promote"]
+
+    def test_decisions_are_deterministic_and_fully_explained(self):
+        def run():
+            server = FakeTunableServer(views=("A", "B"), tau=8.0)
+            telemetry = Telemetry()
+            tuner = AdaptiveTuner(
+                server, telemetry, gap_budget=32.0, relax_headroom=4.0
+            )
+            trace = []
+            for gaps_a, gaps_b in [
+                ([100] * 19 + [2], [1] * 20),
+                ([100] * 20, []),
+                ([4] * 20, [1] * 20),
+            ]:
+                if gaps_a:
+                    observe_traffic(telemetry, "A", gaps_a)
+                if gaps_b:
+                    observe_traffic(telemetry, "B", gaps_b)
+                trace.extend(tuner.tune())
+            return [
+                (d.kind, d.view, d.tau_before, d.tau_after, d.observed_gap)
+                for d in trace
+            ], telemetry
+
+        first, telemetry = run()
+        second, _ = run()
+        assert first == second, "same observations must mean same decisions"
+        by_kind = telemetry.registry
+        assert by_kind.counter_value(
+            "tuning_decisions_total", kind="retune"
+        ) == sum(1 for d in first if d[0] == "retune")
+        # Every decision is also a durable, explainable event.
+        tuning_events = [
+            e for e in telemetry.events if e["op"] == "tuning"
+        ]
+        assert len(tuning_events) == len(first)
+        assert all(
+            {"kind", "view", "tau_before", "tau_after", "observed_gap",
+             "budget", "reason"} <= set(e)
+            for e in tuning_events
+        )
+
+    def test_parameter_validation(self):
+        server = FakeTunableServer()
+        telemetry = Telemetry()
+        for kwargs in (
+            {"gap_budget": 0.0},
+            {"interval_requests": 0},
+            {"percentile": 0.0},
+            {"percentile": 1.5},
+            {"min_tau": 0.0},
+            {"min_tau": 8.0, "max_tau": 4.0},
+        ):
+            with pytest.raises(ParameterError):
+                AdaptiveTuner(server, telemetry, **kwargs)
+
+    def test_the_loop_closes_on_a_real_server(self, setup, tmp_path):
+        # End to end on a live ViewServer: a too-tight τ, observed gaps
+        # under budget, the tuner relaxes it, and the new structure
+        # serves identical answers.
+        view, db = setup
+        server = ViewServer(db, snapshot_dir=tmp_path, telemetry=True)
+        try:
+            name = server.register(view, tau=1.0)
+            tuner = AdaptiveTuner(
+                server,
+                server.telemetry,
+                gap_budget=512.0,
+                interval_requests=4,
+                relax_headroom=2.0,
+            )
+            accesses = request_stream(view, db, 8, seed=3)
+            expected = [oracle_answer(view, db, a) for a in accesses]
+            result = server.answer_batch(name, accesses)
+            assert list(map(list, result.answers)) == expected
+            decisions = tuner.maybe_tune()
+            kinds = {d.kind for d in decisions}
+            assert "retune" in kinds
+            assert server.serving_tau(name) == 2.0
+            again = server.answer_batch(name, accesses)
+            assert again.answers == result.answers
+            served = server.telemetry.registry.counter_value(
+                "requests_total", view=name, mode="batch"
+            )
+            assert served > 0
+        finally:
+            server.close()
