@@ -6,12 +6,13 @@ SMOKE_REPORT ?= .bench/smoke.json
 BENCH_DIR ?= .bench
 TRAJECTORY ?= .bench/trajectory.json
 # One record per bench gate: engine-cache, async-sharded, warm-start,
-# streaming-topk, shared-scan-batch, resharding, adaptive-tuning.
-# bench-trend fails if fewer report.
-GATE_COUNT ?= 7
+# streaming-topk, shared-scan-batch, resharding, adaptive-tuning,
+# columnar-kernel. bench-trend fails if fewer report.
+GATE_COUNT ?= 8
 
 .PHONY: test collect lint format docs-check bench-smoke bench-warm \
-	bench-stream bench-batch bench-reshard bench-adapt bench-trend bench
+	bench-stream bench-batch bench-reshard bench-adapt bench-kernel \
+	bench-trend bench
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -76,6 +77,14 @@ bench-reshard:
 bench-adapt:
 	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_adaptive_tuning.py -q
+
+# Columnar-kernel gate: fails unless the array-backed enumeration
+# kernel serves a full-enumeration + top-k mixed workload >= 3x faster
+# than the reference tuple-at-a-time path (answers oracle-identical,
+# kernel on vs. off over the same structures).
+bench-kernel:
+	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_columnar_kernel.py -q
 
 # Perf-trajectory gate: folds every gate's recorded speedup into one
 # $(TRAJECTORY) artifact and fails if any gate fell below its pinned

@@ -89,6 +89,36 @@ class DelayBalancedTree:
     def leaves(self) -> List[TreeNode]:
         return [node for node in self.nodes if node.is_leaf]
 
+    def columns(self):
+        """Flat array-backed node columns for the columnar layout compiler.
+
+        Returns ``(root id, left, right, lows, highs, betas)``: child ids
+        as ``array('q')`` with ``-1`` sentinels (``node.id`` equals its
+        index in ``nodes`` by construction), interval endpoints as index
+        tuples, and β codes (None on leaves), all positionally aligned.
+        """
+        from array import array
+
+        left = array(
+            "q",
+            (
+                node.left.id if node.left is not None else -1
+                for node in self.nodes
+            ),
+        )
+        right = array(
+            "q",
+            (
+                node.right.id if node.right is not None else -1
+                for node in self.nodes
+            ),
+        )
+        lows = [node.interval.low for node in self.nodes]
+        highs = [node.interval.high for node in self.nodes]
+        betas = [node.beta for node in self.nodes]
+        root_id = self.root.id if self.root is not None else -1
+        return root_id, left, right, lows, highs, betas
+
     # ------------------------------------------------------------------
     # explicit state (the snapshot boundary)
     # ------------------------------------------------------------------

@@ -17,6 +17,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core import layout as layout_mod
+from repro.core.kernel import nested_product_rows
 from repro.database.catalog import Database
 from repro.database.index import TrieIndex
 from repro.exceptions import DecompositionError, QueryError
@@ -233,6 +235,16 @@ class ConnexConstantDelayStructure:
         assignment: Dict[Variable, object] = dict(zip(bound_order, access))
         free_order = self.view.free_variables
         bags = self._preorder
+        if counter is None and layout_mod.kernel_enabled():
+            # Counter-less requests take the flattened kernel walk over
+            # the same pre-sorted bag indexes — identical rows and order,
+            # no per-bag generator nesting.
+            specs = [
+                (bag.bound_vars, bag.free_vars, bag.index)
+                for bag in (self._bags[node] for node in bags)
+            ]
+            yield from nested_product_rows(specs, assignment, free_order)
+            return
 
         def recurse(position: int) -> Iterator[Tuple]:
             if position == len(bags):

@@ -131,6 +131,8 @@ class DecomposedRepresentation:
             # identical but loses the no-dead-end delay guarantee — the
             # ablation benchmark quantifies the difference.
             self._refine_dictionaries()
+        for bag in self._bags.values():
+            bag.representation.compile_layout()
         self._root_checks = self._build_root_checks()
         self._preorder = [
             node
@@ -174,8 +176,11 @@ class DecomposedRepresentation:
             index: cover.weights.get(label, 0.0)
             for index, label in enumerate(labels)
         }
+        # Layout compilation is deferred: the Algorithm 4 refinement edits
+        # bag dictionaries in place, which would immediately stale any
+        # layout compiled here. Bags are compiled once, post-refinement.
         representation = CompressedRepresentation(
-            bag_view, bag_db, tau=tau, weights=weights
+            bag_view, bag_db, tau=tau, weights=weights, compile_layout=False
         )
         return _BagStructure(
             node=node,
@@ -575,6 +580,21 @@ class DecomposedRepresentation:
 
     def exists(self, access: Sequence) -> bool:
         return next(self.enumerate(access), None) is not None
+
+    @property
+    def kernel_ready(self) -> bool:
+        """Whether every bag's counter-less enumeration uses the kernel."""
+        return all(
+            bag.representation.kernel_ready for bag in self._bags.values()
+        )
+
+    @property
+    def layout_compile_seconds(self) -> float:
+        """Total layout compile time across the per-bag structures."""
+        return sum(
+            bag.representation.layout_compile_seconds
+            for bag in self._bags.values()
+        )
 
     # ------------------------------------------------------------------
     def space_report(self) -> SpaceReport:

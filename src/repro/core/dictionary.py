@@ -36,15 +36,23 @@ from repro.joins.generic_join import generic_join
 
 
 class HeavyDictionary:
-    """Bits for heavy (node, bound valuation) pairs; absence means light."""
+    """Bits for heavy (node, bound valuation) pairs; absence means light.
 
-    __slots__ = ("_entries",)
+    ``version`` counts in-place edits; compiled columnar layouts pin the
+    version they were built against and go stale (falling back to the
+    reference enumeration path) when it moves — the guard that keeps the
+    Algorithm 4 refinement and any future mutation correct by default.
+    """
+
+    __slots__ = ("_entries", "version")
 
     def __init__(self):
         self._entries: Dict[Tuple[int, Tuple], int] = {}
+        self.version = 0
 
     def set(self, node_id: int, access: Tuple, bit: int) -> None:
         self._entries[(node_id, access)] = bit
+        self.version += 1
 
     def get(self, node_id: int, access: Tuple) -> Optional[int]:
         """The stored bit, or None (the paper's ⊥) when the pair is light."""

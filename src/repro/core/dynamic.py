@@ -88,6 +88,20 @@ class DynamicRepresentation:
     def pending_updates(self) -> int:
         return self._pending
 
+    @property
+    def kernel_ready(self) -> bool:
+        """Kernel routing follows the clean path; dirty buffers fall back.
+
+        While updates are buffered, requests are served by the lazy view
+        (always the reference tuple-at-a-time path); once clean — or after
+        a rebuild — the inner compressed structure's kernel serves again.
+        """
+        return not self.is_dirty and self._structure.kernel_ready
+
+    @property
+    def layout_compile_seconds(self) -> float:
+        return self._structure.layout_compile_seconds
+
     def insert(self, relation_name: str, row: Sequence) -> None:
         """Buffer a tuple insertion (idempotent against existing rows)."""
         row = tuple(row)

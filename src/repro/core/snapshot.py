@@ -51,7 +51,11 @@ from repro.query.atoms import Atom, Constant, Variable
 from repro.query.conjunctive import ConjunctiveQuery
 
 SNAPSHOT_MAGIC = b"RPRS"
-SNAPSHOT_VERSION = 1
+#: Current write version. v2 adds the compiled columnar layout to the
+#: representation state; v1 blobs (no layout) are still readable — the
+#: loader recompiles the layout from the restored structure instead.
+SNAPSHOT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 _HEADER_PREFIX = struct.Struct(">4sH")
 _U16 = struct.Struct(">H")
@@ -226,8 +230,8 @@ def encode_snapshot(
     )
 
 
-def _parse_header(blob: bytes) -> Tuple[str, str, int, int, int]:
-    """(kind, fingerprint, crc, payload length, payload offset)."""
+def _parse_header(blob: bytes) -> Tuple[int, str, str, int, int, int]:
+    """(version, kind, fingerprint, crc, payload length, payload offset)."""
 
     def take(structure: struct.Struct, offset: int):
         end = offset + structure.size
@@ -243,10 +247,11 @@ def _parse_header(blob: bytes) -> Tuple[str, str, int, int, int]:
         raise SnapshotError(
             f"not a repro snapshot (bad magic {magic!r})"
         )
-    if version != SNAPSHOT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise SnapshotError(
             f"snapshot format version {version} is not supported "
-            f"(this library reads version {SNAPSHOT_VERSION})"
+            f"(this library reads versions "
+            f"{', '.join(str(v) for v in SUPPORTED_VERSIONS)})"
         )
 
     def take_string(offset: int) -> Tuple[str, int]:
@@ -267,14 +272,14 @@ def _parse_header(blob: bytes) -> Tuple[str, str, int, int, int]:
     kind, offset = take_string(offset)
     fingerprint, offset = take_string(offset)
     (crc, length), offset = take(_TRAILER, offset)
-    return kind, fingerprint, crc, length, offset
+    return version, kind, fingerprint, crc, length, offset
 
 
 def inspect_snapshot(blob: bytes) -> Dict:
     """Header metadata of a snapshot blob, without unpickling the payload."""
-    kind, fingerprint, crc, length, offset = _parse_header(blob)
+    version, kind, fingerprint, crc, length, offset = _parse_header(blob)
     return {
-        "version": SNAPSHOT_VERSION,
+        "version": version,
         "kind": kind,
         "fingerprint": fingerprint,
         "payload_bytes": length,
@@ -291,7 +296,7 @@ def decode_snapshot(
     Raises :class:`~repro.exceptions.SnapshotError` for any malformed,
     truncated, corrupted, version-mismatched or wrong-database blob.
     """
-    kind, fingerprint, crc, length, offset = _parse_header(blob)
+    _version, kind, fingerprint, crc, length, offset = _parse_header(blob)
     registry = _registry()
     if kind not in registry:
         raise SnapshotError(f"unknown snapshot kind {kind!r}")

@@ -24,12 +24,19 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core import layout as layout_mod
 from repro.core.balanced_tree import (
     DelayBalancedTree,
     TreeNode,
     build_delay_balanced_tree,
 )
 from repro.core.context import SubtrieCache, ViewContext
+from repro.core.kernel import (
+    KernelSlot,
+    kernel_enumerate,
+    kernel_enumerate_from,
+    kernel_shared_enumerate,
+)
 from repro.core.cost import CostModel
 from repro.core.dictionary import HeavyDictionary, build_dictionary
 from repro.core.intervals import FBox, FInterval
@@ -130,6 +137,7 @@ class CompressedRepresentation:
         tau: float,
         weights: Optional[Mapping[int, float]] = None,
         alpha: Optional[float] = None,
+        compile_layout: bool = True,
     ):
         started = time.perf_counter()
         if tau <= 0:
@@ -158,6 +166,49 @@ class CompressedRepresentation:
             output_tuples=output_count,
             build_seconds=time.perf_counter() - started,
         )
+        self._layout: Optional[layout_mod.CompiledLayout] = None
+        self.layout_compile_seconds = 0.0
+        if compile_layout:
+            self.compile_layout()
+
+    # ------------------------------------------------------------------
+    # columnar kernel layout
+    # ------------------------------------------------------------------
+    def compile_layout(self) -> "layout_mod.CompiledLayout":
+        """Compile (or recompile) the columnar layout for this structure.
+
+        Called at build time and after any in-place dictionary edit (the
+        Algorithm 4 refinement does this); ``layout_compile_seconds``
+        records the cost for the telemetry histogram.
+        """
+        started = time.perf_counter()
+        self._layout = layout_mod.compile_layout(
+            self.ctx, self.tree, self.dictionary, self.cost_model
+        )
+        self.layout_compile_seconds = time.perf_counter() - started
+        return self._layout
+
+    @property
+    def kernel_ready(self) -> bool:
+        """Whether counter-less enumerations route through the kernel."""
+        return self._active_layout(None) is not None
+
+    def _active_layout(self, counter):
+        """The layout to route through, or None to take the reference path.
+
+        Fallback triggers: a counter is attached (measured enumerations
+        keep the reference path and its exact step accounting), the
+        kernel mode is ``off``, no layout was compiled, or the dictionary
+        changed since compilation (stale layout).
+        """
+        if counter is not None:
+            return None
+        layout = self._layout
+        if layout is None or not layout_mod.kernel_enabled():
+            return None
+        if layout.dict_version != self.dictionary.version:
+            return None
+        return layout
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -264,6 +315,9 @@ class CompressedRepresentation:
                 "output_tuples": stats.output_tuples,
                 "build_seconds": stats.build_seconds,
             },
+            "layout": (
+                self._layout.to_state() if self._layout is not None else None
+            ),
         }
 
     @classmethod
@@ -289,6 +343,20 @@ class CompressedRepresentation:
             stats = dict(state["stats"])
             stats["weights"] = dict(stats["weights"])
             self.stats = BuildStats(**stats)
+            self._layout = None
+            self.layout_compile_seconds = 0.0
+            layout_state = state.get("layout")
+            if layout_state is not None:
+                # Codec v2: the compiled arrays ship with the snapshot.
+                started = time.perf_counter()
+                layout = layout_mod.CompiledLayout.from_state(layout_state)
+                layout.bind(self.ctx)
+                layout.dict_version = self.dictionary.version
+                self._layout = layout
+                self.layout_compile_seconds = time.perf_counter() - started
+            else:
+                # Codec v1 blobs predate layouts: recompile on load.
+                self.compile_layout()
             return self
         except SnapshotError:
             raise
@@ -315,6 +383,12 @@ class CompressedRepresentation:
                 f"{len(self.ctx.bound_order)}"
             )
         if self.tree.root is None:
+            return
+        layout = self._active_layout(counter)
+        if layout is not None:
+            # Columnar kernel: bit-identical stream over the compiled
+            # layout (the per-atom root lookup subsumes the subtrie check).
+            yield from kernel_enumerate(layout, access)
             return
         subtries = self.ctx.subtries(access)
         if any(node is None for node in subtries):
@@ -400,6 +474,10 @@ class CompressedRepresentation:
         start = self._ceil_point(start_values)
         if start is None:
             return  # start lies beyond the top of the tuple space
+        layout = self._active_layout(counter)
+        if layout is not None:
+            yield from kernel_enumerate_from(layout, access, start)
+            return
         subtries = self.ctx.subtries(access)
         if any(node is None for node in subtries):
             return
@@ -535,7 +613,17 @@ class CompressedRepresentation:
             cache = SubtrieCache()
         if alive is None:
             alive = [True] * len(accesses)
-        slots: List[ScanSlot] = []
+        # Kernel routing is all-or-nothing for a scan: any measuring lane
+        # keeps the whole group on the reference path so the interleaved
+        # step accounting stays exact. Trie descents still run through
+        # the shared cache either way — the dedup stats are part of the
+        # scan's observable contract.
+        layout = (
+            self._active_layout(None)
+            if counters is None or all(c is None for c in counters)
+            else None
+        )
+        slots: List = []
         for index, access in enumerate(accesses):
             access = tuple(access)
             if len(access) != len(self.ctx.bound_order):
@@ -552,9 +640,22 @@ class CompressedRepresentation:
             subtries = self.ctx.subtries_shared(access, cache)
             if any(node is None for node in subtries):
                 continue  # some relation has no tuple matching the access
+            if layout is not None:
+                states = layout.root_states(access)
+                if states is None:
+                    continue
+                slots.append(
+                    KernelSlot(
+                        index, layout.dict_bucket(access), states, start
+                    )
+                )
+                continue
             counter = counters[index] if counters is not None else None
             slots.append(ScanSlot(index, access, subtries, start, counter))
         if not slots or self.tree.root is None:
+            return
+        if layout is not None:
+            yield from kernel_shared_enumerate(layout, slots, alive)
             return
         yield from self._shared_eval(self.tree.root, slots, alive)
 

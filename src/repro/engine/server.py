@@ -592,18 +592,28 @@ class ViewServer:
             registration.weights if tau == registration.tau else None
         )
         if self._builder is not None:
-            return self._builder.build(
+            built = self._builder.build(
                 registration.natural_view,
                 registration.database,
                 tau=tau,
                 weights=weights,
             )
-        return CompressedRepresentation(
-            registration.natural_view,
-            registration.database,
-            tau=tau,
-            weights=weights,
-        )
+        else:
+            built = CompressedRepresentation(
+                registration.natural_view,
+                registration.database,
+                tau=tau,
+                weights=weights,
+            )
+        if self._telemetry is not None:
+            seconds = getattr(built, "layout_compile_seconds", None)
+            if seconds is not None:
+                self._telemetry.histogram(
+                    "layout_compile_seconds",
+                    buckets=LATENCY_BUCKETS,
+                    view=registration.name,
+                ).observe(seconds)
+        return built
 
     def build_count(self, name: str, tau: Optional[float] = None) -> int:
         """How many times ``(name, τ)`` was actually built (cache misses)."""
@@ -668,8 +678,27 @@ class ViewServer:
             self._requests_served += 1
         cursor = open_cursor(representation, request)
         if self._telemetry is not None:
+            path = (
+                "columnar"
+                if not request.measure
+                and getattr(representation, "kernel_ready", False)
+                else "fallback"
+            )
+            self._kernel_counter(request.view, path).inc()
             self._instrument_cursor(cursor, request, started, mode="open")
         return cursor
+
+    def _kernel_counter(self, view: str, path: str):
+        """Resolved ``kernel_enumerations_total`` handle for (view, path)."""
+        key = (view, f"kernel:{path}")
+        handles = self._metric_handles.get(key)
+        if handles is None:
+            handles = self._metric_handles[key] = (
+                self._telemetry.counter(
+                    "kernel_enumerations_total", view=view, path=path
+                ),
+            )
+        return handles[0]
 
     def _cursor_metrics(self, view: str, mode: str) -> Tuple:
         """Resolved (requests, answers, latency, gap) metric handles."""
@@ -787,6 +816,9 @@ class ViewServer:
             for index, cursor in zip(indexes, scan_cursors):
                 cursors[index] = cursor
             if self._telemetry is not None:
+                self._kernel_counter(view, scan.kernel_path).inc(
+                    len(group)
+                )
                 self._instrument_scan(
                     view, scan, scan_cursors, group, started
                 )

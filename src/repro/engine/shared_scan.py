@@ -308,6 +308,24 @@ class SharedScan:
             for request, (state, lane) in zip(self.requests, self._lanes)
         ]
 
+    @property
+    def kernel_path(self) -> str:
+        """Which enumeration path this group rides.
+
+        ``columnar`` when the representation's fresh compiled layout
+        serves the whole merged descent; ``fallback`` otherwise — direct
+        (sequential) scans, any measuring lane in the group (the
+        all-or-nothing rule that keeps measured stats on the reference
+        path), a stale or absent layout, or the kernel switched off.
+        """
+        if self._direct:
+            return "fallback"
+        if any(state.counter is not None for state in self._states):
+            return "fallback"
+        if getattr(self.representation, "kernel_ready", False):
+            return "columnar"
+        return "fallback"
+
     def stats(self) -> SharedScanStats:
         """This scan's sharing so far (final once every cursor closed)."""
         return SharedScanStats(

@@ -151,6 +151,36 @@ class TestWorkflowSchema:
         ]
         assert any("make bench-adapt" in line for line in run_lines)
 
+    def test_bench_smoke_job_runs_the_columnar_kernel_gate(self, workflow):
+        # The columnar-kernel benchmark is a hard gate: if the compiled
+        # layout path stops beating tuple-at-a-time enumeration >= 3x on
+        # the mixed serving workload, CI fails.
+        run_lines = [
+            step.get("run", "")
+            for step in workflow["jobs"]["bench-smoke"]["steps"]
+        ]
+        assert any("make bench-kernel" in line for line in run_lines)
+
+    def test_test_matrix_has_a_pure_kernel_leg(self, workflow):
+        # One matrix leg must run the whole suite with the kernel's
+        # numpy backend disabled, proving the optional extra really is
+        # optional (parity tests included).
+        job = workflow["jobs"]["test"]
+        matrix = job["strategy"]["matrix"]
+        assert matrix.get("kernel") == ["numpy"]
+        includes = matrix.get("include", [])
+        assert any(
+            entry.get("kernel") == "pure" for entry in includes
+        ), "no pure-kernel matrix leg"
+        test_steps = [
+            step for step in job["steps"] if "make test" in step.get("run", "")
+        ]
+        assert test_steps, "test job never runs make test"
+        env = test_steps[0].get("env", {})
+        assert "REPRO_KERNEL_NO_NUMPY" in env, (
+            "make test step does not thread REPRO_KERNEL_NO_NUMPY"
+        )
+
     def test_lint_job_runs_the_docs_link_check(self, workflow):
         # Broken relative links in README/docs fail the cheapest job,
         # before any test matrix spins up.
@@ -175,7 +205,7 @@ class TestWorkflowSchema:
             i
             for i, line in enumerate(run_lines)
             if re.search(
-                r"make bench-(smoke|warm|stream|batch|reshard|adapt)\b", line
+                r"make bench-(smoke|warm|stream|batch|reshard|adapt|kernel)\b", line
             )
         ]
         assert gates and max(gates) < trend[0], (
@@ -262,6 +292,7 @@ class TestMakefileContract:
             "bench-reshard",
             "bench-trend",
             "bench-adapt",
+            "bench-kernel",
             "docs-check",
         } <= make_targets
 
@@ -281,18 +312,25 @@ class TestMakefileContract:
 
     def test_bench_trend_runs_the_trajectory_checker(self):
         # The trend target must keep pointing at the checker and demand
-        # all seven gates' records, or a silently skipped gate passes CI.
+        # all eight gates' records, or a silently skipped gate passes CI.
         text = MAKEFILE.read_text()
         target = text[text.index("bench-trend:"):]
         target = target[: target.index("\n\n")]
         assert "check_trend.py" in target
-        assert re.search(r"GATE_COUNT\s*\?=\s*7\b", text)
+        assert re.search(r"GATE_COUNT\s*\?=\s*8\b", text)
 
     def test_bench_adapt_runs_the_adaptive_tuning_benchmark(self):
         text = MAKEFILE.read_text()
         target = text[text.index("bench-adapt:"):]
         target = target[: target.index("\n\n")]
         assert "bench_adaptive_tuning.py" in target
+        assert "REPRO_BENCH_SMOKE=1" in target
+
+    def test_bench_kernel_runs_the_columnar_kernel_benchmark(self):
+        text = MAKEFILE.read_text()
+        target = text[text.index("bench-kernel:"):]
+        target = target[: target.index("\n\n")]
+        assert "bench_columnar_kernel.py" in target
         assert "REPRO_BENCH_SMOKE=1" in target
 
     def test_docs_check_runs_the_link_checker(self):
@@ -368,6 +406,7 @@ class TestTrajectoryGate:
         ("shared-scan-batch", 4.0, 3.0),
         ("resharding", 1.9, 1.3),
         ("adaptive-tuning", 1.9, 1.2),
+        ("columnar-kernel", 4.0, 3.0),
     )
 
     def _write_all(self, bench_dir):
@@ -380,7 +419,7 @@ class TestTrajectoryGate:
         bench = tmp_path / "bench"
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
-        assert check_trend(str(bench), str(out), 7) == 0
+        assert check_trend(str(bench), str(out), 8) == 0
         trajectory = json.loads(out.read_text())
         # The schema CI consumers (and future PRs' diffs) rely on.
         assert set(trajectory) == {"schema", "commit", "gates"}
@@ -403,7 +442,7 @@ class TestTrajectoryGate:
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
         _write_gate(bench, "shared-scan-batch", 2.4, 3.0)
-        assert check_trend(str(bench), str(out), 7) == 1
+        assert check_trend(str(bench), str(out), 8) == 1
         # The artifact is still written — it IS the diagnosis.
         assert json.loads(out.read_text())["gates"]
 
@@ -412,12 +451,12 @@ class TestTrajectoryGate:
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
         (bench / "gate-warm-start.json").unlink()
-        assert check_trend(str(bench), str(out), 7) == 1
+        assert check_trend(str(bench), str(out), 8) == 1
         self._write_all(bench)
         (bench / "gate-warm-start.json").write_text('{"speedup": 1.0}')
-        assert check_trend(str(bench), str(out), 7) == 1
+        assert check_trend(str(bench), str(out), 8) == 1
         (bench / "gate-warm-start.json").write_text("not json")
-        assert check_trend(str(bench), str(out), 7) == 1
+        assert check_trend(str(bench), str(out), 8) == 1
 
     def test_fresh_checkout_seeds_floors_then_enforces_them(self, tmp_path):
         # First run, no prior trajectory: floors seed from the current
@@ -427,12 +466,12 @@ class TestTrajectoryGate:
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
         assert not out.exists()
-        assert check_trend(str(bench), str(out), 7) == 0
+        assert check_trend(str(bench), str(out), 8) == 0
         seeded = json.loads(out.read_text())["gates"]
         assert all(g["floor"] == g["threshold"] for g in seeded)
         # Second run against the seeded baseline: the same records still
         # pass, and the floors persist unchanged.
-        assert check_trend(str(bench), str(out), 7) == 0
+        assert check_trend(str(bench), str(out), 8) == 0
         again = json.loads(out.read_text())["gates"]
         assert [g["floor"] for g in again] == [g["floor"] for g in seeded]
 
@@ -453,7 +492,7 @@ class TestTrajectoryGate:
         }
         out.write_text(json.dumps(prior))
         _write_gate(bench, "shared-scan-batch", 3.2, 3.0)
-        assert check_trend(str(bench), str(out), 7) == 1
+        assert check_trend(str(bench), str(out), 8) == 1
         record = next(
             g
             for g in json.loads(out.read_text())["gates"]
@@ -462,7 +501,7 @@ class TestTrajectoryGate:
         assert record["floor"] == 3.5
         # Clearing the ratcheted floor passes again.
         _write_gate(bench, "shared-scan-batch", 3.7, 3.0)
-        assert check_trend(str(bench), str(out), 7) == 0
+        assert check_trend(str(bench), str(out), 8) == 0
 
     def test_malformed_baseline_reseeds_instead_of_crashing(self, tmp_path):
         bench = tmp_path / "bench"
@@ -470,7 +509,7 @@ class TestTrajectoryGate:
         self._write_all(bench)
         for garbage in ("not json", "[]", '{"gates": [{"floor": "x"}]}'):
             out.write_text(garbage)
-            assert check_trend(str(bench), str(out), 7) == 0
+            assert check_trend(str(bench), str(out), 8) == 0
             assert json.loads(out.read_text())["gates"]
 
     def test_gate_records_are_written_by_the_bench_helper(
@@ -500,7 +539,7 @@ class TestTrajectoryGate:
                 str(REPO / "benchmarks" / "check_trend.py"),
                 str(bench),
                 str(out),
-                "7",
+                "8",
             ],
             capture_output=True,
             text=True,

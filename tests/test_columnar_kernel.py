@@ -1,0 +1,393 @@
+"""Kernel/fallback parity: the columnar kernel must be invisible.
+
+Every enumeration entry point is run twice over the same built
+structures — once routed through the compiled columnar layout
+(``set_kernel_mode("on")``) and once forced onto the reference
+tuple-at-a-time path (``"off"``) — and the streams must be identical
+element for element: same rows, same order, same shared-scan event
+interleaving. Fallback triggers (counters, stale dictionary versions,
+dirty dynamic buffers, ``off`` mode) and both snapshot codec versions
+are covered as well.
+"""
+
+import pickle
+import zlib
+
+import pytest
+
+from oracle import oracle_accesses, oracle_answer
+from repro.core import layout as layout_mod
+from repro.core.decomposed import DecomposedRepresentation
+from repro.core.dynamic import DynamicRepresentation
+from repro.core.constant_delay import ConnexConstantDelayStructure
+from repro.core.snapshot import (
+    SNAPSHOT_MAGIC,
+    SUPPORTED_VERSIONS,
+    decode_snapshot,
+    encode_snapshot,
+    inspect_snapshot,
+)
+from repro.core.structure import CompressedRepresentation
+from repro.joins.generic_join import JoinCounter
+from repro.workloads.generators import (
+    path_database,
+    star_database,
+    triangle_database,
+)
+from repro.workloads.queries import (
+    path_view,
+    star_view,
+    triangle_view,
+)
+
+TAUS = (1.0, 4.0, 1000.0)
+
+
+@pytest.fixture(autouse=True)
+def _restore_mode():
+    yield
+    layout_mod.set_kernel_mode("auto")
+
+
+def on_off(callable_returning_iterable):
+    """Run the thunk under both routing modes; return (kernel, reference)."""
+    layout_mod.set_kernel_mode("on")
+    try:
+        kernel_rows = list(callable_returning_iterable())
+    finally:
+        layout_mod.set_kernel_mode("off")
+    try:
+        reference_rows = list(callable_returning_iterable())
+    finally:
+        layout_mod.set_kernel_mode("auto")
+    return kernel_rows, reference_rows
+
+
+def views_under_test():
+    yield triangle_view("bff"), triangle_database(16, 70, seed=7)
+    yield triangle_view("fff"), triangle_database(14, 60, seed=8)
+    yield triangle_view("bbf"), triangle_database(16, 70, seed=9)
+    yield path_view(4), path_database(4, 40, 10, seed=10)
+    yield star_view(3), star_database(3, 90, 12, seed=11)
+
+
+class TestEntryPointParity:
+    @pytest.mark.parametrize(
+        "case", views_under_test(), ids=lambda c: str(c[0].query.head)
+    )
+    def test_enumerate(self, case):
+        view, db = case
+        for tau in TAUS:
+            rep = CompressedRepresentation(view, db, tau=tau)
+            assert rep.kernel_ready
+            for access in oracle_accesses(view, db, limit=8):
+                kernel_rows, reference_rows = on_off(
+                    lambda: rep.enumerate(access)
+                )
+                assert kernel_rows == reference_rows, (tau, access)
+                assert kernel_rows == oracle_answer(view, db, access)
+
+    @pytest.mark.parametrize(
+        "case", views_under_test(), ids=lambda c: str(c[0].query.head)
+    )
+    def test_enumerate_from_every_split(self, case):
+        view, db = case
+        rep = CompressedRepresentation(view, db, tau=4.0)
+        for access in oracle_accesses(view, db, limit=4):
+            rows = oracle_answer(view, db, access)
+            # Resume at every delivered row, plus past-the-end.
+            tokens = rows + [tuple(v + 1 for v in rows[-1])] if rows else []
+            for token in tokens:
+                kernel_rows, reference_rows = on_off(
+                    lambda: rep.enumerate_from(access, token)
+                )
+                assert kernel_rows == reference_rows, (access, token)
+                assert kernel_rows == [r for r in rows if not r < token]
+
+    @pytest.mark.parametrize(
+        "case", views_under_test(), ids=lambda c: str(c[0].query.head)
+    )
+    def test_enumerate_after_every_split(self, case):
+        view, db = case
+        rep = CompressedRepresentation(view, db, tau=4.0)
+        for access in oracle_accesses(view, db, limit=4):
+            rows = oracle_answer(view, db, access)
+            for token in rows:
+                kernel_rows, reference_rows = on_off(
+                    lambda: rep.enumerate_after(access, token)
+                )
+                assert kernel_rows == reference_rows, (access, token)
+                assert kernel_rows == [r for r in rows if r > token]
+
+    def test_pagination_identity(self):
+        view = triangle_view("bff")
+        db = triangle_database(16, 70, seed=7)
+        rep = CompressedRepresentation(view, db, tau=4.0)
+        layout_mod.set_kernel_mode("on")
+        access = next(
+            a
+            for a in oracle_accesses(view, db, limit=8)
+            if len(oracle_answer(view, db, a)) >= 3
+        )
+        rows = list(rep.enumerate(access))
+        for k in range(1, len(rows)):
+            resumed = rows[:k] + list(rep.enumerate_after(access, rows[k - 1]))
+            assert resumed == rows, k
+
+
+class TestSharedScanParity:
+    @pytest.fixture
+    def scan_setup(self):
+        view = triangle_view("bff")
+        db = triangle_database(16, 80, seed=21)
+        rep = CompressedRepresentation(view, db, tau=4.0)
+        accesses = oracle_accesses(view, db, limit=6)
+        return view, db, rep, accesses
+
+    def test_group_events(self, scan_setup):
+        _, _, rep, accesses = scan_setup
+        # Duplicate lanes included: each slot keeps its own event stream.
+        group = list(accesses) + [accesses[0]]
+        kernel_events, reference_events = on_off(
+            lambda: rep.shared_enumerate(group)
+        )
+        assert kernel_events == reference_events
+        layout_mod.set_kernel_mode("off")
+        for slot, access in enumerate(group):
+            rows = [row for s, row in kernel_events if s == slot]
+            assert rows == list(rep.enumerate(access)), slot
+
+    def test_group_with_starts(self, scan_setup):
+        view, db, rep, accesses = scan_setup
+        starts = []
+        for access in accesses:
+            rows = oracle_answer(view, db, access)
+            starts.append(rows[len(rows) // 2] if rows else None)
+        kernel_events, reference_events = on_off(
+            lambda: rep.shared_enumerate(accesses, starts=starts)
+        )
+        assert kernel_events == reference_events
+
+    def test_alive_pruning(self, scan_setup):
+        _, _, rep, accesses = scan_setup
+
+        def pruned_stream():
+            alive = [True] * len(accesses)
+            seen = [0] * len(accesses)
+            for slot, row in rep.shared_enumerate(accesses, alive=alive):
+                yield slot, row
+                seen[slot] += 1
+                if seen[slot] >= 2:  # prune each slot after two rows
+                    alive[slot] = False
+
+        kernel_events, reference_events = on_off(pruned_stream)
+        assert kernel_events == reference_events
+
+    def test_counters_force_reference_for_the_whole_group(self, scan_setup):
+        _, _, rep, accesses = scan_setup
+
+        def counted():
+            counters = [JoinCounter() for _ in accesses]
+            counters[0] = None  # mixed group: one lane measured is enough
+            counters[1] = JoinCounter()
+            events = list(
+                rep.shared_enumerate(accesses, counters=counters)
+            )
+            steps = tuple(
+                c.steps if c is not None else None for c in counters
+            )
+            return [("events", tuple(events)), ("steps", steps)]
+
+        kernel_side, reference_side = on_off(counted)
+        assert kernel_side == reference_side
+
+
+class TestOtherRepresentations:
+    def test_decomposed(self):
+        view = triangle_view("bff")
+        db = triangle_database(16, 70, seed=31)
+        rep = DecomposedRepresentation(view, db)
+        assert rep.kernel_ready
+        for access in oracle_accesses(view, db, limit=6):
+            kernel_rows, reference_rows = on_off(
+                lambda: sorted(rep.enumerate(access))
+            )
+            assert kernel_rows == reference_rows
+            assert kernel_rows == oracle_answer(view, db, access)
+            rows = reference_rows
+            if rows:
+                token = rows[len(rows) // 2]
+                kernel_tail, reference_tail = on_off(
+                    lambda: rep.enumerate_from(access, token)
+                )
+                assert kernel_tail == reference_tail
+
+    def test_dynamic_clean_then_dirty(self):
+        view = triangle_view("bbf")
+        db = triangle_database(14, 50, seed=41)
+        dynamic = DynamicRepresentation(
+            view, db, tau=4.0, rebuild_fraction=float("inf")
+        )
+        accesses = oracle_accesses(view, db, limit=6)
+        assert dynamic.kernel_ready  # clean: kernel serves
+        for access in accesses:
+            kernel_rows, reference_rows = on_off(
+                lambda: dynamic.enumerate(access)
+            )
+            assert kernel_rows == reference_rows
+        dynamic.insert("R", (0, 1))
+        dynamic.insert("S", (1, 2))
+        dynamic.insert("T", (2, 0))
+        assert dynamic.is_dirty
+        assert not dynamic.kernel_ready  # dirty buffers force the overlay
+        updated = dynamic.current_database()
+        for access in accesses:
+            kernel_rows, reference_rows = on_off(
+                lambda: dynamic.answer(access)
+            )
+            assert kernel_rows == reference_rows
+            assert kernel_rows == oracle_answer(view, updated, access)
+        dynamic.rebuild()
+        assert dynamic.kernel_ready
+
+    def test_constant_delay_bulk_walk(self):
+        view = path_view(3)
+        db = path_database(3, 60, 12, seed=51)
+        structure = ConnexConstantDelayStructure(view, db)
+        for access in oracle_accesses(view, db, limit=6):
+            kernel_rows, reference_rows = on_off(
+                lambda: structure.enumerate(access)
+            )
+            assert kernel_rows == reference_rows
+            assert sorted(kernel_rows) == oracle_answer(view, db, access)
+
+
+class TestFallbackTriggers:
+    @pytest.fixture
+    def rep(self):
+        view = triangle_view("bff")
+        db = triangle_database(16, 70, seed=61)
+        return view, db, CompressedRepresentation(view, db, tau=4.0)
+
+    def test_counter_requests_take_the_reference_path(self, rep):
+        view, db, rep = rep
+        access = oracle_accesses(view, db, limit=1)[0]
+
+        def measured():
+            counter = JoinCounter()
+            rows = list(rep.enumerate(access, counter=counter))
+            return [("rows", tuple(rows)), ("steps", counter.steps)]
+
+        kernel_side, reference_side = on_off(measured)
+        # Counters always pin the reference path, so the delay
+        # accounting is mode-independent by construction.
+        assert kernel_side == reference_side
+
+    def test_stale_dictionary_version_falls_back(self, rep):
+        view, db, rep = rep
+        accesses = oracle_accesses(view, db, limit=6)
+        expected = {a: list(rep.enumerate(a)) for a in accesses}
+        # An in-place dictionary edit bumps the version; the compiled
+        # layout pinned the old one and must stop serving.
+        (node_id, access), bit = next(iter(rep.dictionary.items()))
+        rep.dictionary.set(node_id, access, bit)  # same bit: answers keep
+        assert not rep.kernel_ready
+        layout_mod.set_kernel_mode("on")
+        for access in accesses:
+            assert list(rep.enumerate(access)) == expected[access]
+        # Recompiling re-pins the current version and re-arms the kernel.
+        rep.compile_layout()
+        assert rep.kernel_ready
+        for access in accesses:
+            assert list(rep.enumerate(access)) == expected[access]
+
+    def test_off_mode_disables_routing(self, rep):
+        _, _, rep = rep
+        layout_mod.set_kernel_mode("off")
+        assert not rep.kernel_ready
+        layout_mod.set_kernel_mode("on")
+        assert rep.kernel_ready
+
+    def test_mode_must_be_valid(self):
+        with pytest.raises(ValueError, match="kernel mode"):
+            layout_mod.set_kernel_mode("fast")
+        assert layout_mod.get_kernel_mode() == "auto"
+
+
+class TestPureFallbackPath:
+    def test_parity_without_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_NO_NUMPY", "1")
+        assert layout_mod.numpy_backend() is None
+        view = triangle_view("bff")
+        db = triangle_database(16, 80, seed=71)
+        rep = CompressedRepresentation(view, db, tau=4.0)
+        assert rep.kernel_ready
+        for access in oracle_accesses(view, db, limit=8):
+            kernel_rows, reference_rows = on_off(
+                lambda: rep.enumerate(access)
+            )
+            assert kernel_rows == reference_rows
+            assert kernel_rows == oracle_answer(view, db, access)
+
+
+class TestSnapshotCodec:
+    @pytest.fixture
+    def built(self):
+        view = triangle_view("bff")
+        db = triangle_database(16, 70, seed=81)
+        return view, db, CompressedRepresentation(view, db, tau=4.0)
+
+    def test_v2_round_trip_ships_the_layout(self, built):
+        view, db, rep = built
+        blob = encode_snapshot(rep)
+        header = inspect_snapshot(blob)
+        assert header["version"] == 2
+        assert rep.snapshot_state()["layout"] is not None
+        restored = decode_snapshot(blob)
+        assert restored.kernel_ready
+        layout_mod.set_kernel_mode("on")
+        for access in oracle_accesses(view, db, limit=6):
+            assert list(restored.enumerate(access)) == list(
+                rep.enumerate(access)
+            )
+
+    def test_v1_blob_loads_and_recompiles(self, built):
+        view, db, rep = built
+        from repro.core import snapshot as snap
+
+        # Hand-craft a version-1 blob: same framing, no "layout" key in
+        # the payload (v1 predates compiled layouts).
+        state = rep.snapshot_state()
+        state.pop("layout")
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        kind = snap.snapshot_kind(rep).encode("utf-8")
+        fingerprint = snap._own_fingerprint(rep).encode("utf-8")
+        blob = b"".join(
+            (
+                snap._HEADER_PREFIX.pack(SNAPSHOT_MAGIC, 1),
+                snap._U16.pack(len(kind)),
+                kind,
+                snap._U16.pack(len(fingerprint)),
+                fingerprint,
+                snap._TRAILER.pack(zlib.crc32(payload), len(payload)),
+                payload,
+            )
+        )
+        assert inspect_snapshot(blob)["version"] == 1
+        assert 1 in SUPPORTED_VERSIONS
+        restored = decode_snapshot(blob)
+        assert restored.kernel_ready  # loader recompiled the layout
+        layout_mod.set_kernel_mode("on")
+        for access in oracle_accesses(view, db, limit=6):
+            assert list(restored.enumerate(access)) == oracle_answer(
+                view, db, access
+            )
+
+    def test_unsupported_version_is_rejected(self, built):
+        _, _, rep = built
+        blob = bytearray(encode_snapshot(rep))
+        blob[4:6] = (99).to_bytes(2, "big")
+        from repro.exceptions import SnapshotError
+
+        with pytest.raises(SnapshotError, match="version 99"):
+            inspect_snapshot(bytes(blob))
