@@ -10,9 +10,9 @@ TRAJECTORY ?= .bench/trajectory.json
 # columnar-kernel. bench-trend fails if fewer report.
 GATE_COUNT ?= 8
 
-.PHONY: test collect lint format docs-check bench-smoke bench-warm \
-	bench-stream bench-batch bench-reshard bench-adapt bench-kernel \
-	bench-trend bench
+.PHONY: test collect lint lint-deep format docs-check test-lock-order \
+	bench-smoke bench-warm bench-stream bench-batch bench-reshard \
+	bench-adapt bench-kernel bench-trend bench
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -24,15 +24,36 @@ lint:
 	ruff check src tests benchmarks
 	ruff format --check src
 
+# Project-specific static analysis (repro.analysis): lock discipline,
+# restart stability, exception hygiene, shared aliasing, parity
+# surface. Fails on any finding not in analysis-baseline.txt and on
+# stale baseline entries. See CONTRIBUTING.md for triage.
+lint-deep:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro
+
 format:
 	ruff format src
 	ruff check --fix src tests benchmarks
 
 # Docs gate: every relative markdown link in the README, docs/, and the
 # top-level project files must resolve to a real file (anchors and
-# external URLs are out of scope — no network in CI).
+# external URLs are out of scope — no network in CI), and the
+# docs/OPERATIONS.md metric inventory must match the metrics the code
+# actually declares, both directions.
 docs-check:
 	$(PYTHON) benchmarks/check_docs_links.py
+	$(PYTHON) benchmarks/check_metric_docs.py
+
+# Dynamic lock-order leg: re-runs the engine's concurrency hammer tests
+# with every engine lock replaced by an instrumented wrapper recording
+# the runtime acquisition graph; the session fails on any cycle
+# (a latent deadlock), however the timing fell.
+test-lock-order:
+	PYTHONPATH=src REPRO_LOCK_ORDER=1 $(PYTHON) -m pytest -x -q \
+		tests/test_engine.py tests/test_async_engine.py \
+		tests/test_sharding.py tests/test_elastic.py \
+		tests/test_parallel_builds.py tests/test_telemetry.py \
+		tests/test_lock_order.py
 
 # The smoke run writes a JSON report and fails if any benchmark errored
 # or the run silently collected nothing — CI gates on it.

@@ -1,0 +1,53 @@
+"""Docs gate: the OPERATIONS.md metric inventory must match the code.
+
+The inventory tables in ``docs/OPERATIONS.md`` are the operator
+contract — dashboards and alerts are written against them. This gate
+(part of ``make docs-check``) statically extracts every metric the
+engine declares (``.counter("...")`` / ``.gauge`` / ``.histogram``
+literals and f-string families, see
+:mod:`repro.analysis.metrics_inventory`) and fails on drift in either
+direction: an emitted metric missing from the tables, or a documented
+metric nothing emits.
+
+Usage: ``python benchmarks/check_metric_docs.py [ROOT]`` (default: the
+repository root, taken as this file's grandparent). Exit status 0 when
+code and inventory agree, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(root / "src"))
+    from repro.analysis.metrics_inventory import (
+        check_drift,
+        code_metrics,
+        describe,
+        documented_metrics,
+    )
+
+    uses = code_metrics([root / "src" / "repro"])
+    documented = documented_metrics(root / "docs" / "OPERATIONS.md")
+    drift = check_drift(uses, documented)
+    if not drift.ok:
+        print(describe(drift))
+        print(
+            f"metric inventory drift: {len(drift.undocumented)} "
+            f"undocumented, {len(drift.unemitted)} unemitted"
+        )
+        return 1
+    total = sum(len(names) for names in documented.values())
+    print(
+        f"metric inventory in sync: {len(uses)} declaration sites, "
+        f"{total} documented names"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""CLI for the static-analysis suite: ``python -m repro.analysis``.
+
+Exit status is the contract CI gates on: 0 when every finding is
+baselined or suppressed AND no baseline entry is stale; 1 otherwise.
+
+Common invocations::
+
+    python -m repro.analysis src/repro          # the lint-deep gate
+    python -m repro.analysis --list-rules
+    python -m repro.analysis src/repro --json   # machine-readable
+    python -m repro.analysis src/repro --update-baseline  # rewrite it
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.findings import Baseline
+from repro.analysis.framework import Analyzer, Report, active_rules
+
+DEFAULT_BASELINE = "analysis-baseline.txt"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis for the engine.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE}; missing file = empty)"
+        ),
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to exactly the current findings "
+            "(justification comments must be re-added by hand)"
+        ),
+    )
+    return parser
+
+
+def _render_text(report: Report) -> str:
+    lines = []
+    for finding in sorted(
+        report.findings, key=lambda f: (str(f.path), f.line)
+    ):
+        lines.append(finding.render())
+    for entry in report.stale_baseline:
+        lines.append(
+            "stale baseline entry (no matching finding — prune it): "
+            + "\t".join(entry)
+        )
+    status = "FAILED" if not report.ok else "ok"
+    lines.append(
+        f"lint-deep {status}: {report.files_scanned} files, "
+        f"{len(report.findings)} findings, "
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.stale_baseline)} stale baseline entries"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(report: Report) -> str:
+    def encode(finding):
+        return {
+            "rule": finding.rule,
+            "path": str(finding.path),
+            "line": finding.line,
+            "scope": finding.scope,
+            "key": finding.key,
+            "message": finding.message,
+        }
+
+    return json.dumps(
+        {
+            "ok": report.ok,
+            "files_scanned": report.files_scanned,
+            "findings": [encode(f) for f in report.findings],
+            "baselined": [encode(f) for f in report.baselined],
+            "suppressed": [encode(f) for f in report.suppressed],
+            "stale_baseline": [list(e) for e in report.stale_baseline],
+        },
+        indent=2,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the analyzer; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in active_rules():
+            print(f"{rule.id}: {rule.description}")
+        return 0
+    only = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    baseline_path = Path(args.baseline)
+    analyzer = Analyzer(
+        rules=active_rules(only),
+        baseline=Baseline.load(baseline_path),
+    )
+    report = analyzer.run([Path(p) for p in args.paths])
+    if args.update_baseline:
+        grandfathered = sorted(
+            {f.baseline_entry() for f in report.findings + report.baselined}
+        )
+        header = (
+            "# Grandfathered findings: rule<TAB>module<TAB>key, one per\n"
+            "# line. Add a justification comment above every entry.\n"
+        )
+        baseline_path.write_text(
+            header + "\n".join(grandfathered) + ("\n" if grandfathered else ""),
+            encoding="utf-8",
+        )
+        print(
+            f"baseline rewritten: {len(grandfathered)} entries "
+            f"-> {baseline_path}"
+        )
+        return 0
+    print(_render_json(report) if args.json else _render_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

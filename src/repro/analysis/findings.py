@@ -1,0 +1,134 @@
+"""Structured findings, inline suppressions, and the committed baseline.
+
+A :class:`Finding` is one analyzer hit: rule id, location, the enclosing
+scope, a human message, and a *stable key*. Line numbers drift with every
+edit, so the baseline and the suppression machinery never match on them:
+
+* **Baseline** entries match on ``(rule, module, key)``, where ``module``
+  is the path from the package root (``repro/engine/topology.py``) and
+  ``key`` is a rule-chosen stable identifier (usually
+  ``Class.method:detail``). The committed file grandfathers known,
+  justified findings; anything not in it fails the run, and stale
+  entries fail too so the file can only shrink honestly.
+* **Suppressions** are inline: a ``# analysis: allow[rule-id] reason``
+  comment on the flagged line waives that rule there (bare
+  ``# analysis: allow`` waives every rule). The reason is mandatory by
+  convention, not parser — reviewers enforce it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple
+
+_ALLOW_RE = re.compile(
+    r"#\s*analysis:\s*allow(?:\[(?P<rules>[a-z0-9_,\- ]+)\])?"
+)
+
+#: Sentinel rule-set meaning "every rule" for a bare ``allow``.
+ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer hit, locatable and stably identifiable."""
+
+    rule: str
+    path: Path
+    line: int
+    scope: str
+    key: str
+    message: str
+
+    @property
+    def module(self) -> str:
+        """The path from the package root, stable across checkouts."""
+        parts = self.path.parts
+        if "repro" in parts:
+            parts = parts[parts.index("repro"):]
+        else:
+            parts = parts[-1:]
+        return "/".join(parts)
+
+    def render(self) -> str:
+        """One-line ``path:line: [rule] message`` report form."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def baseline_entry(self) -> str:
+        """The tab-separated line that would grandfather this finding."""
+        return f"{self.rule}\t{self.module}\t{self.key}"
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids waived there by ``# analysis: allow``.
+
+    A bare ``allow`` maps to ``{ALL_RULES}``. Comment scanning is
+    line-based on purpose: the waiver must sit on the reported line,
+    where the next reader sees it.
+    """
+    waived: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            waived[lineno] = {ALL_RULES}
+        else:
+            waived[lineno] = {
+                rule.strip() for rule in rules.split(",") if rule.strip()
+            }
+    return waived
+
+
+def is_suppressed(
+    finding: Finding, suppressions: Dict[int, Set[str]]
+) -> bool:
+    """Whether an inline ``allow`` on the finding's line waives it."""
+    rules = suppressions.get(finding.line)
+    if rules is None:
+        return False
+    return ALL_RULES in rules or finding.rule in rules
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered ``(rule, module, key)`` triples."""
+
+    entries: Set[Tuple[str, str, str]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Parse a baseline file; missing file means an empty baseline.
+
+        Lines starting with ``#`` are justification comments; every
+        other non-blank line is ``rule<TAB>module<TAB>key``.
+        """
+        baseline = cls()
+        if not path.exists():
+            return baseline
+        for lineno, raw in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed baseline line "
+                    f"(want rule<TAB>module<TAB>key): {raw!r}"
+                )
+            baseline.entries.add((parts[0], parts[1], parts[2]))
+        return baseline
+
+    def contains(self, finding: Finding) -> bool:
+        """Whether this finding is grandfathered."""
+        return (finding.rule, finding.module, finding.key) in self.entries
+
+    def stale(self, findings: Iterable[Finding]) -> List[Tuple[str, str, str]]:
+        """Baseline entries no live finding matches (must be pruned)."""
+        live = {(f.rule, f.module, f.key) for f in findings}
+        return sorted(entry for entry in self.entries if entry not in live)

@@ -1,0 +1,182 @@
+"""The rule registry and the analyzer driver.
+
+A rule is a class with a stable ``id``, a one-line ``description``, and
+a ``check(module)`` generator yielding :class:`~.findings.Finding`
+objects. Rules register themselves with :func:`register` at import time
+(the :mod:`repro.analysis.rules` package imports every rule module), so
+``python -m repro.analysis`` picks up a new rule by its file merely
+existing.
+
+The :class:`Analyzer` walks the target paths, parses each Python file
+once into a :class:`ModuleInfo` (AST + source + inline suppressions),
+runs every active rule over it, and splits the hits into *reported*,
+*suppressed* (inline ``# analysis: allow``), and *baselined*
+(grandfathered in the committed baseline file). The exit contract is
+strict both ways: any non-baselined finding fails, and so does any
+baseline entry that no longer matches a live finding — the baseline can
+only shrink honestly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Type
+
+from repro.analysis.findings import (
+    Baseline,
+    Finding,
+    is_suppressed,
+    parse_suppressions,
+)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file, shared by every rule."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, Set[str]]
+
+    @classmethod
+    def parse(cls, path: Path) -> "ModuleInfo":
+        """Read and parse one file (syntax errors propagate loudly)."""
+        source = path.read_text(encoding="utf-8")
+        return cls(
+            path=path,
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            suppressions=parse_suppressions(source),
+        )
+
+
+class Rule:
+    """Base class for analyzer rules.
+
+    Subclasses set ``id`` (stable, kebab-case — baseline entries and
+    suppression comments refer to it) and ``description``, and implement
+    :meth:`check`.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        scope: str,
+        key: str,
+        message: str,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` in ``module``."""
+        return Finding(
+            rule=self.id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            scope=scope,
+            key=key,
+            message=message,
+        )
+
+
+#: The global registry: rule id -> rule class.
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if not rule_cls.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if rule_cls.id in RULES:
+        raise ValueError(f"duplicate rule id {rule_cls.id!r}")
+    RULES[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def active_rules(only: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate the registered rules (optionally a named subset)."""
+    import repro.analysis.rules  # noqa: F401  (registers on import)
+
+    ids = sorted(RULES) if only is None else list(only)
+    unknown = [rule_id for rule_id in ids if rule_id not in RULES]
+    if unknown:
+        raise ValueError(
+            f"unknown rule ids {unknown!r}; known: {sorted(RULES)}"
+        )
+    return [RULES[rule_id]() for rule_id in ids]
+
+
+def python_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``.py`` file under the target paths, sorted, deduplicated."""
+    seen = []
+    for target in paths:
+        if target.is_dir():
+            seen.extend(sorted(target.rglob("*.py")))
+        elif target.suffix == ".py":
+            seen.append(target)
+    unique: List[Path] = []
+    known = set()
+    for path in seen:
+        resolved = path.resolve()
+        if resolved not in known:
+            known.add(resolved)
+            unique.append(path)
+    return unique
+
+
+@dataclass
+class Report:
+    """The outcome of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing fails the run."""
+        return not self.findings and not self.stale_baseline
+
+
+class Analyzer:
+    """Run a set of rules over a file tree against a baseline."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        baseline: Optional[Baseline] = None,
+    ):
+        self.rules = list(rules) if rules is not None else active_rules()
+        self.baseline = baseline if baseline is not None else Baseline()
+
+    def run(self, paths: Sequence[Path]) -> Report:
+        """Analyze every Python file under ``paths``; returns the report."""
+        report = Report()
+        all_hits: List[Finding] = []
+        for path in python_files(paths):
+            module = ModuleInfo.parse(path)
+            report.files_scanned += 1
+            for rule in self.rules:
+                for finding in rule.check(module):
+                    all_hits.append(finding)
+                    if is_suppressed(finding, module.suppressions):
+                        report.suppressed.append(finding)
+                    elif self.baseline.contains(finding):
+                        report.baselined.append(finding)
+                    else:
+                        report.findings.append(finding)
+        # Stale-entry detection sees every hit (suppressed included):
+        # an entry is only stale when the code it covered is gone.
+        report.stale_baseline = self.baseline.stale(all_hits)
+        return report

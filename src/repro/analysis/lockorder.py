@@ -1,0 +1,179 @@
+"""Dynamic lock-order detection: the runtime complement to lock-discipline.
+
+The static rule proves guarded attributes stay guarded; it cannot prove
+the *order* locks nest in is consistent. Deadlock needs exactly one
+inconsistency: thread A acquires ``cache`` then ``telemetry``, thread B
+acquires ``telemetry`` then ``cache``, and the 2-cycle in the
+acquisition graph is a latent deadlock whether or not the timing ever
+lined up in a test run. This module records that graph while real code
+runs and fails on any cycle.
+
+Usage (what the ``REPRO_LOCK_ORDER=1`` pytest fixture does)::
+
+    graph = LockGraph()
+    previous = locking.set_lock_factory(tracking_factory(graph))
+    try:
+        ...  # run the engine hammer tests
+    finally:
+        locking.set_lock_factory(previous)
+    cycles = graph.cycles()
+    assert not cycles, graph.describe(cycles)
+
+Granularity is the lock *name* (role), not the instance: every
+``RepresentationCache`` shares the node ``"cache"``. Consequences:
+
+* A cycle between names is reported even if the two runs that produced
+  the opposing edges used different instances — that is the point; the
+  ordering convention is per role.
+* Same-name edges (one counter's lock held while acquiring another
+  counter's) are ignored: name granularity cannot order instances
+  within a role, so they would be permanent false positives.
+* Reentrant re-acquisition of the *same instance* records nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence, Set, Tuple
+
+_held = threading.local()
+
+
+def _stack() -> List["TrackedLock"]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = _held.stack = []
+    return stack
+
+
+class LockGraph:
+    """A thread-safe digraph of observed lock-acquisition orderings.
+
+    Nodes are lock names; an edge ``a -> b`` means some thread acquired
+    ``b`` while holding ``a``. A cycle is a latent deadlock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._edges: Dict[str, Set[str]] = {}
+        self._sites: Dict[Tuple[str, str], int] = {}
+
+    def record(self, held: str, acquired: str) -> None:
+        """Record that ``acquired`` was taken while ``held`` was held."""
+        if held == acquired:
+            return
+        with self._lock:
+            self._edges.setdefault(held, set()).add(acquired)
+            key = (held, acquired)
+            self._sites[key] = self._sites.get(key, 0) + 1
+
+    def edges(self) -> Set[Tuple[str, str]]:
+        """The observed orderings as a set of (held, acquired) pairs."""
+        with self._lock:
+            return {
+                (a, b) for a, succ in self._edges.items() for b in succ
+            }
+
+    def cycles(self) -> List[Tuple[str, ...]]:
+        """Every elementary cycle reachable in the graph.
+
+        Returned as name tuples starting at the cycle's lexicographically
+        smallest node; a 2-cycle ``(a, b)`` is the classic inversion.
+        """
+        with self._lock:
+            edges = {a: sorted(succ) for a, succ in self._edges.items()}
+        found: Set[Tuple[str, ...]] = set()
+
+        def canonical(path: Sequence[str]) -> Tuple[str, ...]:
+            pivot = path.index(min(path))
+            return tuple(path[pivot:]) + tuple(path[:pivot])
+
+        def walk(node: str, path: List[str], on_path: Set[str]) -> None:
+            for succ in edges.get(node, ()):
+                if succ in on_path:
+                    found.add(canonical(path[path.index(succ):]))
+                    continue
+                path.append(succ)
+                on_path.add(succ)
+                walk(succ, path, on_path)
+                on_path.discard(succ)
+                path.pop()
+
+        for start in sorted(edges):
+            walk(start, [start], {start})
+        return sorted(found)
+
+    def describe(self, cycles: Sequence[Tuple[str, ...]]) -> str:
+        """A human-readable report of ``cycles`` with edge counts."""
+        with self._lock:
+            sites = dict(self._sites)
+        lines = ["lock-order cycles detected (latent deadlocks):"]
+        for cycle in cycles:
+            ring = list(cycle) + [cycle[0]]
+            hops = " -> ".join(ring)
+            counts = ", ".join(
+                f"{a}->{b} seen {sites.get((a, b), 0)}x"
+                for a, b in zip(ring, ring[1:])
+            )
+            lines.append(f"  {hops}  ({counts})")
+        lines.append(
+            "Pick one global order for these lock roles and acquire "
+            "them in it everywhere."
+        )
+        return "\n".join(lines)
+
+
+class TrackedLock:
+    """A lock wrapper that reports acquisitions into a :class:`LockGraph`.
+
+    Mirrors the ``threading.Lock``/``RLock`` surface the engine uses:
+    context manager plus ``acquire``/``release``. Releases may happen
+    out of LIFO order (rare, but legal) — the held stack removes the
+    exact entry rather than popping blindly.
+    """
+
+    def __init__(self, name: str, graph: LockGraph, *, reentrant: bool = False):
+        self.name = name
+        self._graph = graph
+        self._reentrant = reentrant
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the inner lock, recording edges from every held lock."""
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            stack = _stack()
+            if not (self._reentrant and any(t is self for t in stack)):
+                for held in stack:
+                    self._graph.record(held.name, self.name)
+            stack.append(self)
+        return acquired
+
+    def release(self) -> None:
+        """Release the inner lock and unwind the held stack."""
+        stack = _stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self:
+                del stack[i]
+                break
+        self._inner.release()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def tracking_factory(graph: LockGraph):
+    """A :func:`repro.engine.locking.set_lock_factory` factory.
+
+    Every lock the engine creates after installation becomes a
+    :class:`TrackedLock` reporting into ``graph``.
+    """
+
+    def factory(name: str, reentrant: bool) -> TrackedLock:
+        return TrackedLock(name, graph, reentrant=reentrant)
+
+    return factory

@@ -1,0 +1,185 @@
+"""Metric-name drift: code and the OPERATIONS.md inventory must agree.
+
+Every counter/gauge/histogram the engine emits is documented in the
+``## Metric inventory`` tables of ``docs/OPERATIONS.md`` — that
+inventory is the operator contract dashboards and alerts are built on.
+It drifts in both directions: code grows a metric nobody documents
+(invisible to operators), or a metric is renamed/removed and the
+inventory keeps advertising a series that no longer exists (alerts that
+can never fire). Both directions fail ``make docs-check``.
+
+Extraction is static, from the AST: a metric *declaration* is a
+``.counter("name", ...)`` / ``.gauge(...)`` / ``.histogram(...)`` call
+whose first argument is a string literal or an f-string. F-string names
+(the cache's ``f"cache_{counted}_total"`` family) become glob patterns
+— ``cache_*_total`` — matched against the documented names, so one
+call site can cover a documented family. Calls whose name is a plain
+variable or subscript are *re-registration* paths (snapshot merges,
+CLI readers) and are skipped: they replay names declared elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+_KINDS = ("counter", "gauge", "histogram")
+
+#: Maps the "### Counters" style heading to the metric kind.
+_SECTION_KINDS = {
+    "counters": "counter",
+    "gauges": "gauge",
+    "histograms": "histogram",
+}
+
+_ROW = re.compile(r"^\|\s*`(?P<name>[^`]+)`\s*\|")
+_HEADING = re.compile(r"^###\s+(?P<title>.+?)\s*$")
+
+
+@dataclass
+class MetricUse:
+    """One declaration site: a literal name or an f-string glob pattern."""
+
+    kind: str
+    name: str
+    pattern: bool
+    path: Path
+    line: int
+
+    def matches(self, documented: str) -> bool:
+        """True when this declaration emits the documented name."""
+        if self.pattern:
+            return fnmatch.fnmatchcase(documented, self.name)
+        return self.name == documented
+
+
+def _literal_or_pattern(node: ast.AST) -> Optional[Tuple[str, bool]]:
+    """(name, is_pattern) for a literal/f-string arg, None otherwise."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, False
+    if isinstance(node, ast.JoinedStr):
+        parts: List[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                parts.append(value.value)
+            else:
+                parts.append("*")
+        return "".join(parts), True
+    return None
+
+
+def code_metrics(paths: Iterable[Path]) -> List[MetricUse]:
+    """Every static metric declaration under ``paths`` (files or dirs)."""
+    uses: List[MetricUse] = []
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    for path in files:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _KINDS
+                and node.args
+            ):
+                continue
+            named = _literal_or_pattern(node.args[0])
+            if named is None:
+                continue
+            name, pattern = named
+            uses.append(
+                MetricUse(node.func.attr, name, pattern, path, node.lineno)
+            )
+    return uses
+
+
+def documented_metrics(operations_md: Path) -> Dict[str, Set[str]]:
+    """Metric names per kind from the OPERATIONS.md inventory tables."""
+    names: Dict[str, Set[str]] = {kind: set() for kind in _KINDS}
+    kind: Optional[str] = None
+    in_inventory = False
+    for line in operations_md.read_text(encoding="utf-8").splitlines():
+        if line.startswith("## "):
+            in_inventory = line.strip() == "## Metric inventory"
+            kind = None
+            continue
+        if not in_inventory:
+            continue
+        heading = _HEADING.match(line)
+        if heading:
+            kind = _SECTION_KINDS.get(heading.group("title").lower())
+            continue
+        if kind is None:
+            continue
+        row = _ROW.match(line)
+        if row and row.group("name").lower() != "name":
+            names[kind].add(row.group("name"))
+    return names
+
+
+@dataclass
+class Drift:
+    """The two drift directions between code and the documented inventory."""
+
+    undocumented: List[MetricUse] = field(default_factory=list)
+    unemitted: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the inventory and the code agree exactly."""
+        return not self.undocumented and not self.unemitted
+
+
+def check_drift(
+    uses: Iterable[MetricUse], documented: Dict[str, Set[str]]
+) -> Drift:
+    """Compare declarations against the inventory, both directions.
+
+    A literal declaration must appear verbatim in its kind's table; a
+    pattern declaration must match at least one documented name. Every
+    documented name must be emitted by some declaration of its kind.
+    """
+    drift = Drift()
+    uses = list(uses)
+    for use in uses:
+        table = documented.get(use.kind, set())
+        if use.pattern:
+            covered = any(use.matches(name) for name in table)
+        else:
+            covered = use.name in table
+        if not covered:
+            drift.undocumented.append(use)
+    for kind, table in documented.items():
+        for name in sorted(table):
+            if not any(
+                use.kind == kind and use.matches(name) for use in uses
+            ):
+                drift.unemitted.append((kind, name))
+    return drift
+
+
+def describe(drift: Drift) -> str:
+    """A human-readable drift report (empty string when in sync)."""
+    lines: List[str] = []
+    for use in drift.undocumented:
+        shape = "pattern" if use.pattern else "name"
+        lines.append(
+            f"{use.path}:{use.line}: {use.kind} {shape} {use.name!r} is "
+            f"not in the docs/OPERATIONS.md metric inventory"
+        )
+    for kind, name in drift.unemitted:
+        lines.append(
+            f"docs/OPERATIONS.md documents {kind} {name!r} but no code "
+            f"declares it — prune the row or restore the metric"
+        )
+    return "\n".join(lines)

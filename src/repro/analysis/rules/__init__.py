@@ -1,0 +1,15 @@
+"""The rule set: importing this package registers every rule.
+
+Each module holds one rule grounded in a real past bug class (see the
+module docstrings). Adding a rule = adding a module here that defines a
+:class:`~repro.analysis.framework.Rule` subclass decorated with
+:func:`~repro.analysis.framework.register`, and importing it below.
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    exception_hygiene,
+    lock_discipline,
+    parity_surface,
+    restart_stability,
+    shared_aliasing,
+)

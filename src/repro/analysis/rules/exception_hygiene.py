@@ -1,0 +1,118 @@
+"""Exception hygiene: broad handlers must not swallow what they catch.
+
+PR 6 fixed the canonical instance: the snapshot codec's unpickling path
+caught *everything*, so a ``MemoryError`` mid-decode or a user's
+``KeyboardInterrupt`` was reported as "corrupt snapshot" and retried.
+The mechanical class behind that bug:
+
+* a bare ``except:`` — always flagged (it is ``except BaseException``
+  in disguise);
+* ``except BaseException`` or ``except Exception`` (alone or in a
+  tuple) whose handler body never re-raises — the handler digests
+  ``MemoryError``/``KeyboardInterrupt``-class failures into ordinary
+  control flow.
+
+A broad handler that *re-raises* (cleanup-then-propagate, the
+``except BaseException: ...; raise`` idiom all over the sharded cursor
+paths) is fine: nothing is swallowed. Catch narrow, or re-raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ModuleInfo, Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_names(type_node) -> Tuple[str, ...]:
+    """The broad exception names a handler's type expression mentions."""
+    if type_node is None:
+        return ("bare",)
+    nodes = (
+        type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    )
+    found = []
+    for node in nodes:
+        name = node.id if isinstance(node, ast.Name) else getattr(node, "attr", "")
+        if name in _BROAD:
+            found.append(name)
+    return tuple(found)
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains any ``raise`` at any depth.
+
+    Deferred bodies (nested defs/lambdas) don't count: a ``raise``
+    scheduled for later still swallows the exception now.
+    """
+    stack = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """Flag bare/overbroad except handlers that swallow the exception."""
+
+    id = "exception-hygiene"
+    description = (
+        "bare `except:` and non-re-raising `except Exception/BaseException` "
+        "handlers swallow MemoryError/KeyboardInterrupt"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield swallowing broad handlers, with per-scope stable keys."""
+        scopes: Dict[int, str] = {}
+
+        def map_scopes(node, prefix):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    name = f"{prefix}{child.name}"
+                    for sub in ast.walk(child):
+                        scopes.setdefault(id(sub), name)
+                    map_scopes(child, f"{name}.")
+
+        map_scopes(module.tree, "")
+        counts: Dict[Tuple[str, str], int] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_names(node.type)
+            if not broad:
+                continue
+            if "bare" not in broad and _reraises(node):
+                continue
+            scope = scopes.get(id(node), "<module>")
+            kind = "/".join(broad)
+            n = counts[(scope, kind)] = counts.get((scope, kind), 0) + 1
+            if "bare" in broad:
+                message = (
+                    f"{scope}: bare `except:` catches BaseException — "
+                    "name the exceptions or re-raise"
+                )
+            else:
+                message = (
+                    f"{scope}: `except {kind}` never re-raises; "
+                    "MemoryError/KeyboardInterrupt-class failures are "
+                    "swallowed — catch narrow or re-raise"
+                )
+            yield self.finding(
+                module,
+                node,
+                scope=scope,
+                key=f"{scope}:{kind}:{n}",
+                message=message,
+            )

@@ -1,0 +1,138 @@
+"""Restart stability: no process-salted state in durable/routing modules.
+
+Routing tables, snapshots, and telemetry all make promises across
+process restarts: a key must land on the same shard after a reboot
+(PR 6 shipped exactly this bug — ``hash(None)`` derives from ``id()``
+before Python 3.13, silently rerouting NULL keys per process), snapshot
+labels must round-trip, and merged telemetry must not depend on the
+process that wrote it. So in modules named for those subsystems
+(``topology``, ``snapshot``, ``telemetry``), this rule forbids:
+
+* calls to builtin ``hash()`` — salted per process for strings (and
+  id-derived for some singletons on older Pythons);
+* calls to builtin ``id()`` — pure process memory layout;
+* iterating a set or frozenset directly (``for x in {…}`` or over
+  ``set(...)``): set order varies with PYTHONHASHSEED, so anything
+  derived from the iteration order is restart-unstable. Wrap the
+  iteration in ``sorted(...)``.
+
+``__hash__``/``__eq__`` dunders are exempt — they serve in-process
+dict/set membership, not durable state. A deliberate equality-
+consistent fallback belongs in the baseline with its justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ModuleInfo, Rule, register
+
+#: Module-name tokens selecting the restart-sensitive subsystems.
+MODULE_TOKENS = ("topology", "snapshot", "telemetry")
+
+_EXEMPT_SCOPES = {"__hash__", "__eq__", "__repr__"}
+
+
+def _applies(module: ModuleInfo) -> bool:
+    stem = module.path.stem
+    return any(token in stem for token in MODULE_TOKENS)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether the expression is statically a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+class _Scoper(ast.NodeVisitor):
+    """Walk the module tracking the enclosing function-name stack."""
+
+    def __init__(self):
+        self.stack = []
+        self.hits = []  # (node, kind, scope)
+
+    def _scope(self) -> str:
+        return ".".join(self.stack) or "<module>"
+
+    def visit_FunctionDef(self, node):
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node):
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_Call(self, node):
+        if isinstance(node.func, ast.Name) and node.func.id in {"hash", "id"}:
+            if not (self.stack and self.stack[-1] in _EXEMPT_SCOPES):
+                self.hits.append((node, node.func.id, self._scope()))
+        self.generic_visit(node)
+
+    def visit_For(self, node):
+        if _is_set_expr(node.iter):
+            self.hits.append((node.iter, "set-iteration", self._scope()))
+        self.generic_visit(node)
+
+    def visit_comprehension_iters(self, node):
+        for gen in node.generators:
+            if _is_set_expr(gen.iter):
+                self.hits.append((gen.iter, "set-iteration", self._scope()))
+        self.generic_visit(node)
+
+    visit_ListComp = visit_comprehension_iters
+    visit_SetComp = visit_comprehension_iters
+    visit_DictComp = visit_comprehension_iters
+    visit_GeneratorExp = visit_comprehension_iters
+
+
+_MESSAGES = {
+    "hash": (
+        "builtin hash() is process-salted; use a restart-stable digest "
+        "(e.g. stable_hash / CRC32) in this module"
+    ),
+    "id": (
+        "id() is process memory layout; nothing derived from it "
+        "survives a restart"
+    ),
+    "set-iteration": (
+        "set iteration order depends on PYTHONHASHSEED; wrap the "
+        "iteration in sorted(...)"
+    ),
+}
+
+
+@register
+class RestartStabilityRule(Rule):
+    """Forbid hash()/id()/set-order dependence in durable-state modules."""
+
+    id = "restart-stability"
+    description = (
+        "topology/snapshot/telemetry modules must not call builtin "
+        "hash()/id() or depend on set iteration order"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield restart-unstable constructs in restart-sensitive modules."""
+        if not _applies(module):
+            return
+        scoper = _Scoper()
+        scoper.visit(module.tree)
+        counts: dict = {}
+        for node, kind, scope in scoper.hits:
+            n = counts[(scope, kind)] = counts.get((scope, kind), 0) + 1
+            yield self.finding(
+                module,
+                node,
+                scope=scope,
+                key=f"{scope}:{kind}:{n}",
+                message=f"{scope}: {_MESSAGES[kind]}",
+            )

@@ -1,0 +1,250 @@
+"""Shared aliasing: mutable state must be copied across boundaries.
+
+Two boundaries in this codebase promise object independence:
+
+* **Snapshot states** (``to_state``/``snapshot_state``) are "plain
+  data" by contract — they travel through pickle, across processes,
+  and into caches. Returning an interior mutable container by
+  reference (``return {"rows": self._rows}``) couples every holder of
+  the state to the live structure: a later in-place mutation rewrites
+  history. The rule infers each class's mutable attributes (assigned a
+  dict/list/set literal or constructor in ``__init__``) and flags any
+  that escape a state method uncopied.
+* **Shard partitions** (``partition_*`` / ``*shard*`` functions) hand
+  each shard its *own* database. PR 6's ``partition_database`` bug was
+  exactly a missed copy here: the same relation object stored into
+  every sibling shard, so mutating one shard's database mutated all of
+  them. The rule flags storing a bare (unconstructed, uncopied) name
+  bound *outside* the loop into a per-iteration container inside those
+  functions' loops — the broadcast shape. Loop-target names are a fresh
+  object per iteration and are exempt.
+
+Stores of values that are immutable by construction (tuples, numbers)
+are invisible to the AST; waive those with
+``# analysis: allow[shared-aliasing] reason`` on the line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ModuleInfo, Rule, register
+
+_STATE_METHODS = {"to_state", "snapshot_state"}
+_MUTABLE_CALLS = {
+    "dict",
+    "list",
+    "set",
+    "OrderedDict",
+    "defaultdict",
+    "deque",
+}
+
+
+def _self_attr(node: ast.AST) -> str:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _mutable_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attributes ``__init__`` assigns a definitely-mutable container."""
+    init = next(
+        (
+            n
+            for n in cls.body
+            if isinstance(n, ast.FunctionDef) and n.name == "__init__"
+        ),
+        None,
+    )
+    if init is None:
+        return set()
+    mutable: Set[str] = set()
+    for node in ast.walk(init):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        literals = (
+            ast.Dict,
+            ast.List,
+            ast.Set,
+            ast.DictComp,
+            ast.ListComp,
+            ast.SetComp,
+        )
+        is_mutable = isinstance(value, literals) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_CALLS
+        )
+        if not is_mutable:
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            attr = _self_attr(target)
+            if attr:
+                mutable.add(attr)
+    return mutable
+
+
+def _bare_aliases(expr: ast.AST, mutable: Set[str]) -> Iterator[ast.AST]:
+    """Uncopied ``self.<mutable>`` leaves of a returned expression.
+
+    Descends only through containers the state dict is literally built
+    from (dict/list/tuple displays, conditionals); anything behind a
+    call is assumed to copy.
+    """
+    if isinstance(expr, ast.Dict):
+        for value in expr.values:
+            yield from _bare_aliases(value, mutable)
+    elif isinstance(expr, (ast.List, ast.Tuple)):
+        for elt in expr.elts:
+            yield from _bare_aliases(elt, mutable)
+    elif isinstance(expr, ast.IfExp):
+        yield from _bare_aliases(expr.body, mutable)
+        yield from _bare_aliases(expr.orelse, mutable)
+    elif _self_attr(expr) in mutable:
+        yield expr
+
+
+class _PartitionScanner(ast.NodeVisitor):
+    """Find bare stores into containers inside a partition function's loops.
+
+    Names bound by the loop target itself (``for row in ...``, tuple
+    unpacking included) are a fresh object each iteration — storing one
+    scatters, it does not broadcast — so only names bound *outside* the
+    loop are hazards.
+    """
+
+    def __init__(self):
+        self.loop_depth = 0
+        self.loop_bound: Set[str] = set()
+        self.hits = []
+
+    def visit_For(self, node):
+        bound = {
+            t.id
+            for t in ast.walk(node.target)
+            if isinstance(t, ast.Name)
+        }
+        fresh = bound - self.loop_bound
+        self.loop_bound |= fresh
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+        self.loop_bound -= fresh
+
+    def visit_While(self, node):
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    def _is_hazard(self, value: ast.AST) -> bool:
+        if isinstance(value, ast.Name):
+            return value.id not in self.loop_bound
+        return bool(_self_attr(value))
+
+    def visit_Call(self, node):
+        if (
+            self.loop_depth
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"append", "add"}
+            and len(node.args) == 1
+            and self._is_hazard(node.args[0])
+        ):
+            self.hits.append(node.args[0])
+        self.generic_visit(node)
+
+    def visit_Assign(self, node):
+        if (
+            self.loop_depth
+            and any(isinstance(t, ast.Subscript) for t in node.targets)
+            and self._is_hazard(node.value)
+        ):
+            self.hits.append(node.value)
+        self.generic_visit(node)
+
+
+def _describe(node: ast.AST) -> str:
+    attr = _self_attr(node)
+    if attr:
+        return f"self.{attr}"
+    return getattr(node, "id", "<expr>")
+
+
+@register
+class SharedAliasingRule(Rule):
+    """Flag uncopied mutable values escaping snapshot/shard boundaries."""
+
+    id = "shared-aliasing"
+    description = (
+        "state methods must not return interior mutable containers by "
+        "reference; partition/shard loops must not store one object "
+        "into many shards"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield aliasing escapes at state and partition boundaries."""
+        for cls in [
+            n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)
+        ]:
+            mutable = _mutable_attrs(cls)
+            if not mutable:
+                continue
+            for method in cls.body:
+                if (
+                    not isinstance(method, ast.FunctionDef)
+                    or method.name not in _STATE_METHODS
+                ):
+                    continue
+                for ret in ast.walk(method):
+                    if not isinstance(ret, ast.Return) or ret.value is None:
+                        continue
+                    for leaf in _bare_aliases(ret.value, mutable):
+                        attr = _self_attr(leaf)
+                        yield self.finding(
+                            module,
+                            leaf,
+                            scope=f"{cls.name}.{method.name}",
+                            key=f"{cls.name}.{method.name}:{attr}",
+                            message=(
+                                f"{cls.name}.{method.name} returns mutable "
+                                f"self.{attr} by reference; copy it "
+                                f"(dict()/list()/comprehension) so the "
+                                f"state detaches from the live structure"
+                            ),
+                        )
+        for func in [
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and ("partition" in n.name or "shard" in n.name)
+        ]:
+            scanner = _PartitionScanner()
+            for stmt in func.body:
+                scanner.visit(stmt)
+            counts: Dict[str, int] = {}
+            for leaf in scanner.hits:
+                name = _describe(leaf)
+                n = counts[name] = counts.get(name, 0) + 1
+                yield self.finding(
+                    module,
+                    leaf,
+                    scope=func.name,
+                    key=f"{func.name}:{name}:{n}",
+                    message=(
+                        f"{func.name} stores {name} into a per-shard "
+                        f"container uncopied — every iteration shares "
+                        f"one object; wrap it in a constructor or copy"
+                    ),
+                )

@@ -55,6 +55,7 @@ from typing import Callable, Hashable, List, Optional, Tuple
 
 from repro.core.snapshot import SnapshotStore
 from repro.core.structure import CompressedRepresentation
+from repro.engine.locking import named_lock
 from repro.engine.telemetry import MetricsRegistry
 from repro.exceptions import ParameterError, SnapshotError
 
@@ -199,7 +200,7 @@ class RepresentationCache:
         )
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self._total_cells = 0
-        self._lock = threading.RLock()
+        self._lock = named_lock("cache", reentrant=True)
         self._building: "OrderedDict[Hashable, threading.Event]" = (
             OrderedDict()
         )

@@ -1,0 +1,53 @@
+"""Named lock construction with a pluggable factory.
+
+Every lock in the engine is created through :func:`named_lock` instead
+of calling ``threading.Lock()`` directly. In production the two are
+identical — the default factory returns plain ``threading`` locks with
+zero overhead. The indirection exists for the dynamic lock-order
+detector (:mod:`repro.analysis.lockorder`): installing a factory with
+:func:`set_lock_factory` lets a test session substitute instrumented
+locks that record the runtime acquisition graph, without the engine
+modules knowing anything about instrumentation.
+
+Lock *names* are stable identifiers (``"cache"``, ``"sharding.admin"``)
+naming the role, not the instance: many instances of a class share one
+name, and the lock-order graph reasons at name granularity. Names never
+appear in error messages users see; they exist for diagnostics.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+#: A factory takes ``(name, reentrant)`` and returns a lock object
+#: honouring the context-manager protocol plus ``acquire``/``release``.
+LockFactory = Callable[[str, bool], object]
+
+_factory: Optional[LockFactory] = None
+
+
+def named_lock(name: str, *, reentrant: bool = False) -> object:
+    """Create a lock for the role ``name`` via the installed factory.
+
+    With no factory installed (the production default) this returns
+    ``threading.RLock()`` when ``reentrant`` else ``threading.Lock()``.
+    """
+    if _factory is not None:
+        return _factory(name, reentrant)
+    return threading.RLock() if reentrant else threading.Lock()
+
+
+def set_lock_factory(factory: Optional[LockFactory]) -> Optional[LockFactory]:
+    """Install ``factory`` (or ``None`` to restore the default).
+
+    Returns the previously installed factory so callers can restore it
+    — the pytest lock-order fixture does exactly that. Only locks
+    created *after* installation go through the factory; existing locks
+    are untouched, so install before constructing the objects under
+    test.
+    """
+    global _factory
+    previous = _factory
+    _factory = factory
+    return previous

@@ -35,6 +35,7 @@ from repro.core.snapshot import (
 )
 from repro.core.structure import CompressedRepresentation
 from repro.database.catalog import Database
+from repro.engine.locking import named_lock
 from repro.exceptions import ParameterError
 from repro.query.adorned import AdornedView
 
@@ -75,7 +76,7 @@ class ParallelBuilder:
                 f"max_workers must be >= 1, got {max_workers}"
             )
         self.max_workers = max_workers
-        self._lock = threading.Lock()
+        self._lock = named_lock("parallel.builder")
         self._executor: Optional[ProcessPoolExecutor] = None
         self._broken = False
         # Observability: how builds actually ran, for benchmarks/tests.
@@ -85,7 +86,8 @@ class ParallelBuilder:
     @property
     def is_broken(self) -> bool:
         """True once the pool failed and the builder fell back for good."""
-        return self._broken
+        with self._lock:
+            return self._broken
 
     def _executor_or_none(self) -> Optional[ProcessPoolExecutor]:
         with self._lock:

@@ -85,6 +85,7 @@ from repro.engine.api import (
     open_cursor,
 )
 from repro.engine.cache import CacheStats, RepresentationCache
+from repro.engine.locking import named_lock
 from repro.engine.parallel import ParallelBuilder
 from repro.engine.shared_scan import SharedScan
 from repro.engine.telemetry import GAP_BUCKETS, LATENCY_BUCKETS, Telemetry
@@ -319,7 +320,7 @@ class ViewServer:
             ),
         )
         self._views: Dict[str, Registration] = {}
-        self._lock = threading.Lock()
+        self._lock = named_lock("server")
         self._tau_overrides: Dict[str, float] = {}
         # Resolved metric handles per (view, mode): registry lookups
         # sort labels and verify buckets under a lock, which is too
@@ -762,7 +763,7 @@ class ViewServer:
             initial.states
         )
         remaining = [len(scan_cursors)]
-        scan_lock = threading.Lock()
+        scan_lock = named_lock("server.shared_scan")
 
         def finalize_scan() -> None:
             with scan_lock:

@@ -74,6 +74,7 @@ from repro.database.catalog import Database
 from repro.database.relation import Relation
 from repro.engine.api import AccessRequest, AnswerCursor, as_request
 from repro.engine.cache import CacheStats
+from repro.engine.locking import named_lock
 from repro.engine.parallel import ParallelBuilder
 from repro.engine.server import (
     BatchResult,
@@ -423,17 +424,17 @@ class ShardedViewServer:
         self._topologies: Dict[int, _Topology] = {
             table.version: self._current
         }
-        self._topology_lock = threading.RLock()
+        self._topology_lock = named_lock("sharding.topology", reentrant=True)
         # Serializes registration changes against splits, so a split
         # replays a consistent registration set onto its children.
-        self._admin_lock = threading.Lock()
+        self._admin_lock = named_lock("sharding.admin")
         # Registration knobs by name, replayed onto split children.
         self._registrations: Dict[str, Dict] = {}
         # Maps name -> (mode, bound position); None marks a registration
         # in flight (the name is claimed but not yet routable).
         self._routes: Dict[str, Optional[Tuple[str, Optional[int]]]] = {}
-        self._routes_lock = threading.Lock()
-        self._served_lock = threading.Lock()
+        self._routes_lock = named_lock("sharding.routes")
+        self._served_lock = named_lock("sharding.served")
         self._requests_served = 0
         # Counters of retired shards fold in here so the facade's totals
         # stay monotonic across splits.

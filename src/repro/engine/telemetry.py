@@ -66,6 +66,7 @@ from typing import (
     Union,
 )
 
+from repro.engine.locking import named_lock
 from repro.exceptions import ParameterError, TelemetryError
 
 TELEMETRY_SCHEMA = 1
@@ -97,7 +98,7 @@ class Counter:
     __slots__ = ("_lock", "_value")
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = named_lock("telemetry.counter")
         self._value = 0
 
     def inc(self, amount: int = 1) -> None:
@@ -122,7 +123,7 @@ class Gauge:
     __slots__ = ("_lock", "_value")
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = named_lock("telemetry.gauge")
         self._value = 0.0
 
     def set(self, value: float) -> None:
@@ -163,7 +164,7 @@ class Histogram:
         self._counts = [0] * (len(self.bounds) + 1)
         self._sum = 0.0
         self._count = 0
-        self._lock = threading.Lock()
+        self._lock = named_lock("telemetry.histogram")
 
     def observe(self, value: float) -> None:
         """Record one observation into its bucket."""
@@ -221,12 +222,12 @@ class Histogram:
         self, counts: Sequence[int], total_sum: float, total_count: int
     ) -> None:
         """Fold another session's buckets in (bounds must already match)."""
-        if len(counts) != len(self._counts):
-            raise TelemetryError(
-                f"histogram bucket count mismatch: have "
-                f"{len(self._counts)}, merging {len(counts)}"
-            )
         with self._lock:
+            if len(counts) != len(self._counts):
+                raise TelemetryError(
+                    f"histogram bucket count mismatch: have "
+                    f"{len(self._counts)}, merging {len(counts)}"
+                )
             for i, c in enumerate(counts):
                 self._counts[i] += int(c)
             self._sum += float(total_sum)
@@ -244,7 +245,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = named_lock("telemetry.registry")
         self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
@@ -420,7 +421,7 @@ class TelemetryStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.session = session or uuid.uuid4().hex[:12]
         self.path = self.directory / f"{self.session}.jsonl"
-        self._lock = threading.Lock()
+        self._lock = named_lock("telemetry.store")
         self._seq = 0
 
     def _append(self, kind: str, payload: Mapping[str, Any]) -> Dict:
@@ -691,7 +692,7 @@ class AdaptiveTuner:
         self.max_tau = max_tau
         self.relax_headroom = relax_headroom
         self.decisions: List[TuningDecision] = []
-        self._lock = threading.Lock()
+        self._lock = named_lock("telemetry.tuner")
         self._last_served = 0
         # Per-view histogram/counter levels at the previous pass, so a
         # pass judges only what happened since the last one.

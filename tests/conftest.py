@@ -7,10 +7,35 @@ loading order (see the module docstring there for the history).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.database.catalog import Database
 from repro.database.relation import Relation
+
+if os.environ.get("REPRO_LOCK_ORDER") == "1":
+    # Lock-order leg (make test-lock-order): every lock the engine
+    # creates during this session is an instrumented wrapper reporting
+    # into one shared acquisition graph; at session end, any cycle in
+    # that graph — a latent deadlock, whether or not the timing ever
+    # lined up — fails the run. Name-level granularity: see
+    # repro/analysis/lockorder.py for what is (and isn't) detectable.
+    from repro.analysis import lockorder
+    from repro.engine import locking
+
+    @pytest.fixture(autouse=True, scope="session")
+    def _lock_order_tracking():
+        graph = lockorder.LockGraph()
+        previous = locking.set_lock_factory(
+            lockorder.tracking_factory(graph)
+        )
+        try:
+            yield graph
+        finally:
+            locking.set_lock_factory(previous)
+        cycles = graph.cycles()
+        assert not cycles, graph.describe(cycles)
 
 
 @pytest.fixture

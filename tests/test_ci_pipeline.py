@@ -49,9 +49,15 @@ class TestWorkflowSchema:
         assert "push" in triggers
         assert "pull_request" in triggers
 
-    def test_has_the_four_distinct_jobs(self, workflow):
+    def test_has_the_five_distinct_jobs(self, workflow):
         jobs = workflow["jobs"]
-        assert set(jobs) == {"lint", "collect", "test", "bench-smoke"}
+        assert set(jobs) == {
+            "lint",
+            "collect",
+            "test",
+            "lock-order",
+            "bench-smoke",
+        }
         collect_lines = [
             step.get("run", "") for step in jobs["collect"]["steps"]
         ]
@@ -73,6 +79,9 @@ class TestWorkflowSchema:
         jobs = workflow["jobs"]
         assert jobs["collect"]["needs"] == "lint"
         assert jobs["test"]["needs"] == "collect"
+        # The instrumented leg branches off collect in parallel with the
+        # matrix — it re-runs hammer tests, not the whole suite.
+        assert jobs["lock-order"]["needs"] == "collect"
         assert jobs["bench-smoke"]["needs"] == "test"
 
     def test_python_version_matrix(self, workflow):
@@ -190,6 +199,25 @@ class TestWorkflowSchema:
         ]
         assert any("make docs-check" in line for line in run_lines)
 
+    def test_lint_job_runs_the_deep_static_analysis(self, workflow):
+        # The repo-specific rules (lock discipline, restart stability,
+        # exception hygiene, shared aliasing, parity surface) gate the
+        # same cheap job as ruff.
+        run_lines = [
+            step.get("run", "")
+            for step in workflow["jobs"]["lint"]["steps"]
+        ]
+        assert any("make lint-deep" in line for line in run_lines)
+
+    def test_lock_order_job_runs_the_instrumented_leg(self, workflow):
+        # The dynamic deadlock detector: hammer tests re-run with every
+        # engine lock wrapped, failing on acquisition-graph cycles.
+        run_lines = [
+            step.get("run", "")
+            for step in workflow["jobs"]["lock-order"]["steps"]
+        ]
+        assert any("make test-lock-order" in line for line in run_lines)
+
     def test_bench_smoke_job_runs_the_trajectory_gate(self, workflow):
         # The trajectory gate runs after every speedup gate recorded its
         # measurement, folding them into the uploaded artifact.
@@ -294,6 +322,8 @@ class TestMakefileContract:
             "bench-adapt",
             "bench-kernel",
             "docs-check",
+            "lint-deep",
+            "test-lock-order",
         } <= make_targets
 
     def test_bench_batch_runs_the_shared_scan_benchmark(self):
@@ -338,6 +368,40 @@ class TestMakefileContract:
         target = text[text.index("docs-check:"):]
         target = target[: target.index("\n\n")]
         assert "check_docs_links.py" in target
+
+    def test_docs_check_runs_the_metric_inventory_checker(self):
+        # Metric-name drift between code and docs/OPERATIONS.md fails
+        # the same gate as broken links.
+        text = MAKEFILE.read_text()
+        target = text[text.index("docs-check:"):]
+        target = target[: target.index("\n\n")]
+        assert "check_metric_docs.py" in target
+
+    def test_lint_deep_runs_the_analysis_module(self):
+        text = MAKEFILE.read_text()
+        target = text[text.index("lint-deep:"):]
+        target = target[: target.index("\n\n")]
+        assert "-m repro.analysis" in target
+        assert "src/repro" in target
+
+    def test_lock_order_target_gates_on_the_env_flag(self):
+        # REPRO_LOCK_ORDER=1 is what arms the conftest fixture; the
+        # target must set it and include the concurrency hammer files
+        # plus the detector's own suite.
+        text = MAKEFILE.read_text()
+        target = text[text.index("test-lock-order:"):]
+        target = target[: target.index("\n\n")]
+        assert "REPRO_LOCK_ORDER=1" in target
+        for hammer in (
+            "test_engine.py",
+            "test_async_engine.py",
+            "test_sharding.py",
+            "test_elastic.py",
+            "test_parallel_builds.py",
+            "test_telemetry.py",
+            "test_lock_order.py",
+        ):
+            assert hammer in target
 
     def test_ruff_is_configured(self):
         pyproject = (REPO / "pyproject.toml").read_text()
