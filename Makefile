@@ -7,12 +7,12 @@ BENCH_DIR ?= .bench
 TRAJECTORY ?= .bench/trajectory.json
 # One record per bench gate: engine-cache, async-sharded, warm-start,
 # streaming-topk, shared-scan-batch, resharding, adaptive-tuning,
-# columnar-kernel. bench-trend fails if fewer report.
-GATE_COUNT ?= 8
+# columnar-kernel, dynamic-serving. bench-trend fails if fewer report.
+GATE_COUNT ?= 9
 
 .PHONY: test collect lint lint-deep format docs-check test-lock-order \
 	bench-smoke bench-warm bench-stream bench-batch bench-reshard \
-	bench-adapt bench-kernel bench-trend bench
+	bench-adapt bench-kernel bench-dynamic bench-trend bench
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -106,6 +106,14 @@ bench-adapt:
 bench-kernel:
 	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_columnar_kernel.py -q
+
+# Dynamic-serving gate: fails unless delta-aware serving of a mixed
+# update+query stream beats rebuild-per-update >= 2x (answers
+# bit-identical to the exact per-version recompute, and a replica
+# converges through both delta shipping and the snapshot fallback).
+bench-dynamic:
+	PYTHONPATH=src REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_dynamic_serving.py -q
 
 # Perf-trajectory gate: folds every gate's recorded speedup into one
 # $(TRAJECTORY) artifact and fails if any gate fell below its pinned

@@ -1,0 +1,229 @@
+"""EXP-DYN — delta-aware serving vs rebuild-per-update on a mixed stream.
+
+The paper's representation is built once over a static ``D``; under
+updates the naive serving story is to rebuild it from scratch after
+every delta. The dynamic tier (:mod:`repro.core.dynamic` buffered
+deltas under :class:`~repro.engine.server.ViewServer` versioned
+serving) amortizes instead: each delta lands in O(delta) buffer work,
+queries serve from a frozen pre-merge view, and a full rebuild happens
+only when the buffered fraction crosses the rebuild boundary.
+
+* **dynamic gate (acceptance)** — one triangle view served over a
+  seeded mixed update+query stream (:func:`~repro.workloads.streams
+  .update_stream`: every delta is effective — deletes hit present
+  rows, inserts are new). The delta path registers the view once with
+  :meth:`~repro.engine.server.ViewServer.register_dynamic` and routes
+  updates through :meth:`~repro.engine.server.ViewServer.apply_deltas`;
+  the baseline rebuilds a fresh
+  :class:`~repro.core.structure.CompressedRepresentation` after every
+  update and answers from the latest build. Both paths must return
+  bit-identical answers for every query in the stream (the baseline
+  *is* the oracle: an exact recompute at each version), and the delta
+  path must be >= 2x faster wall-clock.
+* **replica convergence** — the same updates applied to a primary with
+  a durable delta log, shipped to a :class:`~repro.engine.replica
+  .ReplicaServer` every few deltas as small versioned records
+  (:func:`~repro.engine.dynamic_serving.ship_deltas`), plus one
+  deliberately over-threshold burst to exercise the snapshot-fallback
+  path. The replica's answers must match the primary's on every access
+  the stream queried, at the same delta version.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the stream for CI; the 2x
+acceptance threshold is identical in both modes.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import statistics
+import time
+
+import pytest
+
+from bench_reporting import bench_emit, bench_emit_table, bench_record_gate
+from repro.core.structure import CompressedRepresentation
+from repro.database.relation import Relation
+from repro.engine import ReplicaServer, ViewServer, ship_deltas
+from repro.workloads import triangle_database, triangle_view
+from repro.workloads.streams import update_stream
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+NODES, EDGES = (36, 220)
+N_OPS = 48 if SMOKE else 160
+UPDATE_FRACTION = 0.25
+DELTA_SIZE = 2
+TAU = 4.0
+REPEATS = 2 if SMOKE else 3
+MIN_SPEEDUP = 2.0
+# Ship to the replica every few deltas so the pending-record count
+# stays under the churn threshold and the delta path is what's being
+# proven; the final burst deliberately exceeds a tiny threshold to
+# cover the snapshot-fallback leg too.
+SHIP_EVERY = 4
+
+VIEW = triangle_view("bff")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = triangle_database(nodes=NODES, edges=EDGES, seed=11)
+    stream = update_stream(
+        VIEW,
+        db,
+        N_OPS,
+        update_fraction=UPDATE_FRACTION,
+        seed=5,
+        skew=1.2,
+        delta_size=DELTA_SIZE,
+    )
+    return db, stream
+
+
+def _apply_to_db(db, relation, inserts, deletes):
+    """The baseline's update: replace one relation, rows edited exactly."""
+    rows = set(db[relation].rows)
+    rows.difference_update(tuple(row) for row in deletes)
+    rows.update(tuple(row) for row in inserts)
+    return db.replace(Relation(relation, db[relation].arity, rows))
+
+
+def _serve_delta(db, stream):
+    """Serve the stream through register_dynamic + apply_deltas."""
+    server = ViewServer(db)
+    name = server.register_dynamic(VIEW, tau=TAU)
+    answers = []
+    started = time.perf_counter()
+    for op in stream:
+        if op[0] == "query":
+            answers.append(server.answer(name, op[1]))
+        else:
+            server.apply_deltas(op[1], inserts=op[2], deletes=op[3])
+    seconds = time.perf_counter() - started
+    rebuilds = server.total_builds() - 1  # registration paid the first
+    server.close()
+    return answers, seconds, rebuilds
+
+
+def _serve_rebuild(db, stream):
+    """The baseline: a fresh full build after every update."""
+    answers = []
+    started = time.perf_counter()
+    structure = CompressedRepresentation(VIEW, db, TAU)
+    builds = 1
+    for op in stream:
+        if op[0] == "query":
+            answers.append(structure.answer(op[1]))
+        else:
+            db = _apply_to_db(db, op[1], op[2], op[3])
+            structure = CompressedRepresentation(VIEW, db, TAU)
+            builds += 1
+    return answers, time.perf_counter() - started, builds
+
+
+def _converge_replica(db, stream, tmp_path):
+    """Apply the stream's updates on a primary, shipping to a replica."""
+    primary = ViewServer(db, snapshot_dir=tmp_path)
+    name = primary.register_dynamic(VIEW, tau=TAU)
+    replica = ReplicaServer(db, snapshot_dir=tmp_path)
+    replica.register_dynamic(VIEW, tau=TAU)
+    modes = {"delta": 0, "snapshot": 0}
+    pending = 0
+    updates = [op for op in stream if op[0] == "update"]
+    for op in updates[:-1]:
+        primary.apply_deltas(op[1], inserts=op[2], deletes=op[3])
+        pending += 1
+        if pending >= SHIP_EVERY:
+            mode, _ = ship_deltas(primary, replica)[name]
+            modes[mode] += 1
+            pending = 0
+    # Final delta shipped against a threshold it must exceed, so the
+    # snapshot-fallback leg of the protocol is exercised every run.
+    last = updates[-1]
+    primary.apply_deltas(last[1], inserts=last[2], deletes=last[3])
+    mode, _ = ship_deltas(primary, replica, churn_threshold=0)[name]
+    modes[mode] += 1
+    accesses = sorted({op[1] for op in stream if op[0] == "query"})
+    converged = all(
+        primary.answer(name, access) == replica.answer(name, access)
+        for access in accesses
+    )
+    version_match = primary.delta_version(name) == replica.delta_version(name)
+    primary.close()
+    replica.close()
+    return modes, converged, version_match, len(accesses)
+
+
+def test_dynamic_serving_gate(workload, tmp_path):
+    db, stream = workload
+    n_updates = sum(1 for op in stream if op[0] == "update")
+    n_queries = len(stream) - n_updates
+    delta_times, rebuild_times = [], []
+    delta_answers = rebuild_answers = None
+    delta_rebuilds = rebuild_builds = 0
+
+    # Fresh servers per round — the delta path's buffered state *is*
+    # the thing measured, so warm reuse would skip the work under test.
+    # Interleaving keeps CI-runner stalls off any one variant.
+    gc.collect()
+    for _ in range(REPEATS):
+        delta_answers, seconds, delta_rebuilds = _serve_delta(db, stream)
+        delta_times.append(seconds)
+        rebuild_answers, seconds, rebuild_builds = _serve_rebuild(db, stream)
+        rebuild_times.append(seconds)
+
+    delta_seconds = statistics.median(delta_times)
+    rebuild_seconds = statistics.median(rebuild_times)
+    speedup = rebuild_seconds / max(delta_seconds, 1e-9)
+
+    modes, converged, version_match, n_accesses = _converge_replica(
+        db, stream, tmp_path
+    )
+
+    bench_emit_table(
+        [
+            (
+                "rebuild per update",
+                f"{rebuild_seconds * 1000:.1f}",
+                f"{rebuild_builds}",
+                "-",
+            ),
+            (
+                "delta path",
+                f"{delta_seconds * 1000:.1f}",
+                f"{delta_rebuilds}",
+                f"{speedup:.2f}x",
+            ),
+        ],
+        headers=("mode", "ms", "full builds", "vs rebuild"),
+        title=(
+            f"EXP-DYN: {len(stream)}-op mixed stream ({n_queries} queries, "
+            f"{n_updates} updates of {DELTA_SIZE} rows, |D|="
+            f"{db.total_tuples()}, tau={TAU:g}); baseline rebuilds the "
+            f"structure after every update"
+        ),
+    )
+    bench_emit(
+        f"replica: {modes['delta']} delta ship(s) + {modes['snapshot']} "
+        f"snapshot fallback(s) converged {n_accesses} queried accesses "
+        f"(version match: {version_match}); the delta path must be >= "
+        f"{MIN_SPEEDUP:.1f}x rebuild-per-update, answers bit-identical."
+    )
+    bench_record_gate(
+        "dynamic-serving",
+        speedup,
+        MIN_SPEEDUP,
+        requests=len(stream),
+        updates=n_updates,
+        delta_rebuilds=delta_rebuilds,
+        replica_delta_ships=modes["delta"],
+        replica_snapshot_ships=modes["snapshot"],
+    )
+    assert delta_answers == rebuild_answers
+    assert converged and version_match, "replica did not converge"
+    assert modes["delta"] > 0 and modes["snapshot"] > 0, (
+        "shipping never exercised both the delta and snapshot paths"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"delta serving speedup only {speedup:.2f}x"
+    )

@@ -64,6 +64,7 @@ from repro.engine import (
     AsyncViewServer,
     BatchResult,
     CacheStats,
+    DeltaRecord,
     ParallelBuilder,
     ReplicaServer,
     RepresentationCache,
@@ -73,6 +74,7 @@ from repro.engine import (
     ViewServer,
     infer_shard_key,
     partition_database,
+    ship_deltas,
 )
 from repro.factorized import FactorizedRepresentation
 from repro.baselines import LazyView, MaterializedView
@@ -122,6 +124,8 @@ __all__ = [
     "partition_database",
     "RepresentationCache",
     "CacheStats",
+    "DeltaRecord",
+    "ship_deltas",
     "BatchResult",
     "ServingReport",
     "ParallelBuilder",

@@ -85,6 +85,20 @@ offline (splitting a shard re-rendezvouses only that shard's keys)::
         --shard-key R:0,T:1
     python -m repro topology split --shards 4 --shard 2 --out topo.json
 
+Serving under updates: ``serve --dynamic`` registers the view through
+the delta-aware dynamic tier — buffered deltas under versioned serving,
+warm-started from a durable delta log in ``--snapshot-dir`` — and the
+``update`` subcommand routes base-relation inserts/deletes through the
+same log, so the next ``serve --dynamic`` run replays them instead of
+rebuilding (see ``docs/DYNAMIC_SERVING.md``)::
+
+    python -m repro serve --dynamic --snapshot-dir ./snapshots \\
+        --view "Delta^bff(x, y, z) = R(x, y), S(y, z), T(z, x)" \\
+        --data ./relations --requests ./requests.txt
+    python -m repro update apply --snapshot-dir ./snapshots \\
+        --view "Delta^bff(x, y, z) = R(x, y), S(y, z), T(z, x)" \\
+        --data ./relations --relation R --insert 7,9 --delete 1,2
+
 Observability: ``serve --telemetry-dir DIR`` records counters, delay-gap
 histograms and traced spans, persisting them as versioned JSONL that
 merges across restarts; ``--adapt`` closes the loop, re-deriving the
@@ -309,6 +323,27 @@ def _serve(args) -> int:
                 "--replicas hydrate from shipped snapshots; give "
                 "--snapshot-dir so the primary has somewhere to ship them"
             )
+    if args.dynamic:
+        if args.shards > 1:
+            raise ReproError(
+                "--dynamic serves one plain server; sharded delta fan-out "
+                "goes through ShardedViewServer.apply_deltas in-process"
+            )
+        if args.replicas:
+            raise ReproError(
+                "--dynamic replicas converge by delta shipping "
+                "(ship_deltas), not the async balancer; drop --replicas"
+            )
+        if args.adapt:
+            raise ReproError(
+                "a dynamic view serves at its registration tau; --adapt "
+                "cannot retune it"
+            )
+        if args.space_budget is not None or args.delay_budget is not None:
+            raise ReproError(
+                "--dynamic pins tau at registration; space/delay budgets "
+                "do not apply"
+            )
     telemetry = None
     if args.telemetry_dir is not None:
         telemetry = Telemetry(Path(args.telemetry_dir))
@@ -341,12 +376,15 @@ def _serve(args) -> int:
             build_workers=args.build_workers,
             telemetry=telemetry,
         )
-    name = backend.register(
-        view,
-        tau=args.tau,
-        space_budget=args.space_budget,
-        delay_budget=args.delay_budget,
-    )
+    if args.dynamic:
+        name = backend.register_dynamic(view, tau=args.tau)
+    else:
+        name = backend.register(
+            view,
+            tau=args.tau,
+            space_budget=args.space_budget,
+            delay_budget=args.delay_budget,
+        )
     registration = backend.registration(name)
     # Budget-driven tau is resolved per shard; shard 0's is representative.
     scope = ", shard 0" if args.shards > 1 and registration.budget else ""
@@ -360,6 +398,11 @@ def _serve(args) -> int:
         print(
             f"sharding: {args.shards} shards over "
             f"{sorted(backend.shard_key)} ({mode}{detail})"
+        )
+    if args.dynamic:
+        print(
+            f"dynamic: serving delta version {backend.delta_version(name)} "
+            f"(apply updates with 'python -m repro update apply')"
         )
     replicas: List[ViewServer] = []
     try:
@@ -659,6 +702,46 @@ def _print_stream_report(report) -> None:
         f"{report.wall_seconds * 1000:.1f} ms total "
         f"({report.requests_per_second:.0f} req/s)"
     )
+
+
+def _run_update(args) -> int:
+    try:
+        return _update_apply(args)
+    except (ReproError, OSError) as error:
+        print(f"update: {error}", file=sys.stderr)
+        return 2
+
+
+def _update_apply(args) -> int:
+    """One delta through the durable log: register warm, apply, exit.
+
+    The server registers against the same snapshot directory the
+    serving process uses, so registration warm-loads the current
+    dynamic snapshot and replays the log; the applied delta is appended
+    to that log, and the next ``serve --dynamic`` run replays it too.
+    """
+    view = parse_view(args.view)
+    db = load_database(args.data)
+    inserts = [_parse_access(text) for text in args.insert or []]
+    deletes = [_parse_access(text) for text in args.delete or []]
+    if not inserts and not deletes:
+        raise ReproError("nothing to apply: give --insert and/or --delete")
+    server = ViewServer(db, snapshot_dir=args.snapshot_dir)
+    try:
+        name = server.register_dynamic(view, tau=args.tau)
+        before = server.delta_version(name)
+        applied = server.apply_deltas(
+            args.relation, inserts=inserts, deletes=deletes
+        )
+        for view_name in sorted(applied):
+            print(
+                f"applied {applied[view_name]} row(s) to {view_name!r}: "
+                f"delta version {before} -> "
+                f"{server.delta_version(view_name)}"
+            )
+    finally:
+        server.close()
+    return 0
 
 
 def _snapshot_save(args) -> int:
@@ -1087,6 +1170,14 @@ def main(argv=None) -> int:
         "restart-mergeable JSONL (replay with 'metrics show')",
     )
     serve.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="register through the delta-aware dynamic tier: versioned "
+        "serving at a pinned tau, warm start from the durable delta log "
+        "in --snapshot-dir, deltas applied between runs with "
+        "'update apply' (plain backend only)",
+    )
+    serve.add_argument(
         "--adapt",
         action="store_true",
         help="closed-loop tuning: re-derive the serving tau from observed "
@@ -1100,6 +1191,47 @@ def main(argv=None) -> int:
         "registration's own budget or tau)",
     )
     serve.set_defaults(handler=_run_serve)
+
+    update = commands.add_parser(
+        "update",
+        help="apply base-relation deltas to a dynamically served view",
+    )
+    update_commands = update.add_subparsers(
+        dest="update_command", required=True
+    )
+
+    update_apply = update_commands.add_parser(
+        "apply",
+        help="route inserts/deletes through the view's durable delta log",
+    )
+    _common(update_apply)
+    update_apply.add_argument(
+        "--snapshot-dir",
+        required=True,
+        help="the dynamic snapshot/delta-log directory the serving "
+        "process uses ('serve --dynamic --snapshot-dir')",
+    )
+    update_apply.add_argument(
+        "--tau",
+        type=float,
+        default=None,
+        help="registration tau; must match what 'serve --dynamic' used "
+        "(default: the engine's default, same as serve's)",
+    )
+    update_apply.add_argument(
+        "--relation", required=True, help="base relation the delta targets"
+    )
+    update_apply.add_argument(
+        "--insert",
+        action="append",
+        help="comma-separated row to insert (repeatable)",
+    )
+    update_apply.add_argument(
+        "--delete",
+        action="append",
+        help="comma-separated row to delete (repeatable)",
+    )
+    update_apply.set_defaults(handler=_run_update)
 
     snapshot = commands.add_parser(
         "snapshot", help="save, load or inspect representation snapshots"

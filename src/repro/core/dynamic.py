@@ -17,6 +17,28 @@ engineering route:
 This gives correctness always, the Theorem 1 guarantees between update
 bursts, and a bounded amortized rebuild cost — the standard deferred
 maintenance pattern for static indexes.
+
+Resumption and kernel routing follow the same clean/dirty split:
+
+* ``supports_resume`` is always ``True``: on a clean buffer,
+  ``enumerate_from`` is the inner structure's one-delay-unit seek; on a
+  dirty buffer the lazy evaluator has no seek, so the prefix is
+  *skip-scanned* — still correct (both orders are lexicographic in the
+  free values), but the skipped prefix is enumerated, i.e. resumption is
+  only O(1) between update bursts. Tokens are value tuples, so they stay
+  valid across a rebuild.
+* ``kernel_ready`` routes the columnar kernel the same way: clean, it
+  mirrors the inner compressed structure's readiness (compiled layout
+  present and fresh); dirty, it reports ``False`` and every request
+  falls back to the reference tuple-at-a-time path — the delta overlay
+  join has no compiled form. A rebuild folds the buffers into a new
+  structure, whose build recompiles the layout, and kernel routing
+  resumes.
+
+Updates arrive one at a time (:meth:`DynamicRepresentation.insert` /
+:meth:`DynamicRepresentation.delete`) or as one batched delta
+(:meth:`DynamicRepresentation.apply_deltas` — the entry point the
+serving layer routes through; see :mod:`repro.engine.dynamic_serving`).
 """
 
 from __future__ import annotations
@@ -102,8 +124,53 @@ class DynamicRepresentation:
     def layout_compile_seconds(self) -> float:
         return self._structure.layout_compile_seconds
 
+    @property
+    def structure(self) -> CompressedRepresentation:
+        """The inner compressed structure serving the clean path.
+
+        Replaced wholesale by :meth:`rebuild`; a caller holding the old
+        object (a frozen serving version) keeps a consistent pre-rebuild
+        view — buffered updates never mutate a built structure.
+        """
+        return self._structure
+
     def insert(self, relation_name: str, row: Sequence) -> None:
         """Buffer a tuple insertion (idempotent against existing rows)."""
+        self._buffer_insert(relation_name, row)
+        self._maybe_rebuild()
+
+    def delete(self, relation_name: str, row: Sequence) -> None:
+        """Buffer a tuple deletion (no-op for absent rows)."""
+        self._buffer_delete(relation_name, row)
+        self._maybe_rebuild()
+
+    def apply_deltas(
+        self,
+        relation_name: str,
+        inserts: Sequence[Sequence] = (),
+        deletes: Sequence[Sequence] = (),
+    ) -> int:
+        """Buffer one batched delta; returns the *effective* change count.
+
+        Inserts of rows already present and deletes of absent rows are
+        no-ops; a delete of a row sitting in the insert buffer annihilates
+        the buffered insert (and vice versa) rather than growing both
+        buffers. The amortized-rebuild check runs once, after the whole
+        batch, so a delta either leaves the buffers dirty or folds them
+        into one rebuild — never several mid-batch rebuilds. A return of
+        0 means the delta changed nothing: same logical database, same
+        buffers, same pending count.
+        """
+        applied = 0
+        for row in inserts:
+            applied += self._buffer_insert(relation_name, row)
+        for row in deletes:
+            applied += self._buffer_delete(relation_name, row)
+        if applied:
+            self._maybe_rebuild()
+        return applied
+
+    def _buffer_insert(self, relation_name: str, row: Sequence) -> int:
         row = tuple(row)
         relation = self._db[relation_name]
         if len(row) != relation.arity:
@@ -114,22 +181,30 @@ class DynamicRepresentation:
         if row in self._deletes.get(relation_name, ()):
             self._deletes[relation_name].discard(row)
             self._pending += 1
-        elif row not in relation:
+            return 1
+        if row not in relation:
             self._inserts.setdefault(relation_name, set()).add(row)
             self._pending += 1
-        self._maybe_rebuild()
+            return 1
+        return 0
 
-    def delete(self, relation_name: str, row: Sequence) -> None:
-        """Buffer a tuple deletion (no-op for absent rows)."""
+    def _buffer_delete(self, relation_name: str, row: Sequence) -> int:
         row = tuple(row)
         relation = self._db[relation_name]
+        if len(row) != relation.arity:
+            raise SchemaError(
+                f"delete from {relation_name!r}: row {row!r} has arity "
+                f"{len(row)}, expected {relation.arity}"
+            )
         if row in self._inserts.get(relation_name, ()):
             self._inserts[relation_name].discard(row)
             self._pending += 1
-        elif row in relation:
+            return 1
+        if row in relation:
             self._deletes.setdefault(relation_name, set()).add(row)
             self._pending += 1
-        self._maybe_rebuild()
+            return 1
+        return 0
 
     def base_database(self) -> Database:
         """The database the current compressed structure was built from."""

@@ -165,6 +165,26 @@ def database_fingerprint(db: Database) -> str:
     return digest.hexdigest()
 
 
+def relation_fingerprints(db: Database) -> Dict[str, str]:
+    """Per-relation SHA-256 fingerprints, keyed by relation name.
+
+    The same restart-stable hashing as :func:`database_fingerprint`, but
+    resolved one relation at a time. This is the unit the dynamic
+    warm-start path compares at: after churn, a restarted server can
+    refuse exactly the structures whose *referenced* relations changed
+    and still warm-load every view whose inputs are untouched, instead
+    of refusing the whole database on one differing fingerprint.
+    """
+    fingerprints: Dict[str, str] = {}
+    for name, arity, rows in database_state(db):
+        digest = hashlib.sha256()
+        digest.update(f"{name}\x00{arity}\x00".encode("utf-8"))
+        for row in rows:
+            digest.update(repr(row).encode("utf-8"))
+        fingerprints[name] = digest.hexdigest()
+    return fingerprints
+
+
 # ----------------------------------------------------------------------
 # the codec
 # ----------------------------------------------------------------------

@@ -42,6 +42,13 @@ from repro.engine.cache import (
     build_seconds_of,
     representation_cells,
 )
+from repro.engine.dynamic_serving import (
+    DeltaRecord,
+    DynamicSnapshotStore,
+    DynamicViewState,
+    FrozenDynamicView,
+    ship_deltas,
+)
 from repro.engine.parallel import ParallelBuilder
 from repro.engine.replica import ReplicaServer
 from repro.engine.server import (
@@ -88,9 +95,14 @@ __all__ = [
     "representation_cells",
     "DEFAULT_TAU",
     "BatchResult",
+    "DeltaRecord",
+    "DynamicSnapshotStore",
+    "DynamicViewState",
+    "FrozenDynamicView",
     "Registration",
     "ServingReport",
     "ViewServer",
+    "ship_deltas",
     "SharedScan",
     "SharedScanStats",
     "open_group",

@@ -333,6 +333,7 @@ class RepresentationCache:
         key: Hashable,
         factory: Callable[[], CompressedRepresentation],
         snapshot_label: Optional[str] = None,
+        durable: bool = True,
     ) -> CompressedRepresentation:
         """The cached structure for ``key``, building it on a miss.
 
@@ -348,6 +349,9 @@ class RepresentationCache:
         decoded instead of built — the warm-start path — and a fresh
         build is snapshotted before it is published. Corrupt or
         wrong-database snapshots count as plain misses.
+        ``durable=False`` keeps the entry out of the disk tier entirely —
+        for values with their own durability story (dynamic serving
+        versions persist through the delta snapshot/log tier instead).
         """
         missed = False
         while True:
@@ -378,7 +382,11 @@ class RepresentationCache:
                 event.wait()
                 continue  # the builder published (or failed); re-check
             try:
-                label = self._label_for(key, snapshot_label)
+                label = (
+                    self._label_for(key, snapshot_label)
+                    if durable
+                    else None
+                )
                 built, from_disk = self._warm_load(label)
                 if built is None:
                     built = factory()

@@ -106,6 +106,9 @@ class ReplicaServer(ViewServer):
             cache_policy=cache_policy,
             telemetry=telemetry,
         )
+        # The dynamic tier follows the same one-way contract: replicas
+        # read the primary's snapshots/meta/delta log, never write them.
+        self._writes_dynamic_snapshots = False
 
     def _build(
         self, registration: Registration, tau: float
@@ -125,6 +128,38 @@ class ReplicaServer(ViewServer):
             f"{self.snapshot_store.directory} — ship one from the primary "
             "(cache.demote_all()) or re-point the replica"
         )
+
+    def _build_dynamic(self, registration: Registration, rebuild_fraction):
+        # Same refusal as `_build`: a dynamic view with no usable dynamic
+        # snapshot means the shipping pipeline is broken, and a replica
+        # quietly rebuilding would serve from a database state its
+        # siblings never saw.
+        if self.telemetry is not None:
+            self.telemetry.counter(
+                "replica_refusals_total", view=registration.name
+            ).inc()
+        raise SnapshotError(
+            f"replica refuses to build dynamic view "
+            f"{registration.name!r}: no usable dynamic snapshot for it — "
+            "register it on the primary (which writes the snapshot) or "
+            "ship_deltas/save_dynamic_snapshot first"
+        )
+
+    def rehydrate_dynamic(self, names: Optional[Iterable[str]] = None) -> int:
+        """Re-hydrate dynamic views from shipped snapshots, counted.
+
+        The replica half of the churn-storm fallback in
+        :func:`~repro.engine.dynamic_serving.ship_deltas`; each view
+        re-hydrated here also counts in ``replica_hydrations_total``.
+        """
+        targets = tuple(names) if names is not None else self.dynamic_views()
+        count = super().rehydrate_dynamic(targets)
+        if self.telemetry is not None:
+            for name in targets:
+                self.telemetry.counter(
+                    "replica_hydrations_total", view=name
+                ).inc()
+        return count
 
     def hydrate(self, names: Optional[Iterable[str]] = None) -> int:
         """Decode every (or the named) registered view's structure now.

@@ -56,6 +56,7 @@ Responsibilities
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 import time
 from dataclasses import dataclass, field
@@ -71,9 +72,11 @@ from typing import (
     Union,
 )
 
+from repro.core.dynamic import DynamicRepresentation
 from repro.core.snapshot import (
     SnapshotStore,
     database_fingerprint,
+    relation_fingerprints,
     view_state,
 )
 from repro.core.structure import CompressedRepresentation
@@ -85,11 +88,16 @@ from repro.engine.api import (
     open_cursor,
 )
 from repro.engine.cache import CacheStats, RepresentationCache
+from repro.engine.dynamic_serving import (
+    DeltaRecord,
+    DynamicSnapshotStore,
+    DynamicViewState,
+)
 from repro.engine.locking import named_lock
 from repro.engine.parallel import ParallelBuilder
 from repro.engine.shared_scan import SharedScan
 from repro.engine.telemetry import GAP_BUCKETS, LATENCY_BUCKETS, Telemetry
-from repro.exceptions import ParameterError, SchemaError
+from repro.exceptions import ParameterError, SchemaError, SnapshotError
 from repro.measure.delay import DelayStats
 from repro.optimizer.min_delay import min_delay_cover
 from repro.optimizer.min_space import min_space_cover
@@ -320,6 +328,15 @@ class ViewServer:
             ),
         )
         self._views: Dict[str, Registration] = {}
+        self._dynamic: Dict[str, DynamicViewState] = {}
+        self._dynamic_store = (
+            DynamicSnapshotStore(Path(snapshot_dir) / "dynamic")
+            if snapshot_dir is not None
+            else None
+        )
+        # Replicas flip this off: they ingest shipped deltas but never
+        # write snapshots or append to the delta event log.
+        self._writes_dynamic_snapshots = True
         self._lock = named_lock("server")
         self._tau_overrides: Dict[str, float] = {}
         # Resolved metric handles per (view, mode): registry lookups
@@ -419,6 +436,13 @@ class ViewServer:
         """Drop a registration and its cached structures; True if it existed."""
         with self._lock:
             registration = self._views.pop(name, None)
+            dynamic_state = self._dynamic.pop(name, None)
+        if dynamic_state is not None:
+            # Dynamic entries live under per-version generations, not
+            # the registration's: sweep every one of them by name.
+            self._cache.invalidate_matching(
+                lambda key: key[0] == name, drop_snapshot=False
+            )
         if registration is None:
             return False
         # Scope the sweep to the popped generation: a concurrent
@@ -482,6 +506,11 @@ class ViewServer:
         with self._lock:
             if name not in self._views:
                 raise SchemaError(f"unknown view {name!r}")
+            if name in self._dynamic:
+                raise ParameterError(
+                    f"dynamic view {name!r} serves at its registration "
+                    "tau; re-register to change it"
+                )
             self._tau_overrides[name] = tau
         return previous
 
@@ -504,6 +533,440 @@ class ViewServer:
         return self._cache.invalidate_matching(
             lambda key: key[0] == name, drop_snapshot=False
         )
+
+    # ------------------------------------------------------------------
+    # dynamic serving (deltas as a first-class primitive)
+    # ------------------------------------------------------------------
+    def register_dynamic(
+        self,
+        view: Union[AdornedView, str],
+        tau: Optional[float] = None,
+        name: Optional[str] = None,
+        rebuild_fraction: float = 0.1,
+    ) -> str:
+        """Register a view for serving under updates; returns its name.
+
+        The view is served through a
+        :class:`~repro.core.dynamic.DynamicRepresentation`: deltas
+        applied via :meth:`apply_deltas` buffer into it, every effective
+        delta freezes a new immutable serving *version* for new
+        requests, and cursors already open drain the version they
+        pinned (see :mod:`repro.engine.dynamic_serving`). With a
+        ``snapshot_dir``, registration warm-starts from the dynamic
+        snapshot tier: the stored **per-relation** origin fingerprints
+        are compared against this database, so churn in one relation
+        refuses only the views that reference it, and the delta event
+        log replays whatever was applied after the last snapshot.
+
+        The view must be a natural join (deltas address base relations
+        by name, which normalization would rewrite), and it serves at
+        exactly the registration τ — per-request ``tau=`` pins and
+        :meth:`retune` are rejected for dynamic views.
+        """
+        if isinstance(view, str):
+            view = parse_view(view)
+        if not view.is_natural_join():
+            raise ParameterError(
+                "dynamic serving requires a natural-join view: deltas "
+                "address base relations by name, which normalization "
+                "rewrites"
+            )
+        name = self.register(view, tau=tau, name=name)
+        try:
+            registration = self.registration(name)
+            fingerprints = relation_fingerprints(registration.database)
+            referenced = sorted(
+                {atom.relation for atom in registration.natural_view.atoms}
+            )
+            origin = {
+                relation: fingerprints[relation] for relation in referenced
+            }
+            dynamic, version, warm = self._dynamic_source(
+                registration, rebuild_fraction, origin
+            )
+            with self._lock:
+                self._generation += 1
+                generation = self._generation
+            state = DynamicViewState(
+                name=name,
+                view=registration.natural_view,
+                tau=registration.tau,
+                dynamic=dynamic,
+                version=version,
+                generation=generation,
+                label=self._snapshot_label(registration, registration.tau),
+                origin_relations=origin,
+                rebuild_fraction=rebuild_fraction,
+            )
+            with self._lock:
+                self._dynamic[name] = state
+            _, current_generation, serving = state.current()
+            self._cache.get_or_build(
+                (name, state.tau, current_generation), lambda: serving, durable=False
+            )
+            store = self._dynamic_store
+            if (
+                not warm
+                and store is not None
+                and self._writes_dynamic_snapshots
+            ):
+                state.save_to(store)
+                store.truncate_log(state.label)
+            self._set_dynamic_gauges(state)
+            return name
+        except Exception:
+            self.unregister(name)
+            raise
+
+    def _dynamic_source(
+        self,
+        registration: Registration,
+        rebuild_fraction: float,
+        origin: Mapping[str, str],
+    ) -> Tuple[DynamicRepresentation, int, bool]:
+        """(representation, version, warm?) for one dynamic registration.
+
+        Warm start is per relation: the stored meta's fingerprints are
+        compared against the current database relation by relation, and
+        only a view whose *referenced* relations all match loads from
+        disk (then replays the delta log's suffix). Anything else —
+        missing meta, changed relation, unreadable snapshot — falls
+        through to :meth:`_build_dynamic`, which replicas override to
+        refuse.
+        """
+        store = self._dynamic_store
+        if store is not None:
+            label = self._snapshot_label(registration, registration.tau)
+            meta = store.load_meta(label)
+            if meta is not None:
+                stored = meta["relations"]
+                changed = sorted(
+                    relation
+                    for relation in origin
+                    if stored.get(relation) != origin[relation]
+                )
+                if not changed:
+                    dynamic = None
+                    try:
+                        dynamic = store.load(label)
+                    except SnapshotError:
+                        # Unusable snapshot bytes: fall through to the
+                        # build path (replicas refuse there instead).
+                        dynamic = None
+                    if dynamic is not None:
+                        version = int(meta["version"])
+                        for record in store.read_log(label):
+                            if record.version <= version:
+                                continue
+                            dynamic.apply_deltas(
+                                record.relation,
+                                record.inserts,
+                                record.deletes,
+                            )
+                            version = record.version
+                        return dynamic, version, True
+        return self._build_dynamic(registration, rebuild_fraction), 0, False
+
+    def _build_dynamic(
+        self, registration: Registration, rebuild_fraction: float
+    ) -> DynamicRepresentation:
+        """Build a dynamic representation from scratch (the cold path)."""
+        dynamic = DynamicRepresentation(
+            registration.natural_view,
+            registration.database,
+            tau=registration.tau,
+            rebuild_fraction=rebuild_fraction,
+            weights=(
+                dict(registration.weights)
+                if registration.weights is not None
+                else None
+            ),
+        )
+        with self._lock:
+            self._total_builds += 1
+        if self._telemetry is not None:
+            self._telemetry.histogram(
+                "layout_compile_seconds",
+                buckets=LATENCY_BUCKETS,
+                view=registration.name,
+            ).observe(dynamic.layout_compile_seconds)
+        return dynamic
+
+    def apply_deltas(
+        self,
+        relation: str,
+        inserts: Iterable[Sequence] = (),
+        deletes: Iterable[Sequence] = (),
+        views: Optional[Sequence[str]] = None,
+    ) -> Dict[str, int]:
+        """Apply one base-relation delta to the dynamic views it feeds.
+
+        Routes through every dynamic view referencing ``relation`` (or
+        exactly the named ``views``); returns ``{view: effective
+        changes}``. An *effective* change survives buffer annihilation —
+        inserting a present row or deleting an absent one counts zero,
+        and a view whose count is zero keeps its serving version, cache
+        entry and event log untouched (the empty-delta no-op contract).
+        Effective deltas create a fresh serving version: new requests
+        see the post-delta view immediately, open cursors drain the
+        version they pinned, and the amortized rebuild boundary
+        (``rebuild_fraction``) rewrites the dynamic snapshot.
+
+        Raises :class:`~repro.exceptions.ParameterError` when a named
+        view is not dynamically registered, or when no dynamic view
+        references ``relation`` — a silently dropped delta would read
+        as applied.
+        """
+        inserts = [tuple(row) for row in inserts]
+        deletes = [tuple(row) for row in deletes]
+        if self._dynamic_store is not None and self._writes_dynamic_snapshots:
+            # Fail before anything applies: a row the event log cannot
+            # encode would otherwise tear serving state (applied) from
+            # durable state (never logged).
+            try:
+                json.dumps([inserts, deletes])
+            except (TypeError, ValueError) as error:
+                raise SnapshotError(
+                    "delta rows must be JSON-representable to be "
+                    f"durable: {error}"
+                ) from error
+        with self._lock:
+            dynamic = dict(self._dynamic)
+        if views is not None:
+            missing = [name for name in views if name not in dynamic]
+            if missing:
+                raise ParameterError(
+                    f"view(s) {missing!r} are not registered for dynamic "
+                    "serving — register_dynamic first"
+                )
+            targets = [dynamic[name] for name in views]
+        else:
+            targets = [
+                state
+                for state in dynamic.values()
+                if relation in state.relations
+            ]
+            if not targets:
+                raise ParameterError(
+                    f"no dynamic view references relation {relation!r} — "
+                    "register_dynamic a view over it first"
+                )
+        return {
+            state.name: self._ingest_delta(state, relation, inserts, deletes)
+            for state in targets
+        }
+
+    def _ingest_delta(
+        self,
+        state: DynamicViewState,
+        relation: str,
+        inserts: Sequence[Tuple],
+        deletes: Sequence[Tuple],
+        forced_version: Optional[int] = None,
+    ) -> int:
+        """Apply one delta to one view's state and publish the version."""
+
+        def next_generation() -> int:
+            with self._lock:
+                self._generation += 1
+                return self._generation
+
+        outcome = state.apply_delta(
+            relation, inserts, deletes, next_generation, forced_version
+        )
+        if outcome.record is None:
+            return outcome.applied
+        serving = outcome.serving
+        self._cache.get_or_build(
+            (state.name, state.tau, outcome.generation), lambda: serving, durable=False
+        )
+        for generation in outcome.retired_generations:
+            self._cache.invalidate_matching(
+                lambda key, generation=generation: (
+                    key[0] == state.name and key[2] == generation
+                ),
+                drop_snapshot=False,
+            )
+        store = self._dynamic_store
+        durable = (
+            forced_version is None
+            and store is not None
+            and self._writes_dynamic_snapshots
+        )
+        if durable:
+            store.append_log(state.label, outcome.record)
+        if outcome.rebuilt:
+            with self._lock:
+                self._total_builds += 1
+            if durable:
+                state.save_to(store)
+            if self._telemetry is not None:
+                self._telemetry.counter(
+                    "rebuild_triggered_total", view=state.name
+                ).inc()
+        if self._telemetry is not None and outcome.applied:
+            self._telemetry.counter(
+                "deltas_applied_total", view=state.name, relation=relation
+            ).inc(outcome.applied)
+        self._set_dynamic_gauges(state)
+        return outcome.applied
+
+    def apply_delta_records(
+        self, records: Iterable[DeltaRecord]
+    ) -> Dict[str, int]:
+        """Ingest shipped delta records, strictly in version order.
+
+        The replica half of :func:`~repro.engine.dynamic_serving.ship_deltas`:
+        already-applied versions are skipped idempotently, a version gap
+        raises :class:`~repro.exceptions.SnapshotError` (re-hydrate
+        instead), and nothing here writes snapshots or log entries.
+        Returns effective change counts per view.
+        """
+        applied: Dict[str, int] = {}
+        ordered = sorted(records, key=lambda r: (r.view, r.version))
+        for record in ordered:
+            state = self._dynamic_state(record.view)
+            count = self._ingest_delta(
+                state,
+                record.relation,
+                record.inserts,
+                record.deletes,
+                forced_version=record.version,
+            )
+            applied[record.view] = applied.get(record.view, 0) + count
+        return applied
+
+    def _dynamic_state(self, name: str) -> DynamicViewState:
+        """The dynamic serving state behind ``name`` (typed if absent)."""
+        with self._lock:
+            state = self._dynamic.get(name)
+        if state is None:
+            raise ParameterError(
+                f"view {name!r} is not registered for dynamic serving — "
+                "register_dynamic first"
+            )
+        return state
+
+    def dynamic_views(self) -> Tuple[str, ...]:
+        """Names of every view registered for dynamic serving."""
+        with self._lock:
+            return tuple(self._dynamic.keys())
+
+    def delta_version(self, name: str) -> int:
+        """The serving version of one dynamic view (0 = as registered)."""
+        return self._dynamic_state(name).current_version()
+
+    def delta_records_since(
+        self, name: str, version: int
+    ) -> Tuple[DeltaRecord, ...]:
+        """This process's delta records of ``name`` newer than ``version``."""
+        return self._dynamic_state(name).records_since(version)
+
+    def save_dynamic_snapshot(self, name: str) -> int:
+        """Write ``name``'s dynamic snapshot and meta now; returns version."""
+        state = self._dynamic_state(name)
+        if self._dynamic_store is None or not self._writes_dynamic_snapshots:
+            raise ParameterError(
+                "dynamic snapshots need a snapshot_dir on a primary "
+                "server (replicas never write them)"
+            )
+        return state.save_to(self._dynamic_store)
+
+    def rehydrate_dynamic(self, names: Optional[Iterable[str]] = None) -> int:
+        """Reload dynamic views from snapshot + delta log; returns count.
+
+        The churn-storm fallback of delta shipping: instead of replaying
+        a long record stream, swap in a representation re-hydrated from
+        the (freshly written) snapshot tier. Pinned versions keep
+        draining; new requests serve the re-hydrated state.
+        """
+        targets = tuple(names) if names is not None else self.dynamic_views()
+        for name in targets:
+            state = self._dynamic_state(name)
+            registration = self.registration(name)
+            dynamic, version, warm = self._dynamic_source(
+                registration, state.rebuild_fraction, state.origin_relations
+            )
+            with self._lock:
+                self._generation += 1
+                generation = self._generation
+            for retired in state.replace(dynamic, version, generation):
+                self._cache.invalidate_matching(
+                    lambda key, retired=retired: (
+                        key[0] == name and key[2] == retired
+                    ),
+                    drop_snapshot=False,
+                )
+            _, current_generation, serving = state.current()
+            self._cache.get_or_build(
+                (name, state.tau, current_generation), lambda: serving, durable=False
+            )
+            self._set_dynamic_gauges(state)
+        return len(targets)
+
+    def _open_dynamic(
+        self, state: DynamicViewState, request: AccessRequest, started: float
+    ) -> AnswerCursor:
+        """Open a cursor pinned to the view's current serving version."""
+        if request.tau is not None and float(request.tau) != state.tau:
+            raise ParameterError(
+                f"dynamic view {state.name!r} serves at its registration "
+                f"tau={state.tau:g}; per-request tau pins are not "
+                "supported under deltas"
+            )
+        version, generation, serving = state.pin()
+        try:
+            representation = self._cache.get_or_build(
+                (state.name, state.tau, generation), lambda: serving, durable=False
+            )
+            with self._lock:
+                self._requests_served += 1
+            cursor = open_cursor(representation, request)
+        except Exception:
+            self._release_dynamic(state, version)
+            raise
+        cursor.add_close_hook(
+            lambda: self._release_dynamic(state, version)
+        )
+        if self._telemetry is not None:
+            path = (
+                "columnar"
+                if not request.measure and serving.kernel_ready
+                else "fallback"
+            )
+            self._kernel_counter(request.view, path).inc()
+            self._instrument_cursor(cursor, request, started, mode="open")
+            self._set_dynamic_gauges(state)
+        return cursor
+
+    def _release_dynamic(self, state: DynamicViewState, version: int) -> None:
+        """Drop one cursor pin; retire the version's entry on drain."""
+        retired = state.release(version)
+        if retired is not None:
+            self._cache.invalidate_matching(
+                lambda key: key[0] == state.name and key[2] == retired,
+                drop_snapshot=False,
+            )
+        self._set_dynamic_gauges(state)
+
+    def _set_dynamic_gauges(self, state: DynamicViewState) -> None:
+        """Refresh the cursor-pin and live-version gauges of one view."""
+        if self._telemetry is None:
+            return
+        key = (state.name, "dynamic")
+        handles = self._metric_handles.get(key)
+        if handles is None:
+            handles = self._metric_handles[key] = (
+                self._telemetry.gauge(
+                    "dynamic_cursor_pins", view=state.name
+                ),
+                self._telemetry.gauge(
+                    "dynamic_live_versions", view=state.name
+                ),
+            )
+        pins, versions = handles
+        pins.set(state.pin_count())
+        versions.set(len(state.live_versions()))
 
     # ------------------------------------------------------------------
     # cached build
@@ -549,7 +1012,23 @@ class ViewServer:
 
         At most one thread ever builds a given key: late arrivals wait on
         the builder's event and then read the freshly cached entry.
+
+        A dynamic view resolves to its *current* serving version (no
+        pin — use :meth:`open` for drain-safe enumeration).
         """
+        with self._lock:
+            state = self._dynamic.get(name)
+        if state is not None:
+            if tau is not None and float(tau) != state.tau:
+                raise ParameterError(
+                    f"dynamic view {name!r} serves at its registration "
+                    f"tau={state.tau:g}; per-request tau pins are not "
+                    "supported under deltas"
+                )
+            _, generation, serving = state.current()
+            return self._cache.get_or_build(
+                (name, state.tau, generation), lambda: serving, durable=False
+            )
         registration = self.registration(name)
         key = self._key(registration, tau)
 
@@ -674,6 +1153,10 @@ class ViewServer:
             tau=tau,
             measure=measure,
         )
+        with self._lock:
+            state = self._dynamic.get(request.view)
+        if state is not None:
+            return self._open_dynamic(state, request, started)
         representation = self.representation(request.view, request.tau)
         with self._lock:
             self._requests_served += 1
@@ -810,12 +1293,43 @@ class ViewServer:
         for index, request in enumerate(batch):
             groups.setdefault((request.view, request.tau), []).append(index)
         for (view, tau), indexes in groups.items():
-            representation = self.representation(view, tau)
+            with self._lock:
+                state = self._dynamic.get(view)
+            if state is not None:
+                if tau is not None and float(tau) != state.tau:
+                    raise ParameterError(
+                        f"dynamic view {view!r} serves at its "
+                        f"registration tau={state.tau:g}; per-request "
+                        "tau pins are not supported under deltas"
+                    )
+                version, generation, serving = state.pin()
+                for _ in range(len(indexes) - 1):
+                    state.repin(version)
+                representation = self._cache.get_or_build(
+                    (view, state.tau, generation), lambda: serving, durable=False
+                )
+            else:
+                representation = self.representation(view, tau)
             group = [batch[index] for index in indexes]
-            scan = SharedScan(representation, group)
-            scan_cursors = scan.cursors()
+            try:
+                scan = SharedScan(representation, group)
+                scan_cursors = scan.cursors()
+            except Exception:
+                if state is not None:
+                    for _ in indexes:
+                        self._release_dynamic(state, version)
+                raise
             for index, cursor in zip(indexes, scan_cursors):
                 cursors[index] = cursor
+            if state is not None:
+                # One pin per group cursor; each close hook drops its
+                # own, and the last release retires a drained version.
+                for cursor in scan_cursors:
+                    cursor.add_close_hook(
+                        lambda state=state, version=version: (
+                            self._release_dynamic(state, version)
+                        )
+                    )
             if self._telemetry is not None:
                 self._kernel_counter(view, scan.kernel_path).inc(
                     len(group)

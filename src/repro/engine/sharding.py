@@ -700,6 +700,140 @@ class ShardedViewServer:
             self._routes[intended] = route
         return intended
 
+    def register_dynamic(
+        self,
+        view: Union[AdornedView, str],
+        tau: Optional[float] = None,
+        name: Optional[str] = None,
+        rebuild_fraction: float = 0.1,
+    ) -> str:
+        """Register a dynamic view on every shard; returns its name.
+
+        Each shard serves its slice through its own
+        :class:`~repro.core.dynamic.DynamicRepresentation`;
+        :meth:`apply_deltas` routes every delta tuple to its owning
+        shard, so per-shard versions advance independently (a shard a
+        delta never reaches keeps serving its current version — the
+        no-op contract, per shard). Dynamic registrations skip the
+        semijoin reduction: deltas address raw base-relation tuples,
+        which a slice-reduced replica copy could silently drop.
+        """
+        if isinstance(view, str):
+            view = parse_view(view)
+        route = self._resolve_route(view)
+        intended = name or view.name
+        with self._routes_lock:
+            if intended in self._routes:
+                raise SchemaError(f"view {intended!r} is already registered")
+            self._routes[intended] = None
+        registered: List[ViewServer] = []
+        try:
+            with self._admin_lock:
+                with self._topology_lock:
+                    targets = [
+                        self._servers[sid]
+                        for sid in self._current.shard_ids
+                    ]
+                for server in targets:
+                    resolved = server.register_dynamic(
+                        view,
+                        tau=tau,
+                        name=name,
+                        rebuild_fraction=rebuild_fraction,
+                    )
+                    assert resolved == intended
+                    registered.append(server)
+                self._registrations[intended] = {
+                    "view": view,
+                    "tau": tau,
+                    "space_budget": None,
+                    "delay_budget": None,
+                    "name": name,
+                    "dynamic": True,
+                    "rebuild_fraction": rebuild_fraction,
+                }
+        except BaseException:
+            for server in registered:
+                server.unregister(intended)
+            with self._routes_lock:
+                del self._routes[intended]
+            raise
+        with self._routes_lock:
+            self._routes[intended] = route
+        return intended
+
+    def dynamic_views(self) -> Tuple[str, ...]:
+        """Names registered for dynamic serving (identical on all shards)."""
+        with self._routes_lock:
+            names = tuple(
+                name
+                for name, route in self._routes.items()
+                if route is not None
+            )
+        with self._topology_lock:
+            representative = self._current.servers[0]
+        dynamic = set(representative.dynamic_views())
+        return tuple(name for name in names if name in dynamic)
+
+    def apply_deltas(
+        self,
+        relation: str,
+        inserts: Iterable[Sequence] = (),
+        deletes: Iterable[Sequence] = (),
+        views: Optional[Sequence[str]] = None,
+    ) -> Dict[str, int]:
+        """Apply one delta across the topology, tuple by owning shard.
+
+        Rows of a *sharded* relation go only to the shard that owns
+        their key value (the same rendezvous placement
+        :func:`partition_database` used); rows of a replicated relation
+        broadcast to every shard. Returns per-view counts summed across
+        shards — the facade-level effective change, matching
+        :meth:`ViewServer.apply_deltas
+        <repro.engine.server.ViewServer.apply_deltas>` semantics
+        shard by shard.
+        """
+        inserts = [tuple(row) for row in inserts]
+        deletes = [tuple(row) for row in deletes]
+        column = self.shard_key.get(relation)
+        version = self.pin_version()
+        try:
+            top = self._topology_for(version)
+            shard_inserts = {sid: inserts for sid in top.shard_ids}
+            shard_deletes = {sid: deletes for sid in top.shard_ids}
+            if column is not None:
+                shard_inserts = {sid: [] for sid in top.shard_ids}
+                shard_deletes = {sid: [] for sid in top.shard_ids}
+                for rows, buckets in (
+                    (inserts, shard_inserts),
+                    (deletes, shard_deletes),
+                ):
+                    for row in rows:
+                        if column >= len(row):
+                            raise SchemaError(
+                                f"delta row {row!r} for {relation!r} has no "
+                                f"shard key column {column}"
+                            )
+                        owner = top.table.shard_for(row[column])
+                        buckets[owner].append(row)
+            totals: Dict[str, int] = {}
+            # Every shard sees the delta (possibly empty for it): the
+            # per-shard no-op contract keeps empty calls version-stable,
+            # and running them keeps validation and the result's view
+            # set identical on every shard.
+            for sid, server in zip(top.shard_ids, top.servers):
+                applied = server.apply_deltas(
+                    relation,
+                    shard_inserts[sid],
+                    shard_deletes[sid],
+                    views=views,
+                )
+                for view_name, count in applied.items():
+                    totals[view_name] = totals.get(view_name, 0) + count
+            return totals
+        finally:
+            self.release_version(version)
+
     def unregister(self, name: str) -> bool:
         """Drop a view from every shard and the route table; True if known."""
         with self._routes_lock:
@@ -938,6 +1072,22 @@ class ShardedViewServer:
                     view_name: dict(spec)
                     for view_name, spec in self._registrations.items()
                 }
+            dynamic = sorted(
+                view_name
+                for view_name, spec in specs.items()
+                if spec.get("dynamic")
+            )
+            if dynamic:
+                # A split re-registers children against the *base* slice;
+                # deltas applied since registration would silently vanish
+                # from the children. Refuse rather than serve from the
+                # past — unregister the dynamic views, split, re-register.
+                raise ParameterError(
+                    f"cannot split shard {shard_id!r} while dynamic views "
+                    f"{dynamic!r} are registered: the children would be "
+                    "rebuilt from the pre-delta base slice. Unregister "
+                    "them, split, then register_dynamic again."
+                )
             new_table = old.table.split(shard_id)
             children = new_table.children(shard_id)
             # Re-place only the parent's slice. Hierarchical rendezvous

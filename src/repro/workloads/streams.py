@@ -346,6 +346,115 @@ def shifting_requests(
     return requests
 
 
+def update_stream(
+    view: AdornedView,
+    db: Database,
+    n_requests: int,
+    update_fraction: float = 0.2,
+    seed: int = 0,
+    skew: float = 1.0,
+    delta_size: int = 1,
+    delete_fraction: float = 0.3,
+) -> List[Tuple]:
+    """A seeded mixed update+query stream for one dynamic view.
+
+    The dynamic-serving workload shape: a sequence of operations, each
+    either ``("query", access)`` — a Zipf-``skew`` draw over the base
+    database's productive access tuples, exactly like
+    :func:`request_stream` — or ``("update", relation, inserts,
+    deletes)``, a small delta against one of the view's base relations,
+    sized ``delta_size`` rows with ``delete_fraction`` of them deletes.
+    The generator tracks the evolving relation contents, so every
+    emitted delete names a row that is actually present at that point
+    and every insert is genuinely new (each delta is *effective* —
+    :meth:`ViewServer.apply_deltas
+    <repro.engine.server.ViewServer.apply_deltas>` counts all of it).
+    Insert rows mutate one column of an existing row — half the time to
+    a fresh value, half to a value borrowed from another row — so new
+    tuples keep joining instead of raining into the void. Deterministic
+    per seed; values stay in the integer domain, so deltas round-trip
+    the JSON event log.
+    """
+    if n_requests < 0:
+        raise ParameterError(f"n_requests must be >= 0, got {n_requests}")
+    if not 0.0 <= update_fraction <= 1.0:
+        raise ParameterError(
+            f"update_fraction must be in [0, 1], got {update_fraction}"
+        )
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ParameterError(
+            f"delete_fraction must be in [0, 1], got {delete_fraction}"
+        )
+    if delta_size < 1:
+        raise ParameterError(f"delta_size must be >= 1, got {delta_size}")
+    if skew < 0:
+        raise ParameterError(f"skew must be >= 0, got {skew}")
+    keys = productive_accesses(view, db)
+    if not keys:
+        raise ParameterError(
+            f"view {view.name!r} has no productive accesses to stream"
+        )
+    cum_weights = zipf_cumulative_weights(len(keys), skew)
+    relations = sorted({atom.relation for atom in view.atoms})
+    live: dict = {}
+    present: dict = {}
+    for name in relations:
+        rows = [tuple(row) for row in db[name]]
+        live[name] = rows
+        present[name] = set(rows)
+    fresh = 1 + max(
+        (
+            value
+            for rows in live.values()
+            for row in rows
+            for value in row
+            if isinstance(value, int)
+        ),
+        default=0,
+    )
+    rng = random.Random(seed)
+    ops: List[Tuple] = []
+    for _ in range(n_requests):
+        if rng.random() >= update_fraction:
+            access = rng.choices(keys, cum_weights=cum_weights)[0]
+            ops.append(("query", access))
+            continue
+        relation = relations[rng.randrange(len(relations))]
+        rows = live[relation]
+        inserts: List[Tuple] = []
+        deletes: List[Tuple] = []
+        for _ in range(delta_size):
+            if rows and rng.random() < delete_fraction:
+                victim = rows.pop(rng.randrange(len(rows)))
+                present[relation].discard(victim)
+                deletes.append(victim)
+                continue
+            if rows:
+                template = list(rows[rng.randrange(len(rows))])
+            else:
+                template = [0] * db[relation].arity
+            column = rng.randrange(len(template)) if template else 0
+            if template:
+                if rng.random() < 0.5 or len(rows) < 2:
+                    template[column] = fresh
+                    fresh += 1
+                else:
+                    donor = rows[rng.randrange(len(rows))]
+                    template[column] = donor[column]
+            row = tuple(template)
+            if row in present[relation]:
+                # A borrowed value reproduced an existing row; burn a
+                # fresh value instead so the insert stays effective.
+                template[column] = fresh
+                fresh += 1
+                row = tuple(template)
+            rows.append(row)
+            present[relation].add(row)
+            inserts.append(row)
+        ops.append(("update", relation, tuple(inserts), tuple(deletes)))
+    return ops
+
+
 def batched(
     stream: Iterable[Sequence], batch_size: int
 ) -> Iterator[List[Tuple]]:

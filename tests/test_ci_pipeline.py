@@ -218,6 +218,16 @@ class TestWorkflowSchema:
         ]
         assert any("make test-lock-order" in line for line in run_lines)
 
+    def test_bench_smoke_job_runs_the_dynamic_serving_gate(self, workflow):
+        # The dynamic-serving benchmark is a hard gate: if delta-aware
+        # serving stops beating rebuild-per-update >= 2x on the mixed
+        # update+query stream, CI fails.
+        run_lines = [
+            step.get("run", "")
+            for step in workflow["jobs"]["bench-smoke"]["steps"]
+        ]
+        assert any("make bench-dynamic" in line for line in run_lines)
+
     def test_bench_smoke_job_runs_the_trajectory_gate(self, workflow):
         # The trajectory gate runs after every speedup gate recorded its
         # measurement, folding them into the uploaded artifact.
@@ -233,7 +243,9 @@ class TestWorkflowSchema:
             i
             for i, line in enumerate(run_lines)
             if re.search(
-                r"make bench-(smoke|warm|stream|batch|reshard|adapt|kernel)\b", line
+                r"make bench-(smoke|warm|stream|batch|reshard|adapt|kernel"
+                r"|dynamic)\b",
+                line,
             )
         ]
         assert gates and max(gates) < trend[0], (
@@ -321,6 +333,7 @@ class TestMakefileContract:
             "bench-trend",
             "bench-adapt",
             "bench-kernel",
+            "bench-dynamic",
             "docs-check",
             "lint-deep",
             "test-lock-order",
@@ -342,12 +355,12 @@ class TestMakefileContract:
 
     def test_bench_trend_runs_the_trajectory_checker(self):
         # The trend target must keep pointing at the checker and demand
-        # all eight gates' records, or a silently skipped gate passes CI.
+        # all nine gates' records, or a silently skipped gate passes CI.
         text = MAKEFILE.read_text()
         target = text[text.index("bench-trend:"):]
         target = target[: target.index("\n\n")]
         assert "check_trend.py" in target
-        assert re.search(r"GATE_COUNT\s*\?=\s*8\b", text)
+        assert re.search(r"GATE_COUNT\s*\?=\s*9\b", text)
 
     def test_bench_adapt_runs_the_adaptive_tuning_benchmark(self):
         text = MAKEFILE.read_text()
@@ -361,6 +374,13 @@ class TestMakefileContract:
         target = text[text.index("bench-kernel:"):]
         target = target[: target.index("\n\n")]
         assert "bench_columnar_kernel.py" in target
+        assert "REPRO_BENCH_SMOKE=1" in target
+
+    def test_bench_dynamic_runs_the_dynamic_serving_benchmark(self):
+        text = MAKEFILE.read_text()
+        target = text[text.index("bench-dynamic:"):]
+        target = target[: target.index("\n\n")]
+        assert "bench_dynamic_serving.py" in target
         assert "REPRO_BENCH_SMOKE=1" in target
 
     def test_docs_check_runs_the_link_checker(self):
@@ -471,6 +491,7 @@ class TestTrajectoryGate:
         ("resharding", 1.9, 1.3),
         ("adaptive-tuning", 1.9, 1.2),
         ("columnar-kernel", 4.0, 3.0),
+        ("dynamic-serving", 8.0, 2.0),
     )
 
     def _write_all(self, bench_dir):
@@ -483,7 +504,7 @@ class TestTrajectoryGate:
         bench = tmp_path / "bench"
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
-        assert check_trend(str(bench), str(out), 8) == 0
+        assert check_trend(str(bench), str(out), 9) == 0
         trajectory = json.loads(out.read_text())
         # The schema CI consumers (and future PRs' diffs) rely on.
         assert set(trajectory) == {"schema", "commit", "gates"}
@@ -506,7 +527,7 @@ class TestTrajectoryGate:
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
         _write_gate(bench, "shared-scan-batch", 2.4, 3.0)
-        assert check_trend(str(bench), str(out), 8) == 1
+        assert check_trend(str(bench), str(out), 9) == 1
         # The artifact is still written — it IS the diagnosis.
         assert json.loads(out.read_text())["gates"]
 
@@ -515,12 +536,12 @@ class TestTrajectoryGate:
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
         (bench / "gate-warm-start.json").unlink()
-        assert check_trend(str(bench), str(out), 8) == 1
+        assert check_trend(str(bench), str(out), 9) == 1
         self._write_all(bench)
         (bench / "gate-warm-start.json").write_text('{"speedup": 1.0}')
-        assert check_trend(str(bench), str(out), 8) == 1
+        assert check_trend(str(bench), str(out), 9) == 1
         (bench / "gate-warm-start.json").write_text("not json")
-        assert check_trend(str(bench), str(out), 8) == 1
+        assert check_trend(str(bench), str(out), 9) == 1
 
     def test_fresh_checkout_seeds_floors_then_enforces_them(self, tmp_path):
         # First run, no prior trajectory: floors seed from the current
@@ -530,12 +551,12 @@ class TestTrajectoryGate:
         out = tmp_path / "trajectory.json"
         self._write_all(bench)
         assert not out.exists()
-        assert check_trend(str(bench), str(out), 8) == 0
+        assert check_trend(str(bench), str(out), 9) == 0
         seeded = json.loads(out.read_text())["gates"]
         assert all(g["floor"] == g["threshold"] for g in seeded)
         # Second run against the seeded baseline: the same records still
         # pass, and the floors persist unchanged.
-        assert check_trend(str(bench), str(out), 8) == 0
+        assert check_trend(str(bench), str(out), 9) == 0
         again = json.loads(out.read_text())["gates"]
         assert [g["floor"] for g in again] == [g["floor"] for g in seeded]
 
@@ -556,7 +577,7 @@ class TestTrajectoryGate:
         }
         out.write_text(json.dumps(prior))
         _write_gate(bench, "shared-scan-batch", 3.2, 3.0)
-        assert check_trend(str(bench), str(out), 8) == 1
+        assert check_trend(str(bench), str(out), 9) == 1
         record = next(
             g
             for g in json.loads(out.read_text())["gates"]
@@ -565,7 +586,7 @@ class TestTrajectoryGate:
         assert record["floor"] == 3.5
         # Clearing the ratcheted floor passes again.
         _write_gate(bench, "shared-scan-batch", 3.7, 3.0)
-        assert check_trend(str(bench), str(out), 8) == 0
+        assert check_trend(str(bench), str(out), 9) == 0
 
     def test_malformed_baseline_reseeds_instead_of_crashing(self, tmp_path):
         bench = tmp_path / "bench"
@@ -573,7 +594,7 @@ class TestTrajectoryGate:
         self._write_all(bench)
         for garbage in ("not json", "[]", '{"gates": [{"floor": "x"}]}'):
             out.write_text(garbage)
-            assert check_trend(str(bench), str(out), 8) == 0
+            assert check_trend(str(bench), str(out), 9) == 0
             assert json.loads(out.read_text())["gates"]
 
     def test_gate_records_are_written_by_the_bench_helper(
@@ -603,7 +624,7 @@ class TestTrajectoryGate:
                 str(REPO / "benchmarks" / "check_trend.py"),
                 str(bench),
                 str(out),
-                "8",
+                "9",
             ],
             capture_output=True,
             text=True,
